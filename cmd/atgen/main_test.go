@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestBuildTableMatrix(t *testing.T) {
+	a, err := build("R3", 0.01, "", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 381 { // 38120 · 0.01
+		t.Fatalf("dim %d", a.Rows)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCustomRMAT(t *testing.T) {
+	a, err := build("", 0, "0.6, 0.2, 0.1, 0.1", 128, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 128 || a.NNZ() == 0 {
+		t.Fatalf("shape %d, nnz %d", a.Rows, a.NNZ())
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := build("", 0, "", 0, 0, 1); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := build("R1", 1, "0.25,0.25,0.25,0.25", 8, 8, 1); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := build("", 0, "0.5,0.5", 8, 8, 1); err == nil {
+		t.Fatal("two probabilities accepted")
+	}
+	if _, err := build("", 0, "a,b,c,d", 8, 8, 1); err == nil {
+		t.Fatal("non-numeric probabilities accepted")
+	}
+	if _, err := build("nope", 1, "", 0, 0, 1); err == nil {
+		t.Fatal("unknown matrix accepted")
+	}
+}

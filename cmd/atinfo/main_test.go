@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atmatrix/internal/mat"
+	"atmatrix/internal/mmio"
+)
+
+func TestLoadTableMatrix(t *testing.T) {
+	a, err := load("R7", 0.005, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	src := mat.NewCOO(4, 4)
+	src.Append(1, 2, 3.5)
+
+	mtx := filepath.Join(dir, "m.mtx")
+	f, err := os.Create(mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mmio.WriteMatrixMarket(f, src); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	a, err := load("", 0, mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 1 || a.ToDense().At(1, 2) != 3.5 {
+		t.Fatal("mtx load wrong")
+	}
+
+	bin := filepath.Join(dir, "m.coo")
+	f, err = os.Create(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mmio.WriteBinary(f, src); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	a, err = load("", 0, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 1 {
+		t.Fatal("binary load wrong")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := load("", 0, ""); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := load("R1", 1, "x.mtx"); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := load("", 0, "/nonexistent/file.mtx"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBytesStr(t *testing.T) {
+	cases := map[int64]string{
+		10:      "10B",
+		2048:    "2.0KB",
+		3 << 20: "3.0MB",
+		5 << 30: "5.00GB",
+	}
+	for in, want := range cases {
+		if got := bytesStr(in); got != want {
+			t.Fatalf("bytesStr(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

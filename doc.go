@@ -1,0 +1,18 @@
+// Package atmatrix is a from-scratch Go reproduction of "Topology-Aware
+// Optimization of Big Sparse Matrices and Matrix Multiplications on
+// Main-Memory Systems" (Kernert, Lehner, Köhler — ICDE 2016).
+//
+// The library lives under internal/:
+//
+//   - internal/core — the AT MATRIX adaptive tile matrix and the ATMULT
+//     cost-optimized multiplication operator (the paper's contribution);
+//   - internal/mat, internal/morton, internal/kernels, internal/density,
+//     internal/costmodel, internal/numa, internal/sched, internal/rmat,
+//     internal/gen, internal/mmio — the substrates;
+//   - internal/exp — the experiment harness regenerating every table and
+//     figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each experiment via `go test -bench`.
+package atmatrix

@@ -1,0 +1,147 @@
+// Gene clustering: the non-negative matrix factorization scenario from the
+// paper's introduction (Liu et al., regularized NMF for gene expression).
+// The core computation is the iterative multiplication of the large sparse
+// gene-expression matrix V with dense factor matrices: the multiplicative
+// update rules need V·Hᵀ and Vᵀ·W every iteration, which this example runs
+// through ATMULT (sparse AT MATRIX × plain dense operand — the Fig. 9
+// workload).
+//
+//	W ← W ∘ (V·Hᵀ) ⁄ (W·H·Hᵀ)
+//	H ← H ∘ (Wᵀ·V) ⁄ (Wᵀ·W·H)
+//
+// Run with:
+//
+//	go run ./examples/geneclustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/gen"
+	"atmatrix/internal/mat"
+)
+
+const (
+	rank  = 8
+	iters = 12
+	eps   = 1e-9
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// A gene-expression stand-in (the R2/R4 topology class) at small
+	// scale: genes × samples, non-negative.
+	v, err := gen.Generate(gen.GeneExpr, 1500, 90_000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range v.Ent {
+		if v.Ent[i].Val < 0 {
+			v.Ent[i].Val = -v.Ent[i].Val
+		}
+	}
+	nGenes, nSamples := v.Rows, v.Cols
+	fmt.Printf("expression matrix V: %d genes × %d samples, %d entries (ρ = %.2f%%)\n",
+		nGenes, nSamples, v.NNZ(), 100*v.Density())
+
+	cfg := core.DefaultConfig()
+	cfg.BAtomic = 64
+	vAT, _, err := core.Partition(v, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vtAT, _, err := core.Partition(v.Transpose(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Random non-negative initialization.
+	w := mat.RandomDense(rng, nGenes, rank)
+	h := mat.RandomDense(rng, rank, nSamples)
+	for i := range w.Data {
+		w.Data[i] = rng.Float64() + 0.01
+	}
+	for i := range h.Data {
+		h.Data[i] = rng.Float64() + 0.01
+	}
+
+	vd := v.ToDense() // small enough here to track the true error
+	prev := 0.0
+	monotone := true
+	for it := 1; it <= iters; it++ {
+		// W update (uses the current H): numerator V·Hᵀ through ATMULT
+		// (sparse×dense, the Fig. 9 workload), denominator W·(H·Hᵀ) with
+		// the small dense kernels.
+		vht, _, err := core.Multiply(vAT, core.FromDense(h.Transpose(), cfg.BAtomic), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hht, err := core.MulDDD(h, h.Transpose(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		whht, err := core.MulDDD(w, hht, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vhtD := vht.ToDense()
+		for i := range w.Data {
+			w.Data[i] *= vhtD.Data[i] / (whht.Data[i] + eps)
+		}
+
+		// H update (alternating: uses the freshly updated W).
+		wtv, _, err := core.Multiply(vtAT, core.FromDense(w, cfg.BAtomic), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wtw, err := core.MulDDD(w.Transpose(), w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wtwh, err := core.MulDDD(wtw, h, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wtvD := wtv.ToDense().Transpose() // (Vᵀ·W)ᵀ = Wᵀ·V
+		for r := 0; r < rank; r++ {
+			hr := h.RowSlice(r)
+			nr := wtvD.RowSlice(r)
+			dr := wtwh.RowSlice(r)
+			for c := range hr {
+				hr[c] *= nr[c] / (dr[c] + eps)
+			}
+		}
+		errNow := frobenius(vd, w, h)
+		marker := ""
+		if it > 1 && errNow > prev+1e-6 {
+			marker = "  (!)"
+			monotone = false
+		}
+		fmt.Printf("iter %2d: ‖V − W·H‖ = %.4f%s\n", it, errNow, marker)
+		prev = errNow
+	}
+	if monotone {
+		fmt.Println("NMF converged monotonically via ATMULT-powered updates ✓")
+	} else {
+		fmt.Println("warning: the error increased in some iteration — check the update order")
+	}
+}
+
+// frobenius returns ‖V − W·H‖_F.
+func frobenius(v *mat.Dense, w, h *mat.Dense) float64 {
+	wh := mat.MulReference(w, h)
+	var s float64
+	for r := 0; r < v.Rows; r++ {
+		vr, wr := v.RowSlice(r), wh.RowSlice(r)
+		for c := range vr {
+			d := vr[c] - wr[c]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,121 @@
+// PageRank: the classic iterated sparse matrix-vector workload, using the
+// AT MATRIX tiled MatVec. Power-law web-style graphs are exactly the
+// skewed RMAT topology of the paper's G-series: a few hub columns are
+// orders of magnitude denser than the tail, so the adaptive tiling stores
+// the hub region differently from the hypersparse remainder.
+//
+// Run with:
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/mat"
+	"atmatrix/internal/rmat"
+)
+
+const (
+	nPages  = 8192
+	nLinks  = 120_000
+	damping = 0.85
+	maxIter = 60
+	epsTol  = 1e-9
+)
+
+func main() {
+	// A skewed RMAT link graph (edge u→v means u links to v).
+	g, err := rmat.Generate(nPages, nLinks, rmat.Params{A: 0.6, B: 0.15, C: 0.15, D: 0.1}, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("link graph: %d pages, %d links\n", nPages, g.NNZ())
+
+	// Column-stochastic transition matrix M: M[v][u] = 1/outdeg(u) for
+	// each link u→v; iterate r ← d·M·r + (1−d)/n.
+	outdeg := make([]float64, nPages)
+	for _, e := range g.Ent {
+		outdeg[e.Row]++
+	}
+	m := mat.NewCOO(nPages, nPages)
+	for _, e := range g.Ent {
+		m.Append(int(e.Col), int(e.Row), 1/outdeg[e.Row])
+	}
+	m.Dedup()
+
+	cfg := core.DefaultConfig()
+	cfg.BAtomic = 256
+	am, pstats, err := core.Partition(m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, d := am.TileCount()
+	fmt.Printf("transition AT MATRIX: %d tiles (%d sparse, %d dense), partitioned in %v\n",
+		len(am.Tiles), sp, d, pstats.Total())
+
+	r := make([]float64, nPages)
+	for i := range r {
+		r[i] = 1.0 / nPages
+	}
+	var iters int
+	for iters = 1; iters <= maxIter; iters++ {
+		mr, err := am.MatVec(r, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Dangling mass (pages without outlinks) plus teleportation.
+		var dangling float64
+		for i := range r {
+			if outdeg[i] == 0 {
+				dangling += r[i]
+			}
+		}
+		base := (1-damping)/float64(nPages) + damping*dangling/float64(nPages)
+		var delta float64
+		for i := range mr {
+			next := damping*mr[i] + base
+			delta += math.Abs(next - r[i])
+			r[i] = next
+		}
+		if delta < epsTol {
+			break
+		}
+	}
+	fmt.Printf("converged after %d iterations (L1 delta < %g)\n", iters, epsTol)
+
+	// Cross-check against the plain CSR MatVec.
+	csr := m.ToCSR()
+	check := csr.MatVec(r)
+	atv, err := am.MatVec(r, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range check {
+		if math.Abs(check[i]-atv[i]) > 1e-12 {
+			log.Fatal("tiled MatVec disagrees with CSR MatVec!")
+		}
+	}
+
+	type ranked struct {
+		page int
+		rank float64
+	}
+	top := make([]ranked, nPages)
+	var sum float64
+	for i, v := range r {
+		top[i] = ranked{i, v}
+		sum += v
+	}
+	sort.Slice(top, func(a, b int) bool { return top[a].rank > top[b].rank })
+	fmt.Printf("rank mass sums to %.6f (want 1.0)\n", sum)
+	fmt.Println("top pages:")
+	for _, t := range top[:5] {
+		fmt.Printf("  page %5d  rank %.5f\n", t.page, t.rank)
+	}
+	fmt.Println("tiled MatVec matches plain CSR MatVec ✓")
+}

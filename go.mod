@@ -1,0 +1,3 @@
+module atmatrix
+
+go 1.22

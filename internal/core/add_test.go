@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+func TestAddMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	cfg := testConfig()
+	a := mat.RandomCOO(rng, 70, 90, 1500)
+	b := mat.RandomCOO(rng, 70, 90, 1200)
+	am, _, _ := Partition(a, cfg)
+	bm, _, _ := Partition(b, cfg)
+	sum, err := Add(am, bm, 2, -3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := a.ToDense()
+	want.Scale(2)
+	bd := b.ToDense()
+	bd.Scale(-3)
+	want.AddDense(bd)
+	if !sum.ToDense().EqualApprox(want, 1e-12) {
+		t.Fatal("Add mismatch")
+	}
+}
+
+func TestAddCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	cfg := testConfig()
+	a := mat.RandomCOO(rng, 40, 40, 600)
+	am, _, _ := Partition(a, cfg)
+	diff, err := Add(am, am, 1, -1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.NNZ() != 0 {
+		t.Fatalf("A - A has %d non-zeros", diff.NNZ())
+	}
+}
+
+func TestAddShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	cfg := testConfig()
+	am, _, _ := Partition(mat.RandomCOO(rng, 10, 10, 20), cfg)
+	bm, _, _ := Partition(mat.RandomCOO(rng, 10, 12, 20), cfg)
+	if _, err := Add(am, bm, 1, 1, cfg); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestAddZeroWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	cfg := testConfig()
+	a := mat.RandomCOO(rng, 30, 30, 300)
+	am, _, _ := Partition(a, cfg)
+	zm, _, _ := Partition(mat.RandomCOO(rng, 30, 30, 300), cfg)
+	only, err := Add(am, zm, 1, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !only.ToDense().EqualApprox(a.ToDense(), 0) {
+		t.Fatal("zero-weight operand leaked into the sum")
+	}
+}
+
+func TestScaleInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(125))
+	cfg := testConfig()
+	src, err := genHeterogeneous(rng, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := am.ToDense()
+	want.Scale(0.5)
+	am.Scale(0.5)
+	if !am.ToDense().EqualApprox(want, 0) {
+		t.Fatal("Scale mismatch")
+	}
+	if err := am.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,531 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atmatrix/internal/density"
+	"atmatrix/internal/kernels"
+	"atmatrix/internal/mat"
+	"atmatrix/internal/numa"
+	"atmatrix/internal/sched"
+)
+
+// MultOptions toggles the individual optimization components of ATMULT,
+// primarily so that the Fig. 10 ablation can switch them off one by one.
+// The zero value disables everything; use DefaultMultOptions for the full
+// operator.
+type MultOptions struct {
+	// Estimate enables result-density estimation; without it every
+	// target tile is written sparse (ablation steps 1–2).
+	Estimate bool
+	// DynOpt enables the dynamic optimizer: cost-based kernel selection
+	// with just-in-time operand conversions (§III-C).
+	DynOpt bool
+}
+
+// DefaultMultOptions enables the full ATMULT behavior.
+func DefaultMultOptions() MultOptions {
+	return MultOptions{Estimate: true, DynOpt: true}
+}
+
+// MultStats is the runtime breakdown the paper reports in Figs. 8b, 9c
+// and 9d: the share of ATMULT time spent estimating densities and
+// dynamically optimizing (including tile conversions) versus multiplying.
+type MultStats struct {
+	EstimateTime time.Duration // density estimation + water level
+	OptimizeTime time.Duration // cost-model decisions (wall time, summed over tasks)
+	ConvertTime  time.Duration // just-in-time operand conversions
+	MultiplyTime time.Duration // kernel execution
+	FinalizeTime time.Duration // sparse accumulator → CSR materialization
+	WallTime     time.Duration // end-to-end operator time
+
+	Conversions   int64 // number of operand windows converted
+	Contributions int64 // tile-multiplication tasks executed
+	TargetTiles   int64 // result tiles produced (before dropping empties)
+
+	WriteThreshold float64 // effective ρ_D^W after the water level
+	Numa           *numa.Stats
+}
+
+// OptimizeShare returns (optimize+convert)/wall — the quantity plotted in
+// Fig. 8b/9c/9d. Per-task times are summed across workers, so the share is
+// normalized by the summed busy time instead of wall time when the summed
+// time is larger (multi-core runs).
+func (s *MultStats) OptimizeShare() float64 {
+	busy := s.OptimizeTime + s.ConvertTime + s.MultiplyTime + s.FinalizeTime
+	denom := s.WallTime
+	if busy > denom {
+		denom = busy
+	}
+	if denom == 0 {
+		return 0
+	}
+	return float64(s.OptimizeTime+s.ConvertTime) / float64(denom)
+}
+
+// EstimateShare returns estimate/wall, the density-estimation fraction.
+func (s *MultStats) EstimateShare() float64 {
+	if s.WallTime == 0 {
+		return 0
+	}
+	return float64(s.EstimateTime) / float64(s.WallTime)
+}
+
+// Multiply executes C = A·B with the full ATMULT pipeline and default
+// options.
+func Multiply(a, b *ATMatrix, cfg Config) (*ATMatrix, *MultStats, error) {
+	return MultiplyOpt(a, b, cfg, DefaultMultOptions())
+}
+
+// MultiplyOpt is Alg. 2: it estimates the result-density map, derives the
+// effective write threshold with the water-level method, forms tile-row ×
+// tile-col pairs — each pair producing one target tile C_{ti,tj} — and
+// executes the pairs on per-socket worker teams. Every pair accumulates
+// the referenced submatrix multiplications of the matching A and B tiles,
+// with the dynamic optimizer converting operand windows just in time when
+// the cost model predicts a cheaper kernel.
+func MultiplyOpt(a, b *ATMatrix, cfg Config, opts MultOptions) (*ATMatrix, *MultStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if a.Cols != b.Rows {
+		return nil, nil, fmt.Errorf("core: contraction mismatch: A is %d×%d, B is %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.BAtomic != cfg.BAtomic || b.BAtomic != cfg.BAtomic {
+		return nil, nil, fmt.Errorf("core: operand block size (%d, %d) does not match config b_atomic %d", a.BAtomic, b.BAtomic, cfg.BAtomic)
+	}
+	wallStart := time.Now()
+	stats := &MultStats{Numa: numa.NewStats(cfg.Topology)}
+
+	// Density estimation and water level (Alg. 2 lines 2–3).
+	var est *density.Map
+	stats.WriteThreshold = 2 // > 1: everything sparse when estimation is off
+	if opts.Estimate {
+		t0 := time.Now()
+		// Coarsen the estimation grid for very high-dimension operands:
+		// the estimator's cost is O(gridRows·gridK·gridCols), independent
+		// of nnz, and would otherwise dominate hypersparse
+		// multiplications (the R9 effect of §IV-D).
+		const gridCellCap = 1 << 13
+		estBlock := cfg.BAtomic
+		for cells(a.Rows, b.Cols, estBlock) > gridCellCap ||
+			cells(a.Rows, a.Cols, estBlock) > gridCellCap ||
+			cells(b.Rows, b.Cols, estBlock) > gridCellCap {
+			estBlock *= 2
+		}
+		est = density.EstimateProduct(a.DensityMapAt(estBlock), b.DensityMapAt(estBlock))
+		stats.WriteThreshold = EffectiveWriteThreshold(cfg, est)
+		stats.EstimateTime = time.Since(t0)
+	}
+
+	rowBands := a.RowBands()
+	colBands := b.ColBands()
+	c := newATMatrix(a.Rows, b.Cols, cfg.BAtomic)
+
+	// Pre-resolve the contributing tiles per band.
+	aTilesPerBand := make([][]*Tile, len(rowBands))
+	for i, band := range rowBands {
+		aTilesPerBand[i] = a.tilesInRowBand(band)
+	}
+	bTilesPerBand := make([][]*Tile, len(colBands))
+	bWinsPerBand := make([][]kernels.CSRWin, len(colBands))
+	for j, band := range colBands {
+		tiles := b.tilesInColBand(band)
+		bTilesPerBand[j] = tiles
+		// Pre-index the sparse B tiles against this column band once:
+		// Gustavson revisits B rows per contributing A element, and the
+		// same (tile, band) window recurs in every row-band pair, so the
+		// referenced-window column spans are computed one time here and
+		// row-sliced per contribution.
+		wins := make([]kernels.CSRWin, len(tiles))
+		for ti, tile := range tiles {
+			if tile.Kind != mat.Sparse {
+				continue
+			}
+			w := kernels.CSRWin{M: tile.Sp, Col0: band.Lo - tile.Col0, Rows: tile.Rows, Cols: band.Len()}
+			w.BuildIndex()
+			wins[ti] = w
+		}
+		bWinsPerBand[j] = wins
+	}
+
+	// One result slot per pair; tasks fill them, assembly indexes them.
+	type slot struct {
+		tile *Tile
+	}
+	slots := make([]slot, len(rowBands)*len(colBands))
+
+	var optNanos, convNanos, mulNanos, finNanos atomic.Int64
+	cache := newConvCache()
+
+	pool := sched.NewPool(cfg.Topology)
+	pool.Stealing = cfg.Stealing
+	queues := make([][]sched.Task, cfg.Topology.Sockets)
+	for ti := range rowBands {
+		for tj := range colBands {
+			ti, tj := ti, tj
+			rb, cb := rowBands[ti], colBands[tj]
+			if len(aTilesPerBand[ti]) == 0 || len(bTilesPerBand[tj]) == 0 {
+				continue // structurally zero target tile
+			}
+			home := cfg.Topology.HomeOfTileRow(rb.Lo / cfg.BAtomic)
+			task := func(team *sched.Team) {
+				tile := multiplyPair(cfg, opts, est, stats, team,
+					rb, cb, aTilesPerBand[ti], bTilesPerBand[tj], bWinsPerBand[tj],
+					cache, &optNanos, &convNanos, &mulNanos, &finNanos)
+				slots[ti*len(colBands)+tj] = slot{tile: tile}
+			}
+			queues[int(home)] = append(queues[int(home)], task)
+		}
+	}
+	pool.Run(queues)
+
+	// Assemble the result AT MATRIX from the filled slots.
+	for _, s := range slots {
+		if s.tile != nil {
+			c.addTile(s.tile)
+			stats.TargetTiles++
+		}
+	}
+
+	stats.OptimizeTime = time.Duration(optNanos.Load())
+	stats.ConvertTime = time.Duration(convNanos.Load())
+	stats.MultiplyTime = time.Duration(mulNanos.Load())
+	stats.FinalizeTime = time.Duration(finNanos.Load())
+	stats.WallTime = time.Since(wallStart)
+	return c, stats, nil
+}
+
+// contribution is one referenced submatrix multiplication feeding a target
+// tile: a window of an A tile times a window of a B tile.
+type contribution struct {
+	aTile, bTile *Tile
+	// Tile-local window bounds. The A window spans rows
+	// [aR0, aR0+m) × cols [aC0, aC0+k); the B window rows
+	// [bR0, bR0+k) × cols [bC0, bC0+n), where m and n are the target
+	// tile dims.
+	aR0, aC0 int
+	bR0, bC0 int
+	k        int
+	// mRows and nCols are the target tile dimensions (A window height,
+	// B window width).
+	mRows, nCols int
+
+	// bWin caches the pre-indexed full-height window of the B tile
+	// against the column band (valid when bTile is sparse).
+	bWin kernels.CSRWin
+
+	// Resolved operands after optimization: exactly one of each pair is
+	// set. Dense operands are compact copies or shared windows.
+	aSp, bSp kernels.CSRWin
+	aD, bD   *mat.Dense
+	aKind    mat.Kind
+	bKind    mat.Kind
+}
+
+// multiplyPair computes one target tile C_{ti,tj} (Alg. 2 lines 6–10).
+func multiplyPair(cfg Config, opts MultOptions, est *density.Map,
+	stats *MultStats, team *sched.Team, rb, cb Band, aTiles, bTiles []*Tile,
+	bWins []kernels.CSRWin, cache *convCache, optNanos, convNanos, mulNanos, finNanos *atomic.Int64) *Tile {
+
+	m, n := rb.Len(), cb.Len()
+
+	// Collect the referenced submatrix multiplications with matching
+	// contraction ranges (CALCULATEREFWINDOW, Alg. 2 line 8).
+	var contribs []contribution
+	for _, ta := range aTiles {
+		ak0, ak1 := ta.Col0, ta.Col0+ta.Cols
+		for bi, tb := range bTiles {
+			bk0, bk1 := tb.Row0, tb.Row0+tb.Rows
+			k0, k1 := max(ak0, bk0), min(ak1, bk1)
+			if k1 <= k0 {
+				continue
+			}
+			contribs = append(contribs, contribution{
+				aTile: ta, bTile: tb, bWin: bWins[bi],
+				aR0: rb.Lo - ta.Row0, aC0: k0 - ta.Col0,
+				bR0: k0 - tb.Row0, bC0: cb.Lo - tb.Col0,
+				k: k1 - k0, mRows: m, nCols: n,
+			})
+		}
+	}
+	if len(contribs) == 0 {
+		return nil
+	}
+	atomic.AddInt64(&stats.Contributions, int64(len(contribs)))
+
+	// Decide the physical representation of the target tile from its
+	// *final* estimated density (Alg. 2 line 6).
+	targetKind := mat.Sparse
+	var estRho float64
+	if est != nil {
+		estRho = regionDensity(est, rb.Lo, rb.Hi, cb.Lo, cb.Hi)
+		if estRho >= stats.WriteThreshold {
+			targetKind = mat.DenseKind
+		}
+	}
+
+	// Dynamic optimizer (OPTIMIZE, Alg. 2 line 9): pick the operand
+	// representations per contribution, converting windows just in time.
+	for i := range contribs {
+		ct := &contribs[i]
+		t0 := time.Now()
+		kindA, kindB := ct.aTile.Kind, ct.bTile.Kind
+		if opts.DynOpt {
+			rhoA := windowDensityApprox(ct.aTile)
+			rhoB := windowDensityApprox(ct.bTile)
+			plan := cfg.Cost.ChooseKernel(kindA, kindB, targetKind, m, ct.k, n, rhoA, rhoB, estRho)
+			kindA, kindB = plan.KindA, plan.KindB
+		}
+		optNanos.Add(time.Since(t0).Nanoseconds())
+		ct.aKind, ct.bKind = kindA, kindB
+
+		resolveOperand(ct, true, kindA, cache, convNanos, stats)
+		resolveOperand(ct, false, kindB, cache, convNanos, stats)
+
+		// Simulated NUMA accounting: the team reads both operand
+		// windows from their home nodes.
+		stats.Numa.RecordAccess(team.Socket, ct.aTile.Home, windowBytes(ct.aTile, m, ct.k))
+		stats.Numa.RecordAccess(team.Socket, ct.bTile.Home, windowBytes(ct.bTile, ct.k, n))
+	}
+
+	// Execute: intra-tile parallelization over the target rows; each
+	// worker processes its row slice through all contributions.
+	t0 := time.Now()
+	var tile *Tile
+	if targetKind == mat.DenseKind {
+		d := mat.NewDense(m, n)
+		team.ParallelRows(m, func(lo, hi, _ int) {
+			cw := d.Window(lo, hi, 0, n)
+			for i := range contribs {
+				runDenseTarget(cw, &contribs[i], lo, hi)
+			}
+		})
+		mulNanos.Add(time.Since(t0).Nanoseconds())
+		nnz := d.NNZ()
+		if nnz == 0 {
+			return nil
+		}
+		tile = &Tile{Row0: rb.Lo, Col0: cb.Lo, Rows: m, Cols: n, Kind: mat.DenseKind, D: d, NNZ: nnz}
+	} else {
+		acc := kernels.NewSpAcc(m, n)
+		team.ParallelRows(m, func(lo, hi, _ int) {
+			spa := kernels.NewSPA(n)
+			for i := range contribs {
+				runSparseTarget(acc, &contribs[i], lo, hi, spa)
+			}
+		})
+		mulNanos.Add(time.Since(t0).Nanoseconds())
+		t0 = time.Now()
+		csr := acc.ToCSR()
+		finNanos.Add(time.Since(t0).Nanoseconds())
+		if csr.NNZ() == 0 {
+			return nil
+		}
+		tile = &Tile{Row0: rb.Lo, Col0: cb.Lo, Rows: m, Cols: n, Kind: mat.Sparse, Sp: csr, NNZ: csr.NNZ()}
+	}
+	// First-touch policy: the result tile lives on the executing team's
+	// node, which by construction is the home of A's tile-row.
+	tile.Home = team.Socket
+	stats.Numa.RecordAlloc(team.Socket, tile.Bytes())
+	return tile
+}
+
+// resolveOperand fills the kernel operand fields of a contribution for the
+// requested representation, converting the referenced window when it
+// differs from the tile's stored kind.
+func resolveOperand(ct *contribution, isA bool, want mat.Kind, cache *convCache, convNanos *atomic.Int64, stats *MultStats) {
+	var tile *Tile
+	var r0, c0, rows, cols int
+	if isA {
+		tile = ct.aTile
+		r0, c0 = ct.aR0, ct.aC0
+		rows, cols = ct.mRows, ct.k
+	} else {
+		tile = ct.bTile
+		r0, c0 = ct.bR0, ct.bC0
+		rows, cols = ct.k, ct.nCols
+	}
+	if tile.Kind == want {
+		if !isA && want == mat.Sparse {
+			// Use the pre-indexed (tile × column band) window, narrowed
+			// to the contraction range.
+			ct.bSp = ct.bWin.RowSlice(r0, r0+rows)
+			return
+		}
+		sp, d := tile.window(r0, r0+rows, c0, c0+cols)
+		if isA {
+			ct.aSp, ct.aD = sp, d
+		} else {
+			ct.bSp, ct.bD = sp, d
+		}
+		return
+	}
+	t0 := time.Now()
+	if want == mat.DenseKind {
+		// sparse → dense conversion. A full-tile conversion is cached
+		// and shared across all pairs touching the tile (the same tile
+		// recurs once per target band); partial windows are converted
+		// ad hoc.
+		var d *mat.Dense
+		if r0 == 0 && c0 == 0 && rows == tile.Rows && cols == tile.Cols {
+			var hit bool
+			d, hit = cache.dense(tile)
+			if hit {
+				// Cache hits cost nothing; don't count a conversion.
+				if isA {
+					ct.aD = d
+				} else {
+					ct.bD = d
+				}
+				return
+			}
+		} else {
+			win := kernels.CSRWin{M: tile.Sp, Row0: r0, Col0: c0, Rows: rows, Cols: cols}
+			d = win.ToDense()
+		}
+		if isA {
+			ct.aD = d
+		} else {
+			ct.bD = d
+		}
+	} else {
+		// dense → sparse window copy
+		csr := tile.D.Window(r0, r0+rows, c0, c0+cols).ToCSR()
+		win := kernels.FullCSR(csr)
+		if isA {
+			ct.aSp = win
+		} else {
+			ct.bSp = win
+		}
+	}
+	convNanos.Add(time.Since(t0).Nanoseconds())
+	atomic.AddInt64(&stats.Conversions, 1)
+}
+
+// convCache memoizes full-tile sparse→dense conversions for one ATMULT
+// invocation. Converting inside a sync.Once-like critical section keeps
+// concurrent teams from duplicating the work; very large tiles are not
+// cached to bound the extra memory.
+type convCache struct {
+	mu      sync.Mutex
+	dense_  map[*Tile]*mat.Dense
+	maxTile int64
+}
+
+func newConvCache() *convCache {
+	return &convCache{dense_: make(map[*Tile]*mat.Dense), maxTile: 64 << 20}
+}
+
+// dense returns the dense form of a sparse tile and whether it came from
+// the cache (false on the call that performed the conversion).
+func (c *convCache) dense(t *Tile) (*mat.Dense, bool) {
+	if mat.DenseBytes(t.Rows, t.Cols) > c.maxTile {
+		return t.Sp.ToDense(), false
+	}
+	c.mu.Lock()
+	if d, ok := c.dense_[t]; ok {
+		c.mu.Unlock()
+		return d, true
+	}
+	c.mu.Unlock()
+	d := t.Sp.ToDense()
+	c.mu.Lock()
+	// Another team may have raced the conversion; keep the first entry
+	// so all users share one copy.
+	if prev, ok := c.dense_[t]; ok {
+		d = prev
+	} else {
+		c.dense_[t] = d
+	}
+	c.mu.Unlock()
+	return d, false
+}
+
+// regionDensity aggregates the estimated map over a pixel region as the
+// area-weighted mean block density.
+func regionDensity(est *density.Map, r0, r1, c0, c1 int) float64 {
+	b := est.Block
+	var wsum, asum float64
+	for i := r0 / b; i*b < r1 && i < est.BR; i++ {
+		for j := c0 / b; j*b < c1 && j < est.BC; j++ {
+			// Clip the cell to the region.
+			h, w := est.CellDims(i, j)
+			rLo, rHi := max(i*b, r0), min(i*b+h, r1)
+			cLo, cHi := max(j*b, c0), min(j*b+w, c1)
+			if rHi <= rLo || cHi <= cLo {
+				continue
+			}
+			area := float64(rHi-rLo) * float64(cHi-cLo)
+			wsum += est.At(i, j) * area
+			asum += area
+		}
+	}
+	if asum == 0 {
+		return 0
+	}
+	return wsum / asum
+}
+
+// windowDensityApprox approximates a window's density by its tile's
+// overall density — the within-tile uniformity assumption of the atomic
+// block granularity.
+func windowDensityApprox(t *Tile) float64 { return t.Density() }
+
+// windowBytes estimates the bytes touched when reading an h×w window of a
+// tile.
+func windowBytes(t *Tile, h, w int) int64 {
+	if t.Kind == mat.DenseKind {
+		return mat.DenseBytes(h, w)
+	}
+	return int64(float64(h) * float64(w) * t.Density() * mat.SizeSparse)
+}
+
+// runDenseTarget executes one contribution into a dense target row slice
+// [lo, hi) of the target tile.
+func runDenseTarget(cw *mat.Dense, ct *contribution, lo, hi int) {
+	aSp, aD := sliceA(ct, lo, hi)
+	switch {
+	case ct.aKind == mat.Sparse && ct.bKind == mat.Sparse:
+		kernels.SpSpD(cw, aSp, ct.bSp)
+	case ct.aKind == mat.Sparse && ct.bKind == mat.DenseKind:
+		kernels.SpDD(cw, aSp, ct.bD)
+	case ct.aKind == mat.DenseKind && ct.bKind == mat.Sparse:
+		kernels.DSpD(cw, aD, ct.bSp)
+	default:
+		kernels.DDD(cw, aD, ct.bD)
+	}
+}
+
+// runSparseTarget executes one contribution into the sparse accumulator
+// rows [lo, hi).
+func runSparseTarget(acc *kernels.SpAcc, ct *contribution, lo, hi int, spa *kernels.SPA) {
+	aSp, aD := sliceA(ct, lo, hi)
+	switch {
+	case ct.aKind == mat.Sparse && ct.bKind == mat.Sparse:
+		kernels.SpSpSp(acc, lo, 0, aSp, ct.bSp, spa)
+	case ct.aKind == mat.Sparse && ct.bKind == mat.DenseKind:
+		kernels.SpDSp(acc, lo, 0, aSp, ct.bD, spa)
+	case ct.aKind == mat.DenseKind && ct.bKind == mat.Sparse:
+		kernels.DSpSp(acc, lo, 0, aD, ct.bSp, spa)
+	default:
+		kernels.DDSp(acc, lo, 0, aD, ct.bD, spa)
+	}
+}
+
+// cells returns the number of grid cells of an m×n matrix at a block size.
+func cells(m, n, block int) int {
+	return ((m + block - 1) / block) * ((n + block - 1) / block)
+}
+
+// sliceA narrows the A operand of a contribution to target rows [lo, hi).
+func sliceA(ct *contribution, lo, hi int) (kernels.CSRWin, *mat.Dense) {
+	if ct.aKind == mat.Sparse {
+		w := ct.aSp
+		return kernels.CSRWin{M: w.M, Row0: w.Row0 + lo, Col0: w.Col0, Rows: hi - lo, Cols: w.Cols}, nil
+	}
+	return kernels.CSRWin{}, ct.aD.Window(lo, hi, 0, ct.aD.Cols)
+}

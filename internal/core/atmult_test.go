@@ -1,0 +1,368 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+const tol = 1e-9
+
+// multAndCheck partitions a and b, multiplies with the given options, and
+// compares against the dense reference product.
+func multAndCheck(t *testing.T, cfg Config, opts MultOptions, a, b *mat.COO, label string) *MultStats {
+	t.Helper()
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatalf("%s: partition A: %v", label, err)
+	}
+	bm, _, err := Partition(b, cfg)
+	if err != nil {
+		t.Fatalf("%s: partition B: %v", label, err)
+	}
+	cm, stats, err := MultiplyOpt(am, bm, cfg, opts)
+	if err != nil {
+		t.Fatalf("%s: multiply: %v", label, err)
+	}
+	if err := cm.Validate(); err != nil {
+		t.Fatalf("%s: result invalid: %v", label, err)
+	}
+	want := mat.MulReference(a.ToDense(), b.ToDense())
+	if !cm.ToDense().EqualApprox(want, tol) {
+		t.Fatalf("%s: ATMULT result differs from reference", label)
+	}
+	return stats
+}
+
+func TestATMULTRandomSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := testConfig()
+	for trial := 0; trial < 8; trial++ {
+		n := 16 + rng.Intn(150)
+		a := mat.RandomCOO(rng, n, n, rng.Intn(n*n/3+1))
+		b := mat.RandomCOO(rng, n, n, rng.Intn(n*n/3+1))
+		multAndCheck(t, cfg, DefaultMultOptions(), a, b, "random square")
+	}
+}
+
+func TestATMULTRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	cfg := testConfig()
+	for trial := 0; trial < 8; trial++ {
+		m := 8 + rng.Intn(120)
+		k := 8 + rng.Intn(120)
+		n := 8 + rng.Intn(120)
+		a := mat.RandomCOO(rng, m, k, rng.Intn(m*k/2+1))
+		b := mat.RandomCOO(rng, k, n, rng.Intn(k*n/2+1))
+		multAndCheck(t, cfg, DefaultMultOptions(), a, b, "rectangular")
+	}
+}
+
+func TestATMULTHeterogeneousSelfMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	cfg := testConfig()
+	a, err := genHeterogeneous(rng, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := multAndCheck(t, cfg, DefaultMultOptions(), a, a, "heterogeneous self")
+	if stats.Contributions == 0 {
+		t.Fatal("no contributions recorded")
+	}
+	if stats.WallTime <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+}
+
+func TestATMULTAllOptionCombinations(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	cfg := testConfig()
+	a, err := genHeterogeneous(rng, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mat.RandomCOO(rng, 128, 128, 3000)
+	for _, est := range []bool{false, true} {
+		for _, dyn := range []bool{false, true} {
+			opts := MultOptions{Estimate: est, DynOpt: dyn}
+			multAndCheck(t, cfg, opts, a, b, "options")
+		}
+	}
+}
+
+func TestATMULTDensePlainOperand(t *testing.T) {
+	// Fig. 9 scenario: sparse AT MATRIX × plain dense matrix.
+	rng := rand.New(rand.NewSource(35))
+	cfg := testConfig()
+	a, err := genHeterogeneous(rng, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := mat.RandomDense(rng, 96, 40)
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := FromDense(bd, cfg.BAtomic)
+	cm, stats, err := Multiply(am, bm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.MulReference(a.ToDense(), bd)
+	if !cm.ToDense().EqualApprox(want, tol) {
+		t.Fatal("sparse×dense mismatch")
+	}
+	// And the mirrored dense × sparse case.
+	ad := mat.RandomDense(rng, 40, 96)
+	cm2, _, err := Multiply(FromDense(ad, cfg.BAtomic), am, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cm2.ToDense().EqualApprox(mat.MulReference(ad, a.ToDense()), tol) {
+		t.Fatal("dense×sparse mismatch")
+	}
+	if stats.Numa.LocalBytes()+stats.Numa.RemoteBytes() == 0 {
+		t.Fatal("no NUMA traffic recorded")
+	}
+}
+
+func TestATMULTPlainCSROperands(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	cfg := testConfig()
+	a := mat.RandomCOO(rng, 80, 80, 1200)
+	b := mat.RandomCOO(rng, 80, 80, 1200)
+	am := FromCSR(a.ToCSR(), cfg.BAtomic)
+	bm := FromCSR(b.ToCSR(), cfg.BAtomic)
+	cm, _, err := Multiply(am, bm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.MulReference(a.ToDense(), b.ToDense())
+	if !cm.ToDense().EqualApprox(want, tol) {
+		t.Fatal("plain CSR operand mismatch")
+	}
+}
+
+func TestATMULTEmptyOperand(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(37))
+	a := mat.RandomCOO(rng, 40, 40, 300)
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, _, err := Partition(mat.NewCOO(40, 40), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _, err := Multiply(am, empty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.NNZ() != 0 || len(cm.Tiles) != 0 {
+		t.Fatal("A·0 produced non-zero tiles")
+	}
+}
+
+func TestATMULTDimensionErrors(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(38))
+	am, _, _ := Partition(mat.RandomCOO(rng, 10, 20, 40), cfg)
+	bm, _, _ := Partition(mat.RandomCOO(rng, 30, 10, 40), cfg)
+	if _, _, err := Multiply(am, bm, cfg); err == nil {
+		t.Fatal("contraction mismatch accepted")
+	}
+	other := cfg
+	other.BAtomic = cfg.BAtomic * 2
+	bm2, _, _ := Partition(mat.RandomCOO(rng, 20, 10, 40), other)
+	if _, _, err := Multiply(am, bm2, cfg); err == nil {
+		t.Fatal("block size mismatch accepted")
+	}
+}
+
+// TestATMULTResultHeterogeneity: a heterogeneous input must lead to a
+// result with both dense and sparse target tiles (the Fig. 2d situation),
+// and the AT MATRIX result must not exceed the plain dense footprint.
+func TestATMULTResultHeterogeneity(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	cfg := testConfig()
+	a, err := genHeterogeneous(rng, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _, err := Multiply(am, am, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, d := cm.TileCount()
+	if sp == 0 || d == 0 {
+		t.Fatalf("result tiles: %d sparse / %d dense, want a mix", sp, d)
+	}
+	if cm.Bytes() > mat.DenseBytes(cm.Rows, cm.Cols) {
+		t.Fatal("AT MATRIX result larger than a plain dense array (§II-C3)")
+	}
+}
+
+// TestATMULTMemoryLimit: a tight memory limit must force sparse targets
+// and reduce the result footprint, at unchanged numerical content.
+func TestATMULTMemoryLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	cfg := testConfig()
+	a, err := genHeterogeneous(rng, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlimited, statsU, err := Multiply(am, am, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := cfg
+	tight.MemLimit = unlimited.Bytes() / 4
+	limited, statsL, err := Multiply(am, am, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsL.WriteThreshold <= statsU.WriteThreshold {
+		t.Fatalf("memory limit did not raise the write threshold: %g vs %g",
+			statsL.WriteThreshold, statsU.WriteThreshold)
+	}
+	if limited.Bytes() >= unlimited.Bytes() {
+		t.Fatalf("memory limit did not shrink the result: %d vs %d", limited.Bytes(), unlimited.Bytes())
+	}
+	if !limited.ToDense().EqualApprox(unlimited.ToDense(), tol) {
+		t.Fatal("memory limit changed the numerical result")
+	}
+}
+
+// TestATMULTDynamicConversion: a matrix whose tiles sit just below ρ0^R
+// multiplied with a full dense matrix triggers just-in-time conversions
+// (the R1 situation of §IV-D).
+func TestATMULTDynamicConversion(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cfg := testConfig()
+	n := 64
+	a := mat.NewCOO(n, n)
+	// Deterministic striped pattern with uniform density 2/9 ≈ 0.22 in
+	// every atomic block: below ρ0^R = 0.25 (tiles stay sparse) but above
+	// the mixed-kernel turnaround 0.2 (the conversion zone).
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if (r*n+c)%9 < 2 {
+				a.Append(r, c, rng.Float64()+0.1)
+			}
+		}
+	}
+	a.Dedup()
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range am.Tiles {
+		if tile.Kind != mat.Sparse {
+			t.Fatal("setup failed: tiles should be sparse")
+		}
+	}
+	bd := mat.RandomDense(rng, n, n)
+	cm, stats, err := Multiply(am, FromDense(bd, cfg.BAtomic), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Conversions == 0 {
+		t.Fatal("optimizer performed no conversions for near-threshold tiles × dense")
+	}
+	if !cm.ToDense().EqualApprox(mat.MulReference(a.ToDense(), bd), tol) {
+		t.Fatal("converted multiplication mismatch")
+	}
+}
+
+func TestATMULTFixedTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := testConfig()
+	a, err := genHeterogeneous(rng, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mixed := range []bool{false, true} {
+		am, _, err := PartitionFixed(a, cfg, mixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, _, err := Multiply(am, am, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mat.MulReference(a.ToDense(), a.ToDense())
+		if !cm.ToDense().EqualApprox(want, tol) {
+			t.Fatalf("fixed tiles (mixed=%v) mismatch", mixed)
+		}
+	}
+}
+
+func TestATMULTMixedGranularityOperands(t *testing.T) {
+	// A and B partitioned differently (adaptive vs fixed) still multiply
+	// correctly through referenced windows.
+	rng := rand.New(rand.NewSource(43))
+	cfg := testConfig()
+	a, err := genHeterogeneous(rng, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mat.RandomCOO(rng, 128, 128, 4000)
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, _, err := PartitionFixed(b, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _, err := Multiply(am, bm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.MulReference(a.ToDense(), b.ToDense())
+	if !cm.ToDense().EqualApprox(want, tol) {
+		t.Fatal("mixed-granularity operand mismatch")
+	}
+}
+
+func TestATMULTStealing(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	cfg := testConfig()
+	cfg.Stealing = true
+	a := mat.RandomCOO(rng, 100, 100, 3000)
+	multAndCheck(t, cfg, DefaultMultOptions(), a, a, "stealing")
+}
+
+func TestATMULTChained(t *testing.T) {
+	// The result AT MATRIX must be usable as an input operand (D = C·A).
+	rng := rand.New(rand.NewSource(45))
+	cfg := testConfig()
+	a := mat.RandomCOO(rng, 64, 64, 1200)
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _, err := Multiply(am, am, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, _, err := Multiply(cm, am, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := a.ToDense()
+	want := mat.MulReference(mat.MulReference(ad, ad), ad)
+	if !dm.ToDense().EqualApprox(want, tol) {
+		t.Fatal("chained multiplication mismatch")
+	}
+}

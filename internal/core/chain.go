@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"atmatrix/internal/density"
+	"atmatrix/internal/mat"
+)
+
+// This file implements cost-based sparse matrix chain multiplication in
+// the spirit of SpMacho (Kernert, Köhler, Lehner — EDBT 2015), the
+// paper's prior work that contributes the density estimator and the
+// eightfold cost model reused by ATMULT (§III-C/D). The introduction of
+// the ICDE paper motivates AT MATRIX precisely with the observation that
+// a fixed physical organization "has a negative impact on the
+// performance, e.g. as observed for sparse matrix chain multiplications
+// [9]": the best multiplication order of A1·A2·…·An depends on the
+// operand densities, which must be *propagated* through intermediate
+// results rather than assumed.
+//
+// MultiplyChain runs the classical matrix-chain dynamic program, but with
+// the cost of each candidate product taken from the kernel cost model
+// evaluated at the *estimated* intermediate densities (density maps are
+// propagated with the SpMacho product estimator), then executes the
+// optimal parenthesization with ATMULT.
+
+// ChainPlan describes the chosen parenthesization and its predicted cost.
+type ChainPlan struct {
+	// Order holds the multiplication steps as index pairs into the
+	// original chain: step {i, j} multiplies the current results rooted
+	// at positions i and j (j = i+1 subtree).
+	Expression string
+	Cost       float64
+	// splits[i][j] is the optimal split point for the subchain [i, j].
+	splits [][]int
+	n      int
+}
+
+// ChainStats aggregates the execution of a chain plan.
+type ChainStats struct {
+	Plan       *ChainPlan
+	Steps      int
+	TotalWall  time.Duration
+	StepStats  []*MultStats
+	Partitions int
+}
+
+// OptimizeChain computes the cost-optimal multiplication order for the
+// chain of AT MATRICES using dynamic programming over the estimated
+// densities.
+func OptimizeChain(chain []*ATMatrix, cfg Config) (*ChainPlan, error) {
+	n := len(chain)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty chain")
+	}
+	for i := 1; i < n; i++ {
+		if chain[i-1].Cols != chain[i].Rows {
+			return nil, fmt.Errorf("core: chain dimension mismatch between operand %d (%d×%d) and %d (%d×%d)",
+				i-1, chain[i-1].Rows, chain[i-1].Cols, i, chain[i].Rows, chain[i].Cols)
+		}
+		if chain[i].BAtomic != chain[0].BAtomic {
+			return nil, fmt.Errorf("core: chain operand %d has block size %d, want %d", i, chain[i].BAtomic, chain[0].BAtomic)
+		}
+	}
+	if n == 1 {
+		return &ChainPlan{Expression: "A0", n: 1}, nil
+	}
+
+	// Propagated density maps of subchain products, estimated pairwise:
+	// maps[i][j] estimates the product of operands i..j. Estimation uses
+	// a coarse shared grid so the DP stays cheap for long chains.
+	block := chainEstBlock(chain, cfg)
+	maps := make([][]*density.Map, n)
+	cost := make([][]float64, n)
+	splits := make([][]int, n)
+	for i := 0; i < n; i++ {
+		maps[i] = make([]*density.Map, n)
+		cost[i] = make([]float64, n)
+		splits[i] = make([]int, n)
+		maps[i][i] = chain[i].DensityMapAt(block)
+	}
+	for length := 2; length <= n; length++ {
+		for i := 0; i+length-1 < n; i++ {
+			j := i + length - 1
+			best := -1.0
+			bestK := i
+			var bestMap *density.Map
+			for k := i; k < j; k++ {
+				left, right := maps[i][k], maps[k+1][j]
+				stepCost := estimatedMultCost(left, right, cfg)
+				total := cost[i][k] + cost[k+1][j] + stepCost
+				if best < 0 || total < best {
+					best = total
+					bestK = k
+					bestMap = density.EstimateProduct(left, right)
+				}
+			}
+			cost[i][j] = best
+			splits[i][j] = bestK
+			maps[i][j] = bestMap
+		}
+	}
+	plan := &ChainPlan{Cost: cost[0][n-1], splits: splits, n: n}
+	plan.Expression = plan.render(0, n-1)
+	return plan, nil
+}
+
+// chainEstBlock picks a shared estimation grid: coarse enough that the
+// O(n³) DP with O(grid³) estimations stays negligible.
+func chainEstBlock(chain []*ATMatrix, cfg Config) int {
+	const cap = 1 << 12
+	block := cfg.BAtomic
+	for {
+		ok := true
+		for i := range chain {
+			if cells(chain[i].Rows, chain[i].Cols, block) > cap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return block
+		}
+		block *= 2
+	}
+}
+
+// estimatedMultCost evaluates the cost model for one candidate product at
+// the map-level average densities, with the target kind picked by the
+// write threshold.
+func estimatedMultCost(a, b *density.Map, cfg Config) float64 {
+	rhoA := mapMeanDensity(a)
+	rhoB := mapMeanDensity(b)
+	est := density.EstimateProduct(a, b)
+	rhoC := mapMeanDensity(est)
+	kindA := kindFor(rhoA, cfg.RhoRead)
+	kindB := kindFor(rhoB, cfg.RhoRead)
+	kindC := kindFor(rhoC, cfg.RhoWrite)
+	return cfg.Cost.Mult(kindA, kindB, kindC, a.Rows, a.Cols, b.Cols, rhoA, rhoB, rhoC)
+}
+
+// kindFor classifies a density against a threshold.
+func kindFor(rho, threshold float64) mat.Kind {
+	if rho >= threshold {
+		return mat.DenseKind
+	}
+	return mat.Sparse
+}
+
+func mapMeanDensity(m *density.Map) float64 {
+	var wsum, asum float64
+	for i := 0; i < m.BR; i++ {
+		for j := 0; j < m.BC; j++ {
+			area := float64(m.CellArea(i, j))
+			wsum += m.At(i, j) * area
+			asum += area
+		}
+	}
+	if asum == 0 {
+		return 0
+	}
+	return wsum / asum
+}
+
+func (p *ChainPlan) render(i, j int) string {
+	if i == j {
+		return fmt.Sprintf("A%d", i)
+	}
+	k := p.splits[i][j]
+	return "(" + p.render(i, k) + "·" + p.render(k+1, j) + ")"
+}
+
+// MultiplyChain optimizes and executes A0·A1·…·An-1 with ATMULT,
+// repartitioning intermediates so later steps see adaptive layouts.
+func MultiplyChain(chain []*ATMatrix, cfg Config) (*ATMatrix, *ChainStats, error) {
+	plan, err := OptimizeChain(chain, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &ChainStats{Plan: plan}
+	t0 := time.Now()
+	result, err := executeChain(chain, plan, cfg, 0, len(chain)-1, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.TotalWall = time.Since(t0)
+	return result, stats, nil
+}
+
+func executeChain(chain []*ATMatrix, plan *ChainPlan, cfg Config, i, j int, stats *ChainStats) (*ATMatrix, error) {
+	if i == j {
+		return chain[i], nil
+	}
+	k := plan.splits[i][j]
+	left, err := executeChain(chain, plan, cfg, i, k, stats)
+	if err != nil {
+		return nil, err
+	}
+	right, err := executeChain(chain, plan, cfg, k+1, j, stats)
+	if err != nil {
+		return nil, err
+	}
+	out, mstats, err := Multiply(left, right, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats.Steps++
+	stats.StepStats = append(stats.StepStats, mstats)
+	// Compact intermediates that feed further multiplications: the band-
+	// grid tiling of a result is legal input but the adaptive layout
+	// multiplies better (and this is exactly the "dynamic rewrite"
+	// database analogy of the paper's intro).
+	if i != 0 || j != plan.n-1 {
+		re, _, err := out.Repartition(cfg)
+		if err != nil {
+			return nil, err
+		}
+		stats.Partitions++
+		return re, nil
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+func chainOf(t *testing.T, cfg Config, dims []int, dens []float64, seed int64) []*ATMatrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*ATMatrix, len(dims)-1)
+	for i := 0; i+1 < len(dims); i++ {
+		m, n := dims[i], dims[i+1]
+		nnz := int(dens[i] * float64(m) * float64(n))
+		a := mat.RandomCOO(rng, m, n, nnz)
+		am, _, err := Partition(a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = am
+	}
+	return out
+}
+
+func TestChainMatchesReference(t *testing.T) {
+	cfg := testConfig()
+	chain := chainOf(t, cfg, []int{40, 60, 30, 50}, []float64{0.1, 0.2, 0.15}, 111)
+	got, stats, err := MultiplyChain(chain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != 2 {
+		t.Fatalf("3-operand chain ran %d steps, want 2", stats.Steps)
+	}
+	want := chain[0].ToDense()
+	for _, m := range chain[1:] {
+		want = mat.MulReference(want, m.ToDense())
+	}
+	if !got.ToDense().EqualApprox(want, 1e-8) {
+		t.Fatal("chain result mismatch")
+	}
+}
+
+func TestChainSingleOperand(t *testing.T) {
+	cfg := testConfig()
+	chain := chainOf(t, cfg, []int{30, 30}, []float64{0.1}, 112)
+	got, stats, err := MultiplyChain(chain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != chain[0] || stats.Steps != 0 {
+		t.Fatal("single-operand chain should return the operand unchanged")
+	}
+}
+
+func TestChainRejectsBadInput(t *testing.T) {
+	cfg := testConfig()
+	if _, _, err := MultiplyChain(nil, cfg); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	rng := rand.New(rand.NewSource(113))
+	a, _, _ := Partition(mat.RandomCOO(rng, 10, 20, 30), cfg)
+	b, _, _ := Partition(mat.RandomCOO(rng, 30, 10, 30), cfg)
+	if _, _, err := MultiplyChain([]*ATMatrix{a, b}, cfg); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// TestChainOrderMatters: for a chain (sparse big × sparse big × skinny
+// dense), multiplying right-to-left first is drastically cheaper; the
+// optimizer must find a right-leaning parenthesization.
+func TestChainOrderMatters(t *testing.T) {
+	cfg := testConfig()
+	// A0: 200×200 sparse, A1: 200×200 sparse, A2: 200×8 skinny.
+	chain := chainOf(t, cfg, []int{200, 200, 200, 8}, []float64{0.05, 0.05, 0.3}, 114)
+	plan, err := OptimizeChain(chain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimal expression must be A0·(A1·A2): collapsing into the
+	// skinny dimension first.
+	if plan.Expression != "(A0·(A1·A2))" {
+		t.Fatalf("plan = %s, want (A0·(A1·A2))", plan.Expression)
+	}
+	got, _, err := MultiplyChain(chain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := chain[0].ToDense()
+	for _, m := range chain[1:] {
+		want = mat.MulReference(want, m.ToDense())
+	}
+	if !got.ToDense().EqualApprox(want, 1e-8) {
+		t.Fatal("optimized chain result mismatch")
+	}
+}
+
+// TestChainPlanCostConsistent: the DP cost of the chosen plan must not
+// exceed the cost of the strictly left-to-right evaluation.
+func TestChainPlanCostConsistent(t *testing.T) {
+	cfg := testConfig()
+	chain := chainOf(t, cfg, []int{100, 20, 150, 10, 80}, []float64{0.1, 0.1, 0.1, 0.1}, 115)
+	plan, err := OptimizeChain(chain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost <= 0 {
+		t.Fatalf("plan cost %g", plan.Cost)
+	}
+	if !strings.Contains(plan.Expression, "A3") {
+		t.Fatalf("expression %q misses operands", plan.Expression)
+	}
+	// Execute and verify numerically.
+	got, stats, err := MultiplyChain(chain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != 3 {
+		t.Fatalf("4-operand chain ran %d steps", stats.Steps)
+	}
+	want := chain[0].ToDense()
+	for _, m := range chain[1:] {
+		want = mat.MulReference(want, m.ToDense())
+	}
+	if !got.ToDense().EqualApprox(want, 1e-8) {
+		t.Fatal("chain result mismatch")
+	}
+}
+
+func TestChainLong(t *testing.T) {
+	cfg := testConfig()
+	dims := []int{30, 40, 20, 50, 25, 35, 30}
+	dens := []float64{0.2, 0.15, 0.25, 0.1, 0.2, 0.15}
+	chain := chainOf(t, cfg, dims, dens, 116)
+	got, stats, err := MultiplyChain(chain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != len(chain)-1 {
+		t.Fatalf("steps %d, want %d", stats.Steps, len(chain)-1)
+	}
+	if stats.Partitions != stats.Steps-1 {
+		t.Fatalf("intermediate repartitions %d, want %d", stats.Partitions, stats.Steps-1)
+	}
+	want := chain[0].ToDense()
+	for _, m := range chain[1:] {
+		want = mat.MulReference(want, m.ToDense())
+	}
+	if !got.ToDense().EqualApprox(want, 1e-7) {
+		t.Fatal("long chain mismatch")
+	}
+}

@@ -1,0 +1,184 @@
+// Package core implements the paper's primary contribution: the adaptive
+// tile matrix (AT MATRIX, §II) — a heterogeneous storage layout in which a
+// large matrix is recursively partitioned into variable-size tiles that
+// are physically stored either as dense row-major arrays or as CSR,
+// according to the local non-zero topology — and the ATMULT multiplication
+// operator (§III), which processes such matrices as cost-optimized tile
+// multiplications with result-density estimation, a memory-bounded write
+// threshold (water-level method), just-in-time tile conversions, and
+// two-level NUMA-aware parallelization.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"os"
+	"strconv"
+	"strings"
+
+	"atmatrix/internal/costmodel"
+	"atmatrix/internal/mat"
+	"atmatrix/internal/numa"
+)
+
+// Config carries the system-dependent tuning parameters of AT MATRIX and
+// ATMULT. The zero value is not usable; start from DefaultConfig.
+type Config struct {
+	// LLCBytes is the last-level cache size the tile-size formulas
+	// (Eqs. 1–2) are derived from.
+	LLCBytes int64
+	// Alpha is the number of tiles that must fit in the LLC concurrently
+	// (α ≥ 3 for binary operations; paper uses 3).
+	Alpha float64
+	// Beta is the number of tile-width accumulator arrays that must fit
+	// in the LLC (β, paper uses 3).
+	Beta float64
+	// BAtomic is the atomic (logical) block side length b_atomic = 2^k,
+	// the granularity of the AT MATRIX (§II-B2).
+	BAtomic int
+	// RhoRead is ρ0^R, the read density threshold classifying tiles as
+	// sparse or dense during partitioning (paper: 0.25 on its system).
+	RhoRead float64
+	// RhoWrite is ρ0^W, the write density threshold for result tiles.
+	RhoWrite float64
+	// MemLimit optionally caps the memory of a multiplication result in
+	// bytes; 0 means unlimited. The water-level method (§III-E) lowers
+	// the effective write threshold to honor it.
+	MemLimit int64
+	// Topology is the (simulated) NUMA topology used for tile placement
+	// and worker teams.
+	Topology numa.Topology
+	// Cost holds the kernel cost-model constants.
+	Cost costmodel.Params
+	// Stealing enables cross-team work stealing (extension; off
+	// reproduces the paper's strict socket pinning).
+	Stealing bool
+}
+
+// DefaultConfig returns a configuration for the current machine: detected
+// LLC (fallback: the paper's 24 MB), α = β = 3, b_atomic derived from the
+// LLC per §II-B2, ρ0^R and ρ0^W from the cost model, and a detected
+// topology.
+func DefaultConfig() Config {
+	cost := costmodel.Default()
+	cfg := Config{
+		LLCBytes: DetectLLC(),
+		Alpha:    3,
+		Beta:     3,
+		RhoRead:  cost.RhoRead(),
+		RhoWrite: cost.RhoWrite(),
+		Topology: numa.Detect(),
+		Cost:     cost,
+	}
+	cfg.BAtomic = deriveBAtomic(cfg.LLCBytes, cfg.Alpha)
+	return cfg
+}
+
+// PaperConfig returns the configuration of the paper's test system:
+// 24 MB LLC, b_atomic = 1024 (k = 10), ρ0^R = 0.25, four sockets of ten
+// cores.
+func PaperConfig() Config {
+	cfg := DefaultConfig()
+	cfg.LLCBytes = 24 << 20
+	cfg.BAtomic = 1024
+	cfg.RhoRead = 0.25
+	cfg.Topology = numa.Paper()
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.LLCBytes <= 0 {
+		return fmt.Errorf("core: non-positive LLC size %d", c.LLCBytes)
+	}
+	if c.Alpha < 1 || c.Beta < 1 {
+		return fmt.Errorf("core: alpha/beta must be ≥ 1, got %g/%g", c.Alpha, c.Beta)
+	}
+	if c.BAtomic < 1 || c.BAtomic&(c.BAtomic-1) != 0 {
+		return fmt.Errorf("core: b_atomic %d must be a positive power of two", c.BAtomic)
+	}
+	if c.RhoRead <= 0 || c.RhoRead > 1 {
+		return fmt.Errorf("core: ρ0^R = %g outside (0,1]", c.RhoRead)
+	}
+	if c.RhoWrite <= 0 || c.RhoWrite > 1 {
+		return fmt.Errorf("core: ρ0^W = %g outside (0,1]", c.RhoWrite)
+	}
+	if c.MemLimit < 0 {
+		return fmt.Errorf("core: negative memory limit %d", c.MemLimit)
+	}
+	return c.Topology.Validate()
+}
+
+// MaxDenseTileDim returns τ^d_max from Eq. 1: the dense tile side length
+// such that α dense tiles fit in the LLC.
+func (c Config) MaxDenseTileDim() int {
+	d := int(math.Sqrt(float64(c.LLCBytes) / (c.Alpha * mat.SizeDense)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// MaxSparseTileDim returns τ^sp_max from Eq. 2 for a sparse tile of
+// density rho: the minimum of the memory-based bound (the tile must not
+// occupy more than LLC/α) and the dimension-based bound (β accumulator
+// arrays of one tile-width must fit in the LLC).
+func (c Config) MaxSparseTileDim(rho float64) int {
+	dimBound := float64(c.LLCBytes) / (c.Beta * mat.SizeDense)
+	if rho <= 0 {
+		// An empty tile has no memory bound; only the dimension bound
+		// applies.
+		return clampDim(dimBound)
+	}
+	memBound := math.Sqrt(float64(c.LLCBytes) / (c.Alpha * rho * mat.SizeSparse))
+	return clampDim(math.Min(memBound, dimBound))
+}
+
+func clampDim(v float64) int {
+	if v < 1 {
+		return 1
+	}
+	if v > 1<<30 {
+		return 1 << 30
+	}
+	return int(v)
+}
+
+// deriveBAtomic chooses b_atomic = 2^k equal to the largest power of two
+// not exceeding τ^d_max, which reproduces the paper's b_atomic = 1024 for
+// a 24 MB LLC (§II-B2).
+func deriveBAtomic(llc int64, alpha float64) int {
+	tau := int(math.Sqrt(float64(llc) / (alpha * mat.SizeDense)))
+	if tau < 2 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(tau)) - 1)
+}
+
+// DetectLLC reads the last-level cache size from sysfs, falling back to
+// the paper's 24 MB when unavailable.
+func DetectLLC() int64 {
+	const fallback = 24 << 20
+	for _, idx := range []string{"index3", "index2"} {
+		data, err := os.ReadFile("/sys/devices/system/cpu/cpu0/cache/" + idx + "/size")
+		if err != nil {
+			continue
+		}
+		s := strings.TrimSpace(string(data))
+		mult := int64(1)
+		if strings.HasSuffix(s, "K") {
+			mult = 1 << 10
+			s = strings.TrimSuffix(s, "K")
+		} else if strings.HasSuffix(s, "M") {
+			mult = 1 << 20
+			s = strings.TrimSuffix(s, "M")
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v <= 0 {
+			continue
+		}
+		return v * mult
+	}
+	return fallback
+}

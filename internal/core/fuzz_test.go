@@ -1,0 +1,37 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+// FuzzReadATMatrix checks the AT MATRIX deserializer against arbitrary
+// bytes: it must never panic or over-allocate, and anything it accepts
+// must satisfy the structural invariants.
+func FuzzReadATMatrix(f *testing.F) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(1))
+	am, _, err := Partition(mat.RandomCOO(rng, 64, 64, 800), cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := am.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("ATMAT1\n\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		got, err := ReadATMatrix(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("accepted invalid AT MATRIX: %v", verr)
+		}
+	})
+}

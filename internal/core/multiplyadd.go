@@ -1,0 +1,26 @@
+package core
+
+import "fmt"
+
+// MultiplyAdd computes C' = C + A·B — the full operator signature of
+// §III, where "the ATMULT operator supports three independent operand
+// types ... left input A, right input B and output matrix C → C'". The
+// product is formed with the usual tile-granular pipeline and then merged
+// into C tile-wise; the combined matrix is re-partitioned so its layout
+// reflects the accumulated topology (accumulation can push regions across
+// the density turnaround in either direction).
+func MultiplyAdd(c, a, b *ATMatrix, cfg Config) (*ATMatrix, *MultStats, error) {
+	if a.Rows != c.Rows || b.Cols != c.Cols {
+		return nil, nil, fmt.Errorf("core: accumulation shape mismatch: C is %d×%d, A·B is %d×%d",
+			c.Rows, c.Cols, a.Rows, b.Cols)
+	}
+	prod, stats, err := Multiply(a, b, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := Add(c, prod, 1, 1, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+func TestATMatrixTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	cfg := testConfig()
+	src, err := genHeterogeneous(rng, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := am.Transpose()
+	if err := at.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if at.NNZ() != am.NNZ() {
+		t.Fatalf("transpose changed nnz: %d vs %d", at.NNZ(), am.NNZ())
+	}
+	if !at.ToDense().EqualApprox(am.ToDense().Transpose(), 0) {
+		t.Fatal("transpose content mismatch")
+	}
+	// Double transpose is the identity on content.
+	if !at.Transpose().ToDense().EqualApprox(am.ToDense(), 0) {
+		t.Fatal("double transpose mismatch")
+	}
+	// Kinds are preserved tile-for-tile (density is symmetric).
+	sp1, d1 := am.TileCount()
+	sp2, d2 := at.TileCount()
+	if sp1 != sp2 || d1 != d2 {
+		t.Fatalf("tile kinds changed: (%d,%d) vs (%d,%d)", sp1, d1, sp2, d2)
+	}
+}
+
+func TestATMatrixTransposeNonSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	cfg := testConfig()
+	a := mat.RandomCOO(rng, 100, 60, 1200)
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := am.Transpose()
+	if at.Rows != 60 || at.Cols != 100 {
+		t.Fatalf("transpose shape %d×%d", at.Rows, at.Cols)
+	}
+	if err := at.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A·Aᵀ through ATMULT using the transposed AT MATRIX.
+	prod, _, err := Multiply(am, at, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := a.ToDense()
+	want := mat.MulReference(ad, ad.Transpose())
+	if !prod.ToDense().EqualApprox(want, tol) {
+		t.Fatal("A·Aᵀ mismatch")
+	}
+}
+
+func TestATMatrixMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	cfg := testConfig()
+	src, err := genHeterogeneous(rng, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, am.Cols)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	got, err := am.MatVec(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := src.ToCSR().MatVec(x)
+	for i := range want {
+		if d := got[i] - want[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("MatVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if _, err := am.MatVec(make([]float64, 3), cfg); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestATMatrixMatVecEmpty(t *testing.T) {
+	cfg := testConfig()
+	am, _, err := Partition(mat.NewCOO(20, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := am.MatVec(make([]float64, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("y[%d] = %g on empty matrix", i, v)
+		}
+	}
+}
+
+func TestRepartitionCompactsResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	cfg := testConfig()
+	src, err := genHeterogeneous(rng, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := Multiply(am, am, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compacted, _, err := c.Repartition(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compacted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !compacted.ToDense().EqualApprox(c.ToDense(), 0) {
+		t.Fatal("repartition changed the content")
+	}
+	if compacted.NNZ() != c.NNZ() {
+		t.Fatal("repartition changed nnz")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"atmatrix/internal/kernels"
+	"atmatrix/internal/mat"
+	"atmatrix/internal/sched"
+)
+
+// This file implements the plain (unpartitioned) multiplication operators
+// the paper compares ATMULT against in Figs. 8–10: spspsp_gemm (the
+// Gustavson baseline also used by MATLAB/R), spspd_gemm, spdd_gemm,
+// dspd_gemm and ddd_gemm. They run the same shared-memory-parallel kernels
+// as ATMULT but on the whole matrices, with rows split across all workers
+// of the pool.
+
+// flatTeams builds a pool treating every simulated core as one flat worker
+// set: plain kernels have no tile structure to pin to sockets.
+func flatTeams(cfg Config) (*sched.Pool, int) {
+	pool := sched.NewPool(cfg.Topology)
+	return pool, cfg.Topology.TotalCores()
+}
+
+// rowChunks splits m rows into one task per worker.
+func rowChunks(m, workers int) []Band {
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (m + workers - 1) / workers
+	var out []Band
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		out = append(out, Band{lo, hi})
+	}
+	return out
+}
+
+// MulSpSpSp is the plain sparse × sparse → sparse baseline (Gustavson's
+// algorithm with a sparse accumulator), parallelized over row chunks.
+func MulSpSpSp(a, b *mat.CSR, cfg Config) (*mat.CSR, error) {
+	if a.Cols != b.Rows {
+		return nil, contractionErr(a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	pool, workers := flatTeams(cfg)
+	acc := kernels.NewSpAcc(a.Rows, b.Cols)
+	var tasks []sched.Task
+	for _, ch := range rowChunks(a.Rows, workers) {
+		ch := ch
+		tasks = append(tasks, func(*sched.Team) {
+			spa := kernels.NewSPA(b.Cols)
+			aw := kernels.CSRWin{M: a, Row0: ch.Lo, Rows: ch.Len(), Cols: a.Cols}
+			kernels.SpSpSp(acc, ch.Lo, 0, aw, kernels.FullCSR(b), spa)
+		})
+	}
+	pool.RunFlat(tasks)
+	return acc.ToCSR(), nil
+}
+
+// MulSpSpD is the plain sparse × sparse → dense operator (spspd_gemm).
+func MulSpSpD(a, b *mat.CSR, cfg Config) (*mat.Dense, error) {
+	if a.Cols != b.Rows {
+		return nil, contractionErr(a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	pool, workers := flatTeams(cfg)
+	c := mat.NewDense(a.Rows, b.Cols)
+	var tasks []sched.Task
+	for _, ch := range rowChunks(a.Rows, workers) {
+		ch := ch
+		tasks = append(tasks, func(*sched.Team) {
+			aw := kernels.CSRWin{M: a, Row0: ch.Lo, Rows: ch.Len(), Cols: a.Cols}
+			kernels.SpSpD(c.Window(ch.Lo, ch.Hi, 0, c.Cols), aw, kernels.FullCSR(b))
+		})
+	}
+	pool.RunFlat(tasks)
+	return c, nil
+}
+
+// MulSpDD is the plain sparse × dense → dense operator (spdd_gemm).
+func MulSpDD(a *mat.CSR, b *mat.Dense, cfg Config) (*mat.Dense, error) {
+	if a.Cols != b.Rows {
+		return nil, contractionErr(a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	pool, workers := flatTeams(cfg)
+	c := mat.NewDense(a.Rows, b.Cols)
+	var tasks []sched.Task
+	for _, ch := range rowChunks(a.Rows, workers) {
+		ch := ch
+		tasks = append(tasks, func(*sched.Team) {
+			aw := kernels.CSRWin{M: a, Row0: ch.Lo, Rows: ch.Len(), Cols: a.Cols}
+			kernels.SpDD(c.Window(ch.Lo, ch.Hi, 0, c.Cols), aw, b)
+		})
+	}
+	pool.RunFlat(tasks)
+	return c, nil
+}
+
+// MulDSpD is the plain dense × sparse → dense operator (dspd_gemm), one of
+// the combinations vendor libraries typically lack (§III-A).
+func MulDSpD(a *mat.Dense, b *mat.CSR, cfg Config) (*mat.Dense, error) {
+	if a.Cols != b.Rows {
+		return nil, contractionErr(a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	pool, workers := flatTeams(cfg)
+	c := mat.NewDense(a.Rows, b.Cols)
+	var tasks []sched.Task
+	for _, ch := range rowChunks(a.Rows, workers) {
+		ch := ch
+		tasks = append(tasks, func(*sched.Team) {
+			kernels.DSpD(c.Window(ch.Lo, ch.Hi, 0, c.Cols), a.Window(ch.Lo, ch.Hi, 0, a.Cols), kernels.FullCSR(b))
+		})
+	}
+	pool.RunFlat(tasks)
+	return c, nil
+}
+
+// MulDDD is the plain dense × dense → dense operator (ddd_gemm).
+func MulDDD(a, b *mat.Dense, cfg Config) (*mat.Dense, error) {
+	if a.Cols != b.Rows {
+		return nil, contractionErr(a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	pool, workers := flatTeams(cfg)
+	c := mat.NewDense(a.Rows, b.Cols)
+	var tasks []sched.Task
+	for _, ch := range rowChunks(a.Rows, workers) {
+		ch := ch
+		tasks = append(tasks, func(*sched.Team) {
+			kernels.DDD(c.Window(ch.Lo, ch.Hi, 0, c.Cols), a.Window(ch.Lo, ch.Hi, 0, a.Cols), b)
+		})
+	}
+	pool.RunFlat(tasks)
+	return c, nil
+}
+
+func contractionErr(am, ak, bk, bn int) error {
+	return fmt.Errorf("core: contraction mismatch: A is %d×%d, B is %d×%d", am, ak, bk, bn)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+func TestPlainOperatorsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	cfg := testConfig()
+	for trial := 0; trial < 6; trial++ {
+		m := 4 + rng.Intn(80)
+		k := 4 + rng.Intn(80)
+		n := 4 + rng.Intn(80)
+		ac := mat.RandomCOO(rng, m, k, m*k/4)
+		bc := mat.RandomCOO(rng, k, n, k*n/4)
+		ad, bd := ac.ToDense(), bc.ToDense()
+		as, bs := ac.ToCSR(), bc.ToCSR()
+		want := mat.MulReference(ad, bd)
+
+		spsp, err := MulSpSpSp(as, bs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spsp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !spsp.ToDense().EqualApprox(want, tol) {
+			t.Fatalf("trial %d: MulSpSpSp mismatch", trial)
+		}
+
+		spspd, err := MulSpSpD(as, bs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !spspd.EqualApprox(want, tol) {
+			t.Fatalf("trial %d: MulSpSpD mismatch", trial)
+		}
+
+		spdd, err := MulSpDD(as, bd, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !spdd.EqualApprox(want, tol) {
+			t.Fatalf("trial %d: MulSpDD mismatch", trial)
+		}
+
+		dspd, err := MulDSpD(ad, bs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dspd.EqualApprox(want, tol) {
+			t.Fatalf("trial %d: MulDSpD mismatch", trial)
+		}
+
+		ddd, err := MulDDD(ad, bd, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ddd.EqualApprox(want, tol) {
+			t.Fatalf("trial %d: MulDDD mismatch", trial)
+		}
+	}
+}
+
+func TestPlainOperatorsRejectMismatch(t *testing.T) {
+	cfg := testConfig()
+	a := mat.NewCSR(4, 5)
+	b := mat.NewCSR(6, 4)
+	if _, err := MulSpSpSp(a, b, cfg); err == nil {
+		t.Fatal("MulSpSpSp accepted mismatch")
+	}
+	if _, err := MulSpSpD(a, b, cfg); err == nil {
+		t.Fatal("MulSpSpD accepted mismatch")
+	}
+	if _, err := MulSpDD(a, mat.NewDense(6, 4), cfg); err == nil {
+		t.Fatal("MulSpDD accepted mismatch")
+	}
+	if _, err := MulDSpD(mat.NewDense(4, 5), b, cfg); err == nil {
+		t.Fatal("MulDSpD accepted mismatch")
+	}
+	if _, err := MulDDD(mat.NewDense(4, 5), mat.NewDense(6, 4), cfg); err == nil {
+		t.Fatal("MulDDD accepted mismatch")
+	}
+}
+
+func TestRowChunksCoverAndDisjoint(t *testing.T) {
+	for _, tc := range []struct{ m, w int }{{10, 3}, {1, 8}, {100, 7}, {5, 5}, {3, 1}} {
+		chunks := rowChunks(tc.m, tc.w)
+		covered := make([]bool, tc.m)
+		for _, ch := range chunks {
+			for i := ch.Lo; i < ch.Hi; i++ {
+				if covered[i] {
+					t.Fatalf("m=%d w=%d: row %d covered twice", tc.m, tc.w, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("m=%d w=%d: row %d uncovered", tc.m, tc.w, i)
+			}
+		}
+	}
+}
+
+func TestStepsAgreeOnResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	cfg := testConfig()
+	src, err := genHeterogeneous(rng, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *mat.Dense
+	for _, step := range AllSteps() {
+		res, out, err := RunStep(src, cfg, step)
+		if err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+		if res.ResultNNZ != out.NNZ() {
+			t.Fatalf("%v: reported nnz %d != result %d", step, res.ResultNNZ, out.NNZ())
+		}
+		got := out.ToDense()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !got.EqualApprox(ref, tol) {
+			t.Fatalf("%v: result differs from baseline", step)
+		}
+	}
+}
+
+func TestStepStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range AllSteps() {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Fatalf("step %d has empty/duplicate name %q", int(s), str)
+		}
+		seen[str] = true
+	}
+	if OptStep(99).String() == "" {
+		t.Fatal("unknown step has no name")
+	}
+}
+
+func TestRunStepRejectsUnknown(t *testing.T) {
+	cfg := testConfig()
+	if _, _, err := RunStep(mat.NewCOO(4, 4), cfg, OptStep(0)); err == nil {
+		t.Fatal("unknown step accepted")
+	}
+}

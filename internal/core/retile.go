@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+
+	"atmatrix/internal/mat"
+)
+
+// This file implements the pre-multiplication re-tiling optimization the
+// paper leaves as future work (§IV-C): "the overhead results from the
+// implicit slicing of A in the multiplication, due to referenced submatrix
+// multiplications caused by the actual partitioning of B. Such situations
+// could be avoided by a dynamic re-tiling of the left-hand matrix as a
+// part of a pre-multiplication optimization." RetileToMatch splits the
+// left operand's tiles at the right operand's row-band boundaries so that
+// no contribution needs a column window into A.
+
+// RetileToMatch returns a copy of a whose tile columns are split at the
+// row-band boundaries of b, so that every contraction range of a
+// subsequent Multiply(a, b, ...) aligns with whole A tiles. Tiles that
+// need no splitting share their payload with the original matrix; split
+// tiles are materialized. Tile kinds are preserved.
+func RetileToMatch(a, b *ATMatrix) *ATMatrix {
+	cuts := make([]int, 0, 8)
+	for _, band := range b.RowBands() {
+		cuts = append(cuts, band.Lo)
+	}
+	return RetileColumns(a, cuts)
+}
+
+// RetileColumns splits every tile of a at the given column coordinates
+// (boundaries outside a tile are ignored). The result is a new AT MATRIX
+// sharing unsplit tile payloads with the input.
+func RetileColumns(a *ATMatrix, cuts []int) *ATMatrix {
+	sorted := append([]int(nil), cuts...)
+	sort.Ints(sorted)
+	out := newATMatrix(a.Rows, a.Cols, a.BAtomic)
+	for _, t := range a.Tiles {
+		inner := innerCuts(sorted, t.Col0, t.Col0+t.Cols)
+		if len(inner) == 0 {
+			out.addTile(t)
+			continue
+		}
+		bounds := append(append([]int{t.Col0}, inner...), t.Col0+t.Cols)
+		for i := 0; i+1 < len(bounds); i++ {
+			c0, c1 := bounds[i], bounds[i+1]
+			sub := sliceTileColumns(t, c0-t.Col0, c1-t.Col0)
+			if sub != nil {
+				out.addTile(sub)
+			}
+		}
+	}
+	return out
+}
+
+// innerCuts returns the cut positions strictly inside (lo, hi).
+func innerCuts(sorted []int, lo, hi int) []int {
+	var out []int
+	for _, c := range sorted {
+		if c > lo && c < hi {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// sliceTileColumns materializes tile-local columns [c0, c1) as a new tile,
+// or nil when the slice is empty.
+func sliceTileColumns(t *Tile, c0, c1 int) *Tile {
+	sub := &Tile{
+		Row0: t.Row0, Col0: t.Col0 + c0,
+		Rows: t.Rows, Cols: c1 - c0,
+		Kind: t.Kind, Home: t.Home,
+	}
+	if t.Kind == mat.DenseKind {
+		d := t.D.Window(0, t.Rows, c0, c1).Clone()
+		sub.D = d
+		sub.NNZ = d.NNZ()
+		return sub
+	}
+	csr := t.Sp.SubMatrix(0, t.Rows, int32(c0), int32(c1))
+	if csr.NNZ() == 0 {
+		return nil
+	}
+	sub.Sp = csr
+	sub.NNZ = csr.NNZ()
+	return sub
+}

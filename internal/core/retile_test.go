@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+func TestRetileColumnsPreservesContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	cfg := testConfig()
+	src, err := genHeterogeneous(rng, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := RetileColumns(am, []int{32, 64, 96, 128})
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !re.ToDense().EqualApprox(am.ToDense(), 0) {
+		t.Fatal("re-tiling changed the content")
+	}
+	if re.NNZ() != am.NNZ() {
+		t.Fatalf("re-tiling changed nnz: %d vs %d", re.NNZ(), am.NNZ())
+	}
+	// Every tile must now respect the cuts.
+	for i, tile := range re.Tiles {
+		for _, c := range []int{32, 64, 96, 128} {
+			if tile.Col0 < c && tile.Col0+tile.Cols > c {
+				t.Fatalf("tile %d [%d+%d] still spans cut %d", i, tile.Col0, tile.Cols, c)
+			}
+		}
+	}
+}
+
+func TestRetileSharesUnsplitTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	cfg := testConfig()
+	a := mat.RandomCOO(rng, 64, 64, 500)
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := RetileColumns(am, []int{0, 64}) // boundary cuts split nothing
+	if len(re.Tiles) != len(am.Tiles) {
+		t.Fatalf("boundary cuts changed the tile count: %d vs %d", len(re.Tiles), len(am.Tiles))
+	}
+	for i := range re.Tiles {
+		if re.Tiles[i] != am.Tiles[i] {
+			t.Fatal("unsplit tile not shared")
+		}
+	}
+}
+
+func TestRetileToMatchAlignsWithB(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	cfg := testConfig()
+	a := mat.RandomCOO(rng, 128, 128, 2500)
+	b, err := genHeterogeneous(rng, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, _, err := Partition(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := RetileToMatch(am, bm)
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Multiplication result must be identical with and without re-tiling.
+	c1, _, err := Multiply(am, bm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := Multiply(re, bm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c1.ToDense().EqualApprox(c2.ToDense(), tol) {
+		t.Fatal("re-tiled multiplication differs")
+	}
+	// After re-tiling, no A tile spans a B row-band boundary.
+	for _, band := range bm.RowBands() {
+		for i, tile := range re.Tiles {
+			if tile.Col0 < band.Lo && tile.Col0+tile.Cols > band.Lo {
+				t.Fatalf("tile %d still spans B band boundary %d", i, band.Lo)
+			}
+		}
+	}
+}
+
+func TestRetileDropsEmptySlices(t *testing.T) {
+	cfg := testConfig()
+	a := mat.NewCOO(32, 32)
+	// One tile with all mass in the left half.
+	for r := 0; r < 32; r++ {
+		a.Append(r, r%16, 1)
+	}
+	am, _, err := Partition(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := RetileColumns(am, []int{16})
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tile := range re.Tiles {
+		if tile.NNZ == 0 {
+			t.Fatalf("tile %d empty after retiling", i)
+		}
+	}
+	if re.NNZ() != am.NNZ() {
+		t.Fatal("nnz changed")
+	}
+}
+
+func TestCalibrateCostModel(t *testing.T) {
+	p := CalibrateCostModel()
+	if p.FlopDD != 1.0 {
+		t.Fatalf("FlopDD = %g, want normalized 1.0", p.FlopDD)
+	}
+	if p.FlopSp < 1.5 || p.FlopSp > 16 {
+		t.Fatalf("FlopSp = %g outside clamp", p.FlopSp)
+	}
+	if p.FlopMixed < p.FlopSp {
+		t.Fatal("calibration inverted the conversion zone")
+	}
+	if p.RhoRead() <= 0 || p.RhoRead() > 1 {
+		t.Fatalf("calibrated ρ0^R = %g invalid", p.RhoRead())
+	}
+	if p.WriteSp <= p.WriteD {
+		t.Fatal("write asymmetry lost in calibration")
+	}
+}

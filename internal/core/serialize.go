@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"atmatrix/internal/mat"
+	"atmatrix/internal/numa"
+)
+
+// Serialization of a partitioned AT MATRIX: a database system keeps the
+// partitioned physical layout, so reloading must not repeat the
+// partitioning work. The format is a little-endian stream:
+//
+//	magic "ATMAT1\n\x00" (8 bytes)
+//	int64 rows, cols, bAtomic, nTiles
+//	per tile:
+//	  int64 row0, col0, rows, cols
+//	  uint8 kind, int32 home
+//	  sparse: int64 nnz, rowPtr[rows+1], colIdx[nnz] (int32), val[nnz]
+//	  dense:  val[rows·cols] (compact row-major)
+
+const atMagic = "ATMAT1\n\x00"
+
+// WriteTo serializes the AT MATRIX. It returns the number of bytes
+// written.
+func (a *ATMatrix) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	if _, err := cw.Write([]byte(atMagic)); err != nil {
+		return cw.n, fmt.Errorf("core: writing magic: %w", err)
+	}
+	hdr := []int64{int64(a.Rows), int64(a.Cols), int64(a.BAtomic), int64(len(a.Tiles))}
+	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
+		return cw.n, fmt.Errorf("core: writing header: %w", err)
+	}
+	for ti, t := range a.Tiles {
+		meta := []int64{int64(t.Row0), int64(t.Col0), int64(t.Rows), int64(t.Cols)}
+		if err := binary.Write(cw, binary.LittleEndian, meta); err != nil {
+			return cw.n, fmt.Errorf("core: tile %d bounds: %w", ti, err)
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint8(t.Kind)); err != nil {
+			return cw.n, fmt.Errorf("core: tile %d kind: %w", ti, err)
+		}
+		if err := binary.Write(cw, binary.LittleEndian, int32(t.Home)); err != nil {
+			return cw.n, fmt.Errorf("core: tile %d home: %w", ti, err)
+		}
+		if t.Kind == mat.Sparse {
+			if err := binary.Write(cw, binary.LittleEndian, t.NNZ); err != nil {
+				return cw.n, fmt.Errorf("core: tile %d nnz: %w", ti, err)
+			}
+			if err := binary.Write(cw, binary.LittleEndian, t.Sp.RowPtr); err != nil {
+				return cw.n, fmt.Errorf("core: tile %d row pointers: %w", ti, err)
+			}
+			if err := binary.Write(cw, binary.LittleEndian, t.Sp.ColIdx); err != nil {
+				return cw.n, fmt.Errorf("core: tile %d columns: %w", ti, err)
+			}
+			if err := binary.Write(cw, binary.LittleEndian, t.Sp.Val); err != nil {
+				return cw.n, fmt.Errorf("core: tile %d values: %w", ti, err)
+			}
+			continue
+		}
+		// Dense payloads may carry a stride; write compact rows.
+		for r := 0; r < t.Rows; r++ {
+			if err := binary.Write(cw, binary.LittleEndian, t.D.RowSlice(r)); err != nil {
+				return cw.n, fmt.Errorf("core: tile %d row %d: %w", ti, r, err)
+			}
+		}
+	}
+	bw := cw.w.(*bufio.Writer)
+	if err := bw.Flush(); err != nil {
+		return cw.n, fmt.Errorf("core: flushing: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadATMatrix deserializes an AT MATRIX written by WriteTo and validates
+// its invariants.
+func ReadATMatrix(r io.Reader) (*ATMatrix, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(atMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != atMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	var hdr [4]int64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: reading header: %w", err)
+	}
+	rows, cols, bAtomic, nTiles := hdr[0], hdr[1], hdr[2], hdr[3]
+	if rows <= 0 || cols <= 0 || bAtomic <= 0 || nTiles < 0 ||
+		rows > 1<<31 || cols > 1<<31 || bAtomic > 1<<31 {
+		return nil, fmt.Errorf("core: invalid header %v", hdr)
+	}
+	if bAtomic&(bAtomic-1) != 0 {
+		return nil, fmt.Errorf("core: b_atomic %d not a power of two", bAtomic)
+	}
+	// Bound the block-index allocation against corrupt headers.
+	br2 := (rows + bAtomic - 1) / bAtomic
+	bc2 := (cols + bAtomic - 1) / bAtomic
+	if br2*bc2 > 1<<28 {
+		return nil, fmt.Errorf("core: header implies an absurd %d-block grid", br2*bc2)
+	}
+	if nTiles > br2*bc2 {
+		return nil, fmt.Errorf("core: header claims %d tiles for a %d-block grid", nTiles, br2*bc2)
+	}
+	out := newATMatrix(int(rows), int(cols), int(bAtomic))
+	for ti := int64(0); ti < nTiles; ti++ {
+		var meta [4]int64
+		if err := binary.Read(br, binary.LittleEndian, meta[:]); err != nil {
+			return nil, fmt.Errorf("core: tile %d bounds: %w", ti, err)
+		}
+		var kind uint8
+		if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
+			return nil, fmt.Errorf("core: tile %d kind: %w", ti, err)
+		}
+		var home int32
+		if err := binary.Read(br, binary.LittleEndian, &home); err != nil {
+			return nil, fmt.Errorf("core: tile %d home: %w", ti, err)
+		}
+		t := &Tile{
+			Row0: int(meta[0]), Col0: int(meta[1]),
+			Rows: int(meta[2]), Cols: int(meta[3]),
+			Kind: mat.Kind(kind), Home: numa.Node(home),
+		}
+		if t.Rows <= 0 || t.Cols <= 0 ||
+			t.Row0 < 0 || t.Col0 < 0 ||
+			t.Row0+t.Rows > int(rows) || t.Col0+t.Cols > int(cols) {
+			return nil, fmt.Errorf("core: tile %d bounds %v outside matrix", ti, meta)
+		}
+		switch t.Kind {
+		case mat.Sparse:
+			var nnz int64
+			if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+				return nil, fmt.Errorf("core: tile %d nnz: %w", ti, err)
+			}
+			if nnz < 0 || nnz > int64(t.Rows)*int64(t.Cols) {
+				return nil, fmt.Errorf("core: tile %d impossible nnz %d", ti, nnz)
+			}
+			csr := mat.NewCSR(t.Rows, t.Cols)
+			csr.ColIdx = make([]int32, nnz)
+			csr.Val = make([]float64, nnz)
+			if err := binary.Read(br, binary.LittleEndian, csr.RowPtr); err != nil {
+				return nil, fmt.Errorf("core: tile %d row pointers: %w", ti, err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, csr.ColIdx); err != nil {
+				return nil, fmt.Errorf("core: tile %d columns: %w", ti, err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, csr.Val); err != nil {
+				return nil, fmt.Errorf("core: tile %d values: %w", ti, err)
+			}
+			if err := csr.Validate(); err != nil {
+				return nil, fmt.Errorf("core: tile %d payload: %w", ti, err)
+			}
+			t.Sp = csr
+			t.NNZ = nnz
+		case mat.DenseKind:
+			d := mat.NewDense(t.Rows, t.Cols)
+			if err := binary.Read(br, binary.LittleEndian, d.Data); err != nil {
+				return nil, fmt.Errorf("core: tile %d payload: %w", ti, err)
+			}
+			t.D = d
+			t.NNZ = d.NNZ()
+		default:
+			return nil, fmt.Errorf("core: tile %d unknown kind %d", ti, kind)
+		}
+		out.addTile(t)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	cfg := testConfig()
+	src, err := genHeterogeneous(rng, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := am.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadATMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != am.Rows || back.Cols != am.Cols || back.BAtomic != am.BAtomic {
+		t.Fatal("header mismatch")
+	}
+	if len(back.Tiles) != len(am.Tiles) {
+		t.Fatalf("tile count %d, want %d", len(back.Tiles), len(am.Tiles))
+	}
+	for i := range am.Tiles {
+		a, b := am.Tiles[i], back.Tiles[i]
+		if a.Kind != b.Kind || a.Home != b.Home || a.NNZ != b.NNZ ||
+			a.Row0 != b.Row0 || a.Col0 != b.Col0 || a.Rows != b.Rows || a.Cols != b.Cols {
+			t.Fatalf("tile %d metadata mismatch", i)
+		}
+	}
+	if !back.ToDense().EqualApprox(am.ToDense(), 0) {
+		t.Fatal("content mismatch after round trip")
+	}
+	// The reloaded matrix multiplies correctly.
+	c, _, err := Multiply(back, back, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.MulReference(src.ToDense(), src.ToDense())
+	if !c.ToDense().EqualApprox(want, tol) {
+		t.Fatal("reloaded matrix multiplies wrong")
+	}
+}
+
+func TestSerializeEmptyMatrix(t *testing.T) {
+	cfg := testConfig()
+	am, _, err := Partition(mat.NewCOO(32, 48), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := am.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadATMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != 0 || back.Rows != 32 || back.Cols != 48 {
+		t.Fatal("empty round trip wrong")
+	}
+}
+
+func TestSerializeRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	cfg := testConfig()
+	am, _, err := Partition(mat.RandomCOO(rng, 64, 64, 600), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := am.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := ReadATMatrix(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	bad := append([]byte(nil), data...)
+	copy(bad, "WRONGMAG")
+	if _, err := ReadATMatrix(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Corrupt the tile count to something absurd.
+	bad = append([]byte(nil), data...)
+	bad[8+24] = 0xff
+	bad[8+25] = 0xff
+	if _, err := ReadATMatrix(bytes.NewReader(bad)); err == nil {
+		t.Fatal("absurd tile count accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"atmatrix/internal/mat"
+)
+
+// OptStep identifies one configuration of the step-by-step optimization
+// study of §IV-E (Fig. 10). Each step adds one component on top of the
+// previous one.
+type OptStep int
+
+const (
+	// StepBaseline is spspsp_gemm on unpartitioned sparse matrices.
+	StepBaseline OptStep = 1 + iota
+	// StepFixedSparse tiles the matrix into a fixed b_atomic grid of
+	// sparse-only tiles; product tiles are also sparse.
+	StepFixedSparse
+	// StepFixedSparseEst adds target-density estimation: target tiles
+	// whose estimated density exceeds ρ0^W become dense.
+	StepFixedSparseEst
+	// StepFixedMixedEst additionally stores input blocks exceeding ρ0^R
+	// as dense (fixed-size mixed tiles).
+	StepFixedMixedEst
+	// StepAdaptive uses adaptive mixed tiles and density estimation, but
+	// no dynamic tile conversion.
+	StepAdaptive
+	// StepATMULT is the full operator: adaptive mixed tiles, density
+	// estimation, and dynamic just-in-time conversions.
+	StepATMULT
+)
+
+func (s OptStep) String() string {
+	switch s {
+	case StepBaseline:
+		return "1:spspsp baseline"
+	case StepFixedSparse:
+		return "2:fixed sparse tiles"
+	case StepFixedSparseEst:
+		return "3:fixed sparse + estimation"
+	case StepFixedMixedEst:
+		return "4:fixed mixed + estimation"
+	case StepAdaptive:
+		return "5:adaptive mixed + estimation"
+	case StepATMULT:
+		return "6:ATMULT (full)"
+	}
+	return fmt.Sprintf("step(%d)", int(s))
+}
+
+// StepResult reports one ablation measurement.
+type StepResult struct {
+	Step          OptStep
+	PartitionTime time.Duration
+	MultiplyTime  time.Duration
+	ResultNNZ     int64
+	ResultBytes   int64
+}
+
+// RunStep executes C = A·A under the given optimization step and returns
+// the timing plus a CSR copy of the result for cross-step verification.
+// The input is the raw staging matrix; partitioning time is reported
+// separately (Fig. 10 plots multiplication performance).
+func RunStep(src *mat.COO, cfg Config, step OptStep) (StepResult, *mat.CSR, error) {
+	res := StepResult{Step: step}
+	switch step {
+	case StepBaseline:
+		csr := src.ToCSR()
+		t0 := time.Now()
+		out, err := MulSpSpSp(csr, csr, cfg)
+		if err != nil {
+			return res, nil, err
+		}
+		res.MultiplyTime = time.Since(t0)
+		res.ResultNNZ = out.NNZ()
+		res.ResultBytes = out.Bytes()
+		return res, out, nil
+
+	case StepFixedSparse, StepFixedSparseEst, StepFixedMixedEst, StepAdaptive, StepATMULT:
+		var (
+			am   *ATMatrix
+			ps   *PartitionStats
+			err  error
+			opts MultOptions
+		)
+		switch step {
+		case StepFixedSparse:
+			am, ps, err = PartitionFixed(src, cfg, false)
+			opts = MultOptions{Estimate: false, DynOpt: false}
+		case StepFixedSparseEst:
+			am, ps, err = PartitionFixed(src, cfg, false)
+			opts = MultOptions{Estimate: true, DynOpt: false}
+		case StepFixedMixedEst:
+			am, ps, err = PartitionFixed(src, cfg, true)
+			opts = MultOptions{Estimate: true, DynOpt: false}
+		case StepAdaptive:
+			am, ps, err = Partition(src, cfg)
+			opts = MultOptions{Estimate: true, DynOpt: false}
+		case StepATMULT:
+			am, ps, err = Partition(src, cfg)
+			opts = DefaultMultOptions()
+		}
+		if err != nil {
+			return res, nil, err
+		}
+		res.PartitionTime = ps.Total()
+		t0 := time.Now()
+		out, _, err := MultiplyOpt(am, am, cfg, opts)
+		if err != nil {
+			return res, nil, err
+		}
+		res.MultiplyTime = time.Since(t0)
+		res.ResultNNZ = out.NNZ()
+		res.ResultBytes = out.Bytes()
+		return res, out.ToCSR(), nil
+	}
+	return res, nil, fmt.Errorf("core: unknown optimization step %d", int(step))
+}
+
+// AllSteps lists the six configurations in order.
+func AllSteps() []OptStep {
+	return []OptStep{StepBaseline, StepFixedSparse, StepFixedSparseEst, StepFixedMixedEst, StepAdaptive, StepATMULT}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+
+	"atmatrix/internal/density"
+	"atmatrix/internal/mat"
+)
+
+// WaterLevel implements the memory-resource flexibility method of §III-E:
+// given the estimated block-density map of the result matrix, it treats
+// the map as a histogram of block densities, starts with a water level
+// covering all bars and lowers it — turning the densest blocks dense first,
+// because those promise the largest write-performance gain — until the
+// accumulated memory consumption of dense and sparse blocks reaches the
+// memory limit.
+//
+// It returns the lowest density threshold whose total memory consumption
+// stays within memLimit: blocks with ρ ≥ the returned threshold may be
+// stored dense. With memLimit ≤ 0 (no limit) it returns 0 (no
+// restriction). If no threshold satisfies the limit (even the all-sparse
+// layout is too big), the threshold minimizing memory is returned —
+// memory then exceeds the limit by the smallest possible amount.
+//
+// Note on the paper's Alg. 2 line 3 (ρ_D^W ← min{ρ0^W, WATERLVL(...)}):
+// with this function's semantics the effective write threshold is
+// max(ρ0^W, WaterLevel(...)) — the water level can only *raise* the
+// threshold to save memory, never lower it below the performance-optimal
+// ρ0^W. EffectiveWriteThreshold applies that combination.
+func WaterLevel(est *density.Map, memLimit int64) float64 {
+	if memLimit <= 0 {
+		return 0
+	}
+	type bar struct {
+		rho  float64
+		area int64
+	}
+	bars := make([]bar, 0, len(est.Rho))
+	var sparseTotal int64
+	for i := 0; i < est.BR; i++ {
+		for j := 0; j < est.BC; j++ {
+			area := est.CellArea(i, j)
+			if area == 0 {
+				continue
+			}
+			rho := est.At(i, j)
+			bars = append(bars, bar{rho: rho, area: area})
+			sparseTotal += sparseBlockBytes(rho, area)
+		}
+	}
+	// Sort descending by density: lowering the water level reveals the
+	// highest bars first.
+	sort.Slice(bars, func(i, j int) bool { return bars[i].rho > bars[j].rho })
+
+	mem := sparseTotal // water level above all bars: everything sparse
+	bestMem := mem
+	bestThreshold := 1.0 + 1e-9 // nothing dense
+	// Lower the level bar by bar; after converting bar t the threshold is
+	// bars[t].rho (ties must convert together).
+	for t := 0; t < len(bars); t++ {
+		mem += mat.DenseBytes(1, int(bars[t].area)) - sparseBlockBytes(bars[t].rho, bars[t].area)
+		if t+1 < len(bars) && bars[t+1].rho == bars[t].rho {
+			continue // same density: the threshold cannot separate them
+		}
+		if mem <= memLimit {
+			// Keep lowering: more dense blocks improve write performance
+			// as long as the limit holds.
+			bestMem = mem
+			bestThreshold = bars[t].rho
+			continue
+		}
+		if mem < bestMem {
+			bestMem = mem
+			bestThreshold = bars[t].rho
+		}
+	}
+	if bestMem <= memLimit {
+		return bestThreshold
+	}
+	// Nothing satisfies the limit: return the memory-minimizing level.
+	if sparseTotal <= bestMem {
+		return 1.0 + 1e-9
+	}
+	return bestThreshold
+}
+
+// sparseBlockBytes is the sparse storage cost of one block: ρ·area·S_sp.
+func sparseBlockBytes(rho float64, area int64) int64 {
+	return int64(rho * float64(area) * mat.SizeSparse)
+}
+
+// EstimatedBytesAt returns the estimated result memory when blocks with
+// ρ ≥ threshold are stored dense and the rest sparse — the accumulated
+// histogram of Fig. 5 (right).
+func EstimatedBytesAt(est *density.Map, threshold float64) int64 {
+	var total int64
+	for i := 0; i < est.BR; i++ {
+		for j := 0; j < est.BC; j++ {
+			area := est.CellArea(i, j)
+			if area == 0 {
+				continue
+			}
+			rho := est.At(i, j)
+			if rho >= threshold {
+				total += mat.DenseBytes(1, int(area))
+			} else {
+				total += sparseBlockBytes(rho, area)
+			}
+		}
+	}
+	return total
+}
+
+// EffectiveWriteThreshold combines the performance-optimal write threshold
+// ρ0^W with the water-level memory bound (Alg. 2 line 3).
+func EffectiveWriteThreshold(cfg Config, est *density.Map) float64 {
+	wl := WaterLevel(est, cfg.MemLimit)
+	if wl > cfg.RhoWrite {
+		return wl
+	}
+	return cfg.RhoWrite
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"atmatrix/internal/density"
+	"atmatrix/internal/mat"
+)
+
+func randomMap(rng *rand.Rand, br, bc, block int) *density.Map {
+	m := density.NewMap(br*block, bc*block, block)
+	for i := range m.Rho {
+		m.Rho[i] = rng.Float64()
+	}
+	return m
+}
+
+func TestWaterLevelNoLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m := randomMap(rng, 8, 8, 16)
+	if got := WaterLevel(m, 0); got != 0 {
+		t.Fatalf("no limit should impose no restriction, got %g", got)
+	}
+}
+
+func TestWaterLevelHonorsLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	m := randomMap(rng, 10, 10, 16)
+	allSparse := EstimatedBytesAt(m, 1.1)
+	allDense := EstimatedBytesAt(m, 0)
+	for _, limit := range []int64{allSparse, (allSparse + allDense) / 2, allDense * 2} {
+		wl := WaterLevel(m, limit)
+		if got := EstimatedBytesAt(m, wl); got > limit {
+			t.Fatalf("limit %d: water level %g yields %d bytes", limit, wl, got)
+		}
+	}
+}
+
+func TestWaterLevelMonotoneInLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := randomMap(rng, 12, 12, 8)
+	allDense := EstimatedBytesAt(m, 0)
+	prev := 2.0
+	// A looser limit can only lower (or keep) the water level.
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.5} {
+		wl := WaterLevel(m, int64(frac*float64(allDense)))
+		if wl > prev {
+			t.Fatalf("water level not monotone: %g after %g at frac %g", wl, prev, frac)
+		}
+		prev = wl
+	}
+}
+
+func TestWaterLevelDensestFirst(t *testing.T) {
+	// Construct a map with three distinct densities and a limit that
+	// admits exactly the densest block as dense.
+	m := density.NewMap(3*16, 16, 16)
+	m.Rho[0] = 0.9
+	m.Rho[1] = 0.4 // below 0.5, so storing it dense costs extra memory
+	m.Rho[2] = 0.1
+	blockArea := int64(16 * 16)
+	// Dense block: 8·area; sparse: 16·ρ·area.
+	limit := mat.DenseBytes(16, 16) + sparseBlockBytes(0.4, blockArea) + sparseBlockBytes(0.1, blockArea)
+	wl := WaterLevel(m, limit)
+	if wl > 0.9 || wl <= 0.4 {
+		t.Fatalf("water level %g, want in (0.4, 0.9]", wl)
+	}
+	if got := EstimatedBytesAt(m, wl); got > limit {
+		t.Fatalf("resulting bytes %d exceed limit %d", got, limit)
+	}
+}
+
+func TestWaterLevelAllDenseWhenRoomy(t *testing.T) {
+	m := density.Uniform(64, 64, 16, 0.9)
+	wl := WaterLevel(m, 1<<40)
+	if wl > 0.9 {
+		t.Fatalf("roomy limit should allow everything dense, got %g", wl)
+	}
+}
+
+// TestWaterLevelDenseCanSaveMemory: blocks with ρ > S_d/S_sp = 0.5 are
+// *cheaper* dense; with a limit below the all-sparse footprint the method
+// must still find the memory-minimizing level (§II-C3 observation that an
+// AT MATRIX can undercut pure CSR).
+func TestWaterLevelDenseCanSaveMemory(t *testing.T) {
+	m := density.Uniform(64, 64, 16, 0.9)
+	allSparse := EstimatedBytesAt(m, 1.1)
+	allDense := EstimatedBytesAt(m, 0)
+	if allDense >= allSparse {
+		t.Fatalf("setup: dense %d should undercut sparse %d at ρ=0.9", allDense, allSparse)
+	}
+	wl := WaterLevel(m, (allDense+allSparse)/2)
+	if got := EstimatedBytesAt(m, wl); got > (allDense+allSparse)/2 {
+		t.Fatalf("water level %g yields %d bytes over the limit", wl, got)
+	}
+}
+
+func TestWaterLevelImpossibleLimit(t *testing.T) {
+	m := density.Uniform(64, 64, 16, 0.3)
+	// ρ=0.3: sparse is cheaper (0.3·16=4.8 < 8 bytes/cell) but a 1-byte
+	// limit is unsatisfiable; the method must return the minimizing
+	// level (everything sparse).
+	wl := WaterLevel(m, 1)
+	if got, min := EstimatedBytesAt(m, wl), EstimatedBytesAt(m, 1.1); got != min {
+		t.Fatalf("impossible limit: got %d bytes, minimum is %d", got, min)
+	}
+}
+
+func TestEffectiveWriteThreshold(t *testing.T) {
+	cfg := testConfig()
+	m := density.Uniform(64, 64, 16, 0.3)
+	// No limit: the performance-optimal ρ0^W applies.
+	if got := EffectiveWriteThreshold(cfg, m); got != cfg.RhoWrite {
+		t.Fatalf("unlimited threshold %g, want ρ0^W %g", got, cfg.RhoWrite)
+	}
+	// Tight limit: the water level must raise it.
+	tight := cfg
+	tight.MemLimit = EstimatedBytesAt(m, 1.1) // all-sparse footprint
+	if got := EffectiveWriteThreshold(tight, m); got <= cfg.RhoWrite {
+		t.Fatalf("tight threshold %g not raised above ρ0^W", got)
+	}
+}

@@ -1,0 +1,188 @@
+// Package costmodel implements the eightfold multiplication cost model of
+// the paper (§II-C3, §III-C, based on SpMacho): one cost function per
+// {sparse,dense}³ kernel combination, parameterised by the operand
+// dimensions m×k·k×n and the densities ρA, ρB and the estimated result
+// density ρ̂C. The model drives three decisions:
+//
+//  1. the read density threshold ρ0^R used by the partitioner to classify
+//     tiles as sparse or dense (the density turnaround point, i.e. the
+//     intersection of the sparse and dense kernel cost functions),
+//  2. the write density threshold ρ0^W for result tiles (much lower,
+//     because writing a sparse tile is far more expensive than reading
+//     one — the read/write asymmetry of §III-C),
+//  3. the dynamic optimizer's just-in-time conversion choices at tile-
+//     multiplication granularity.
+//
+// Costs are in abstract time units (roughly nanoseconds on the reference
+// machine); only ratios matter for the decisions. The constants can be
+// re-fitted to a concrete machine with core.CalibrateCostModel.
+package costmodel
+
+import "atmatrix/internal/mat"
+
+// Params holds the per-operation cost constants of the model.
+type Params struct {
+	// FlopDD is the cost of one multiply-add in a fully dense inner loop
+	// (contiguous reads and writes, vectorizable).
+	FlopDD float64
+	// FlopSp is the cost of one multiply-add when both operands are
+	// sparse (only matching non-zero pairs are touched). The ratio
+	// FlopDD/FlopSp defines the read density turnaround ρ0^R.
+	FlopSp float64
+	// FlopMixed is the cost of one multiply-add when exactly one operand
+	// is sparse: each inner-loop step pairs an indirect access with a
+	// dense stream, defeating vectorization while still touching full
+	// cache lines. FlopMixed > FlopSp places the mixed-kernel turnaround
+	// FlopDD/FlopMixed *below* ρ0^R — which is why ATMULT's dynamic
+	// optimizer converts tiles whose density lies slightly below the
+	// read threshold when the other operand is dense (the R1 situation
+	// of §IV-D).
+	FlopMixed float64
+	// ReadSp is the per-element overhead of iterating a sparse operand
+	// (pointer chasing through RowPtr/ColIdx).
+	ReadSp float64
+	// WriteD is the per-cell cost of initializing/flushing a dense target.
+	WriteD float64
+	// WriteSp is the per-element cost of materializing a sparse result
+	// (accumulator flush, column sort, CSR append). The ratio
+	// WriteD/WriteSp defines the write density turnaround ρ0^W.
+	WriteSp float64
+	// ScatterSp is the extra per-flop penalty when accumulating into a
+	// sparse target instead of a dense one.
+	ScatterSp float64
+	// ConvCell is the per-cell scan/initialization cost of a tile
+	// conversion in either direction.
+	ConvCell float64
+}
+
+// Default returns constants fitted to the relative costs observed with the
+// pure-Go kernels in this repository. They yield ρ0^R = 0.25 — the value
+// the paper uses for its test system — and ρ0^W = 0.0625.
+func Default() Params {
+	return Params{
+		FlopDD:    1.0,
+		FlopSp:    4.0,
+		FlopMixed: 5.0,
+		ReadSp:    2.0,
+		WriteD:    1.0,
+		WriteSp:   16.0,
+		ScatterSp: 2.0,
+		ConvCell:  1.0,
+	}
+}
+
+// RhoRead returns ρ0^R, the read density turnaround point: the operand
+// density at which the dense representation starts to be more
+// time-efficient than the sparse one. It is the intersection of the
+// per-element costs of the sparse and dense inner loops,
+// ρ·FlopSp = FlopDD, i.e. it approximates the turnaround for the
+// sparse-sparse kernel; per-kernel turnarounds deviate (RhoReadMixed),
+// which is exactly the gap the dynamic optimizer closes at runtime
+// (§II-C3).
+func (p Params) RhoRead() float64 { return p.FlopDD / p.FlopSp }
+
+// RhoReadMixed returns the turnaround of the mixed kernels (one sparse
+// operand against a dense one): FlopDD/FlopMixed, below RhoRead.
+func (p Params) RhoReadMixed() float64 { return p.FlopDD / p.FlopMixed }
+
+// RhoWrite returns ρ0^W, the write density turnaround point, the analogous
+// intersection for result tiles: ρ·WriteSp = WriteD.
+func (p Params) RhoWrite() float64 { return p.WriteD / p.WriteSp }
+
+// Mult estimates the runtime of one kernel invocation computing
+// C[m×n] += A[m×k]·B[k×n] with the given physical kinds and densities.
+func (p Params) Mult(kindA, kindB, kindC mat.Kind, m, k, n int, rhoA, rhoB, rhoC float64) float64 {
+	effA, effB := 1.0, 1.0
+	var read float64
+	if kindA == mat.Sparse {
+		effA = rhoA
+		read += float64(m) * float64(k) * rhoA * p.ReadSp
+	}
+	if kindB == mat.Sparse {
+		effB = rhoB
+		// B rows are revisited once per contributing A element; charge the
+		// sparse iteration overhead per inner-loop visit instead of per
+		// stored element.
+	}
+	flops := float64(m) * float64(k) * float64(n) * effA * effB
+	perFlop := p.FlopDD
+	switch {
+	case kindA == mat.Sparse && kindB == mat.Sparse:
+		perFlop = p.FlopSp
+	case kindA == mat.Sparse || kindB == mat.Sparse:
+		perFlop = p.FlopMixed
+	}
+	cost := flops*perFlop + read
+	if kindC == mat.Sparse {
+		cost += flops * p.ScatterSp
+		cost += rhoC * float64(m) * float64(n) * p.WriteSp
+	} else {
+		cost += float64(m) * float64(n) * p.WriteD
+	}
+	return cost
+}
+
+// Convert estimates the cost of converting an m×n tile of density rho from
+// one representation to the other. Sparse→dense zero-fills the array and
+// copies nnz elements; dense→sparse scans every cell and writes nnz sparse
+// elements.
+func (p Params) Convert(from, to mat.Kind, m, n int, rho float64) float64 {
+	if from == to {
+		return 0
+	}
+	cells := float64(m) * float64(n)
+	nnz := cells * rho
+	if to == mat.DenseKind {
+		return cells*p.ConvCell + nnz*p.WriteD
+	}
+	return cells*p.ConvCell + nnz*p.WriteSp
+}
+
+// Plan is the outcome of a kernel selection: whether to convert the A
+// and/or B operand before multiplying, and the predicted total cost
+// including conversions.
+type Plan struct {
+	KindA, KindB mat.Kind
+	ConvA, ConvB bool
+	Cost         float64
+}
+
+// ChooseKernel evaluates the operand-representation alternatives
+// (keep/convert A × keep/convert B) for a single tile multiplication with a
+// fixed target kind, adding just-in-time conversion costs, and returns the
+// cheapest plan. This is the OPTIMIZE step of Alg. 2 (line 9).
+//
+// Only sparse→dense upgrades are proposed: converting a dense operand to
+// CSR cannot beat streaming the dense representation directly (a dense
+// row is the degenerate best case of every sparse inner loop), and the
+// conversions the paper observes in its evaluation (§IV-D) are all
+// sparse→dense. The reverse direction remains supported by the kernels
+// and by Tile.Converted for callers that want it.
+func (p Params) ChooseKernel(kindA, kindB, kindC mat.Kind, m, k, n int, rhoA, rhoB, rhoC float64) Plan {
+	best := Plan{Cost: -1}
+	for _, ka := range alternatives(kindA) {
+		for _, kb := range alternatives(kindB) {
+			c := p.Mult(ka, kb, kindC, m, k, n, rhoA, rhoB, rhoC)
+			if ka != kindA {
+				c += p.Convert(kindA, ka, m, k, rhoA)
+			}
+			if kb != kindB {
+				c += p.Convert(kindB, kb, k, n, rhoB)
+			}
+			if best.Cost < 0 || c < best.Cost {
+				best = Plan{KindA: ka, KindB: kb, ConvA: ka != kindA, ConvB: kb != kindB, Cost: c}
+			}
+		}
+	}
+	return best
+}
+
+// alternatives lists the representations the optimizer may use for an
+// operand stored in the given kind: dense operands stay dense; sparse
+// operands may be upgraded.
+func alternatives(k mat.Kind) []mat.Kind {
+	if k == mat.Sparse {
+		return []mat.Kind{mat.Sparse, mat.DenseKind}
+	}
+	return []mat.Kind{mat.DenseKind}
+}

@@ -1,0 +1,108 @@
+package density
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atmatrix/internal/mat"
+)
+
+func TestSymbolicNNZExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(30), 1+r.Intn(30), 1+r.Intn(30)
+		a := mat.RandomCOO(r, m, k, r.Intn(m*k+1))
+		b := mat.RandomCOO(r, k, n, r.Intn(k*n+1))
+		rowNNZ, total, err := SymbolicNNZ(a.ToCSR(), b.ToCSR())
+		if err != nil {
+			return false
+		}
+		// Structural ground truth: pattern product ignoring value
+		// cancellation (use all-ones values).
+		ap, bp := a.Clone(), b.Clone()
+		for i := range ap.Ent {
+			ap.Ent[i].Val = 1
+		}
+		for i := range bp.Ent {
+			bp.Ent[i].Val = 1
+		}
+		c := mat.MulReference(ap.ToDense(), bp.ToDense())
+		var want int64
+		for i := 0; i < m; i++ {
+			var rowWant int64
+			for j := 0; j < n; j++ {
+				if c.At(i, j) != 0 {
+					rowWant++
+				}
+			}
+			if rowNNZ[i] != rowWant {
+				return false
+			}
+			want += rowWant
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolicMapMatchesActual(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	a := mat.RandomCOO(rng, 96, 80, 900)
+	b := mat.RandomCOO(rng, 80, 112, 1000)
+	// Positive values: no cancellation, so structural and numerical
+	// non-zeros coincide.
+	for i := range a.Ent {
+		a.Ent[i].Val = 1 + a.Ent[i].Val*a.Ent[i].Val
+	}
+	for i := range b.Ent {
+		b.Ent[i].Val = 1 + b.Ent[i].Val*b.Ent[i].Val
+	}
+	got, err := SymbolicMap(a.ToCSR(), b.ToCSR(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := FromDense(mat.MulReference(a.ToDense(), b.ToDense()), 16)
+	if d := MaxAbsDiff(got, actual); d != 0 {
+		t.Fatalf("symbolic map deviates by %g from the actual structure", d)
+	}
+}
+
+// TestSymbolicBoundsEstimator: the probabilistic estimator should be
+// close to the exact symbolic structure on uniform inputs — this is the
+// accuracy the optimizer relies on, now measured against ground truth
+// produced by the symbolic phase instead of a full multiplication.
+func TestSymbolicBoundsEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	n := 160
+	a := mat.RandomCOO(rng, n, n, n*n/15)
+	acsr := a.ToCSR()
+	exact, err := SymbolicMap(acsr, acsr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := FromCOO(a, 32)
+	est := EstimateProduct(dm, dm)
+	if d := MaxAbsDiff(est, exact); d > 0.08 {
+		t.Fatalf("estimator error vs symbolic ground truth %g > 0.08", d)
+	}
+}
+
+func TestSymbolicRejectsMismatch(t *testing.T) {
+	if _, _, err := SymbolicNNZ(mat.NewCSR(3, 4), mat.NewCSR(5, 3)); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := SymbolicMap(mat.NewCSR(3, 4), mat.NewCSR(5, 3), 8); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestSymbolicEmpty(t *testing.T) {
+	_, total, err := SymbolicNNZ(mat.NewCSR(5, 5), mat.NewCSR(5, 5))
+	if err != nil || total != 0 {
+		t.Fatalf("empty symbolic: total=%d err=%v", total, err)
+	}
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	o := tinyOptions()
+	o.IDs = []string{"R1"}
+	o.CSVDir = dir
+	if _, err := RunTab1(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFig8(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tab1", "fig8a", "fig8b", "fig8c"} {
+		f, err := os.Open(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s: %d rows, want header + data", name, len(rows))
+		}
+		for i, r := range rows {
+			if len(r) != len(rows[0]) {
+				t.Fatalf("%s: row %d has %d cells, header has %d", name, i, len(r), len(rows[0]))
+			}
+		}
+	}
+}
+
+func TestCSVExportDisabledByDefault(t *testing.T) {
+	tw := newTable("a", "b")
+	tw.addRow("1", "2")
+	if err := tw.writeCSV("", "nope"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableWriterPadding(t *testing.T) {
+	tw := newTable("col1", "c2")
+	tw.addRow("x") // short row gets padded
+	if len(tw.rows[0]) != 2 {
+		t.Fatalf("row not padded: %v", tw.rows[0])
+	}
+	tw.addRowf("a\tb")
+	if tw.rows[1][0] != "a" || tw.rows[1][1] != "b" {
+		t.Fatalf("addRowf split wrong: %v", tw.rows[1])
+	}
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"atmatrix/internal/core"
+)
+
+// Fig10Matrices are the five real-world instances the paper selects for
+// the step-by-step optimization study (§IV-E).
+var Fig10Matrices = []string{"R2", "R3", "R4", "R6", "R7"}
+
+// Fig10Row reports one matrix × step measurement.
+type Fig10Row struct {
+	ID            string
+	Step          core.OptStep
+	PartitionTime time.Duration
+	MultiplyTime  time.Duration
+	Relative      float64 // multiplication performance, baseline step 1 ≡ 1
+}
+
+// RunFig10 executes the six optimization steps for each selected matrix
+// (defaults to the paper's five) and reports the multiplication
+// performance relative to the spspsp baseline.
+func RunFig10(o Options) ([]Fig10Row, error) {
+	if len(o.IDs) == 0 {
+		o.IDs = Fig10Matrices
+	}
+	specs, err := o.Specs()
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.Config()
+	var rows []Fig10Row
+	tw := newTable("ID", "step", "partition", "multiply", "relative(perf)")
+	for _, s := range specs {
+		a, err := o.Generate(s)
+		if err != nil {
+			return nil, fmt.Errorf("exp: generating %s: %w", s.ID, err)
+		}
+		var baseline time.Duration
+		var refNNZ int64
+		for _, step := range core.AllSteps() {
+			res, out, err := core.RunStep(a, cfg, step)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig10 %s step %v: %w", s.ID, step, err)
+			}
+			// Best-of-Reps to suppress timing noise; results are
+			// verified against the baseline below either way.
+			for rep := 1; rep < o.Reps; rep++ {
+				res2, _, err := core.RunStep(a, cfg, step)
+				if err != nil {
+					return nil, fmt.Errorf("exp: fig10 %s step %v: %w", s.ID, step, err)
+				}
+				if res2.MultiplyTime < res.MultiplyTime {
+					res.MultiplyTime = res2.MultiplyTime
+				}
+				if res2.PartitionTime > 0 && (res.PartitionTime == 0 || res2.PartitionTime < res.PartitionTime) {
+					res.PartitionTime = res2.PartitionTime
+				}
+			}
+			if step == core.StepBaseline {
+				baseline = res.MultiplyTime
+				refNNZ = out.NNZ()
+			} else if out.NNZ() != refNNZ {
+				return nil, fmt.Errorf("exp: fig10 %s step %v: result nnz %d differs from baseline %d",
+					s.ID, step, out.NNZ(), refNNZ)
+			}
+			row := Fig10Row{ID: s.ID, Step: step, PartitionTime: res.PartitionTime, MultiplyTime: res.MultiplyTime}
+			if res.MultiplyTime > 0 {
+				row.Relative = float64(baseline) / float64(res.MultiplyTime)
+			}
+			rows = append(rows, row)
+			tw.addRow(s.ID, step.String(), fmtDur(row.PartitionTime), fmtDur(row.MultiplyTime),
+				fmt.Sprintf("%.2f", row.Relative))
+		}
+	}
+	tw.render(o.out(), fmt.Sprintf("Fig. 10: impact of single optimization steps (step 1 ≡ 1, scale %.4g)", o.Scale))
+	if err := tw.writeCSV(o.CSVDir, "fig10"); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/density"
+)
+
+// Fig5Result reproduces the water-level illustration of Fig. 5: the
+// one-dimensional histogram of logical block densities of an estimated
+// result map (left), and the accumulated memory consumption as a function
+// of the density threshold (right), together with the water levels the
+// method picks for a sweep of memory limits.
+type Fig5Result struct {
+	ID        string
+	Histogram []Fig5Bin
+	Curve     []Fig5Point
+	Levels    []Fig5Level
+}
+
+// Fig5Bin is one histogram bin: the number of logical blocks whose
+// estimated density falls into [Lo, Hi).
+type Fig5Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Fig5Point is one point of the memory-vs-threshold curve.
+type Fig5Point struct {
+	Threshold float64
+	Bytes     int64
+}
+
+// Fig5Level is the water level chosen for one memory limit.
+type Fig5Level struct {
+	LimitBytes int64
+	Level      float64
+	Bytes      int64
+}
+
+// RunFig5 builds the estimated density map of C = A·A for one matrix
+// (default R3) and derives the Fig. 5 series.
+func RunFig5(o Options) (*Fig5Result, error) {
+	id := "R3"
+	if len(o.IDs) > 0 {
+		id = o.IDs[0]
+	}
+	o.IDs = []string{id}
+	specs, err := o.Specs()
+	if err != nil {
+		return nil, err
+	}
+	a, err := o.Generate(specs[0])
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.Config()
+	dm := density.FromCOO(a, cfg.BAtomic)
+	est := density.EstimateProduct(dm, dm)
+
+	res := &Fig5Result{ID: id}
+
+	// Left: 1D histogram of block densities (10 bins).
+	const bins = 10
+	counts := make([]int, bins)
+	for _, rho := range est.Rho {
+		b := int(rho * bins)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	for b := 0; b < bins; b++ {
+		res.Histogram = append(res.Histogram, Fig5Bin{
+			Lo: float64(b) / bins, Hi: float64(b+1) / bins, Count: counts[b],
+		})
+	}
+
+	// Right: accumulated memory at sweeping thresholds.
+	thresholds := append([]float64{}, est.Rho...)
+	sort.Float64s(thresholds)
+	sampled := []float64{0}
+	for i := 0; i < len(thresholds); i += 1 + len(thresholds)/40 {
+		sampled = append(sampled, thresholds[i])
+	}
+	sampled = append(sampled, 1.01)
+	for _, th := range sampled {
+		res.Curve = append(res.Curve, Fig5Point{Threshold: th, Bytes: core.EstimatedBytesAt(est, th)})
+	}
+
+	// Water levels for a sweep of flexible limits.
+	allSparse := core.EstimatedBytesAt(est, 1.01)
+	allDense := core.EstimatedBytesAt(est, 0)
+	lo, hi := allSparse, allDense
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0, 1.25} {
+		limit := lo + int64(frac*float64(hi-lo))
+		lvl := core.WaterLevel(est, limit)
+		res.Levels = append(res.Levels, Fig5Level{LimitBytes: limit, Level: lvl, Bytes: core.EstimatedBytesAt(est, lvl)})
+	}
+
+	w := o.out()
+	th := newTable("density bin", "blocks")
+	for _, b := range res.Histogram {
+		th.addRow(fmt.Sprintf("[%.1f,%.1f)", b.Lo, b.Hi), fmt.Sprintf("%d", b.Count))
+	}
+	th.render(w, fmt.Sprintf("Fig. 5 (left): block-density histogram of estimated C = %s·%s", id, id))
+	tcv := newTable("threshold", "memory")
+	for _, p := range res.Curve {
+		tcv.addRow(fmt.Sprintf("%.4f", p.Threshold), fmtBytes(p.Bytes))
+	}
+	tcv.render(w, "Fig. 5 (right): memory consumption vs density threshold")
+	tl := newTable("mem limit", "water level", "resulting memory")
+	for _, l := range res.Levels {
+		tl.addRow(fmtBytes(l.LimitBytes), fmt.Sprintf("%.4f", l.Level), fmtBytes(l.Bytes))
+	}
+	tl.render(w, "water-level method: chosen thresholds")
+	return res, nil
+}

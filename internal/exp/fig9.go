@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/mat"
+)
+
+// Fig9Row holds one mixed sparse-dense measurement: either
+// {A: sparse, B: dense} (Fig. 9a/9c) or {A: dense, B: sparse}
+// (Fig. 9b/9d). The dense operand is rectangular with its independent
+// dimension chosen as γ·nnz/k (γ = 3), as in the paper.
+type Fig9Row struct {
+	ID        string
+	DenseLeft bool // true for the {A: dense, B: sparse} variant
+
+	Mixed       time.Duration // spdd_gemm (9a) or dspd_gemm (9b): the natural plain kernel
+	SpSpD       time.Duration // dense operand converted to CSR
+	DDD         time.Duration // sparse operand converted to a dense array
+	ATMult      time.Duration // ATMULT multiplication time
+	ATPartition time.Duration // one-time partitioning of the sparse side
+
+	EstimateShare float64
+	OptimizeShare float64 // Fig. 9c/9d: optimization incl. conversion time
+	Conversions   int64
+}
+
+// Speedup returns t_mixed / d with the plain mixed kernel ≡ 1.
+func (r Fig9Row) Speedup(d time.Duration) float64 {
+	if d <= 0 || r.Mixed <= 0 {
+		return 0
+	}
+	return float64(r.Mixed) / float64(d)
+}
+
+// Fig9Matrices are the real-world instances the paper evaluates in Fig. 9.
+var Fig9Matrices = []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"}
+
+// RunFig9 executes the mixed sparse×dense experiments of Fig. 9 for the
+// selected matrices (default: the paper's R1–R9). Both operand orders are
+// measured per matrix. The ATMULT column is the multiplication time; the
+// one-time partitioning of the sparse operand is reported separately
+// (in a V·Hᵀ-style iterative workload it is amortized over many
+// multiplications).
+func RunFig9(o Options) ([]Fig9Row, error) {
+	if len(o.IDs) == 0 {
+		o.IDs = Fig9Matrices
+	}
+	specs, err := o.Specs()
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.Config()
+	var rows []Fig9Row
+	ta := newTable("ID", "order", "plain-mixed", "spspd", "ddd", "ATMULT", "AT-partition", "AT(x)", "spspd(x)", "ddd(x)")
+	tb := newTable("ID", "order", "estimate%", "optimize%", "conversions")
+	for _, s := range specs {
+		a, err := o.Generate(s)
+		if err != nil {
+			return nil, fmt.Errorf("exp: generating %s: %w", s.ID, err)
+		}
+		for _, denseLeft := range []bool{false, true} {
+			row, err := runFig9One(o, cfg, s.ID, a, denseLeft)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig9 %s: %w", s.ID, err)
+			}
+			rows = append(rows, row)
+			order := "sp x d"
+			if denseLeft {
+				order = "d x sp"
+			}
+			ta.addRow(row.ID, order, fmtDur(row.Mixed), fmtDur(row.SpSpD), fmtDur(row.DDD), fmtDur(row.ATMult),
+				fmtDur(row.ATPartition),
+				fmtSpeedup(row.Speedup(row.ATMult)), fmtSpeedup(row.Speedup(row.SpSpD)), fmtSpeedup(row.Speedup(row.DDD)))
+			tb.addRow(row.ID, order, fmt.Sprintf("%.3f", 100*row.EstimateShare),
+				fmt.Sprintf("%.2f", 100*row.OptimizeShare), fmt.Sprintf("%d", row.Conversions))
+		}
+	}
+	ta.render(o.out(), fmt.Sprintf("Fig. 9a/9b: mixed sparse-dense multiplication (plain mixed kernel ≡ 1, scale %.4g)", o.Scale))
+	if err := ta.writeCSV(o.CSVDir, "fig9ab"); err != nil {
+		return nil, err
+	}
+	tb.render(o.out(), "Fig. 9c/9d: ATMULT optimization-time breakdown (mixed)")
+	if err := tb.writeCSV(o.CSVDir, "fig9cd"); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func runFig9One(o Options, cfg core.Config, id string, a *mat.COO, denseLeft bool) (Fig9Row, error) {
+	row := Fig9Row{ID: id, DenseLeft: denseLeft}
+	const gamma = 3
+	k := a.Rows
+	sp := a.ToCSR()
+	n := int(gamma * float64(sp.NNZ()) / float64(k))
+	if n < 1 {
+		n = 1
+	}
+	if mat.DenseBytes(k, n) > 2<<30 {
+		return row, fmt.Errorf("dense operand %d×%d exceeds the byte cap", k, n)
+	}
+	rng := rand.New(rand.NewSource(int64(len(id)) + 991))
+	full := mat.RandomDense(rng, k, n) // ρ = 1.0 full matrix
+	if denseLeft {
+		full = mat.RandomDense(rng, n, k)
+	}
+
+	var err error
+	// Plain mixed kernel.
+	if denseLeft {
+		row.Mixed = o.timedBest(func() { _, err = core.MulDSpD(full, sp, cfg) })
+	} else {
+		row.Mixed = o.timedBest(func() { _, err = core.MulSpDD(sp, full, cfg) })
+	}
+	if err != nil {
+		return row, err
+	}
+
+	// Dense operand degraded to CSR (spspsp-family alternative).
+	fullCSR := full.ToCSR()
+	if denseLeft {
+		row.SpSpD = o.timedBest(func() { _, err = core.MulSpSpD(fullCSR, sp, cfg) })
+	} else {
+		row.SpSpD = o.timedBest(func() { _, err = core.MulSpSpD(sp, fullCSR, cfg) })
+	}
+	if err != nil {
+		return row, err
+	}
+	fullCSR = nil
+
+	// Sparse operand densified (ddd_gemm).
+	var m3 int
+	if denseLeft {
+		m3 = n
+	} else {
+		m3 = k
+	}
+	if !o.skipDense(m3, k, n) && !o.byteCapExceeded(k, k) {
+		ad := sp.ToDense()
+		if denseLeft {
+			row.DDD = o.timedBest(func() { _, err = core.MulDDD(full, ad, cfg) })
+		} else {
+			row.DDD = o.timedBest(func() { _, err = core.MulDDD(ad, full, cfg) })
+		}
+		if err != nil {
+			return row, err
+		}
+		ad = nil
+	}
+
+	// ATMULT: partition the sparse side, wrap the dense side.
+	var am *core.ATMatrix
+	var pTime time.Duration
+	pTime = o.timedBest(func() { am, _, err = core.Partition(a, cfg) })
+	if err != nil {
+		return row, err
+	}
+	fullAT := core.FromDense(full, cfg.BAtomic)
+	var mstats *core.MultStats
+	mTime := o.timedBest(func() {
+		if denseLeft {
+			_, mstats, err = core.Multiply(fullAT, am, cfg)
+		} else {
+			_, mstats, err = core.Multiply(am, fullAT, cfg)
+		}
+	})
+	if err != nil {
+		return row, err
+	}
+	row.ATMult = mTime
+	row.ATPartition = pTime
+	row.EstimateShare = mstats.EstimateShare()
+	row.OptimizeShare = mstats.OptimizeShare()
+	row.Conversions = mstats.Conversions
+	return row, nil
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"atmatrix/internal/density"
+	"atmatrix/internal/mat"
+)
+
+// Tab1Row is one scaled Table I entry.
+type Tab1Row struct {
+	ID, Name, Domain string
+	Dim              int
+	NNZ              int64
+	Density          float64 // percent, as in the paper
+	BinBytes         int64   // COO triple format size
+	EstResultBytes   int64   // estimated CSR size of C = A·A
+	GenTime          time.Duration
+}
+
+// RunTab1 regenerates Table I at the run scale: every matrix is generated,
+// measured, and its self-multiplication result size estimated via the
+// density-map product (the exact sizes appear in the Fig. 8 run).
+func RunTab1(o Options) ([]Tab1Row, error) {
+	specs, err := o.Specs()
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.Config()
+	var rows []Tab1Row
+	tw := newTable("ID", "Name", "Domain", "Dim", "NNZ", "rho[%]", "Bin.Size", "Est.Result")
+	for _, s := range specs {
+		var a *mat.COO
+		genTime := timed(func() {
+			var gerr error
+			a, gerr = o.Generate(s)
+			err = gerr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: generating %s: %w", s.ID, err)
+		}
+		dm := density.FromCOO(a, cfg.BAtomic)
+		est := density.EstimateProduct(dm, dm)
+		row := Tab1Row{
+			ID: s.ID, Name: s.Name, Domain: s.Domain,
+			Dim:            a.Rows,
+			NNZ:            a.NNZ(),
+			Density:        100 * a.Density(),
+			BinBytes:       a.Bytes(),
+			EstResultBytes: int64(est.ExpectedNNZ() * mat.SizeSparse),
+			GenTime:        genTime,
+		}
+		rows = append(rows, row)
+		tw.addRow(row.ID, row.Name, row.Domain,
+			fmt.Sprintf("%d", row.Dim),
+			fmt.Sprintf("%d", row.NNZ),
+			fmt.Sprintf("%.3f", row.Density),
+			fmtBytes(row.BinBytes),
+			fmtBytes(row.EstResultBytes))
+	}
+	tw.render(o.out(), fmt.Sprintf("Table I (scale %.4g)", o.Scale))
+	if err := tw.writeCSV(o.CSVDir, "tab1"); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// tableWriter renders aligned text tables, mirroring the rows/series of
+// the paper's figures.
+type tableWriter struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *tableWriter {
+	return &tableWriter{header: header}
+}
+
+func (t *tableWriter) addRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *tableWriter) addRowf(format string, args ...any) {
+	t.addRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// render writes the table with a title and column alignment.
+func (t *tableWriter) render(w io.Writer, title string) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "== %s ==\n", title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeCSV exports the table to dir/name.csv; a no-op when dir is empty.
+func (t *tableWriter) writeCSV(dir, name string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("exp: creating CSV directory: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return fmt.Errorf("exp: creating CSV file: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.header); err != nil {
+		return fmt.Errorf("exp: writing CSV header: %w", err)
+	}
+	for _, r := range t.rows {
+		if err := w.Write(r); err != nil {
+			return fmt.Errorf("exp: writing CSV row: %w", err)
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

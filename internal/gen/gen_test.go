@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"atmatrix/internal/density"
+)
+
+func TestGenerateAllClasses(t *testing.T) {
+	classes := []Class{Hamiltonian, GeneExpr, PowerNetwork, Structural, Semiconductor}
+	for _, cl := range classes {
+		a, err := Generate(cl, 500, 10000, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", cl, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%v: %v", cl, err)
+		}
+		nnz := a.NNZ()
+		if nnz < 6000 || nnz > 10500 {
+			t.Errorf("%v: nnz = %d, want ≈10000 (±40%%)", cl, nnz)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(PowerNetwork, 300, 5000, 7)
+	b, _ := Generate(PowerNetwork, 300, 5000, 7)
+	if len(a.Ent) != len(b.Ent) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a.Ent {
+		if a.Ent[i] != b.Ent[i] {
+			t.Fatal("non-deterministic entries")
+		}
+	}
+}
+
+// TestTopologyClasses verifies the defining topological property of each
+// class: heterogeneous classes must show blocks of strongly differing
+// density; the semiconductor class must not.
+func TestTopologyClasses(t *testing.T) {
+	const n, blk = 1024, 64
+	maxRho := func(cl Class, nnz int64) float64 {
+		a, err := Generate(cl, n, nnz, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := density.FromCOO(a, blk)
+		mx := 0.0
+		for _, r := range m.Rho {
+			mx = math.Max(mx, r)
+		}
+		return mx
+	}
+	// Power network: ~2% global density but fully dense blocks.
+	if mx := maxRho(PowerNetwork, 20000); mx < 0.5 {
+		t.Errorf("power network max block density %g, want dense blocks", mx)
+	}
+	// Hamiltonian: dense diagonal blocks.
+	if mx := maxRho(Hamiltonian, 50000); mx < 0.25 {
+		t.Errorf("hamiltonian max block density %g, want ≥ ρ0^R", mx)
+	}
+	// Semiconductor: uniform hypersparse, no block should be remotely dense.
+	if mx := maxRho(Semiconductor, 20000); mx > 0.2 {
+		t.Errorf("semiconductor max block density %g, want uniformly sparse", mx)
+	}
+}
+
+func TestStructuralSymmetric(t *testing.T) {
+	a, err := Generate(Structural, 400, 6000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			if (d.At(r, c) != 0) != (d.At(c, r) != 0) {
+				t.Fatalf("structural pattern not symmetric at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	if _, err := Generate(Hamiltonian, 0, 10, 1); err == nil {
+		t.Fatal("dimension 0 accepted")
+	}
+	if _, err := Generate(Hamiltonian, 4, 1000, 1); err == nil {
+		t.Fatal("impossible nnz accepted")
+	}
+	if _, err := Generate(Class(99), 10, 10, 1); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestPaperTableMatchesPaper(t *testing.T) {
+	specs := PaperTable()
+	if len(specs) != 18 {
+		t.Fatalf("table has %d entries, want 18", len(specs))
+	}
+	r3, err := Lookup("R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Dim != 38120 || r3.Name != "TSOPF_RS_b2383" {
+		t.Fatalf("R3 = %+v", r3)
+	}
+	// Paper densities: R3 is 2.2%, R9 is 0.011%.
+	if d := r3.Density(); math.Abs(d-0.022) > 0.002 {
+		t.Errorf("R3 density %g, want ≈0.022", d)
+	}
+	r9, _ := Lookup("R9")
+	if d := r9.Density(); math.Abs(d-0.00011) > 0.00002 {
+		t.Errorf("R9 density %g, want ≈0.00011", d)
+	}
+	for i := 1; i <= 9; i++ {
+		g, err := Lookup("G" + string(rune('0'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Dim != 100_000 || g.NNZ != 20_000_000 || g.RMAT == nil {
+			t.Fatalf("G%d = %+v", i, g)
+		}
+	}
+	if _, err := Lookup("R99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestSpecScaling(t *testing.T) {
+	s, _ := Lookup("R1")
+	if got := s.ScaledDim(0.5); got != 8520 {
+		t.Fatalf("ScaledDim(0.5) = %d", got)
+	}
+	// Density is preserved under scaling.
+	full := s.Density()
+	scaled := float64(s.ScaledNNZ(0.25)) / (float64(s.ScaledDim(0.25)) * float64(s.ScaledDim(0.25)))
+	if math.Abs(full-scaled)/full > 0.01 {
+		t.Fatalf("density drifts under scaling: %g vs %g", full, scaled)
+	}
+	// NNZ is clamped to the available cells at tiny scales.
+	if s.ScaledNNZ(0.0001) > int64(s.ScaledDim(0.0001))*int64(s.ScaledDim(0.0001)) {
+		t.Fatal("ScaledNNZ exceeds cell count")
+	}
+}
+
+func TestSpecGenerateScaled(t *testing.T) {
+	for _, id := range []string{"R3", "R7", "G1", "G9"} {
+		s, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := s.Generate(0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.Rows != s.ScaledDim(0.01) {
+			t.Fatalf("%s: dim %d, want %d", id, a.Rows, s.ScaledDim(0.01))
+		}
+	}
+	s, _ := Lookup("R1")
+	if _, err := s.Generate(0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+}

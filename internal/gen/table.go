@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"fmt"
+
+	"atmatrix/internal/mat"
+	"atmatrix/internal/rmat"
+)
+
+// Spec describes one matrix of the paper's Table I at paper scale.
+type Spec struct {
+	ID     string // R1–R9, G1–G9
+	Name   string
+	Domain string
+	Dim    int   // square dimension n at paper scale
+	NNZ    int64 // non-zero count at paper scale
+	// Class is used for Ri stand-ins; RMAT holds the parameters for Gi.
+	Class Class
+	RMAT  *rmat.Params
+	Seed  int64
+}
+
+// Density returns ρ = nnz/n² at paper scale.
+func (s Spec) Density() float64 { return mat.Density(s.NNZ, s.Dim, s.Dim) }
+
+// ScaledDim returns the dimension at a linear scale factor, at least 1.
+func (s Spec) ScaledDim(scale float64) int {
+	d := int(float64(s.Dim) * scale)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// ScaledNNZ returns the non-zero count at a linear scale factor: nnz is
+// scaled by scale² so the density is preserved.
+func (s Spec) ScaledNNZ(scale float64) int64 {
+	n := int64(float64(s.NNZ) * scale * scale)
+	if n < 1 {
+		n = 1
+	}
+	if max := int64(s.ScaledDim(scale)) * int64(s.ScaledDim(scale)); n > max {
+		n = max
+	}
+	return n
+}
+
+// Generate builds the matrix at the given linear scale factor (1.0 =
+// paper scale). The result is deterministic.
+func (s Spec) Generate(scale float64) (*mat.COO, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("gen: non-positive scale %g", scale)
+	}
+	dim := s.ScaledDim(scale)
+	nnz := s.ScaledNNZ(scale)
+	if s.RMAT != nil {
+		return rmat.Generate(dim, int(nnz), *s.RMAT, s.Seed)
+	}
+	return Generate(s.Class, dim, nnz, s.Seed)
+}
+
+// PaperTable returns the full Table I registry: nine real-world stand-ins
+// and nine RMAT matrices.
+func PaperTable() []Spec {
+	specs := []Spec{
+		{ID: "R1", Name: "Hamiltonian1", Domain: "Nuclear Physics", Dim: 17040, NNZ: 42_950_000, Class: Hamiltonian, Seed: 101},
+		{ID: "R2", Name: "human_gene", Domain: "Gene Expr. (BioInf.)", Dim: 22283, NNZ: 24_670_000, Class: GeneExpr, Seed: 102},
+		{ID: "R3", Name: "TSOPF_RS_b2383", Domain: "Power Network (Eng.)", Dim: 38120, NNZ: 32_310_000, Class: PowerNetwork, Seed: 103},
+		{ID: "R4", Name: "mouse_gene", Domain: "Gene Expr. (BioInf.)", Dim: 45101, NNZ: 28_970_000, Class: GeneExpr, Seed: 104},
+		{ID: "R5", Name: "Hamiltonian2", Domain: "Nuclear Physics", Dim: 52928, NNZ: 188_930_000, Class: Hamiltonian, Seed: 105},
+		{ID: "R6", Name: "Hamiltonian3", Domain: "Nuclear Physics", Dim: 77205, NNZ: 319_300_000, Class: Hamiltonian, Seed: 106},
+		{ID: "R7", Name: "barrier2-4", Domain: "Semicond. Device (Eng.)", Dim: 113_000, NNZ: 2_130_000, Class: Semiconductor, Seed: 107},
+		{ID: "R8", Name: "pkustk14", Domain: "Structural Problem (Eng.)", Dim: 152_000, NNZ: 11_200_000, Class: Structural, Seed: 108},
+		{ID: "R9", Name: "msdoor", Domain: "Structural Problem (Eng.)", Dim: 416_000, NNZ: 19_170_000, Class: Structural, Seed: 109},
+	}
+	for i := 1; i <= 9; i++ {
+		p, err := rmat.PaperParams(i)
+		if err != nil {
+			panic(err) // table is static; unreachable
+		}
+		pp := p
+		specs = append(specs, Spec{
+			ID:     fmt.Sprintf("G%d", i),
+			Name:   fmt.Sprintf("RMAT%d", i),
+			Domain: fmt.Sprintf("RMAT {%.2f,%.2f,%.2f,%.2f}", p.A, p.B, p.C, p.D),
+			Dim:    100_000,
+			NNZ:    20_000_000,
+			RMAT:   &pp,
+			Seed:   int64(200 + i),
+		})
+	}
+	return specs
+}
+
+// Lookup returns the spec with the given ID (e.g. "R3").
+func Lookup(id string) (Spec, error) {
+	for _, s := range PaperTable() {
+		if s.ID == id || s.Name == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gen: unknown matrix %q", id)
+}

@@ -1,0 +1,380 @@
+package kernels
+
+import (
+	"fmt"
+
+	"atmatrix/internal/mat"
+)
+
+// CSRWin references a rectangular window of a CSR matrix: rows
+// [Row0, Row0+Rows) × columns [Col0, Col0+Cols), with coordinates rebased
+// to the window origin. Row subranges are free in CSR; column subranges
+// are located per row with binary search over the sorted column ids
+// (§III-B).
+type CSRWin struct {
+	M          *mat.CSR
+	Row0, Col0 int
+	Rows, Cols int
+
+	// spanLo/spanHi, when non-nil, hold the precomputed [lo, hi)
+	// positions of every window row's column range inside M.ColIdx/Val
+	// (see BuildIndex). Narrowing the row range of an indexed window
+	// invalidates the index; only whole windows carry it.
+	spanLo, spanHi []int64
+}
+
+// BuildIndex precomputes the column-range span of every window row with
+// one binary search pass, so that subsequent row accesses are O(1). In
+// Gustavson-style kernels the right-hand operand's rows are visited once
+// per contributing left-hand element, so a windowed B tile would
+// otherwise pay a binary search per multiply-add — this is the mitigation
+// for the referenced-submatrix overhead discussed in §III-B. Full-width
+// windows need no index.
+func (w *CSRWin) BuildIndex() {
+	if w.Col0 == 0 && w.Cols == w.M.Cols {
+		return
+	}
+	w.spanLo = make([]int64, w.Rows)
+	w.spanHi = make([]int64, w.Rows)
+	c0, c1 := int32(w.Col0), int32(w.Col0+w.Cols)
+	for r := 0; r < w.Rows; r++ {
+		w.spanLo[r], w.spanHi[r] = w.M.ColSpan(w.Row0+r, c0, c1)
+	}
+}
+
+// FullCSR wraps an entire CSR matrix as a window.
+func FullCSR(m *mat.CSR) CSRWin {
+	return CSRWin{M: m, Rows: m.Rows, Cols: m.Cols}
+}
+
+// Validate checks that the window lies inside its matrix.
+func (w CSRWin) Validate() error {
+	if w.Row0 < 0 || w.Col0 < 0 || w.Row0+w.Rows > w.M.Rows || w.Col0+w.Cols > w.M.Cols {
+		return fmt.Errorf("kernels: CSR window [%d+%d,%d+%d] outside %d×%d",
+			w.Row0, w.Rows, w.Col0, w.Cols, w.M.Rows, w.M.Cols)
+	}
+	return nil
+}
+
+// NNZ counts the stored elements inside the window.
+func (w CSRWin) NNZ() int64 {
+	return w.M.NNZInWindow(w.Row0, w.Row0+w.Rows, int32(w.Col0), int32(w.Col0+w.Cols))
+}
+
+// Density returns the window's population density.
+func (w CSRWin) Density() float64 { return mat.Density(w.NNZ(), w.Rows, w.Cols) }
+
+// RowSlice returns the window narrowed to window rows [lo, hi),
+// preserving a previously built column index.
+func (w CSRWin) RowSlice(lo, hi int) CSRWin {
+	out := w
+	out.Row0 += lo
+	out.Rows = hi - lo
+	if w.spanLo != nil {
+		out.spanLo = w.spanLo[lo:hi]
+		out.spanHi = w.spanHi[lo:hi]
+	}
+	return out
+}
+
+// row returns the column indices and values of window row r (indices NOT
+// yet rebased; subtract Col0). Full-width windows — the common case when a
+// tile lies entirely inside the contraction range — skip the binary
+// column search.
+func (w CSRWin) row(r int) ([]int32, []float64) {
+	if w.spanLo != nil {
+		lo, hi := w.spanLo[r], w.spanHi[r]
+		return w.M.ColIdx[lo:hi], w.M.Val[lo:hi]
+	}
+	if w.Col0 == 0 && w.Cols == w.M.Cols {
+		return w.M.Row(w.Row0 + r)
+	}
+	lo, hi := w.M.ColSpan(w.Row0+r, int32(w.Col0), int32(w.Col0+w.Cols))
+	return w.M.ColIdx[lo:hi], w.M.Val[lo:hi]
+}
+
+// rowsOf hoists the window's hot fields into a small accessor so inner
+// loops avoid copying the CSRWin struct on every row access.
+type rowsOf struct {
+	m              *mat.CSR
+	row0           int
+	spanLo, spanHi []int64
+	full           bool
+	c0, c1         int32
+}
+
+func (w *CSRWin) rows() rowsOf {
+	return rowsOf{
+		m:      w.M,
+		row0:   w.Row0,
+		spanLo: w.spanLo,
+		spanHi: w.spanHi,
+		full:   w.Col0 == 0 && w.Cols == w.M.Cols,
+		c0:     int32(w.Col0),
+		c1:     int32(w.Col0 + w.Cols),
+	}
+}
+
+func (a *rowsOf) row(r int) ([]int32, []float64) {
+	if a.spanLo != nil {
+		lo, hi := a.spanLo[r], a.spanHi[r]
+		return a.m.ColIdx[lo:hi], a.m.Val[lo:hi]
+	}
+	if a.full {
+		return a.m.Row(a.row0 + r)
+	}
+	lo, hi := a.m.ColSpan(a.row0+r, a.c0, a.c1)
+	return a.m.ColIdx[lo:hi], a.m.Val[lo:hi]
+}
+
+// Materialize copies the window into a standalone CSR matrix with rebased
+// coordinates.
+func (w CSRWin) Materialize() *mat.CSR {
+	return w.M.SubMatrix(w.Row0, w.Row0+w.Rows, int32(w.Col0), int32(w.Col0+w.Cols))
+}
+
+// ToDense materializes the window as a dense array (the sparse→dense
+// just-in-time conversion of the dynamic optimizer, §III-C).
+func (w CSRWin) ToDense() *mat.Dense {
+	d := mat.NewDense(w.Rows, w.Cols)
+	c0 := int32(w.Col0)
+	for r := 0; r < w.Rows; r++ {
+		cols, vals := w.row(r)
+		row := d.RowSlice(r)
+		for p, c := range cols {
+			row[c-c0] = vals[p]
+		}
+	}
+	return d
+}
+
+// --- Dense-target kernels -------------------------------------------------
+//
+// The dense target c is a pre-sliced window (mat.Dense carries its parent
+// stride, the BLAS lda), so C windows are free. All kernels accumulate:
+// c += a·b.
+
+// DDD computes c += a·b for dense a, b (the ddd_gemm kernel). It uses the
+// i-k-j loop order so that the inner loop streams contiguously over a B row
+// and a C row.
+func DDD(c, a, b *mat.Dense) {
+	checkDims(c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.RowSlice(i)
+		crow := c.RowSlice(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.RowSlice(k)
+			axpy(crow, brow, av)
+		}
+	}
+}
+
+// SpDD computes c += a·b for sparse a, dense b (spdd_gemm).
+func SpDD(c *mat.Dense, a CSRWin, b *mat.Dense) {
+	checkDims(c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	ac0 := int32(a.Col0)
+	ar := a.rows()
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := ar.row(i)
+		if len(cols) == 0 {
+			continue
+		}
+		crow := c.RowSlice(i)
+		for p, col := range cols {
+			axpy(crow, b.RowSlice(int(col-ac0)), vals[p])
+		}
+	}
+}
+
+// DSpD computes c += a·b for dense a, sparse b (dspd_gemm) — one of the
+// kernels the paper notes vendors offer no reference implementation for.
+func DSpD(c *mat.Dense, a *mat.Dense, b CSRWin) {
+	checkDims(c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	bc0 := int32(b.Col0)
+	br := b.rows()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.RowSlice(i)
+		crow := c.RowSlice(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			cols, vals := br.row(k)
+			for p, col := range cols {
+				crow[col-bc0] += av * vals[p]
+			}
+		}
+	}
+}
+
+// SpSpD computes c += a·b for sparse a, sparse b into a dense target
+// (spspd_gemm): Gustavson's row algorithm with the dense C row acting as
+// the accumulator.
+func SpSpD(c *mat.Dense, a, b CSRWin) {
+	checkDims(c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	ac0 := int32(a.Col0)
+	bc0 := int32(b.Col0)
+	ar := a.rows()
+	br := b.rows()
+	for i := 0; i < a.Rows; i++ {
+		acols, avals := ar.row(i)
+		if len(acols) == 0 {
+			continue
+		}
+		crow := c.RowSlice(i)
+		for p, acol := range acols {
+			av := avals[p]
+			bcols, bvals := br.row(int(acol - ac0))
+			for q, bcol := range bcols {
+				crow[bcol-bc0] += av * bvals[q]
+			}
+		}
+	}
+}
+
+// --- Sparse-target kernels ------------------------------------------------
+//
+// The sparse target is a SpAcc covering the whole result tile; the kernel
+// writes the window at tile offset (cRow0, cCol0). Rows are accumulated via
+// the SPA and flushed once per row (Gustavson / sparse accumulator
+// approach, §III-A).
+
+// SpSpSp computes cAcc[window] += a·b for sparse operands (spspsp_gemm,
+// the classical Gustavson algorithm and the paper's baseline).
+func SpSpSp(cAcc *SpAcc, cRow0, cCol0 int, a, b CSRWin, spa *SPA) {
+	checkAccDims(cAcc, cRow0, cCol0, a, b)
+	ac0 := int32(a.Col0)
+	bc0 := int32(b.Col0) - int32(cCol0) // rebase directly into tile coords
+	ar := a.rows()
+	br := b.rows()
+	for i := 0; i < a.Rows; i++ {
+		acols, avals := ar.row(i)
+		if len(acols) == 0 {
+			continue
+		}
+		spa.Reset(cAcc.Cols)
+		for p, acol := range acols {
+			av := avals[p]
+			bcols, bvals := br.row(int(acol - ac0))
+			for q, bcol := range bcols {
+				spa.Add(bcol-bc0, av*bvals[q])
+			}
+		}
+		cAcc.FlushRow(cRow0+i, spa)
+	}
+}
+
+// SpDSp computes cAcc[window] += a·b for sparse a, dense b (spdsp_gemm).
+func SpDSp(cAcc *SpAcc, cRow0, cCol0 int, a CSRWin, b *mat.Dense, spa *SPA) {
+	checkAccDims(cAcc, cRow0, cCol0, a, denseShape{b.Rows, b.Cols})
+	ac0 := int32(a.Col0)
+	ar := a.rows()
+	for i := 0; i < a.Rows; i++ {
+		acols, avals := ar.row(i)
+		if len(acols) == 0 {
+			continue
+		}
+		spa.Reset(cAcc.Cols)
+		for p, acol := range acols {
+			av := avals[p]
+			brow := b.RowSlice(int(acol - ac0))
+			for j, bv := range brow {
+				if bv != 0 {
+					spa.Add(int32(cCol0+j), av*bv)
+				}
+			}
+		}
+		cAcc.FlushRow(cRow0+i, spa)
+	}
+}
+
+// DSpSp computes cAcc[window] += a·b for dense a, sparse b (dspsp_gemm).
+func DSpSp(cAcc *SpAcc, cRow0, cCol0 int, a *mat.Dense, b CSRWin, spa *SPA) {
+	checkAccDims(cAcc, cRow0, cCol0, denseShape{a.Rows, a.Cols}, b)
+	bc0 := int32(b.Col0) - int32(cCol0)
+	br := b.rows()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.RowSlice(i)
+		spa.Reset(cAcc.Cols)
+		any := false
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			bcols, bvals := br.row(k)
+			for q, bcol := range bcols {
+				spa.Add(bcol-bc0, av*bvals[q])
+				any = true
+			}
+		}
+		if any {
+			cAcc.FlushRow(cRow0+i, spa)
+		}
+	}
+}
+
+// DDSp computes cAcc[window] += a·b for dense operands into a sparse
+// target (ddsp_gemm). It exists for completeness of the eightfold model;
+// the cost-based optimizer essentially never picks it.
+func DDSp(cAcc *SpAcc, cRow0, cCol0 int, a, b *mat.Dense, spa *SPA) {
+	checkAccDims(cAcc, cRow0, cCol0, denseShape{a.Rows, a.Cols}, denseShape{b.Rows, b.Cols})
+	for i := 0; i < a.Rows; i++ {
+		arow := a.RowSlice(i)
+		spa.Reset(cAcc.Cols)
+		any := false
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.RowSlice(k)
+			for j, bv := range brow {
+				if bv != 0 {
+					spa.Add(int32(cCol0+j), av*bv)
+					any = true
+				}
+			}
+		}
+		if any {
+			cAcc.FlushRow(cRow0+i, spa)
+		}
+	}
+}
+
+// axpy computes y += alpha·x over equal-length slices. The explicit
+// bounds hint lets the compiler elide per-element checks.
+func axpy(y, x []float64, alpha float64) {
+	if len(x) > len(y) {
+		x = x[:len(y)]
+	}
+	y = y[:len(x)]
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+type shaped interface{ shape() (rows, cols int) }
+
+type denseShape struct{ rows, cols int }
+
+func (d denseShape) shape() (int, int) { return d.rows, d.cols }
+func (w CSRWin) shape() (int, int)     { return w.Rows, w.Cols }
+
+func checkDims(cm, cn, am, ak, bk, bn int) {
+	if am != cm || bn != cn || ak != bk {
+		panic(fmt.Sprintf("kernels: dimension mismatch C[%d×%d] += A[%d×%d]·B[%d×%d]", cm, cn, am, ak, bk, bn))
+	}
+}
+
+func checkAccDims(c *SpAcc, cRow0, cCol0 int, a, b shaped) {
+	am, ak := a.shape()
+	bk, bn := b.shape()
+	if ak != bk {
+		panic(fmt.Sprintf("kernels: contraction mismatch %d vs %d", ak, bk))
+	}
+	if cRow0 < 0 || cCol0 < 0 || cRow0+am > c.Rows || cCol0+bn > c.Cols {
+		panic(fmt.Sprintf("kernels: target window [%d+%d,%d+%d] outside %d×%d tile", cRow0, am, cCol0, bn, c.Rows, c.Cols))
+	}
+}

@@ -1,0 +1,190 @@
+// Package kernels implements the eight basic tile-multiplication kernels
+// of the paper (§III-A): every combination of {sparse, dense} for the left
+// input A, the right input B and the accumulated target C of
+// C' = C + A·B. The sparse kernels follow Gustavson's row-based algorithm
+// using the sparse accumulator (SPA) approach; all kernels support
+// referenced submatrix multiplication (§III-B) — operating on an arbitrary
+// rectangular window of each operand — which is what allows ATMULT to
+// multiply tiles of mismatching sizes.
+//
+// The kernels are deliberately sequential: ATMULT parallelizes *around*
+// them by splitting target-tile row ranges across the workers of a team
+// (intra-tile parallelization, §III-F), so each kernel invocation touches a
+// disjoint row range of the target.
+package kernels
+
+import (
+	"sort"
+
+	"atmatrix/internal/mat"
+)
+
+// SPA is the classical sparse accumulator: a dense value array of the
+// target-tile width with generation markers, so that clearing between rows
+// is O(touched) instead of O(width). One SPA is reused for every row of
+// every sparse-target kernel invocation of a worker.
+type SPA struct {
+	vals    []float64
+	gen     []uint32
+	cur     uint32
+	touched []int32
+}
+
+// NewSPA returns a SPA usable for targets up to width columns wide.
+func NewSPA(width int) *SPA {
+	return &SPA{vals: make([]float64, width), gen: make([]uint32, width)}
+}
+
+// Reset prepares the SPA for a new row of a target with the given width,
+// growing the backing arrays if needed.
+func (p *SPA) Reset(width int) {
+	if width > len(p.vals) {
+		p.vals = make([]float64, width)
+		p.gen = make([]uint32, width)
+		p.cur = 0
+	}
+	p.cur++
+	if p.cur == 0 { // generation counter wrapped: hard reset
+		for i := range p.gen {
+			p.gen[i] = 0
+		}
+		p.cur = 1
+	}
+	p.touched = p.touched[:0]
+}
+
+// Add accumulates v into column col of the current row.
+func (p *SPA) Add(col int32, v float64) {
+	if p.gen[col] != p.cur {
+		p.gen[col] = p.cur
+		p.vals[col] = v
+		p.touched = append(p.touched, col)
+		return
+	}
+	p.vals[col] += v
+}
+
+// Touched returns the columns written since the last Reset, in scatter
+// order.
+func (p *SPA) Touched() []int32 { return p.touched }
+
+// Value returns the accumulated value for a touched column.
+func (p *SPA) Value(col int32) float64 { return p.vals[col] }
+
+// spEntry is one pending contribution inside a sparse accumulation target.
+type spEntry struct {
+	col int32
+	val float64
+}
+
+// SpAcc is a sparse accumulation target for one result tile: the tile is
+// written accumulatively by multiple tile-multiplications (§III-C), so
+// per-row contribution lists are collected and combined once at
+// finalization. Rows are independent, which is what lets ATMULT split a
+// tile's row range across team workers without locking.
+type SpAcc struct {
+	Rows, Cols int
+	rows       [][]spEntry
+}
+
+// NewSpAcc returns an empty sparse accumulation target of the given tile
+// shape.
+func NewSpAcc(rows, cols int) *SpAcc {
+	return &SpAcc{Rows: rows, Cols: cols, rows: make([][]spEntry, rows)}
+}
+
+// FlushRow appends the SPA contents as one contribution run for tile row r
+// and resets nothing (the caller Resets the SPA for the next row).
+func (s *SpAcc) FlushRow(r int, spa *SPA) {
+	t := spa.Touched()
+	if len(t) == 0 {
+		return
+	}
+	run := make([]spEntry, len(t))
+	for i, c := range t {
+		run[i] = spEntry{col: c, val: spa.vals[c]}
+	}
+	s.rows[r] = append(s.rows[r], run...)
+}
+
+// Pending returns the total number of buffered contributions, an upper
+// bound on the final nnz.
+func (s *SpAcc) Pending() int64 {
+	var n int64
+	for _, r := range s.rows {
+		n += int64(len(r))
+	}
+	return n
+}
+
+// AddDense accumulates an already-computed dense block at tile offset
+// (r0, c0); used when a tile is converted from a dense intermediate.
+func (s *SpAcc) AddDense(d *mat.Dense, r0, c0 int) {
+	for r := 0; r < d.Rows; r++ {
+		row := d.RowSlice(r)
+		for c, v := range row {
+			if v != 0 {
+				s.rows[r0+r] = append(s.rows[r0+r], spEntry{col: int32(c0 + c), val: v})
+			}
+		}
+	}
+}
+
+// ToCSR combines all contribution runs — sorting each row by column id and
+// summing duplicates — and returns the tile in CSR with sorted column ids,
+// dropping exact zeros.
+func (s *SpAcc) ToCSR() *mat.CSR {
+	out := mat.NewCSR(s.Rows, s.Cols)
+	var nnz int64
+	combined := make([][]spEntry, s.Rows)
+	for r, run := range s.rows {
+		if len(run) == 0 {
+			out.RowPtr[r+1] = nnz
+			continue
+		}
+		sort.Slice(run, func(i, j int) bool { return run[i].col < run[j].col })
+		w := 0
+		for i := 1; i < len(run); i++ {
+			if run[i].col == run[w].col {
+				run[w].val += run[i].val
+			} else {
+				w++
+				run[w] = run[i]
+			}
+		}
+		run = run[:w+1]
+		// Drop exact zeros produced by cancellation.
+		kept := run[:0]
+		for _, e := range run {
+			if e.val != 0 {
+				kept = append(kept, e)
+			}
+		}
+		combined[r] = kept
+		nnz += int64(len(kept))
+		out.RowPtr[r+1] = nnz
+	}
+	out.ColIdx = make([]int32, nnz)
+	out.Val = make([]float64, nnz)
+	var q int64
+	for _, run := range combined {
+		for _, e := range run {
+			out.ColIdx[q] = e.col
+			out.Val[q] = e.val
+			q++
+		}
+	}
+	return out
+}
+
+// ToDense combines all contribution runs into a dense tile.
+func (s *SpAcc) ToDense() *mat.Dense {
+	d := mat.NewDense(s.Rows, s.Cols)
+	for r, run := range s.rows {
+		row := d.RowSlice(r)
+		for _, e := range run {
+			row[e.col] += e.val
+		}
+	}
+	return d
+}

@@ -1,0 +1,181 @@
+package mat
+
+import "fmt"
+
+// BCSR is the block compressed sparse row format discussed in the paper's
+// related work (§V-A, §V-C): instead of single elements, fixed-size dense
+// R×C micro-blocks are stored, trading explicit zeros inside partially
+// filled blocks for regular, register-blockable inner loops (Vuduc's
+// SpMV optimization). It is the *fixed microscopic* counterpart to the
+// paper's adaptive macroscopic tiles — "their maximum block size is 3×3,
+// hence their focus is rather on microscopic tuning than on high-level
+// tile optimizations" — and serves here as a comparison representation.
+type BCSR struct {
+	Rows, Cols int // logical matrix dimensions
+	R, C       int // micro-block dimensions
+	// BRows is the number of block rows ⌈Rows/R⌉.
+	BRows int
+	// RowPtr[i] points to the first block of block-row i.
+	RowPtr []int64
+	// ColIdx holds the block-column index of each stored block.
+	ColIdx []int32
+	// Val holds the dense R×C payload of each block, row-major,
+	// blocks concatenated in storage order.
+	Val []float64
+}
+
+// BCSRFromCSR converts a CSR matrix into BCSR with R×C micro-blocks.
+// Partially filled blocks store explicit zeros (the format's fill-in
+// overhead, reported by FillRatio).
+func BCSRFromCSR(a *CSR, r, c int) (*BCSR, error) {
+	if r < 1 || c < 1 {
+		return nil, fmt.Errorf("mat: invalid BCSR block %d×%d", r, c)
+	}
+	bRows := (a.Rows + r - 1) / r
+	bCols := (a.Cols + c - 1) / c
+	out := &BCSR{Rows: a.Rows, Cols: a.Cols, R: r, C: c, BRows: bRows, RowPtr: make([]int64, bRows+1)}
+
+	// Pass 1: which block columns are populated per block row.
+	seen := make([]int32, bCols) // generation marker per block column
+	for i := range seen {
+		seen[i] = -1
+	}
+	blockCols := make([][]int32, bRows)
+	for br := 0; br < bRows; br++ {
+		rowLo := br * r
+		rowHi := min(rowLo+r, a.Rows)
+		for row := rowLo; row < rowHi; row++ {
+			lo, hi := a.RowRange(row)
+			for p := lo; p < hi; p++ {
+				bc := a.ColIdx[p] / int32(c)
+				if seen[bc] != int32(br) {
+					seen[bc] = int32(br)
+					blockCols[br] = append(blockCols[br], bc)
+				}
+			}
+		}
+		// CSR rows are column-sorted, but blocks are discovered across
+		// several rows; sort for deterministic, searchable layout.
+		sortInt32(blockCols[br])
+		out.RowPtr[br+1] = out.RowPtr[br] + int64(len(blockCols[br]))
+	}
+	nBlocks := out.RowPtr[bRows]
+	out.ColIdx = make([]int32, nBlocks)
+	out.Val = make([]float64, nBlocks*int64(r*c))
+
+	// Pass 2: scatter the values into their blocks.
+	blockAt := make([]int64, bCols) // position of block (br, bc) in storage
+	for br := 0; br < bRows; br++ {
+		base := out.RowPtr[br]
+		for i, bc := range blockCols[br] {
+			out.ColIdx[base+int64(i)] = bc
+			blockAt[bc] = base + int64(i)
+		}
+		rowLo := br * r
+		rowHi := min(rowLo+r, a.Rows)
+		for row := rowLo; row < rowHi; row++ {
+			lo, hi := a.RowRange(row)
+			for p := lo; p < hi; p++ {
+				col := a.ColIdx[p]
+				bc := col / int32(c)
+				blk := blockAt[bc]
+				off := blk*int64(r*c) + int64((row-rowLo)*c+int(col)-int(bc)*c)
+				out.Val[off] = a.Val[p]
+			}
+		}
+	}
+	return out, nil
+}
+
+// NNZBlocks returns the number of stored micro-blocks.
+func (a *BCSR) NNZBlocks() int64 { return int64(len(a.ColIdx)) }
+
+// FillRatio returns stored cells (blocks × R·C) divided by the true
+// non-zero count — the explicit-zero overhead of the fixed micro-blocking.
+func (a *BCSR) FillRatio() float64 {
+	var nnz int64
+	for _, v := range a.Val {
+		if v != 0 {
+			nnz++
+		}
+	}
+	if nnz == 0 {
+		return 0
+	}
+	return float64(len(a.Val)) / float64(nnz)
+}
+
+// Bytes returns the payload footprint: dense cells plus one column index
+// per block.
+func (a *BCSR) Bytes() int64 {
+	return int64(len(a.Val))*SizeDense + int64(len(a.ColIdx))*4
+}
+
+// MatVec computes y = A·x with register-blockable dense inner loops over
+// the micro-blocks.
+func (a *BCSR) MatVec(x []float64) []float64 {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("mat: BCSR MatVec dimension mismatch: %d columns, %d vector entries", a.Cols, len(x)))
+	}
+	y := make([]float64, a.Rows)
+	rc := a.R * a.C
+	for br := 0; br < a.BRows; br++ {
+		rowLo := br * a.R
+		rowHi := min(rowLo+a.R, a.Rows)
+		for p := a.RowPtr[br]; p < a.RowPtr[br+1]; p++ {
+			colLo := int(a.ColIdx[p]) * a.C
+			blk := a.Val[p*int64(rc) : (p+1)*int64(rc)]
+			for rr := 0; rr < rowHi-rowLo; rr++ {
+				row := blk[rr*a.C : rr*a.C+a.C]
+				var s float64
+				for cc, v := range row {
+					col := colLo + cc
+					if col < a.Cols {
+						s += v * x[col]
+					}
+				}
+				y[rowLo+rr] += s
+			}
+		}
+	}
+	return y
+}
+
+// ToCSR converts back to CSR, dropping the explicit zeros.
+func (a *BCSR) ToCSR() *CSR {
+	coo := NewCOO(a.Rows, a.Cols)
+	rc := a.R * a.C
+	for br := 0; br < a.BRows; br++ {
+		rowLo := br * a.R
+		for p := a.RowPtr[br]; p < a.RowPtr[br+1]; p++ {
+			colLo := int(a.ColIdx[p]) * a.C
+			blk := a.Val[p*int64(rc) : (p+1)*int64(rc)]
+			for rr := 0; rr < a.R; rr++ {
+				row := rowLo + rr
+				if row >= a.Rows {
+					break
+				}
+				for cc := 0; cc < a.C; cc++ {
+					col := colLo + cc
+					if col < a.Cols && blk[rr*a.C+cc] != 0 {
+						coo.Append(row, col, blk[rr*a.C+cc])
+					}
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func sortInt32(s []int32) {
+	// Insertion sort: per-block-row lists are short.
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

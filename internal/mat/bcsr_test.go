@@ -1,0 +1,123 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(60)
+		cols := 1 + r.Intn(60)
+		br := 1 + r.Intn(4)
+		bc := 1 + r.Intn(4)
+		a := RandomCOO(r, rows, cols, r.Intn(rows*cols+1)).ToCSR()
+		b, err := BCSRFromCSR(a, br, bc)
+		if err != nil {
+			return false
+		}
+		back := b.ToCSR()
+		if back.Validate() != nil {
+			return false
+		}
+		return back.ToDense().EqualApprox(a.ToDense(), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBCSRMatVecMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, blk := range [][2]int{{1, 1}, {2, 2}, {3, 3}, {4, 2}, {2, 4}} {
+		a := RandomCOO(rng, 70, 50, 800).ToCSR()
+		b, err := BCSRFromCSR(a, blk[0], blk[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, 50)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		want := a.MatVec(x)
+		got := b.MatVec(x)
+		for i := range want {
+			d := got[i] - want[i]
+			if d > 1e-12 || d < -1e-12 {
+				t.Fatalf("block %v: y[%d] = %g, want %g", blk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBCSRFillRatio(t *testing.T) {
+	// A pure diagonal in 3×3 blocks fills 1 of 9 cells per block → ratio 9
+	// (modulo the clipped last block).
+	n := 9
+	a := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		a.Append(i, i, 1)
+	}
+	b, err := BCSRFromCSR(a.ToCSR(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NNZBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3", b.NNZBlocks())
+	}
+	if got := b.FillRatio(); got != 3 {
+		t.Fatalf("fill ratio %g, want 3 (3 non-zeros per 9-cell block... 9/3)", got)
+	}
+	// A fully dense matrix has no fill-in.
+	d := NewCOO(6, 6)
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			d.Append(r, c, 1)
+		}
+	}
+	bd, err := BCSRFromCSR(d.ToCSR(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.FillRatio() != 1 {
+		t.Fatalf("dense fill ratio %g, want 1", bd.FillRatio())
+	}
+}
+
+func TestBCSRRejectsBadBlocks(t *testing.T) {
+	if _, err := BCSRFromCSR(NewCSR(4, 4), 0, 2); err == nil {
+		t.Fatal("0-row block accepted")
+	}
+	if _, err := BCSRFromCSR(NewCSR(4, 4), 2, -1); err == nil {
+		t.Fatal("negative block accepted")
+	}
+}
+
+func TestBCSREmptyAndEdge(t *testing.T) {
+	b, err := BCSRFromCSR(NewCSR(5, 7), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NNZBlocks() != 0 {
+		t.Fatal("empty matrix produced blocks")
+	}
+	y := b.MatVec(make([]float64, 7))
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("empty MatVec non-zero")
+		}
+	}
+	// Non-divisible dimensions: last block row/col clipped.
+	a := NewCOO(5, 7)
+	a.Append(4, 6, 2)
+	bb, err := BCSRFromCSR(a.ToCSR(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bb.ToCSR().ToDense().EqualApprox(a.ToDense(), 0) {
+		t.Fatal("clipped block round trip failed")
+	}
+}

@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSCFromCOORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		rows := 1 + rng.Intn(50)
+		cols := 1 + rng.Intn(50)
+		a := RandomCOO(rng, rows, cols, rng.Intn(rows*cols+1))
+		csc := CSCFromCOO(a)
+		if err := csc.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !csc.ToDense().EqualApprox(a.ToDense(), 0) {
+			t.Fatalf("trial %d: COO→CSC mismatch", trial)
+		}
+		if csc.NNZ() != a.NNZ() {
+			t.Fatalf("trial %d: nnz %d, want %d", trial, csc.NNZ(), a.NNZ())
+		}
+	}
+}
+
+func TestCSCFromCSRAndBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := RandomCOO(rng, 40, 30, 400).ToCSR()
+	csc := CSCFromCSR(a)
+	if err := csc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := csc.ToCSR()
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !back.ToDense().EqualApprox(a.ToDense(), 0) {
+		t.Fatal("CSR→CSC→CSR mismatch")
+	}
+}
+
+func TestCSCAt(t *testing.T) {
+	a := NewCOO(3, 3)
+	a.Append(0, 1, 5)
+	a.Append(2, 1, -2)
+	csc := CSCFromCOO(a)
+	if csc.At(0, 1) != 5 || csc.At(2, 1) != -2 || csc.At(1, 1) != 0 || csc.At(0, 0) != 0 {
+		t.Fatal("At values wrong")
+	}
+}
+
+func TestCSCValidateCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	good := CSCFromCOO(RandomCOO(rng, 10, 10, 40))
+	bad := *good
+	bad.ColPtr = append([]int64(nil), good.ColPtr...)
+	bad.ColPtr[3] = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("broken column pointers accepted")
+	}
+	bad = *good
+	bad.RowIdx = append([]int32(nil), good.RowIdx...)
+	if len(bad.RowIdx) > 0 {
+		bad.RowIdx[0] = 99
+		if err := bad.Validate(); err == nil {
+			t.Fatal("out-of-range row accepted")
+		}
+	}
+	bad = *good
+	bad.ColPtr = make([]int64, 2)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong ColPtr length accepted")
+	}
+}
+
+func TestMulCSCMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(30), 1+r.Intn(30), 1+r.Intn(30)
+		ac := RandomCOO(r, m, k, r.Intn(m*k+1))
+		bc := RandomCOO(r, k, n, r.Intn(k*n+1))
+		got, err := MulCSC(CSCFromCOO(ac), CSCFromCOO(bc))
+		if err != nil || got.Validate() != nil {
+			return false
+		}
+		want := MulReference(ac.ToDense(), bc.ToDense())
+		return got.ToDense().EqualApprox(want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulCSCRejectsMismatch(t *testing.T) {
+	if _, err := MulCSC(NewCSC(3, 4), NewCSC(5, 3)); err == nil {
+		t.Fatal("contraction mismatch accepted")
+	}
+}
+
+// TestMulCSCAgreesWithRowGustavson: the column-based MATLAB variant and
+// the row-based Gustavson algorithm must compute identical products —
+// the §V-B equivalence.
+func TestMulCSCAgreesWithRowGustavson(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	ac := RandomCOO(rng, 60, 50, 700)
+	bc := RandomCOO(rng, 50, 40, 600)
+	colWise, err := MulCSC(CSCFromCOO(ac), CSCFromCOO(bc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowWise := MulReference(ac.ToDense(), bc.ToDense())
+	if !colWise.ToDense().EqualApprox(rowWise, 1e-10) {
+		t.Fatal("column-based and row-based products differ")
+	}
+}

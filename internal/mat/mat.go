@@ -1,0 +1,51 @@
+// Package mat provides the basic matrix representations the paper builds
+// on (§II-A): a COO staging table for raw input, the compressed sparse row
+// (CSR) format used for sparse tiles, and a row-major dense array with an
+// explicit stride (the BLAS "leading dimension") used for dense tiles and
+// referenced submatrix multiplication (§III-B).
+//
+// All coordinates are zero-based. Column indices inside CSR rows are kept
+// sorted so that column ranges can be located with binary search, which the
+// paper relies on for referenced submatrix multiplications.
+package mat
+
+// Element sizes in bytes as used throughout the paper's formulas (§II-B1):
+// a dense element stores only the value; a sparse element additionally
+// stores its coordinates.
+const (
+	SizeDense  = 8  // S_d: one float64
+	SizeSparse = 16 // S_sp: value + coordinate bookkeeping in CSR
+	SizeCOO    = 16 // <int32,int32,float64> triple of the staging format
+)
+
+// Kind discriminates the two physical tile representations.
+type Kind uint8
+
+const (
+	// Sparse marks a CSR representation.
+	Sparse Kind = iota
+	// DenseKind marks a plain row-major array representation.
+	DenseKind
+)
+
+func (k Kind) String() string {
+	if k == DenseKind {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// Density returns nnz/(m·n), the population density ρ of an m×n matrix
+// region holding nnz non-zero elements. It is 0 for empty regions.
+func Density(nnz int64, m, n int) float64 {
+	if m <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(nnz) / (float64(m) * float64(n))
+}
+
+// SparseBytes returns the memory footprint of nnz elements stored in CSR.
+func SparseBytes(nnz int64) int64 { return nnz * SizeSparse }
+
+// DenseBytes returns the memory footprint of an m×n dense array.
+func DenseBytes(m, n int) int64 { return int64(m) * int64(n) * SizeDense }

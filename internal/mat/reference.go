@@ -1,0 +1,53 @@
+package mat
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MulReference computes C = A·B with the textbook triple loop on dense
+// operands. It is the correctness oracle for every multiplication kernel
+// and for ATMULT in the test suites; it is deliberately simple.
+func MulReference(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulReference contraction mismatch %d vs %d", a.Cols, b.Rows))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.RowSlice(i)
+		crow := c.RowSlice(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.RowSlice(k)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// RandomCOO builds a deterministic random sparse matrix with approximately
+// nnz distinct populated coordinates and values in (-1, 1). Collisions are
+// deduplicated, so the result may hold slightly fewer entries when nnz is
+// close to rows·cols.
+func RandomCOO(rng *rand.Rand, rows, cols int, nnz int) *COO {
+	a := NewCOO(rows, cols)
+	for i := 0; i < nnz; i++ {
+		a.Append(rng.Intn(rows), rng.Intn(cols), rng.Float64()*2-1)
+	}
+	a.Dedup()
+	return a
+}
+
+// RandomDense builds a deterministic random dense matrix with values in
+// (-1, 1).
+func RandomDense(rng *rand.Rand, rows, cols int) *Dense {
+	d := NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = rng.Float64()*2 - 1
+	}
+	return d
+}

@@ -1,0 +1,65 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+// FuzzReadMatrixMarket checks that arbitrary input never panics the
+// parser and that everything it accepts is structurally valid and
+// round-trips.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% comment\n\n1 1 0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket")
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("accepted invalid matrix: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteMatrixMarket(&buf, a); werr != nil {
+			t.Fatalf("cannot re-serialize accepted matrix: %v", werr)
+		}
+		back, rerr := ReadMatrixMarket(&buf)
+		if rerr != nil {
+			t.Fatalf("cannot re-read own output: %v", rerr)
+		}
+		if back.Rows != a.Rows || back.Cols != a.Cols {
+			t.Fatal("round trip changed the shape")
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary COO reader against arbitrary bytes.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	seed := mat.NewCOO(3, 3)
+	seed.Append(0, 1, 2.5)
+	seed.Append(2, 2, -1)
+	if err := WriteBinary(&buf, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("ATMCOO1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		a, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("accepted invalid matrix: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package mmio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+func TestReadCoordinateGeneral(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 1.5
+3 4 -2
+2 2 7
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3 || a.Cols != 4 || a.NNZ() != 3 {
+		t.Fatalf("shape %d×%d nnz %d", a.Rows, a.Cols, a.NNZ())
+	}
+	d := a.ToDense()
+	if d.At(0, 0) != 1.5 || d.At(2, 3) != -2 || d.At(1, 1) != 7 {
+		t.Fatalf("values wrong: %v", d.Data)
+	}
+}
+
+func TestReadSymmetricExpansion(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 5
+3 3 1
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	if d.At(1, 0) != 5 || d.At(0, 1) != 5 {
+		t.Fatal("symmetric entry not mirrored")
+	}
+	if a.NNZ() != 3 { // diagonal entry not duplicated
+		t.Fatalf("nnz = %d, want 3", a.NNZ())
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 4
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	if d.At(1, 0) != 4 || d.At(0, 1) != -4 {
+		t.Fatal("skew-symmetric mirror wrong")
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	if d.At(0, 1) != 1 || d.At(1, 0) != 1 {
+		t.Fatal("pattern values should be 1")
+	}
+}
+
+func TestReadIntegerValues(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate integer general
+2 2 1
+1 1 42
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ToDense().At(0, 0) != 42 {
+		t.Fatal("integer value wrong")
+	}
+}
+
+func TestReadArray(t *testing.T) {
+	// Array layout is column-major.
+	src := `%%MatrixMarket matrix array real general
+2 3
+1
+4
+2
+5
+0
+6
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	want := [][]float64{{1, 2, 0}, {4, 5, 6}}
+	for r := range want {
+		for c := range want[r] {
+			if d.At(r, c) != want[r][c] {
+				t.Fatalf("array (%d,%d) = %g, want %g", r, c, d.At(r, c), want[r][c])
+			}
+		}
+	}
+	if a.NNZ() != 5 { // the zero must be dropped
+		t.Fatalf("nnz = %d, want 5", a.NNZ())
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"not a header\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n",
+		"%%MatrixMarket tensor coordinate real general\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1\n",            // short size line
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n",   // row out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",     // missing value
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",   // truncated entries
+		"%%MatrixMarket matrix array real symmetric\n2 2\n1\n2\n3\n4\n",   // unsupported array variant
+		"%%MatrixMarket matrix coordinate real general\nx y z\n",          // bad size tokens
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n", // bad value
+	}
+	for i, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := mat.RandomCOO(rng, 50, 70, 400)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.ToDense().EqualApprox(a.ToDense(), 0) {
+		t.Fatal("MatrixMarket round trip lost data")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := mat.RandomCOO(rng, 123, 45, 999)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	// Binary size = magic + 24-byte header + 16 bytes per entry.
+	if want := len(binaryMagic) + 24 + 16*len(a.Ent); buf.Len() != want {
+		t.Fatalf("binary size %d, want %d", buf.Len(), want)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != a.Rows || back.Cols != a.Cols || len(back.Ent) != len(a.Ent) {
+		t.Fatal("binary round trip header mismatch")
+	}
+	for i := range a.Ent {
+		if back.Ent[i] != a.Ent[i] {
+			t.Fatal("binary round trip entry mismatch")
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := mat.RandomCOO(rng, 10, 10, 20)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-8])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	bad := append([]byte("XXXXXXX\n"), data[8:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestEmptyMatrixRoundTrips(t *testing.T) {
+	a := mat.NewCOO(5, 5)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != 0 || back.Rows != 5 {
+		t.Fatal("empty matrix round trip failed")
+	}
+	buf.Reset()
+	if err := WriteBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != 0 || back.Cols != 5 {
+		t.Fatal("empty binary round trip failed")
+	}
+}

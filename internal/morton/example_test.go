@@ -1,0 +1,40 @@
+package morton_test
+
+import (
+	"fmt"
+
+	"atmatrix/internal/morton"
+)
+
+// ExampleEncode shows the bit-interleaved Z-values for the first 4×4
+// coordinates: within every 2×2 quadrant the order is UL, UR, LL, LR, and
+// the quadrants themselves follow the same order recursively — the
+// quadtree property Alg. 1 of the paper recurses on.
+func ExampleEncode() {
+	for row := uint32(0); row < 4; row++ {
+		for col := uint32(0); col < 4; col++ {
+			if col > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%2d", morton.Encode(row, col))
+		}
+		fmt.Println()
+	}
+	// Output:
+	//  0  1  4  5
+	//  2  3  6  7
+	//  8  9 12 13
+	// 10 11 14 15
+}
+
+// ExampleSideLen shows the logical padding of the Z-space: both matrix
+// dimensions are padded to the next largest common power of two.
+func ExampleSideLen() {
+	fmt.Println(morton.SideLen(7, 8))
+	fmt.Println(morton.SideLen(300000, 300000))
+	fmt.Println(morton.ZSpaceSize(7, 8))
+	// Output:
+	// 8
+	// 524288
+	// 64
+}

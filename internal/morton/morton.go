@@ -1,0 +1,74 @@
+// Package morton implements Z-order (Morton) encoding of two-dimensional
+// coordinates by bit interleaving, as used by the AT MATRIX partitioning
+// process (paper §II-C1). The Z-curve provides a quadtree ordering: the four
+// child quadrants of any node are always stored consecutively, and two
+// matrix elements that are close in 2D space stay close in the one-
+// dimensional Z-ordered layout.
+package morton
+
+import "math/bits"
+
+// Encode interleaves the bits of row and col into a single Z-value.
+// The row coordinate occupies the odd (higher) bit positions and the column
+// coordinate the even positions, so that within every quadrant the order is
+// upper-left, upper-right, lower-left, lower-right — matching Alg. 1 of the
+// paper (UL, UR, LL, LR sub-ranges).
+func Encode(row, col uint32) uint64 {
+	return spread(row)<<1 | spread(col)
+}
+
+// Decode is the inverse of Encode.
+func Decode(z uint64) (row, col uint32) {
+	return compact(z >> 1), compact(z)
+}
+
+// spread distributes the 32 bits of x over the even bit positions of the
+// result (x_i moves to position 2i).
+func spread(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compact gathers the even bit positions of z back into a 32-bit value.
+func compact(z uint64) uint32 {
+	v := z & 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return uint32(v)
+}
+
+// SideLen returns the side length of the minimal square Z-space covering an
+// m×n matrix: both dimensions are logically padded to the next largest
+// common power of two (paper §II-C1).
+func SideLen(m, n int) int {
+	d := m
+	if n > d {
+		d = n
+	}
+	if d <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(d-1))
+}
+
+// ZSpaceSize returns K = 4^max{⌈log2 m⌉, ⌈log2 n⌉}, the number of cells in
+// the padded square Z-space of an m×n matrix.
+func ZSpaceSize(m, n int) uint64 {
+	s := uint64(SideLen(m, n))
+	return s * s
+}
+
+// QuadrantOfRange reports which quadrant (0=UL, 1=UR, 2=LL, 3=LR) of a
+// Z-range of the given size (a power of four) the Z-value z falls into,
+// where zStart is the first Z-value of the range.
+func QuadrantOfRange(z, zStart, size uint64) int {
+	return int((z - zStart) / (size / 4))
+}

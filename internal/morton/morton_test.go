@@ -1,0 +1,168 @@
+package morton
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeKnownValues(t *testing.T) {
+	cases := []struct {
+		row, col uint32
+		z        uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 0, 2},
+		{1, 1, 3},
+		{0, 2, 4},
+		{0, 3, 5},
+		{1, 2, 6},
+		{1, 3, 7},
+		{2, 0, 8},
+		{3, 3, 15},
+		{2, 2, 12},
+		{0xffffffff, 0xffffffff, 0xffffffffffffffff},
+	}
+	for _, c := range cases {
+		if got := Encode(c.row, c.col); got != c.z {
+			t.Errorf("Encode(%d,%d) = %d, want %d", c.row, c.col, got, c.z)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(row, col uint32) bool {
+		r, c := Decode(Encode(row, col))
+		return r == row && c == col
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	f := func(z uint64) bool {
+		r, c := Decode(z)
+		return Encode(r, c) == z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuadrantRecursion verifies the quadtree property: the four child
+// quadrants of any aligned Z-range are contiguous and ordered UL,UR,LL,LR.
+func TestQuadrantRecursion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		level := uint(1 + rng.Intn(15)) // quadrant side 2^level
+		side := uint32(1) << level
+		baseRow := (rng.Uint32() % 1024) * side
+		baseCol := (rng.Uint32() % 1024) * side
+		zStart := Encode(baseRow, baseCol)
+		size := uint64(side) * uint64(side)
+		if zStart%size != 0 {
+			t.Fatalf("aligned quadrant start %d not multiple of size %d", zStart, size)
+		}
+		// Sample random cells in each geometric quadrant and check the
+		// computed quadrant index.
+		half := side / 2
+		for q := 0; q < 4; q++ {
+			dr := uint32(rng.Intn(int(half)))
+			dc := uint32(rng.Intn(int(half)))
+			row := baseRow + dr
+			col := baseCol + dc
+			if q == 1 || q == 3 {
+				col += half
+			}
+			if q == 2 || q == 3 {
+				row += half
+			}
+			z := Encode(row, col)
+			if z < zStart || z >= zStart+size {
+				t.Fatalf("cell (%d,%d) z=%d outside quadrant [%d,%d)", row, col, z, zStart, zStart+size)
+			}
+			if got := QuadrantOfRange(z, zStart, size); got != q {
+				t.Fatalf("cell (%d,%d): quadrant = %d, want %d", row, col, got, q)
+			}
+		}
+	}
+}
+
+// TestLocality checks the recursive locality property: any two cells inside
+// one aligned 2^k square have Z-values within the same aligned 4^k range.
+func TestLocality(t *testing.T) {
+	f := func(row, col uint32, k uint8) bool {
+		k = k % 16
+		side := uint32(1) << k
+		size := uint64(side) * uint64(side)
+		r0, c0 := row&^(side-1), col&^(side-1)
+		zBase := Encode(r0, c0)
+		z := Encode(row, col)
+		return z >= zBase && z < zBase+size && zBase%size == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSideLen(t *testing.T) {
+	cases := []struct{ m, n, want int }{
+		{1, 1, 1},
+		{2, 2, 2},
+		{3, 2, 4},
+		{7, 8, 8},
+		{1024, 1024, 1024},
+		{1025, 1, 2048},
+		{300000, 300000, 1 << 19},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := SideLen(c.m, c.n); got != c.want {
+			t.Errorf("SideLen(%d,%d) = %d, want %d", c.m, c.n, got, c.want)
+		}
+	}
+}
+
+func TestZSpaceSize(t *testing.T) {
+	if got := ZSpaceSize(7, 8); got != 64 {
+		t.Errorf("ZSpaceSize(7,8) = %d, want 64", got)
+	}
+	if got := ZSpaceSize(1<<16, 1<<16); got != 1<<32 {
+		t.Errorf("ZSpaceSize(2^16,2^16) = %d, want 2^32", got)
+	}
+}
+
+// TestMonotoneWithinRowBlocks: within one row of a 2x2-blocked grid the
+// Z-order of block origins increases left to right.
+func TestMonotoneWithinRowBlocks(t *testing.T) {
+	for k := uint32(0); k < 8; k++ {
+		side := uint32(1) << k
+		prev := uint64(0)
+		for b := uint32(0); b < 16; b++ {
+			z := Encode(0, b*side)
+			if b > 0 && z <= prev {
+				t.Fatalf("k=%d block %d: z=%d not > prev %d", k, b, z, prev)
+			}
+			prev = z
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Encode(uint32(i), uint32(i>>1))
+	}
+	_ = sink
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		r, c := Decode(uint64(i))
+		sink += r + c
+	}
+	_ = sink
+}

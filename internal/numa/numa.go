@@ -1,0 +1,128 @@
+// Package numa models the non-uniform memory access topology of the
+// paper's test system (§III-F) in a portable way. Go offers no thread or
+// memory pinning, so this is a *simulated* topology: tiles carry a home
+// memory node, tile-rows are distributed round-robin across nodes exactly
+// as the paper prescribes, C tiles inherit the node of the team that first
+// touches them (the Linux first-touch policy), and every tile access is
+// accounted as local or remote. The resulting locality statistics make the
+// paper's placement policy observable even though the physical latency
+// effect is not reproduced (see DESIGN.md, substitution table).
+package numa
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Node identifies a memory node (one per socket).
+type Node int32
+
+// Topology describes the simulated machine: a number of sockets, each with
+// its own memory node and a number of cores. The paper's machine is
+// Paper(); portable code should use Detect().
+type Topology struct {
+	Sockets        int
+	CoresPerSocket int
+}
+
+// Paper returns the evaluation machine of the paper: a four-socket Intel
+// E7-4870 with 10 cores per socket.
+func Paper() Topology { return Topology{Sockets: 4, CoresPerSocket: 10} }
+
+// Detect derives a topology from the available parallelism: one simulated
+// socket per 8 logical CPUs (at least one), remaining CPUs as cores.
+func Detect() Topology {
+	p := runtime.GOMAXPROCS(0)
+	sockets := (p + 7) / 8
+	if sockets < 1 {
+		sockets = 1
+	}
+	cores := p / sockets
+	if cores < 1 {
+		cores = 1
+	}
+	return Topology{Sockets: sockets, CoresPerSocket: cores}
+}
+
+// Validate reports whether the topology is usable.
+func (t Topology) Validate() error {
+	if t.Sockets < 1 || t.CoresPerSocket < 1 {
+		return fmt.Errorf("numa: invalid topology %+v", t)
+	}
+	return nil
+}
+
+// TotalCores returns the total number of (simulated) hardware threads.
+func (t Topology) TotalCores() int { return t.Sockets * t.CoresPerSocket }
+
+// HomeOfTileRow implements the paper's round-robin horizontal
+// partitioning: tile-row ti of every matrix lives on node ti mod sockets,
+// so that A and B are distributed the same way regardless of which operand
+// side they later appear on.
+func (t Topology) HomeOfTileRow(tileRow int) Node {
+	if tileRow < 0 {
+		tileRow = -tileRow
+	}
+	return Node(tileRow % t.Sockets)
+}
+
+// Stats accumulates simulated memory-traffic counters. All methods are
+// safe for concurrent use.
+type Stats struct {
+	local   atomic.Int64
+	remote  atomic.Int64
+	alloc   []atomic.Int64 // bytes allocated per node (first touch)
+	sockets int
+}
+
+// NewStats returns zeroed counters for a topology.
+func NewStats(t Topology) *Stats {
+	return &Stats{alloc: make([]atomic.Int64, t.Sockets), sockets: t.Sockets}
+}
+
+// RecordAccess accounts bytes read or written by a team on socket `from`
+// against a tile homed on node `home`.
+func (s *Stats) RecordAccess(from, home Node, bytes int64) {
+	if from == home {
+		s.local.Add(bytes)
+	} else {
+		s.remote.Add(bytes)
+	}
+}
+
+// RecordAlloc accounts a first-touch allocation on a node.
+func (s *Stats) RecordAlloc(node Node, bytes int64) {
+	if int(node) >= 0 && int(node) < len(s.alloc) {
+		s.alloc[node].Add(bytes)
+	}
+}
+
+// LocalBytes returns the bytes accessed node-locally.
+func (s *Stats) LocalBytes() int64 { return s.local.Load() }
+
+// RemoteBytes returns the bytes accessed across sockets.
+func (s *Stats) RemoteBytes() int64 { return s.remote.Load() }
+
+// AllocBytes returns the bytes first-touched on the given node.
+func (s *Stats) AllocBytes(n Node) int64 {
+	if int(n) < 0 || int(n) >= len(s.alloc) {
+		return 0
+	}
+	return s.alloc[n].Load()
+}
+
+// LocalFraction returns local/(local+remote), or 1 when no traffic was
+// recorded.
+func (s *Stats) LocalFraction() float64 {
+	l, r := s.LocalBytes(), s.RemoteBytes()
+	if l+r == 0 {
+		return 1
+	}
+	return float64(l) / float64(l+r)
+}
+
+// String summarizes the counters.
+func (s *Stats) String() string {
+	return fmt.Sprintf("numa: local=%dB remote=%dB localFrac=%.3f", s.LocalBytes(), s.RemoteBytes(), s.LocalFraction())
+}

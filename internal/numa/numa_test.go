@@ -1,0 +1,83 @@
+package numa
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPaperTopology(t *testing.T) {
+	p := Paper()
+	if p.Sockets != 4 || p.CoresPerSocket != 10 || p.TotalCores() != 40 {
+		t.Fatalf("paper topology %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectIsValid(t *testing.T) {
+	d := Detect()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Detect returned invalid topology: %v", err)
+	}
+}
+
+func TestValidateRejectsZero(t *testing.T) {
+	if err := (Topology{}).Validate(); err == nil {
+		t.Fatal("zero topology accepted")
+	}
+}
+
+func TestHomeOfTileRowRoundRobin(t *testing.T) {
+	topo := Topology{Sockets: 4, CoresPerSocket: 2}
+	for ti := 0; ti < 16; ti++ {
+		if got := topo.HomeOfTileRow(ti); got != Node(ti%4) {
+			t.Fatalf("HomeOfTileRow(%d) = %d", ti, got)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	topo := Topology{Sockets: 2, CoresPerSocket: 1}
+	s := NewStats(topo)
+	s.RecordAccess(0, 0, 100)
+	s.RecordAccess(0, 1, 50)
+	s.RecordAlloc(1, 25)
+	if s.LocalBytes() != 100 || s.RemoteBytes() != 50 {
+		t.Fatalf("local=%d remote=%d", s.LocalBytes(), s.RemoteBytes())
+	}
+	if s.AllocBytes(1) != 25 || s.AllocBytes(0) != 0 {
+		t.Fatal("alloc accounting wrong")
+	}
+	if f := s.LocalFraction(); f != 100.0/150.0 {
+		t.Fatalf("LocalFraction = %g", f)
+	}
+	if s.AllocBytes(99) != 0 {
+		t.Fatal("out-of-range node not tolerated")
+	}
+}
+
+func TestStatsEmptyLocalFraction(t *testing.T) {
+	s := NewStats(Topology{Sockets: 1, CoresPerSocket: 1})
+	if s.LocalFraction() != 1 {
+		t.Fatal("empty stats should report fully local")
+	}
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	s := NewStats(Topology{Sockets: 2, CoresPerSocket: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.RecordAccess(Node(g%2), Node(i%2), 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.LocalBytes()+s.RemoteBytes() != 8000 {
+		t.Fatalf("total traffic %d, want 8000", s.LocalBytes()+s.RemoteBytes())
+	}
+}

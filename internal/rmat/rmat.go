@@ -1,0 +1,151 @@
+// Package rmat implements the R-MAT recursive graph/matrix generator of
+// Chakrabarti, Zhan & Faloutsos, which the paper uses to create the
+// synthetic matrices G1–G9 (§IV-A): at every recursion step one of the
+// four quadrants is chosen with probabilities a (upper left), b (upper
+// right), c (lower left) and d (lower right); equal parameters give a
+// near-uniform element distribution while a growing `a` concentrates
+// non-zeros in the upper-left corner, increasing the skew.
+package rmat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"atmatrix/internal/mat"
+	"atmatrix/internal/morton"
+)
+
+// Params are the four quadrant probabilities. They must be non-negative
+// and sum to 1 (within a small tolerance, then renormalized).
+type Params struct {
+	A, B, C, D float64
+}
+
+// Validate checks the probabilities.
+func (p Params) Validate() error {
+	if p.A < 0 || p.B < 0 || p.C < 0 || p.D < 0 {
+		return fmt.Errorf("rmat: negative quadrant probability %+v", p)
+	}
+	s := p.A + p.B + p.C + p.D
+	if math.Abs(s-1) > 1e-6 {
+		return fmt.Errorf("rmat: probabilities sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// Uniform returns the parameter set of G1: all quadrants equally likely.
+func Uniform() Params { return Params{0.25, 0.25, 0.25, 0.25} }
+
+// PaperParams returns the parameters of the generated matrix Gi (1–9) from
+// Table I of the paper.
+func PaperParams(i int) (Params, error) {
+	table := []Params{
+		{0.25, 0.25, 0.25, 0.25},
+		{0.35, 0.22, 0.22, 0.21},
+		{0.45, 0.18, 0.18, 0.19},
+		{0.55, 0.15, 0.15, 0.15},
+		{0.61, 0.13, 0.13, 0.13},
+		{0.64, 0.12, 0.12, 0.12},
+		{0.67, 0.11, 0.11, 0.11},
+		{0.70, 0.10, 0.10, 0.10},
+		{0.73, 0.09, 0.09, 0.09},
+	}
+	if i < 1 || i > len(table) {
+		return Params{}, fmt.Errorf("rmat: no paper parameters for G%d", i)
+	}
+	return table[i-1], nil
+}
+
+// Generate produces an n×n matrix with approximately nnz non-zero
+// elements using the R-MAT recursion (duplicates are combined, so the
+// exact count can be slightly lower, more so at high skew). Values are
+// drawn uniformly from (0, 1]. The generator is deterministic in seed.
+func Generate(n int, nnz int, p Params, seed int64) (*mat.COO, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("rmat: non-positive dimension %d", n)
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := mat.NewCOO(n, n)
+	// Cumulative quadrant thresholds.
+	tAB := p.A + p.B
+	tABC := tAB + p.C
+	// Cap the total number of draws so that extreme skew on tiny
+	// matrices (fewer distinct coordinates than requested) terminates.
+	maxDraws := 20*nnz + 1000
+	for draws := 0; len(out.Ent) < nnz && draws < maxDraws; draws++ {
+		row, col := 0, 0
+		for l := levels - 1; l >= 0; l-- {
+			r := rng.Float64()
+			switch {
+			case r < p.A: // upper left
+			case r < tAB: // upper right
+				col |= 1 << l
+			case r < tABC: // lower left
+				row |= 1 << l
+			default: // lower right
+				row |= 1 << l
+				col |= 1 << l
+			}
+		}
+		if row >= n || col >= n {
+			continue // outside the non-power-of-two matrix bounds
+		}
+		out.Append(row, col, rng.Float64())
+		// Periodically deduplicate to converge on the requested count.
+		if len(out.Ent) == nnz {
+			out.Dedup()
+		}
+	}
+	out.Dedup()
+	return out, nil
+}
+
+// Skew quantifies the non-zero concentration of a COO matrix as the
+// fraction of elements in the upper-left quadrant; 0.25 is uniform.
+func Skew(a *mat.COO) float64 {
+	if len(a.Ent) == 0 {
+		return 0
+	}
+	halfR, halfC := int32(a.Rows/2), int32(a.Cols/2)
+	var ul int
+	for _, e := range a.Ent {
+		if e.Row < halfR && e.Col < halfC {
+			ul++
+		}
+	}
+	return float64(ul) / float64(len(a.Ent))
+}
+
+// ZOrderSkew measures concentration at atomic-block granularity: the Gini-
+// like imbalance of per-block counts along the Z-order, used by tests to
+// verify that larger `a` produces more skew.
+func ZOrderSkew(a *mat.COO, block int) float64 {
+	side := morton.SideLen(a.Rows, a.Cols) / block
+	if side < 1 {
+		side = 1
+	}
+	counts := map[uint64]int{}
+	for _, e := range a.Ent {
+		z := morton.Encode(uint32(int(e.Row)/block), uint32(int(e.Col)/block))
+		counts[z]++
+	}
+	if len(counts) == 0 {
+		return 0
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(len(a.Ent)) / float64(len(counts))
+	return float64(max) / mean
+}

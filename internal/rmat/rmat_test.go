@@ -1,0 +1,166 @@
+package rmat
+
+import (
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+func TestPaperParamsTable(t *testing.T) {
+	for i := 1; i <= 9; i++ {
+		p, err := PaperParams(i)
+		if err != nil {
+			t.Fatalf("G%d: %v", i, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("G%d: %v", i, err)
+		}
+		if i > 1 {
+			prev, _ := PaperParams(i - 1)
+			if p.A <= prev.A {
+				t.Fatalf("G%d: skew parameter a=%g not increasing over G%d (%g)", i, p.A, i-1, prev.A)
+			}
+		}
+	}
+	if _, err := PaperParams(0); err == nil {
+		t.Fatal("PaperParams(0) accepted")
+	}
+	if _, err := PaperParams(10); err == nil {
+		t.Fatal("PaperParams(10) accepted")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	if err := (Params{0.5, 0.5, 0.5, 0.5}).Validate(); err == nil {
+		t.Fatal("sum 2 accepted")
+	}
+	if err := (Params{-0.1, 0.4, 0.4, 0.3}).Validate(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if err := Uniform().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	a, err := Generate(256, 2000, Uniform(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 256 || a.Cols != 256 {
+		t.Fatalf("shape %d×%d", a.Rows, a.Cols)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NNZ(); got < 1900 || got > 2000 {
+		t.Fatalf("nnz = %d, want ≈2000", got)
+	}
+	b, _ := Generate(256, 2000, Uniform(), 7)
+	if len(a.Ent) != len(b.Ent) {
+		t.Fatal("not deterministic in seed")
+	}
+	for i := range a.Ent {
+		if a.Ent[i] != b.Ent[i] {
+			t.Fatal("not deterministic in seed")
+		}
+	}
+	c, _ := Generate(256, 2000, Uniform(), 8)
+	same := len(a.Ent) == len(c.Ent)
+	if same {
+		identical := true
+		for i := range a.Ent {
+			if a.Ent[i] != c.Ent[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical matrices")
+		}
+	}
+}
+
+func TestGenerateNoDuplicates(t *testing.T) {
+	a, err := Generate(64, 1000, Params{0.7, 0.1, 0.1, 0.1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int32]bool{}
+	for _, e := range a.Ent {
+		k := [2]int32{e.Row, e.Col}
+		if seen[k] {
+			t.Fatalf("duplicate coordinate (%d,%d)", e.Row, e.Col)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGenerateNonPowerOfTwoDim(t *testing.T) {
+	a, err := Generate(100, 500, Uniform(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateTerminatesOnOverfullRequest(t *testing.T) {
+	// 4×4 matrix cannot hold 1000 distinct non-zeros; Generate must stop.
+	a, err := Generate(4, 1000, Uniform(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() > 16 {
+		t.Fatalf("nnz = %d > 16", a.NNZ())
+	}
+}
+
+func TestSkewIncreasesWithA(t *testing.T) {
+	var prev float64
+	for i := 1; i <= 9; i += 4 { // G1, G5, G9
+		p, _ := PaperParams(i)
+		a, err := Generate(512, 20000, p, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Skew(a)
+		if i == 1 {
+			if s < 0.2 || s > 0.3 {
+				t.Fatalf("G1 skew %g, want ≈0.25", s)
+			}
+		} else if s <= prev {
+			t.Fatalf("G%d skew %g not above G%d skew %g", i, s, i-4, prev)
+		}
+		prev = s
+	}
+}
+
+func TestZOrderSkew(t *testing.T) {
+	uni, _ := Generate(256, 5000, Uniform(), 5)
+	skewed, _ := Generate(256, 5000, Params{0.73, 0.09, 0.09, 0.09}, 5)
+	su := ZOrderSkew(uni, 32)
+	ss := ZOrderSkew(skewed, 32)
+	if ss <= su {
+		t.Fatalf("Z-order skew: skewed %g <= uniform %g", ss, su)
+	}
+}
+
+func TestSkewEmptyMatrix(t *testing.T) {
+	if Skew(mat.NewCOO(4, 4)) != 0 {
+		t.Fatal("empty matrix skew should be 0")
+	}
+	if ZOrderSkew(mat.NewCOO(4, 4), 2) != 0 {
+		t.Fatal("empty matrix ZOrderSkew should be 0")
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	if _, err := Generate(0, 10, Uniform(), 1); err == nil {
+		t.Fatal("dimension 0 accepted")
+	}
+	if _, err := Generate(10, 10, Params{1, 1, 1, 1}, 1); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Package sched implements the two-level parallelization of ATMULT
+// (paper §III-F): one worker *team* per (simulated) socket, each team
+// processing the tile-row/tile-column pairs whose A tile-row is homed on
+// its socket (inter-tile parallelization), and the workers inside a team
+// splitting the rows of a single tile multiplication among themselves
+// (intra-tile parallelization). Spawning exactly one team per socket
+// avoids last-level-cache pollution from unrelated tiles, which is the
+// paper's stated reason for this resource split.
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"atmatrix/internal/numa"
+)
+
+// Task is one unit of inter-tile work: the computation of a single target
+// tile C_{ti,tj}. It receives the team executing it so it can fan out its
+// row range across the team's workers.
+type Task func(team *Team)
+
+// Team is a group of workers bound to one simulated socket.
+type Team struct {
+	// Socket is the simulated socket (and memory node) this team is
+	// pinned to.
+	Socket numa.Node
+	// Workers is the number of threads in the team.
+	Workers int
+}
+
+// ParallelRows splits the half-open range [0, n) into one contiguous chunk
+// per team worker and runs f(lo, hi, worker) concurrently. With a single
+// worker (or a trivially small range) it runs inline, avoiding goroutine
+// overhead for tiny tiles — the over-parallelization hazard the paper
+// mentions for small, very sparse blocks.
+func (t *Team) ParallelRows(n int, f func(lo, hi, worker int)) {
+	w := t.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			f(0, n, 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi, worker int) {
+			defer wg.Done()
+			f(lo, hi, worker)
+		}(lo, hi, i)
+	}
+	wg.Wait()
+}
+
+// Pool runs per-team task queues.
+type Pool struct {
+	topo numa.Topology
+	// Stealing enables cross-team work stealing once a team's own queue
+	// is drained. The paper pins pairs strictly to the socket owning the
+	// A tile-row; stealing is an extension evaluated in the ablation
+	// benchmarks.
+	Stealing bool
+}
+
+// NewPool returns a pool over the given topology.
+func NewPool(topo numa.Topology) *Pool {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	return &Pool{topo: topo}
+}
+
+// Topology returns the pool's topology.
+func (p *Pool) Topology() numa.Topology { return p.topo }
+
+// Run executes the queues: queues[s] holds the tasks affine to socket s.
+// It blocks until every task has run exactly once. Queue indexes beyond
+// the socket count are folded back round-robin.
+func (p *Pool) Run(queues [][]Task) {
+	s := p.topo.Sockets
+	folded := make([][]Task, s)
+	for i, q := range queues {
+		folded[i%s] = append(folded[i%s], q...)
+	}
+	next := make([]atomic.Int64, s)
+	var wg sync.WaitGroup
+	for sock := 0; sock < s; sock++ {
+		wg.Add(1)
+		go func(sock int) {
+			defer wg.Done()
+			team := &Team{Socket: numa.Node(sock), Workers: p.topo.CoresPerSocket}
+			// Drain the local queue first.
+			for {
+				i := next[sock].Add(1) - 1
+				if int(i) >= len(folded[sock]) {
+					break
+				}
+				folded[sock][i](team)
+			}
+			if !p.Stealing {
+				return
+			}
+			// Steal round-robin from the other sockets.
+			for off := 1; off < s; off++ {
+				victim := (sock + off) % s
+				for {
+					i := next[victim].Add(1) - 1
+					if int(i) >= len(folded[victim]) {
+						break
+					}
+					folded[victim][i](team)
+				}
+			}
+		}(sock)
+	}
+	wg.Wait()
+}
+
+// RunFlat distributes a flat task list round-robin across sockets and
+// runs it; a convenience for callers without placement information.
+func (p *Pool) RunFlat(tasks []Task) {
+	queues := make([][]Task, p.topo.Sockets)
+	for i, t := range tasks {
+		s := i % p.topo.Sockets
+		queues[s] = append(queues[s], t)
+	}
+	p.Run(queues)
+}

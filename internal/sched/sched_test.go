@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"atmatrix/internal/numa"
+)
+
+func topo(s, c int) numa.Topology { return numa.Topology{Sockets: s, CoresPerSocket: c} }
+
+func TestRunExecutesEveryTaskOnce(t *testing.T) {
+	p := NewPool(topo(3, 2))
+	var counts [30]atomic.Int32
+	queues := make([][]Task, 3)
+	for i := 0; i < 30; i++ {
+		i := i
+		queues[i%3] = append(queues[i%3], func(*Team) { counts[i].Add(1) })
+	}
+	p.Run(queues)
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestRunWithStealing(t *testing.T) {
+	p := NewPool(topo(4, 1))
+	p.Stealing = true
+	var n atomic.Int32
+	// Load all the work onto one socket; stealing must still complete it
+	// all exactly once.
+	queues := make([][]Task, 4)
+	for i := 0; i < 100; i++ {
+		queues[0] = append(queues[0], func(*Team) { n.Add(1) })
+	}
+	p.Run(queues)
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestRunFoldsExtraQueues(t *testing.T) {
+	p := NewPool(topo(2, 1))
+	var n atomic.Int32
+	queues := make([][]Task, 5) // more queues than sockets
+	for i := range queues {
+		queues[i] = []Task{func(*Team) { n.Add(1) }}
+	}
+	p.Run(queues)
+	if n.Load() != 5 {
+		t.Fatalf("ran %d tasks, want 5", n.Load())
+	}
+}
+
+func TestTeamSocketAssignment(t *testing.T) {
+	p := NewPool(topo(3, 2))
+	var mu sync.Mutex
+	seen := map[numa.Node]bool{}
+	queues := make([][]Task, 3)
+	for s := 0; s < 3; s++ {
+		want := numa.Node(s)
+		queues[s] = []Task{func(team *Team) {
+			if team.Socket != want {
+				t.Errorf("task on socket %d, want %d", team.Socket, want)
+			}
+			if team.Workers != 2 {
+				t.Errorf("team workers %d, want 2", team.Workers)
+			}
+			mu.Lock()
+			seen[team.Socket] = true
+			mu.Unlock()
+		}}
+	}
+	p.Run(queues)
+	if len(seen) != 3 {
+		t.Fatalf("saw %d sockets, want 3", len(seen))
+	}
+}
+
+func TestParallelRowsCoversRange(t *testing.T) {
+	team := &Team{Workers: 4}
+	for _, n := range []int{0, 1, 3, 4, 5, 17, 100} {
+		covered := make([]atomic.Int32, n)
+		team.ParallelRows(n, func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("n=%d: row %d covered %d times", n, i, covered[i].Load())
+			}
+		}
+	}
+}
+
+func TestParallelRowsInlineForSingleWorker(t *testing.T) {
+	team := &Team{Workers: 1}
+	ran := false
+	team.ParallelRows(10, func(lo, hi, w int) {
+		if lo != 0 || hi != 10 || w != 0 {
+			t.Fatalf("inline split [%d,%d) worker %d", lo, hi, w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("function not invoked")
+	}
+}
+
+func TestParallelRowsWorkerIDsDisjoint(t *testing.T) {
+	team := &Team{Workers: 3}
+	var mu sync.Mutex
+	workers := map[int]bool{}
+	team.ParallelRows(30, func(lo, hi, w int) {
+		mu.Lock()
+		if workers[w] {
+			t.Errorf("worker id %d reused", w)
+		}
+		workers[w] = true
+		mu.Unlock()
+	})
+	if len(workers) != 3 {
+		t.Fatalf("used %d workers, want 3", len(workers))
+	}
+}
+
+func TestRunFlat(t *testing.T) {
+	p := NewPool(topo(2, 2))
+	var n atomic.Int32
+	tasks := make([]Task, 9)
+	for i := range tasks {
+		tasks[i] = func(*Team) { n.Add(1) }
+	}
+	p.RunFlat(tasks)
+	if n.Load() != 9 {
+		t.Fatalf("ran %d, want 9", n.Load())
+	}
+}
+
+func TestNewPoolRejectsInvalidTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid topology accepted")
+		}
+	}()
+	NewPool(numa.Topology{})
+}
