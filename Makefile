@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+## check: the pre-PR gate — vet, build, full test suite, and the
+## concurrency stress tests under the race detector.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sched ./internal/core -run Concurrent
+
+## bench: the per-figure benchmarks with allocation counts.
+bench:
+	$(GO) test -bench=. -benchmem

@@ -144,6 +144,7 @@ func BenchmarkFig8_SquareMult(b *testing.B) {
 	for _, id := range []string{"R1", "R3", "G1", "G9"} {
 		f := getFixture(b, id)
 		b.Run(id+"/spspsp", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.MulSpSpSp(f.csr, f.csr, f.cfg); err != nil {
 					b.Fatal(err)
@@ -151,6 +152,7 @@ func BenchmarkFig8_SquareMult(b *testing.B) {
 			}
 		})
 		b.Run(id+"/spspd", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.MulSpSpD(f.csr, f.csr, f.cfg); err != nil {
 					b.Fatal(err)
@@ -158,6 +160,31 @@ func BenchmarkFig8_SquareMult(b *testing.B) {
 			}
 		})
 		b.Run(id+"/atmult", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Multiply(f.am, f.am, f.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRepeatedMultiply runs ATMULT many times over the same operands —
+// the serving-loop pattern (iterative algorithms, repeated queries) where
+// per-call allocation churn dominates. Steady-state allocs/op is the number
+// the persistent worker runtime and per-worker scratch arenas drive toward
+// zero; wall time must not regress versus BenchmarkFig8_SquareMult.
+func BenchmarkRepeatedMultiply(b *testing.B) {
+	for _, id := range []string{"R3", "G1"} {
+		f := getFixture(b, id)
+		b.Run(id, func(b *testing.B) {
+			// Warm up once so lazily-grown buffers don't count.
+			if _, _, err := core.Multiply(f.am, f.am, f.cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.Multiply(f.am, f.am, f.cfg); err != nil {
 					b.Fatal(err)
@@ -180,6 +207,7 @@ func BenchmarkFig9_MixedMult(b *testing.B) {
 	full := mat.RandomDense(rng, k, n)
 	fullAT := core.FromDense(full, f.cfg.BAtomic)
 	b.Run("spdd", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.MulSpDD(f.csr, full, f.cfg); err != nil {
 				b.Fatal(err)
@@ -187,6 +215,7 @@ func BenchmarkFig9_MixedMult(b *testing.B) {
 		}
 	})
 	b.Run("atmult", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.Multiply(f.am, fullAT, f.cfg); err != nil {
 				b.Fatal(err)
@@ -196,6 +225,7 @@ func BenchmarkFig9_MixedMult(b *testing.B) {
 	fullT := mat.RandomDense(rng, n, k)
 	fullTAT := core.FromDense(fullT, f.cfg.BAtomic)
 	b.Run("dspd", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.MulDSpD(fullT, f.csr, f.cfg); err != nil {
 				b.Fatal(err)
@@ -203,6 +233,7 @@ func BenchmarkFig9_MixedMult(b *testing.B) {
 		}
 	})
 	b.Run("atmult-denseleft", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.Multiply(fullTAT, f.am, f.cfg); err != nil {
 				b.Fatal(err)
@@ -372,6 +403,34 @@ func BenchmarkAblation_Stealing(b *testing.B) {
 		cfg := f.cfg
 		cfg.Stealing = stealing
 		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Multiply(f.am, f.am, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Runtime compares the persistent worker runtime (the
+// default) against the historical spawn-per-call ephemeral workers, on the
+// serving-loop workload of BenchmarkRepeatedMultiply. The persistent path
+// should win on both allocs/op and wall time.
+func BenchmarkAblation_Runtime(b *testing.B) {
+	f := getFixture(b, "R3")
+	for _, ephemeral := range []bool{false, true} {
+		name := "persistent"
+		if ephemeral {
+			name = "ephemeral"
+		}
+		cfg := f.cfg
+		cfg.EphemeralWorkers = ephemeral
+		b.Run(name, func(b *testing.B) {
+			if _, _, err := core.Multiply(f.am, f.am, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.Multiply(f.am, f.am, cfg); err != nil {
 					b.Fatal(err)

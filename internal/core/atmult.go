@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,8 @@ type MultStats struct {
 	Conversions   int64 // number of operand windows converted
 	Contributions int64 // tile-multiplication tasks executed
 	TargetTiles   int64 // result tiles produced (before dropping empties)
+	TasksStolen   int64 // tasks executed by a team other than their home socket's
+	ScratchBytes  int64 // process-wide persistent worker-scratch high-water mark
 
 	WriteThreshold float64 // effective ρ_D^W after the water level
 	Numa           *numa.Stats
@@ -125,78 +128,201 @@ func MultiplyOpt(a, b *ATMatrix, cfg Config, opts MultOptions) (*ATMatrix, *Mult
 	colBands := b.ColBands()
 	c := newATMatrix(a.Rows, b.Cols, cfg.BAtomic)
 
-	// Pre-resolve the contributing tiles per band.
-	aTilesPerBand := make([][]*Tile, len(rowBands))
-	for i, band := range rowBands {
-		aTilesPerBand[i] = a.tilesInRowBand(band)
+	// Pre-resolve the contributing tiles per band. The flat grouping costs
+	// a handful of allocations regardless of band count, unlike per-band
+	// map-and-append (which used to dominate steady-state allocations for
+	// finely banded operands).
+	aTilesPerBand := groupTilesByBand(a.Tiles, rowBands, rowSpan)
+	bTilesPerBand := groupTilesByBand(b.Tiles, colBands, colSpan)
+
+	// Pre-index the sparse B tiles against each column band once:
+	// Gustavson revisits B rows per contributing A element, and the same
+	// (tile, band) window recurs in every row-band pair, so the
+	// referenced-window column spans are computed one time here and
+	// row-sliced per contribution. All spans share one backing array.
+	bWinsPerBand := indexColBandWindows(bTilesPerBand, colBands)
+
+	mc := &mulCtx{
+		cfg: cfg, opts: opts, est: est, stats: stats, cache: newConvCache(),
+		rowBands: rowBands, colBands: colBands,
+		aTilesPerBand: aTilesPerBand, bTilesPerBand: bTilesPerBand,
+		bWinsPerBand: bWinsPerBand,
+		// One result slot (tile + dense header) per pair; tasks fill them
+		// in place, assembly compacts the produced ones. NNZ > 0 marks a
+		// produced slot.
+		tiles:  make([]Tile, len(rowBands)*len(colBands)),
+		denses: make([]mat.Dense, len(rowBands)*len(colBands)),
 	}
-	bTilesPerBand := make([][]*Tile, len(colBands))
-	bWinsPerBand := make([][]kernels.CSRWin, len(colBands))
-	for j, band := range colBands {
-		tiles := b.tilesInColBand(band)
-		bTilesPerBand[j] = tiles
-		// Pre-index the sparse B tiles against this column band once:
-		// Gustavson revisits B rows per contributing A element, and the
-		// same (tile, band) window recurs in every row-band pair, so the
-		// referenced-window column spans are computed one time here and
-		// row-sliced per contribution.
-		wins := make([]kernels.CSRWin, len(tiles))
+
+	pool := sched.NewPool(cfg.Topology)
+	pool.Stealing = cfg.Stealing
+	pool.RowGrain = cfg.RowGrain
+	pool.Ephemeral = cfg.EphemeralWorkers
+	queues := make([][]int32, cfg.Topology.Sockets)
+	for ti := range rowBands {
+		if len(aTilesPerBand[ti]) == 0 {
+			continue // structurally zero target tile-row
+		}
+		home := cfg.Topology.HomeOfTileRow(rowBands[ti].Lo / cfg.BAtomic)
+		for tj := range colBands {
+			if len(bTilesPerBand[tj]) == 0 {
+				continue
+			}
+			queues[int(home)] = append(queues[int(home)], int32(ti*len(colBands)+tj))
+		}
+	}
+	rs := pool.RunIndexed(queues, mc.runPair)
+	stats.TasksStolen = rs.Stolen
+	stats.ScratchBytes = scratchFootprint.Load()
+
+	// Assemble the result AT MATRIX: compact the produced slots into
+	// exact-size backing arrays so the (mostly empty) pair grid is not
+	// pinned by the result's tiles.
+	produced, denseProduced := 0, 0
+	for i := range mc.tiles {
+		if mc.tiles[i].NNZ > 0 {
+			produced++
+			if mc.tiles[i].Kind == mat.DenseKind {
+				denseProduced++
+			}
+		}
+	}
+	tilesOut := make([]Tile, 0, produced)
+	densesOut := make([]mat.Dense, 0, denseProduced)
+	for i := range mc.tiles {
+		t := mc.tiles[i]
+		if t.NNZ == 0 {
+			continue
+		}
+		if t.Kind == mat.DenseKind {
+			densesOut = append(densesOut, *t.D)
+			t.D = &densesOut[len(densesOut)-1]
+		}
+		tilesOut = append(tilesOut, t)
+	}
+	for i := range tilesOut {
+		c.addTile(&tilesOut[i])
+	}
+	stats.TargetTiles = int64(produced)
+
+	stats.OptimizeTime = time.Duration(mc.optNanos.Load())
+	stats.ConvertTime = time.Duration(mc.convNanos.Load())
+	stats.MultiplyTime = time.Duration(mc.mulNanos.Load())
+	stats.FinalizeTime = time.Duration(mc.finNanos.Load())
+	stats.WallTime = time.Since(wallStart)
+	return c, stats, nil
+}
+
+// rowSpan and colSpan are the axis accessors of groupTilesByBand.
+func rowSpan(t *Tile) (lo, hi int) { return t.Row0, t.Row0 + t.Rows }
+func colSpan(t *Tile) (lo, hi int) { return t.Col0, t.Col0 + t.Cols }
+
+// groupTilesByBand buckets tiles into the bands they span along one axis.
+// Bands are induced by tile cuts, so every tile covers a contiguous run of
+// bands; the buckets are subslices of one flat backing array built with a
+// counting pass.
+func groupTilesByBand(tiles []*Tile, bands []Band, span func(*Tile) (lo, hi int)) [][]*Tile {
+	bandRange := func(t *Tile) (int, int) {
+		lo, hi := span(t)
+		first := sort.Search(len(bands), func(i int) bool { return bands[i].Lo >= lo })
+		last := first
+		for last < len(bands) && bands[last].Lo < hi {
+			last++
+		}
+		return first, last
+	}
+	offs := make([]int32, len(bands)+1)
+	for _, t := range tiles {
+		f, l := bandRange(t)
+		for i := f; i < l; i++ {
+			offs[i+1]++
+		}
+	}
+	for i := 0; i < len(bands); i++ {
+		offs[i+1] += offs[i]
+	}
+	flat := make([]*Tile, offs[len(bands)])
+	cur := make([]int32, len(bands))
+	copy(cur, offs[:len(bands)])
+	for _, t := range tiles {
+		f, l := bandRange(t)
+		for i := f; i < l; i++ {
+			flat[cur[i]] = t
+			cur[i]++
+		}
+	}
+	out := make([][]*Tile, len(bands))
+	for i := range bands {
+		out[i] = flat[offs[i]:offs[i+1]]
+	}
+	return out
+}
+
+// indexColBandWindows builds the pre-indexed (sparse tile × column band)
+// windows, carving every window's row spans from a single backing array.
+func indexColBandWindows(tilesPerBand [][]*Tile, bands []Band) [][]kernels.CSRWin {
+	total := 0
+	for _, tiles := range tilesPerBand {
+		total += len(tiles)
+	}
+	flat := make([]kernels.CSRWin, total)
+	out := make([][]kernels.CSRWin, len(bands))
+	spanRows := 0
+	pos := 0
+	for j, tiles := range tilesPerBand {
+		wins := flat[pos : pos+len(tiles) : pos+len(tiles)]
+		pos += len(tiles)
 		for ti, tile := range tiles {
 			if tile.Kind != mat.Sparse {
 				continue
 			}
-			w := kernels.CSRWin{M: tile.Sp, Col0: band.Lo - tile.Col0, Rows: tile.Rows, Cols: band.Len()}
-			w.BuildIndex()
+			w := kernels.CSRWin{M: tile.Sp, Col0: bands[j].Lo - tile.Col0, Rows: tile.Rows, Cols: bands[j].Len()}
+			if w.NeedsIndex() {
+				spanRows += tile.Rows
+			}
 			wins[ti] = w
 		}
-		bWinsPerBand[j] = wins
+		out[j] = wins
 	}
-
-	// One result slot per pair; tasks fill them, assembly indexes them.
-	type slot struct {
-		tile *Tile
-	}
-	slots := make([]slot, len(rowBands)*len(colBands))
-
-	var optNanos, convNanos, mulNanos, finNanos atomic.Int64
-	cache := newConvCache()
-
-	pool := sched.NewPool(cfg.Topology)
-	pool.Stealing = cfg.Stealing
-	queues := make([][]sched.Task, cfg.Topology.Sockets)
-	for ti := range rowBands {
-		for tj := range colBands {
-			ti, tj := ti, tj
-			rb, cb := rowBands[ti], colBands[tj]
-			if len(aTilesPerBand[ti]) == 0 || len(bTilesPerBand[tj]) == 0 {
-				continue // structurally zero target tile
+	buf := make([]int64, 2*spanRows)
+	for _, wins := range out {
+		for ti := range wins {
+			if wins[ti].M != nil && wins[ti].NeedsIndex() {
+				buf = wins[ti].BuildIndexIn(buf)
 			}
-			home := cfg.Topology.HomeOfTileRow(rb.Lo / cfg.BAtomic)
-			task := func(team *sched.Team) {
-				tile := multiplyPair(cfg, opts, est, stats, team,
-					rb, cb, aTilesPerBand[ti], bTilesPerBand[tj], bWinsPerBand[tj],
-					cache, &optNanos, &convNanos, &mulNanos, &finNanos)
-				slots[ti*len(colBands)+tj] = slot{tile: tile}
-			}
-			queues[int(home)] = append(queues[int(home)], task)
 		}
 	}
-	pool.Run(queues)
+	return out
+}
 
-	// Assemble the result AT MATRIX from the filled slots.
-	for _, s := range slots {
-		if s.tile != nil {
-			c.addTile(s.tile)
-			stats.TargetTiles++
-		}
-	}
+// mulCtx is the per-invocation state of one MultiplyOpt shared by every
+// pair task: the band structure, the pre-resolved operand tiles, the result
+// slot arenas and the time counters. Bundling it lets the scheduler run
+// pairs through one shared function instead of a per-pair closure.
+type mulCtx struct {
+	cfg   Config
+	opts  MultOptions
+	est   *density.Map
+	stats *MultStats
+	cache *convCache
 
-	stats.OptimizeTime = time.Duration(optNanos.Load())
-	stats.ConvertTime = time.Duration(convNanos.Load())
-	stats.MultiplyTime = time.Duration(mulNanos.Load())
-	stats.FinalizeTime = time.Duration(finNanos.Load())
-	stats.WallTime = time.Since(wallStart)
-	return c, stats, nil
+	rowBands, colBands           []Band
+	aTilesPerBand, bTilesPerBand [][]*Tile
+	bWinsPerBand                 [][]kernels.CSRWin
+
+	tiles  []Tile
+	denses []mat.Dense
+
+	optNanos, convNanos, mulNanos, finNanos atomic.Int64
+}
+
+// runPair dispatches one pair id (row-major over the band grid) to
+// multiplyPair with its slot pointers.
+func (mc *mulCtx) runPair(team *sched.Team, idx int32) {
+	ti, tj := int(idx)/len(mc.colBands), int(idx)%len(mc.colBands)
+	mc.multiplyPair(team, mc.rowBands[ti], mc.colBands[tj],
+		mc.aTilesPerBand[ti], mc.bTilesPerBand[tj], mc.bWinsPerBand[tj],
+		&mc.tiles[idx], &mc.denses[idx])
 }
 
 // contribution is one referenced submatrix multiplication feeding a target
@@ -219,23 +345,35 @@ type contribution struct {
 	bWin kernels.CSRWin
 
 	// Resolved operands after optimization: exactly one of each pair is
-	// set. Dense operands are compact copies or shared windows.
+	// set. Dense operands are compact copies or shared windows, held as
+	// value headers so resolving a window never heap-allocates.
 	aSp, bSp kernels.CSRWin
-	aD, bD   *mat.Dense
+	aD, bD   mat.Dense
 	aKind    mat.Kind
 	bKind    mat.Kind
 }
 
-// multiplyPair computes one target tile C_{ti,tj} (Alg. 2 lines 6–10).
-func multiplyPair(cfg Config, opts MultOptions, est *density.Map,
-	stats *MultStats, team *sched.Team, rb, cb Band, aTiles, bTiles []*Tile,
-	bWins []kernels.CSRWin, cache *convCache, optNanos, convNanos, mulNanos, finNanos *atomic.Int64) *Tile {
+// multiplyPair computes one target tile C_{ti,tj} (Alg. 2 lines 6–10) into
+// the pair's result slot. All transient state — the contribution list,
+// converted operand windows, the sparse accumulator, the row fan-out
+// closures and each worker's SPA — comes from the executing workers'
+// persistent scratch arenas, so the steady-state allocation cost of a task
+// is only the escaping result payload itself.
+func (mc *mulCtx) multiplyPair(team *sched.Team, rb, cb Band, aTiles, bTiles []*Tile,
+	bWins []kernels.CSRWin, out *Tile, dHdr *mat.Dense) {
 
+	cfg, opts, est, stats := mc.cfg, mc.opts, mc.est, mc.stats
 	m, n := rb.Len(), cb.Len()
+	ws := stateFor(team, 0, cfg.EphemeralWorkers)
+	ws.scratch.BeginTask()
+	defer func() {
+		ws.releaseContribs()
+		ws.syncFootprint()
+	}()
 
 	// Collect the referenced submatrix multiplications with matching
 	// contraction ranges (CALCULATEREFWINDOW, Alg. 2 line 8).
-	var contribs []contribution
+	contribs := ws.contribs[:0]
 	for _, ta := range aTiles {
 		ak0, ak1 := ta.Col0, ta.Col0+ta.Cols
 		for bi, tb := range bTiles {
@@ -252,8 +390,9 @@ func multiplyPair(cfg Config, opts MultOptions, est *density.Map,
 			})
 		}
 	}
+	ws.contribs = contribs // retain grown capacity for the next task
 	if len(contribs) == 0 {
-		return nil
+		return
 	}
 	atomic.AddInt64(&stats.Contributions, int64(len(contribs)))
 
@@ -280,11 +419,11 @@ func multiplyPair(cfg Config, opts MultOptions, est *density.Map,
 			plan := cfg.Cost.ChooseKernel(kindA, kindB, targetKind, m, ct.k, n, rhoA, rhoB, estRho)
 			kindA, kindB = plan.KindA, plan.KindB
 		}
-		optNanos.Add(time.Since(t0).Nanoseconds())
+		mc.optNanos.Add(time.Since(t0).Nanoseconds())
 		ct.aKind, ct.bKind = kindA, kindB
 
-		resolveOperand(ct, true, kindA, cache, convNanos, stats)
-		resolveOperand(ct, false, kindB, cache, convNanos, stats)
+		mc.resolveOperand(ct, true, kindA, ws.scratch)
+		mc.resolveOperand(ct, false, kindB, ws.scratch)
 
 		// Simulated NUMA accounting: the team reads both operand
 		// windows from their home nodes.
@@ -293,51 +432,49 @@ func multiplyPair(cfg Config, opts MultOptions, est *density.Map,
 	}
 
 	// Execute: intra-tile parallelization over the target rows; each
-	// worker processes its row slice through all contributions.
+	// worker processes its row slice through all contributions. The row
+	// bodies are the worker state's reusable closures reading the cur*
+	// fields set here.
 	t0 := time.Now()
-	var tile *Tile
+	denseFn, sparseFn := ws.rowFns()
+	ws.curTeam, ws.curEph = team, cfg.EphemeralWorkers
 	if targetKind == mat.DenseKind {
-		d := mat.NewDense(m, n)
-		team.ParallelRows(m, func(lo, hi, _ int) {
-			cw := d.Window(lo, hi, 0, n)
-			for i := range contribs {
-				runDenseTarget(cw, &contribs[i], lo, hi)
-			}
-		})
-		mulNanos.Add(time.Since(t0).Nanoseconds())
-		nnz := d.NNZ()
+		*dHdr = mat.Dense{Rows: m, Cols: n, Stride: n, Data: make([]float64, m*n)}
+		ws.curD = dHdr
+		team.ParallelRows(m, denseFn)
+		mc.mulNanos.Add(time.Since(t0).Nanoseconds())
+		nnz := dHdr.NNZ()
 		if nnz == 0 {
-			return nil
+			dHdr.Data = nil
+			return
 		}
-		tile = &Tile{Row0: rb.Lo, Col0: cb.Lo, Rows: m, Cols: n, Kind: mat.DenseKind, D: d, NNZ: nnz}
+		*out = Tile{Row0: rb.Lo, Col0: cb.Lo, Rows: m, Cols: n, Kind: mat.DenseKind, D: dHdr, NNZ: nnz}
 	} else {
-		acc := kernels.NewSpAcc(m, n)
-		team.ParallelRows(m, func(lo, hi, _ int) {
-			spa := kernels.NewSPA(n)
-			for i := range contribs {
-				runSparseTarget(acc, &contribs[i], lo, hi, spa)
-			}
-		})
-		mulNanos.Add(time.Since(t0).Nanoseconds())
+		acc := ws.scratch.Acc(m, n)
+		ws.curAcc = acc
+		team.ParallelRows(m, sparseFn)
+		mc.mulNanos.Add(time.Since(t0).Nanoseconds())
 		t0 = time.Now()
 		csr := acc.ToCSR()
-		finNanos.Add(time.Since(t0).Nanoseconds())
+		mc.finNanos.Add(time.Since(t0).Nanoseconds())
 		if csr.NNZ() == 0 {
-			return nil
+			return
 		}
-		tile = &Tile{Row0: rb.Lo, Col0: cb.Lo, Rows: m, Cols: n, Kind: mat.Sparse, Sp: csr, NNZ: csr.NNZ()}
+		*out = Tile{Row0: rb.Lo, Col0: cb.Lo, Rows: m, Cols: n, Kind: mat.Sparse, Sp: csr, NNZ: csr.NNZ()}
 	}
 	// First-touch policy: the result tile lives on the executing team's
 	// node, which by construction is the home of A's tile-row.
-	tile.Home = team.Socket
-	stats.Numa.RecordAlloc(team.Socket, tile.Bytes())
-	return tile
+	out.Home = team.Socket
+	stats.Numa.RecordAlloc(team.Socket, out.Bytes())
 }
 
 // resolveOperand fills the kernel operand fields of a contribution for the
 // requested representation, converting the referenced window when it
-// differs from the tile's stored kind.
-func resolveOperand(ct *contribution, isA bool, want mat.Kind, cache *convCache, convNanos *atomic.Int64, stats *MultStats) {
+// differs from the tile's stored kind. Ad-hoc window conversions land in
+// the task's scratch arena (valid until the task ends); full-tile dense
+// conversions go through the shared cache instead, because they outlive
+// the task.
+func (mc *mulCtx) resolveOperand(ct *contribution, isA bool, want mat.Kind, scr *kernels.Scratch) {
 	var tile *Tile
 	var r0, c0, rows, cols int
 	if isA {
@@ -373,28 +510,29 @@ func resolveOperand(ct *contribution, isA bool, want mat.Kind, cache *convCache,
 		var d *mat.Dense
 		if r0 == 0 && c0 == 0 && rows == tile.Rows && cols == tile.Cols {
 			var hit bool
-			d, hit = cache.dense(tile)
+			d, hit = mc.cache.dense(tile)
 			if hit {
 				// Cache hits cost nothing; don't count a conversion.
 				if isA {
-					ct.aD = d
+					ct.aD = *d
 				} else {
-					ct.bD = d
+					ct.bD = *d
 				}
 				return
 			}
 		} else {
 			win := kernels.CSRWin{M: tile.Sp, Row0: r0, Col0: c0, Rows: rows, Cols: cols}
-			d = win.ToDense()
+			d = win.ToDenseScratch(scr)
 		}
 		if isA {
-			ct.aD = d
+			ct.aD = *d
 		} else {
-			ct.bD = d
+			ct.bD = *d
 		}
 	} else {
-		// dense → sparse window copy
-		csr := tile.D.Window(r0, r0+rows, c0, c0+cols).ToCSR()
+		// dense → sparse window copy, built in the scratch CSR arena
+		dw := tile.D.View(r0, r0+rows, c0, c0+cols)
+		csr := kernels.DenseToCSRScratch(&dw, scr)
 		win := kernels.FullCSR(csr)
 		if isA {
 			ct.aSp = win
@@ -402,47 +540,53 @@ func resolveOperand(ct *contribution, isA bool, want mat.Kind, cache *convCache,
 			ct.bSp = win
 		}
 	}
-	convNanos.Add(time.Since(t0).Nanoseconds())
-	atomic.AddInt64(&stats.Conversions, 1)
+	mc.convNanos.Add(time.Since(t0).Nanoseconds())
+	atomic.AddInt64(&mc.stats.Conversions, 1)
 }
 
 // convCache memoizes full-tile sparse→dense conversions for one ATMULT
-// invocation. Converting inside a sync.Once-like critical section keeps
-// concurrent teams from duplicating the work; very large tiles are not
-// cached to bound the extra memory.
+// invocation. Each tile owns a sync.Once entry, so concurrent teams
+// neither serialize on a global lock during the (potentially large)
+// conversion nor duplicate it and throw one copy away — the map mutex is
+// held only for the entry lookup. Very large tiles are not cached to bound
+// the extra memory.
 type convCache struct {
 	mu      sync.Mutex
-	dense_  map[*Tile]*mat.Dense
+	entries map[*Tile]*convEntry
 	maxTile int64
 }
 
+// convEntry is the per-tile shard: the first caller through the Once runs
+// the conversion, everyone else blocks only on this tile's entry.
+type convEntry struct {
+	once sync.Once
+	d    *mat.Dense
+}
+
 func newConvCache() *convCache {
-	return &convCache{dense_: make(map[*Tile]*mat.Dense), maxTile: 64 << 20}
+	return &convCache{entries: make(map[*Tile]*convEntry), maxTile: 64 << 20}
 }
 
 // dense returns the dense form of a sparse tile and whether it came from
-// the cache (false on the call that performed the conversion).
+// the cache (false on the call that performed the conversion). Exactly one
+// conversion runs per cached tile, however many teams ask concurrently.
 func (c *convCache) dense(t *Tile) (*mat.Dense, bool) {
 	if mat.DenseBytes(t.Rows, t.Cols) > c.maxTile {
 		return t.Sp.ToDense(), false
 	}
 	c.mu.Lock()
-	if d, ok := c.dense_[t]; ok {
-		c.mu.Unlock()
-		return d, true
+	e := c.entries[t]
+	if e == nil {
+		e = &convEntry{}
+		c.entries[t] = e
 	}
 	c.mu.Unlock()
-	d := t.Sp.ToDense()
-	c.mu.Lock()
-	// Another team may have raced the conversion; keep the first entry
-	// so all users share one copy.
-	if prev, ok := c.dense_[t]; ok {
-		d = prev
-	} else {
-		c.dense_[t] = d
-	}
-	c.mu.Unlock()
-	return d, false
+	hit := true
+	e.once.Do(func() {
+		e.d = t.Sp.ToDense()
+		hit = false
+	})
+	return e.d, hit
 }
 
 // regionDensity aggregates the estimated map over a pixel region as the
@@ -492,11 +636,11 @@ func runDenseTarget(cw *mat.Dense, ct *contribution, lo, hi int) {
 	case ct.aKind == mat.Sparse && ct.bKind == mat.Sparse:
 		kernels.SpSpD(cw, aSp, ct.bSp)
 	case ct.aKind == mat.Sparse && ct.bKind == mat.DenseKind:
-		kernels.SpDD(cw, aSp, ct.bD)
+		kernels.SpDD(cw, aSp, &ct.bD)
 	case ct.aKind == mat.DenseKind && ct.bKind == mat.Sparse:
-		kernels.DSpD(cw, aD, ct.bSp)
+		kernels.DSpD(cw, &aD, ct.bSp)
 	default:
-		kernels.DDD(cw, aD, ct.bD)
+		kernels.DDD(cw, &aD, &ct.bD)
 	}
 }
 
@@ -508,11 +652,11 @@ func runSparseTarget(acc *kernels.SpAcc, ct *contribution, lo, hi int, spa *kern
 	case ct.aKind == mat.Sparse && ct.bKind == mat.Sparse:
 		kernels.SpSpSp(acc, lo, 0, aSp, ct.bSp, spa)
 	case ct.aKind == mat.Sparse && ct.bKind == mat.DenseKind:
-		kernels.SpDSp(acc, lo, 0, aSp, ct.bD, spa)
+		kernels.SpDSp(acc, lo, 0, aSp, &ct.bD, spa)
 	case ct.aKind == mat.DenseKind && ct.bKind == mat.Sparse:
-		kernels.DSpSp(acc, lo, 0, aD, ct.bSp, spa)
+		kernels.DSpSp(acc, lo, 0, &aD, ct.bSp, spa)
 	default:
-		kernels.DDSp(acc, lo, 0, aD, ct.bD, spa)
+		kernels.DDSp(acc, lo, 0, &aD, &ct.bD, spa)
 	}
 }
 
@@ -522,10 +666,10 @@ func cells(m, n, block int) int {
 }
 
 // sliceA narrows the A operand of a contribution to target rows [lo, hi).
-func sliceA(ct *contribution, lo, hi int) (kernels.CSRWin, *mat.Dense) {
+func sliceA(ct *contribution, lo, hi int) (kernels.CSRWin, mat.Dense) {
 	if ct.aKind == mat.Sparse {
 		w := ct.aSp
-		return kernels.CSRWin{M: w.M, Row0: w.Row0 + lo, Col0: w.Col0, Rows: hi - lo, Cols: w.Cols}, nil
+		return kernels.CSRWin{M: w.M, Row0: w.Row0 + lo, Col0: w.Col0, Rows: hi - lo, Cols: w.Cols}, mat.Dense{}
 	}
-	return kernels.CSRWin{}, ct.aD.Window(lo, hi, 0, ct.aD.Cols)
+	return kernels.CSRWin{}, ct.aD.View(lo, hi, 0, ct.aD.Cols)
 }

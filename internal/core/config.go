@@ -54,7 +54,23 @@ type Config struct {
 	// Stealing enables cross-team work stealing (extension; off
 	// reproduces the paper's strict socket pinning).
 	Stealing bool
+	// RowGrain is the minimum number of target-tile rows handed to each
+	// team worker during intra-tile parallelization; ranges shorter than
+	// 2·RowGrain run inline on the leader. It guards against the
+	// over-parallelization the paper notes for small, very sparse blocks.
+	// Zero or one means no constraint; DefaultConfig uses DefaultRowGrain.
+	RowGrain int
+	// EphemeralWorkers disables the persistent worker runtime and the
+	// per-worker scratch arenas, restoring the historical spawn-per-call
+	// scheduler. It exists as the baseline for the runtime-reuse ablation
+	// (BenchmarkAblation_Runtime); production paths leave it false.
+	EphemeralWorkers bool
 }
+
+// DefaultRowGrain is the default minimum rows-per-worker of the intra-tile
+// split: small enough to keep every core busy on a full b_atomic tile,
+// large enough that a worker's chunk amortizes the fan-out handoff.
+const DefaultRowGrain = 16
 
 // DefaultConfig returns a configuration for the current machine: detected
 // LLC (fallback: the paper's 24 MB), α = β = 3, b_atomic derived from the
@@ -70,6 +86,7 @@ func DefaultConfig() Config {
 		RhoWrite: cost.RhoWrite(),
 		Topology: numa.Detect(),
 		Cost:     cost,
+		RowGrain: DefaultRowGrain,
 	}
 	cfg.BAtomic = deriveBAtomic(cfg.LLCBytes, cfg.Alpha)
 	return cfg
@@ -106,6 +123,9 @@ func (c Config) Validate() error {
 	}
 	if c.MemLimit < 0 {
 		return fmt.Errorf("core: negative memory limit %d", c.MemLimit)
+	}
+	if c.RowGrain < 0 {
+		return fmt.Errorf("core: negative row grain %d", c.RowGrain)
 	}
 	return c.Topology.Validate()
 }

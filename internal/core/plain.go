@@ -19,6 +19,8 @@ import (
 // set: plain kernels have no tile structure to pin to sockets.
 func flatTeams(cfg Config) (*sched.Pool, int) {
 	pool := sched.NewPool(cfg.Topology)
+	pool.RowGrain = cfg.RowGrain
+	pool.Ephemeral = cfg.EphemeralWorkers
 	return pool, cfg.Topology.TotalCores()
 }
 
@@ -53,8 +55,10 @@ func MulSpSpSp(a, b *mat.CSR, cfg Config) (*mat.CSR, error) {
 	var tasks []sched.Task
 	for _, ch := range rowChunks(a.Rows, workers) {
 		ch := ch
-		tasks = append(tasks, func(*sched.Team) {
-			spa := kernels.NewSPA(b.Cols)
+		tasks = append(tasks, func(team *sched.Team) {
+			// Tasks execute on the team leader, so its persistent scratch
+			// SPA is exclusively ours for the duration of the task.
+			spa := stateFor(team, 0, cfg.EphemeralWorkers).scratch.SPA()
 			aw := kernels.CSRWin{M: a, Row0: ch.Lo, Rows: ch.Len(), Cols: a.Cols}
 			kernels.SpSpSp(acc, ch.Lo, 0, aw, kernels.FullCSR(b), spa)
 		})

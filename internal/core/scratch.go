@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"atmatrix/internal/kernels"
+	"atmatrix/internal/mat"
+	"atmatrix/internal/sched"
+)
+
+// workerState is ATMULT's per-worker slice of transient state, parked in a
+// persistent runtime worker's local slot (sched.Team.WorkerLocal) so it
+// survives across tiles, phases, and whole Multiply invocations. It wraps
+// the kernel-level Scratch arena and adds the operator-level contribution
+// buffer. The scheduler guarantees each slot is held by exactly one
+// goroutine at a time, so no locking is needed.
+type workerState struct {
+	scratch  *kernels.Scratch
+	contribs []contribution
+
+	// persistent marks runtime-backed states, the only ones accounted in
+	// the global scratch footprint.
+	persistent bool
+	lastBytes  int64
+
+	// denseFn and sparseFn are the reusable ParallelRows bodies of the two
+	// target branches; they close over the state once and read the cur*
+	// fields, so multiplyPair allocates no closure per tile pair. The
+	// fields are written by the task (leader) before the fan-out and read
+	// by the helpers — the runtime's channel handoff orders the accesses.
+	denseFn  func(lo, hi, worker int)
+	sparseFn func(lo, hi, worker int)
+	curTeam  *sched.Team
+	curD     *mat.Dense
+	curAcc   *kernels.SpAcc
+	curEph   bool
+}
+
+// scratchFootprint tracks the resident bytes of every persistent worker
+// state in the process. Scratch buffers grow monotonically, so the value
+// read after a multiplication is the scratch high-water mark reported in
+// MultStats.ScratchBytes.
+var scratchFootprint atomic.Int64
+
+// stateFor returns the worker state for the given team-local worker index:
+// the persistent runtime-owned state when available, or a fresh throwaway
+// one in ephemeral mode (the ablation baseline, which reproduces the
+// historical allocate-per-task behavior) and for ad-hoc teams.
+func stateFor(team *sched.Team, worker int, ephemeral bool) *workerState {
+	if !ephemeral {
+		if slot := team.WorkerLocal(worker); slot != nil {
+			ws, ok := (*slot).(*workerState)
+			if !ok {
+				ws = &workerState{scratch: kernels.NewScratch(), persistent: true}
+				*slot = ws
+			}
+			return ws
+		}
+	}
+	return &workerState{scratch: kernels.NewScratch()}
+}
+
+// syncFootprint folds the state's current resident size into the global
+// counter. Called when a worker finishes a task or a row chunk.
+func (ws *workerState) syncFootprint() {
+	if !ws.persistent {
+		return
+	}
+	b := ws.scratch.Bytes() + int64(cap(ws.contribs))*int64(unsafe.Sizeof(contribution{}))
+	scratchFootprint.Add(b - ws.lastBytes)
+	ws.lastBytes = b
+}
+
+// rowFns lazily builds the two reusable ParallelRows bodies.
+func (ws *workerState) rowFns() (dense, sparse func(lo, hi, worker int)) {
+	if ws.denseFn == nil {
+		ws.denseFn = func(lo, hi, _ int) {
+			cw := ws.curD.View(lo, hi, 0, ws.curD.Cols)
+			cts := ws.contribs
+			for i := range cts {
+				runDenseTarget(&cw, &cts[i], lo, hi)
+			}
+		}
+		ws.sparseFn = func(lo, hi, worker int) {
+			wst := stateFor(ws.curTeam, worker, ws.curEph)
+			spa := wst.scratch.SPA()
+			acc := ws.curAcc
+			cts := ws.contribs
+			for i := range cts {
+				runSparseTarget(acc, &cts[i], lo, hi, spa)
+			}
+			// Worker 0 is the leader, whose scratch holds the shared
+			// accumulator: measuring it here would race with the other
+			// workers still flushing rows. The task's deferred sync runs
+			// after the fan-out barrier and covers it.
+			if worker != 0 {
+				wst.syncFootprint()
+			}
+		}
+	}
+	return ws.denseFn, ws.sparseFn
+}
+
+// releaseContribs clears the contribution buffer's elements and the
+// per-task closure inputs so retained capacity does not pin operand tiles
+// or converted windows of the last task beyond its lifetime.
+func (ws *workerState) releaseContribs() {
+	clear(ws.contribs[:cap(ws.contribs)])
+	ws.contribs = ws.contribs[:0]
+	ws.curTeam, ws.curD, ws.curAcc = nil, nil, nil
+}

@@ -86,12 +86,13 @@ func (t *Tile) Validate() error {
 
 // window returns the tile content restricted to tile-local rows [r0,r1) ×
 // cols [c0,c1) as kernel operands: a CSRWin for sparse tiles or a shared-
-// storage dense window for dense tiles.
-func (t *Tile) window(r0, r1, c0, c1 int) (kernels.CSRWin, *mat.Dense) {
+// storage dense window (by value, so the caller embeds the header without
+// an allocation) for dense tiles.
+func (t *Tile) window(r0, r1, c0, c1 int) (kernels.CSRWin, mat.Dense) {
 	if t.Kind == mat.DenseKind {
-		return kernels.CSRWin{}, t.D.Window(r0, r1, c0, c1)
+		return kernels.CSRWin{}, t.D.View(r0, r1, c0, c1)
 	}
-	return kernels.CSRWin{M: t.Sp, Row0: r0, Col0: c0, Rows: r1 - r0, Cols: c1 - c0}, nil
+	return kernels.CSRWin{M: t.Sp, Row0: r0, Col0: c0, Rows: r1 - r0, Cols: c1 - c0}, mat.Dense{}
 }
 
 // ToDense converts the whole tile payload to a dense array (a copy).

@@ -31,15 +31,32 @@ type CSRWin struct {
 // for the referenced-submatrix overhead discussed in §III-B. Full-width
 // windows need no index.
 func (w *CSRWin) BuildIndex() {
-	if w.Col0 == 0 && w.Cols == w.M.Cols {
+	if !w.NeedsIndex() {
 		return
 	}
-	w.spanLo = make([]int64, w.Rows)
-	w.spanHi = make([]int64, w.Rows)
+	w.BuildIndexIn(make([]int64, 2*w.Rows))
+}
+
+// NeedsIndex reports whether BuildIndex would compute spans for this
+// window: full-width windows read rows directly and need none.
+func (w *CSRWin) NeedsIndex() bool {
+	return !(w.Col0 == 0 && w.Cols == w.M.Cols)
+}
+
+// BuildIndexIn is BuildIndex with caller-provided span storage: the spans
+// occupy buf[:2*Rows] and the remainder is returned, so a caller indexing
+// many windows per operation (ATMULT pre-indexes every sparse B tile
+// against every column band) can carve them all from one allocation. The
+// window must need an index (see NeedsIndex) and buf must hold at least
+// 2*Rows entries.
+func (w *CSRWin) BuildIndexIn(buf []int64) []int64 {
+	n := w.Rows
+	w.spanLo, w.spanHi = buf[:n:n], buf[n:2*n:2*n]
 	c0, c1 := int32(w.Col0), int32(w.Col0+w.Cols)
-	for r := 0; r < w.Rows; r++ {
+	for r := 0; r < n; r++ {
 		w.spanLo[r], w.spanHi[r] = w.M.ColSpan(w.Row0+r, c0, c1)
 	}
+	return buf[2*n:]
 }
 
 // FullCSR wraps an entire CSR matrix as a window.
@@ -137,6 +154,13 @@ func (w CSRWin) Materialize() *mat.CSR {
 // just-in-time conversion of the dynamic optimizer, §III-C).
 func (w CSRWin) ToDense() *mat.Dense {
 	d := mat.NewDense(w.Rows, w.Cols)
+	w.fillDense(d)
+	return d
+}
+
+// fillDense scatters the window into a zeroed dense target of the window's
+// shape (shared by ToDense and the scratch-arena variant).
+func (w CSRWin) fillDense(d *mat.Dense) {
 	c0 := int32(w.Col0)
 	for r := 0; r < w.Rows; r++ {
 		cols, vals := w.row(r)
@@ -145,7 +169,6 @@ func (w CSRWin) ToDense() *mat.Dense {
 			row[c-c0] = vals[p]
 		}
 	}
-	return d
 }
 
 // --- Dense-target kernels -------------------------------------------------

@@ -14,7 +14,7 @@
 package kernels
 
 import (
-	"sort"
+	"slices"
 
 	"atmatrix/internal/mat"
 )
@@ -93,18 +93,47 @@ func NewSpAcc(rows, cols int) *SpAcc {
 	return &SpAcc{Rows: rows, Cols: cols, rows: make([][]spEntry, rows)}
 }
 
+// Reset prepares the accumulator for a new rows×cols target, clearing all
+// pending entries while retaining the per-row entry capacity accumulated by
+// earlier uses — the grow-only reuse contract of the worker Scratch.
+func (s *SpAcc) Reset(rows, cols int) {
+	s.Rows, s.Cols = rows, cols
+	if rows <= cap(s.rows) {
+		s.rows = s.rows[:rows]
+	} else {
+		grown := make([][]spEntry, rows)
+		copy(grown, s.rows[:cap(s.rows)])
+		s.rows = grown
+	}
+	for i := range s.rows {
+		s.rows[i] = s.rows[i][:0]
+	}
+}
+
 // FlushRow appends the SPA contents as one contribution run for tile row r
-// and resets nothing (the caller Resets the SPA for the next row).
+// and resets nothing (the caller Resets the SPA for the next row). The
+// entries land directly in the row's grow-only slice — no intermediate
+// allocation, which matters because this runs once per row per task.
 func (s *SpAcc) FlushRow(r int, spa *SPA) {
 	t := spa.Touched()
 	if len(t) == 0 {
 		return
 	}
-	run := make([]spEntry, len(t))
-	for i, c := range t {
-		run[i] = spEntry{col: c, val: spa.vals[c]}
+	run := s.rows[r]
+	for _, c := range t {
+		run = append(run, spEntry{col: c, val: spa.vals[c]})
 	}
-	s.rows[r] = append(s.rows[r], run...)
+	s.rows[r] = run
+}
+
+// scratchBytes sums the entry-slice capacities for scratch accounting.
+func (s *SpAcc) scratchBytes() int64 {
+	rows := s.rows[:cap(s.rows)]
+	var b int64 = int64(cap(s.rows)) * 24 // slice headers
+	for _, r := range rows {
+		b += int64(cap(r)) * 16 // spEntry: int32 padded + float64
+	}
+	return b
 }
 
 // Pending returns the total number of buffered contributions, an upper
@@ -132,17 +161,18 @@ func (s *SpAcc) AddDense(d *mat.Dense, r0, c0 int) {
 
 // ToCSR combines all contribution runs — sorting each row by column id and
 // summing duplicates — and returns the tile in CSR with sorted column ids,
-// dropping exact zeros.
+// dropping exact zeros. Combination happens in place inside the row slices
+// (which a Scratch-owned accumulator will reuse for the next tile), so the
+// only allocations are the escaping result arrays themselves.
 func (s *SpAcc) ToCSR() *mat.CSR {
 	out := mat.NewCSR(s.Rows, s.Cols)
 	var nnz int64
-	combined := make([][]spEntry, s.Rows)
 	for r, run := range s.rows {
 		if len(run) == 0 {
 			out.RowPtr[r+1] = nnz
 			continue
 		}
-		sort.Slice(run, func(i, j int) bool { return run[i].col < run[j].col })
+		slices.SortFunc(run, func(a, b spEntry) int { return int(a.col) - int(b.col) })
 		w := 0
 		for i := 1; i < len(run); i++ {
 			if run[i].col == run[w].col {
@@ -160,14 +190,14 @@ func (s *SpAcc) ToCSR() *mat.CSR {
 				kept = append(kept, e)
 			}
 		}
-		combined[r] = kept
+		s.rows[r] = kept
 		nnz += int64(len(kept))
 		out.RowPtr[r+1] = nnz
 	}
 	out.ColIdx = make([]int32, nnz)
 	out.Val = make([]float64, nnz)
 	var q int64
-	for _, run := range combined {
+	for _, run := range s.rows {
 		for _, e := range run {
 			out.ColIdx[q] = e.col
 			out.Val[q] = e.val

@@ -61,6 +61,15 @@ func (a *Dense) Bytes() int64 { return DenseBytes(a.Rows, a.Cols) }
 // receiver's backing array. Mutations through the view are visible in the
 // parent.
 func (a *Dense) Window(r0, r1, c0, c1 int) *Dense {
+	w := a.View(r0, r1, c0, c1)
+	return &w
+}
+
+// View is Window without the header allocation: it returns the view by
+// value, so hot paths that take a window per row chunk or per contribution
+// can keep the header on the stack (or embedded in a reused struct) and
+// pass its address to kernels, which never retain it.
+func (a *Dense) View(r0, r1, c0, c1 int) Dense {
 	if r0 < 0 || r1 > a.Rows || c0 < 0 || c1 > a.Cols || r0 > r1 || c0 > c1 {
 		panic(fmt.Sprintf("mat: Window [%d:%d,%d:%d] outside %d×%d", r0, r1, c0, c1, a.Rows, a.Cols))
 	}
@@ -69,7 +78,7 @@ func (a *Dense) Window(r0, r1, c0, c1 int) *Dense {
 	if r1 > r0 && c1 > c0 {
 		end = (r1-1)*a.Stride + c1
 	}
-	return &Dense{Rows: r1 - r0, Cols: c1 - c0, Stride: a.Stride, Data: a.Data[start:end]}
+	return Dense{Rows: r1 - r0, Cols: c1 - c0, Stride: a.Stride, Data: a.Data[start:end]}
 }
 
 // Clone returns a compact deep copy (Stride == Cols).

@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"atmatrix/internal/numa"
+)
+
+// Runtime is the persistent incarnation of the two-level scheduler: it
+// starts Sockets × CoresPerSocket long-lived worker goroutines once and
+// serves every subsequent Run / ParallelRows over channels, the way the
+// paper's SAP HANA task framework keeps socket-pinned worker teams alive
+// across operator invocations (§III-F). The spawn-per-call Pool of earlier
+// revisions paid a goroutine creation and a fresh stack for every tile of
+// every multiplication; the Runtime pays one channel handoff instead, and —
+// more importantly — gives every worker a stable identity that per-worker
+// scratch arenas can key off (see Team.WorkerLocal).
+//
+// Tasks must not call Run (directly or through a Pool) from inside a task:
+// the leader executing the outer task would never pick up the nested
+// request. None of the operators in this repository nest runs.
+type Runtime struct {
+	topo  numa.Topology
+	teams []*workerTeam
+}
+
+// workerTeam is the persistent backing of one socket's team: a leader
+// goroutine that drains task queues and size-1 helper goroutines that serve
+// the leader's intra-tile row fan-outs.
+type workerTeam struct {
+	rt     *Runtime
+	socket numa.Node
+	size   int
+
+	leaderCh chan *runReq
+	jobCh    chan rowJob
+
+	// wg is the reusable intra-tile barrier. Only this team's leader runs
+	// ParallelRows (tasks execute on the leader, one at a time), so the
+	// WaitGroup is never used by two fan-outs concurrently.
+	wg sync.WaitGroup
+
+	// locals holds one arbitrary per-worker storage slot per team worker.
+	// Slot w is owned exclusively by whichever goroutine currently executes
+	// worker w's chunk; the channel/WaitGroup handoffs order all accesses.
+	locals []any
+}
+
+// rowJob is one intra-tile work item: a row chunk of the current tile
+// multiplication, executed by a helper worker.
+type rowJob struct {
+	lo, hi, worker int
+	f              func(lo, hi, worker int)
+	wg             *sync.WaitGroup
+}
+
+// runReq is one Pool.Run handed to the leaders: the folded per-socket task
+// queues plus the shared drain/steal cursors. A request carries either
+// closure tasks (folded) or item ids executed through one shared function
+// (items + run) — the indexed form exists so that a caller with thousands
+// of homogeneous tasks per invocation does not allocate one closure each.
+type runReq struct {
+	folded   [][]Task
+	items    [][]int32
+	run      func(team *Team, item int32)
+	next     []atomic.Int64
+	stealing bool
+	grain    int
+	stolen   atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// queueLen returns the length of socket s's folded queue.
+func (req *runReq) queueLen(s int) int {
+	if req.run != nil {
+		return len(req.items[s])
+	}
+	return len(req.folded[s])
+}
+
+// exec runs entry i of socket s's queue on the given team.
+func (req *runReq) exec(s, i int, team *Team) {
+	if req.run != nil {
+		req.run(team, req.items[s][i])
+		return
+	}
+	req.folded[s][i](team)
+}
+
+// RunStats reports scheduling counters of one Run call.
+type RunStats struct {
+	// Stolen is the number of tasks executed by a team other than the one
+	// owning the task's home queue.
+	Stolen int64
+}
+
+var (
+	runtimeMu sync.Mutex
+	runtimes  = map[numa.Topology]*Runtime{}
+)
+
+// RuntimeFor returns the shared persistent runtime for a topology, starting
+// its workers on first use. Runtimes live for the remainder of the process —
+// idle workers block on their channels and cost nothing but stack space.
+func RuntimeFor(topo numa.Topology) *Runtime {
+	runtimeMu.Lock()
+	defer runtimeMu.Unlock()
+	if r, ok := runtimes[topo]; ok {
+		return r
+	}
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Runtime{topo: topo}
+	for s := 0; s < topo.Sockets; s++ {
+		t := &workerTeam{
+			rt:       r,
+			socket:   numa.Node(s),
+			size:     topo.CoresPerSocket,
+			leaderCh: make(chan *runReq, 1),
+			jobCh:    make(chan rowJob, topo.CoresPerSocket),
+			locals:   make([]any, topo.CoresPerSocket),
+		}
+		r.teams = append(r.teams, t)
+		go r.leaderLoop(t)
+		for w := 1; w < t.size; w++ {
+			go t.helperLoop()
+		}
+	}
+	runtimes[topo] = r
+	return r
+}
+
+// Topology returns the runtime's topology.
+func (r *Runtime) Topology() numa.Topology { return r.topo }
+
+// Run executes the queues on the persistent teams with the same semantics
+// as Pool.Run: queues[s] holds the tasks affine to socket s, every task
+// runs exactly once, and the call blocks until all tasks finished.
+// Concurrent Run calls on the same runtime are safe; their tasks are
+// serialized per leader, which bounds the process-wide parallelism to the
+// topology — the point of a persistent worker pool.
+func (r *Runtime) Run(queues [][]Task, stealing bool, grain int) RunStats {
+	s := len(r.teams)
+	folded := make([][]Task, s)
+	for i, q := range queues {
+		folded[i%s] = append(folded[i%s], q...)
+	}
+	return r.dispatch(&runReq{folded: folded, stealing: stealing, grain: grain})
+}
+
+// RunIndexed executes queues of item ids through one shared task function,
+// with the same placement, stealing and completion semantics as Run. It is
+// the allocation-free bulk form: a multiplication enqueues one int32 per
+// tile pair instead of one closure per pair.
+func (r *Runtime) RunIndexed(queues [][]int32, run func(team *Team, item int32), stealing bool, grain int) RunStats {
+	s := len(r.teams)
+	folded := make([][]int32, s)
+	for i, q := range queues {
+		folded[i%s] = append(folded[i%s], q...)
+	}
+	return r.dispatch(&runReq{items: folded, run: run, stealing: stealing, grain: grain})
+}
+
+func (r *Runtime) dispatch(req *runReq) RunStats {
+	req.next = make([]atomic.Int64, len(r.teams))
+	req.wg.Add(len(r.teams))
+	for _, t := range r.teams {
+		t.leaderCh <- req
+	}
+	req.wg.Wait()
+	return RunStats{Stolen: req.stolen.Load()}
+}
+
+// leaderLoop is the per-socket leader: for every request it drains the
+// local queue, optionally steals from the other sockets round-robin, and
+// signals completion. Tasks run on the leader goroutine itself; only
+// ParallelRows fans out to the helpers.
+func (r *Runtime) leaderLoop(t *workerTeam) {
+	sock := int(t.socket)
+	for req := range t.leaderCh {
+		team := &Team{Socket: t.socket, Workers: t.size, Grain: req.grain, home: t}
+		for {
+			i := int(req.next[sock].Add(1) - 1)
+			if i >= req.queueLen(sock) {
+				break
+			}
+			req.exec(sock, i, team)
+		}
+		if req.stealing {
+			for off := 1; off < len(r.teams); off++ {
+				victim := (sock + off) % len(r.teams)
+				for {
+					i := int(req.next[victim].Add(1) - 1)
+					if i >= req.queueLen(victim) {
+						break
+					}
+					req.exec(victim, i, team)
+					req.stolen.Add(1)
+				}
+			}
+		}
+		req.wg.Done()
+	}
+}
+
+// helperLoop serves the intra-tile row chunks of this team's leader.
+func (t *workerTeam) helperLoop() {
+	for j := range t.jobCh {
+		j.f(j.lo, j.hi, j.worker)
+		j.wg.Done()
+	}
+}

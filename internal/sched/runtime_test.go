@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atmatrix/internal/numa"
+)
+
+// TestRuntimeGoroutinesStableAcrossRuns checks the point of the persistent
+// runtime: repeated Run calls reuse the resident workers instead of
+// spawning per call.
+func TestRuntimeGoroutinesStableAcrossRuns(t *testing.T) {
+	p := NewPool(topo(2, 3))
+	warm := func() {
+		queues := make([][]Task, 2)
+		for s := range queues {
+			queues[s] = []Task{func(team *Team) {
+				team.ParallelRows(64, func(lo, hi, w int) {})
+			}}
+		}
+		p.Run(queues)
+	}
+	warm() // first call starts the workers
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		warm()
+	}
+	// Give any stray spawned goroutines a moment to show up.
+	time.Sleep(10 * time.Millisecond)
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Fatalf("goroutines grew across runs: %d -> %d", before, after)
+	}
+}
+
+// TestWorkerLocalPersistsAcrossRuns checks that a value parked in a worker
+// slot survives subsequent Run calls — the property the per-worker scratch
+// arenas rely on.
+func TestWorkerLocalPersistsAcrossRuns(t *testing.T) {
+	p := NewPool(topo(1, 2))
+	run := func(f Task) {
+		p.Run([][]Task{{f}})
+	}
+	run(func(team *Team) {
+		*team.WorkerLocal(0) = "kept"
+	})
+	var got any
+	run(func(team *Team) {
+		got = *team.WorkerLocal(0)
+	})
+	if got != "kept" {
+		t.Fatalf("worker slot = %v, want \"kept\"", got)
+	}
+}
+
+// TestWorkerLocalNilForAdHocTeams checks the documented fallback for teams
+// without persistent backing.
+func TestWorkerLocalNilForAdHocTeams(t *testing.T) {
+	team := &Team{Workers: 2}
+	if team.WorkerLocal(0) != nil {
+		t.Fatal("ad-hoc team returned a non-nil worker slot")
+	}
+}
+
+// TestRunStatsStolenCount checks the stolen-task counter: all work homed on
+// socket 0 of a 4-socket pool with stealing on must report at least one
+// steal (the other three leaders have nothing local).
+func TestRunStatsStolenCount(t *testing.T) {
+	p := NewPool(topo(4, 1))
+	p.Stealing = true
+	var block = make(chan struct{})
+	queues := make([][]Task, 4)
+	// The first task parks socket 0's leader so the other leaders must
+	// steal the rest.
+	queues[0] = append(queues[0], func(*Team) { <-block })
+	for i := 0; i < 32; i++ {
+		queues[0] = append(queues[0], func(*Team) {})
+	}
+	done := make(chan RunStats)
+	go func() { done <- p.Run(queues) }()
+	time.Sleep(5 * time.Millisecond)
+	close(block)
+	rs := <-done
+	if rs.Stolen == 0 {
+		t.Fatal("no tasks counted as stolen")
+	}
+	if rs.Stolen > 32 {
+		t.Fatalf("stolen = %d, more than the queue holds", rs.Stolen)
+	}
+}
+
+// TestRunStatsNoStealWithoutFlag checks that strict socket pinning (the
+// paper's default) never reports steals.
+func TestRunStatsNoStealWithoutFlag(t *testing.T) {
+	p := NewPool(topo(2, 1))
+	queues := make([][]Task, 2)
+	for i := 0; i < 16; i++ {
+		queues[i%2] = append(queues[i%2], func(*Team) {})
+	}
+	if rs := p.Run(queues); rs.Stolen != 0 {
+		t.Fatalf("stolen = %d without stealing enabled", rs.Stolen)
+	}
+}
+
+// TestRunIndexedExecutesEveryItemOnce mirrors TestRunExecutesEveryTaskOnce
+// for the allocation-free indexed form.
+func TestRunIndexedExecutesEveryItemOnce(t *testing.T) {
+	for _, ephemeral := range []bool{false, true} {
+		p := NewPool(topo(3, 2))
+		p.Ephemeral = ephemeral
+		var counts [40]atomic.Int32
+		queues := make([][]int32, 3)
+		for i := 0; i < 40; i++ {
+			queues[i%3] = append(queues[i%3], int32(i))
+		}
+		p.RunIndexed(queues, func(_ *Team, item int32) { counts[item].Add(1) })
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("ephemeral=%v: item %d ran %d times", ephemeral, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+// TestRunIndexedStealing loads one socket and requires stealing to finish
+// and count the moved items.
+func TestRunIndexedStealing(t *testing.T) {
+	p := NewPool(topo(3, 1))
+	p.Stealing = true
+	var n atomic.Int32
+	queues := make([][]int32, 3)
+	for i := 0; i < 90; i++ {
+		queues[0] = append(queues[0], int32(i))
+	}
+	rs := p.RunIndexed(queues, func(*Team, int32) { n.Add(1) })
+	if n.Load() != 90 {
+		t.Fatalf("ran %d items, want 90", n.Load())
+	}
+	if rs.Stolen > 90 {
+		t.Fatalf("stolen = %d out of 90", rs.Stolen)
+	}
+}
+
+// TestParallelRowsGrainCapsWorkers checks the row-grain knob: with
+// Grain=8, a 20-row range may use at most 2 workers (chunks of ≥8 rows)
+// and a 15-row range must run inline.
+func TestParallelRowsGrainCapsWorkers(t *testing.T) {
+	team := &Team{Workers: 4, Grain: 8}
+
+	var mu sync.Mutex
+	workers := map[int]bool{}
+	team.ParallelRows(20, func(lo, hi, w int) {
+		if hi-lo < 8 {
+			t.Errorf("chunk [%d,%d) shorter than grain", lo, hi)
+		}
+		mu.Lock()
+		workers[w] = true
+		mu.Unlock()
+	})
+	if len(workers) > 2 {
+		t.Fatalf("used %d workers, want ≤ 2 with grain 8 over 20 rows", len(workers))
+	}
+
+	inlineCalls := 0
+	team.ParallelRows(15, func(lo, hi, w int) {
+		inlineCalls++
+		if lo != 0 || hi != 15 || w != 0 {
+			t.Fatalf("expected inline execution, got [%d,%d) on worker %d", lo, hi, w)
+		}
+	})
+	if inlineCalls != 1 {
+		t.Fatalf("inline range invoked %d times", inlineCalls)
+	}
+}
+
+// TestParallelRowsBalancedChunks checks that chunk sizes differ by at most
+// one row — the fix for the near-empty trailing chunks the ceiling split
+// used to produce (e.g. 17 rows over 4 workers was 5/5/5/2).
+func TestParallelRowsBalancedChunks(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{17, 4}, {100, 3}, {5, 4}, {31, 8}, {9, 2},
+	} {
+		team := &Team{Workers: tc.workers}
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		var sizes []int
+		team.ParallelRows(tc.n, func(lo, hi, w int) {
+			<-mu
+			sizes = append(sizes, hi-lo)
+			mu <- struct{}{}
+		})
+		mn, mx := tc.n, 0
+		total := 0
+		for _, s := range sizes {
+			if s < mn {
+				mn = s
+			}
+			if s > mx {
+				mx = s
+			}
+			total += s
+		}
+		if total != tc.n {
+			t.Fatalf("n=%d w=%d: chunks sum to %d", tc.n, tc.workers, total)
+		}
+		if mx-mn > 1 {
+			t.Fatalf("n=%d w=%d: unbalanced chunks %v", tc.n, tc.workers, sizes)
+		}
+	}
+}
+
+// TestEphemeralPoolRuns checks the ablation path end to end.
+func TestEphemeralPoolRuns(t *testing.T) {
+	p := NewPool(topo(2, 2))
+	p.Ephemeral = true
+	var n atomic.Int32
+	queues := make([][]Task, 2)
+	for i := 0; i < 10; i++ {
+		queues[i%2] = append(queues[i%2], func(team *Team) {
+			if team.WorkerLocal(0) != nil {
+				t.Error("ephemeral team has persistent worker slots")
+			}
+			team.ParallelRows(8, func(lo, hi, w int) { n.Add(int32(hi - lo)) })
+		})
+	}
+	p.Run(queues)
+	if n.Load() != 80 {
+		t.Fatalf("covered %d rows, want 80", n.Load())
+	}
+}
+
+// TestRuntimeForReusesInstance checks the per-topology singleton.
+func TestRuntimeForReusesInstance(t *testing.T) {
+	a := RuntimeFor(numa.Topology{Sockets: 2, CoresPerSocket: 5})
+	b := RuntimeFor(numa.Topology{Sockets: 2, CoresPerSocket: 5})
+	if a != b {
+		t.Fatal("same topology produced two runtimes")
+	}
+	if a.Topology().Sockets != 2 || a.Topology().CoresPerSocket != 5 {
+		t.Fatalf("runtime topology = %+v", a.Topology())
+	}
+}

@@ -6,6 +6,13 @@
 // (intra-tile parallelization). Spawning exactly one team per socket
 // avoids last-level-cache pollution from unrelated tiles, which is the
 // paper's stated reason for this resource split.
+//
+// Since the persistent-runtime rework, teams are long-lived: a process-wide
+// Runtime per topology keeps Sockets × CoresPerSocket worker goroutines
+// alive across calls (see runtime.go), mirroring the paper's reliance on
+// SAP HANA's resident task framework. Pool remains the one-shot façade all
+// operators use; it routes into the shared Runtime unless Ephemeral
+// restores the historical spawn-per-call behavior for ablations.
 package sched
 
 import (
@@ -27,45 +34,102 @@ type Team struct {
 	Socket numa.Node
 	// Workers is the number of threads in the team.
 	Workers int
+	// Grain is the minimum number of rows per worker in ParallelRows; a
+	// range shorter than 2·Grain runs inline. Zero or one means no
+	// constraint. The knob exists because tiny sparse tiles otherwise
+	// over-parallelize — the hazard the paper notes for small blocks.
+	Grain int
+
+	// home links a runtime-backed team to its persistent workers; nil for
+	// ad-hoc teams (tests, ephemeral pools), which fall back to spawning.
+	home *workerTeam
 }
 
-// ParallelRows splits the half-open range [0, n) into one contiguous chunk
-// per team worker and runs f(lo, hi, worker) concurrently. With a single
-// worker (or a trivially small range) it runs inline, avoiding goroutine
-// overhead for tiny tiles — the over-parallelization hazard the paper
-// mentions for small, very sparse blocks.
+// WorkerLocal returns a pointer to the persistent storage slot of the given
+// team-local worker index, or nil when the team is not backed by the
+// persistent runtime. The slot is owned exclusively by the goroutine
+// executing that worker's ParallelRows chunk (worker 0 additionally owns it
+// for the whole task, since tasks run on the leader), so callers may use it
+// without locking; the runtime's channel and WaitGroup handoffs order all
+// accesses across goroutines.
+func (t *Team) WorkerLocal(worker int) *any {
+	if t.home == nil || worker < 0 || worker >= len(t.home.locals) {
+		return nil
+	}
+	return &t.home.locals[worker]
+}
+
+// ParallelRows splits the half-open range [0, n) into one contiguous,
+// balanced chunk per participating worker and runs f(lo, hi, worker)
+// concurrently. Chunk sizes differ by at most one row, so a range slightly
+// above the worker count no longer produces near-empty trailing chunks.
+// The number of participants is additionally capped so that every chunk
+// has at least Grain rows; with a single participant (or a trivially small
+// range) f runs inline, avoiding fan-out overhead for tiny tiles.
 func (t *Team) ParallelRows(n int, f func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
 	w := t.Workers
 	if w > n {
 		w = n
 	}
-	if w <= 1 {
-		if n > 0 {
-			f(0, n, 0)
+	if g := t.Grain; g > 1 {
+		if maxW := n / g; w > maxW {
+			w = maxW
 		}
+	}
+	if w <= 1 {
+		f(0, n, 0)
 		return
 	}
+	base, rem := n/w, n%w
+	// Worker i gets base rows, the first rem workers one extra.
+	first := base
+	if rem > 0 {
+		first++
+	}
+	if t.home != nil {
+		// Persistent path: hand chunks 1..w-1 to the team's resident
+		// helpers, run chunk 0 on the leader, then wait on the reusable
+		// barrier. No goroutine is created.
+		wg := &t.home.wg
+		wg.Add(w - 1)
+		lo := first
+		for i := 1; i < w; i++ {
+			sz := base
+			if i < rem {
+				sz++
+			}
+			t.home.jobCh <- rowJob{lo: lo, hi: lo + sz, worker: i, f: f, wg: wg}
+			lo += sz
+		}
+		f(0, first, 0)
+		wg.Wait()
+		return
+	}
+	// Ad-hoc path (tests, ephemeral pools): spawn per call as before.
 	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for i := 0; i < w; i++ {
-		lo := i * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	wg.Add(w - 1)
+	lo := first
+	for i := 1; i < w; i++ {
+		sz := base
+		if i < rem {
+			sz++
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
 		go func(lo, hi, worker int) {
 			defer wg.Done()
 			f(lo, hi, worker)
-		}(lo, hi, i)
+		}(lo, lo+sz, i)
+		lo += sz
 	}
+	f(0, first, 0)
 	wg.Wait()
 }
 
-// Pool runs per-team task queues.
+// Pool runs per-team task queues. It is a thin adapter over the shared
+// persistent Runtime of its topology; constructing a Pool is free and every
+// current caller keeps its one-Pool-per-operator usage unchanged.
 type Pool struct {
 	topo numa.Topology
 	// Stealing enables cross-team work stealing once a team's own queue
@@ -73,6 +137,14 @@ type Pool struct {
 	// A tile-row; stealing is an extension evaluated in the ablation
 	// benchmarks.
 	Stealing bool
+	// RowGrain is the minimum number of rows per worker handed to
+	// Team.ParallelRows (see Team.Grain).
+	RowGrain int
+	// Ephemeral restores the historical spawn-per-call scheduler: every
+	// Run starts fresh goroutines and no persistent worker state is
+	// reused. It exists as the ablation baseline for the persistent
+	// runtime and the per-worker scratch arenas.
+	Ephemeral bool
 }
 
 // NewPool returns a pool over the given topology.
@@ -89,26 +161,50 @@ func (p *Pool) Topology() numa.Topology { return p.topo }
 // Run executes the queues: queues[s] holds the tasks affine to socket s.
 // It blocks until every task has run exactly once. Queue indexes beyond
 // the socket count are folded back round-robin.
-func (p *Pool) Run(queues [][]Task) {
+func (p *Pool) Run(queues [][]Task) RunStats {
+	if !p.Ephemeral {
+		return RuntimeFor(p.topo).Run(queues, p.Stealing, p.RowGrain)
+	}
 	s := p.topo.Sockets
 	folded := make([][]Task, s)
 	for i, q := range queues {
 		folded[i%s] = append(folded[i%s], q...)
 	}
-	next := make([]atomic.Int64, s)
+	return p.runEphemeral(&runReq{folded: folded, stealing: p.Stealing, grain: p.RowGrain})
+}
+
+// RunIndexed executes queues of item ids through one shared task function
+// (see Runtime.RunIndexed); queues[s] holds the items affine to socket s.
+func (p *Pool) RunIndexed(queues [][]int32, run func(team *Team, item int32)) RunStats {
+	if !p.Ephemeral {
+		return RuntimeFor(p.topo).RunIndexed(queues, run, p.Stealing, p.RowGrain)
+	}
+	s := p.topo.Sockets
+	folded := make([][]int32, s)
+	for i, q := range queues {
+		folded[i%s] = append(folded[i%s], q...)
+	}
+	return p.runEphemeral(&runReq{items: folded, run: run, stealing: p.Stealing, grain: p.RowGrain})
+}
+
+// runEphemeral is the pre-runtime implementation: one goroutine per socket
+// per call, teams without persistent backing.
+func (p *Pool) runEphemeral(req *runReq) RunStats {
+	s := p.topo.Sockets
+	req.next = make([]atomic.Int64, s)
 	var wg sync.WaitGroup
 	for sock := 0; sock < s; sock++ {
 		wg.Add(1)
 		go func(sock int) {
 			defer wg.Done()
-			team := &Team{Socket: numa.Node(sock), Workers: p.topo.CoresPerSocket}
+			team := &Team{Socket: numa.Node(sock), Workers: p.topo.CoresPerSocket, Grain: p.RowGrain}
 			// Drain the local queue first.
 			for {
-				i := next[sock].Add(1) - 1
-				if int(i) >= len(folded[sock]) {
+				i := int(req.next[sock].Add(1) - 1)
+				if i >= req.queueLen(sock) {
 					break
 				}
-				folded[sock][i](team)
+				req.exec(sock, i, team)
 			}
 			if !p.Stealing {
 				return
@@ -117,25 +213,27 @@ func (p *Pool) Run(queues [][]Task) {
 			for off := 1; off < s; off++ {
 				victim := (sock + off) % s
 				for {
-					i := next[victim].Add(1) - 1
-					if int(i) >= len(folded[victim]) {
+					i := int(req.next[victim].Add(1) - 1)
+					if i >= req.queueLen(victim) {
 						break
 					}
-					folded[victim][i](team)
+					req.exec(victim, i, team)
+					req.stolen.Add(1)
 				}
 			}
 		}(sock)
 	}
 	wg.Wait()
+	return RunStats{Stolen: req.stolen.Load()}
 }
 
 // RunFlat distributes a flat task list round-robin across sockets and
 // runs it; a convenience for callers without placement information.
-func (p *Pool) RunFlat(tasks []Task) {
+func (p *Pool) RunFlat(tasks []Task) RunStats {
 	queues := make([][]Task, p.topo.Sockets)
 	for i, t := range tasks {
 		s := i % p.topo.Sockets
 		queues[s] = append(queues[s], t)
 	}
-	p.Run(queues)
+	return p.Run(queues)
 }
