@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench serve-smoke
 
 ## check: the pre-PR gate — vet, build, full test suite, and the
 ## concurrency stress tests under the race detector.
@@ -16,8 +16,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched ./internal/core -run Concurrent
+	$(GO) test -race ./internal/sched ./internal/core ./internal/catalog ./internal/service ./cmd/atserve -run 'Concurrent|Cancel'
 
 ## bench: the per-figure benchmarks with allocation counts.
 bench:
 	$(GO) test -bench=. -benchmem
+
+## serve-smoke: build the real atserve binary, start it on a random port,
+## run one multiply over HTTP, check /healthz, and shut it down cleanly.
+serve-smoke:
+	ATSERVE_SMOKE=1 $(GO) test ./cmd/atserve -run TestServeSmoke -count=1 -v

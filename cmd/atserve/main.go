@@ -1,0 +1,123 @@
+// Command atserve exposes the AT MATRIX catalog and the ATMULT job manager
+// over HTTP, turning the library into the serving stack the paper frames:
+// matrices are persistent named objects in a main-memory store, and
+// multiplications arrive as queries against them.
+//
+// Endpoints:
+//
+//	POST   /v1/matrices            load a matrix (upload stream or server path)
+//	GET    /v1/matrices            list resident matrices + catalog stats
+//	DELETE /v1/matrices/{name}     drop a matrix
+//	POST   /v1/multiply            run A·B or a chain, optionally store result
+//	GET    /healthz                liveness (503 while draining)
+//	GET    /metrics                Prometheus text-format counters
+//
+// Example:
+//
+//	atserve -addr :8080 -budget 1073741824 &
+//	curl -sT a.mtx 'localhost:8080/v1/matrices?name=A&format=mtx'
+//	curl -sT b.mtx 'localhost:8080/v1/matrices?name=B&format=mtx'
+//	curl -s -d '{"a":"A","b":"B","store":"AB"}' localhost:8080/v1/multiply
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/numa"
+	"atmatrix/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		budget     = flag.Int64("budget", 0, "catalog resident-bytes budget (0 = unlimited)")
+		queueDepth = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+		workers    = flag.Int("workers", 0, "concurrent multiply jobs (0 = one per socket)")
+		timeout    = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight jobs")
+		maxUpload  = flag.Int64("max-upload", 1<<30, "maximum upload body size in bytes")
+		allowPath  = flag.Bool("allow-path-loads", false, "allow JSON loads that name files on the server filesystem")
+		paper      = flag.Bool("paper", false, "use the paper's system configuration instead of autodetection")
+		bAtomic    = flag.Int("b-atomic", 0, "override b_atomic (power of two; 0 = derive from LLC)")
+		sockets    = flag.Int("sockets", 0, "simulated sockets (0 = detect)")
+		cores      = flag.Int("cores", 0, "simulated cores per socket (0 = detect)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *paper {
+		cfg = core.PaperConfig()
+	}
+	if *bAtomic > 0 {
+		cfg.BAtomic = *bAtomic
+	}
+	if *sockets > 0 && *cores > 0 {
+		cfg.Topology = numa.Topology{Sockets: *sockets, CoresPerSocket: *cores}
+	}
+
+	s, err := newServer(cfg, *budget, service.Options{
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+	}, *allowPath, *maxUpload)
+	if err != nil {
+		log.Fatalf("atserve: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("atserve: listen: %v", err)
+	}
+	bound := ln.Addr().String()
+	log.Printf("atserve: listening on %s (b_atomic=%d, topology=%dx%d, budget=%d)",
+		bound, cfg.BAtomic, cfg.Topology.Sockets, cfg.Topology.CoresPerSocket, *budget)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("atserve: writing addr file: %v", err)
+		}
+	}
+
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		log.Printf("atserve: %v: draining (timeout %v)", got, *drain)
+	case err := <-done:
+		log.Fatalf("atserve: serve: %v", err)
+	}
+
+	// Shutdown order: stop admitting jobs and fail health checks first, then
+	// let in-flight HTTP requests (which are waiting on their jobs) finish
+	// inside the drain window, cancelling whatever is still running at the
+	// deadline.
+	drainErr := s.shutdown(*drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("atserve: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Printf("atserve: drain: %v", drainErr)
+		os.Exit(1)
+	}
+	fmt.Println("atserve: clean shutdown")
+}

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"atmatrix/internal/catalog"
+	"atmatrix/internal/core"
+	"atmatrix/internal/service"
+)
+
+// server wires the catalog and the job manager to the HTTP surface. It is
+// separate from main so the httptest suite can drive the exact production
+// handler stack.
+type server struct {
+	cat       *catalog.Catalog
+	mgr       *service.Manager
+	started   time.Time
+	draining  atomic.Bool
+	allowPath bool  // permit {"path": ...} loads from the server filesystem
+	maxUpload int64 // request body cap for uploads
+}
+
+func newServer(cfg core.Config, budget int64, opts service.Options, allowPath bool, maxUpload int64) (*server, error) {
+	cat, err := catalog.New(cfg, budget)
+	if err != nil {
+		return nil, err
+	}
+	if maxUpload <= 0 {
+		maxUpload = 1 << 30
+	}
+	return &server{
+		cat:       cat,
+		mgr:       service.New(cat, opts),
+		started:   time.Now(),
+		allowPath: allowPath,
+		maxUpload: maxUpload,
+	}, nil
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrices", s.handleLoad)
+	mux.HandleFunc("PUT /v1/matrices", s.handleLoad) // curl -T sends PUT
+	mux.HandleFunc("GET /v1/matrices", s.handleList)
+	mux.HandleFunc("DELETE /v1/matrices/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// shutdown stops admission (healthz flips to 503 for load balancers) and
+// drains the job manager.
+func (s *server) shutdown(drain time.Duration) error {
+	s.draining.Store(true)
+	return s.mgr.Close(drain)
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// loadRequest is the JSON body of a path-based load.
+type loadRequest struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Format string `json:"format"`
+	Pin    bool   `json:"pin"`
+}
+
+// handleLoad admits a matrix into the catalog. Two request shapes:
+//
+//   - application/json body {"name","path","format","pin"}: the server
+//     reads the file itself (requires -allow-path-loads).
+//   - any other content type: the body is the matrix stream, with
+//     ?name=...&format=atm|mtx|coo&pin=true query parameters.
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var (
+		name, formatStr string
+		pin             bool
+		src             io.Reader
+	)
+	if r.Header.Get("Content-Type") == "application/json" {
+		var req loadRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			jsonError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		if !s.allowPath {
+			jsonError(w, http.StatusForbidden, "path loads disabled; upload the stream or start with -allow-path-loads")
+			return
+		}
+		if req.Path == "" {
+			jsonError(w, http.StatusBadRequest, "missing path")
+			return
+		}
+		f, err := os.Open(req.Path)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "opening %s: %v", req.Path, err)
+			return
+		}
+		defer f.Close()
+		name, formatStr, pin, src = req.Name, req.Format, req.Pin, f
+	} else {
+		q := r.URL.Query()
+		name, formatStr = q.Get("name"), q.Get("format")
+		pin = q.Get("pin") == "true"
+		src = http.MaxBytesReader(w, r.Body, s.maxUpload)
+	}
+	if name == "" {
+		jsonError(w, http.StatusBadRequest, "missing matrix name")
+		return
+	}
+	format, err := catalog.ParseFormat(formatStr)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info, err := s.cat.Load(name, format, src, pin)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusCreated, info)
+	case errors.Is(err, catalog.ErrExists):
+		jsonError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, catalog.ErrBudget):
+		jsonError(w, http.StatusInsufficientStorage, "%v", err)
+	case errors.Is(err, core.ErrChecksum), errors.Is(err, core.ErrBadMagic):
+		jsonError(w, http.StatusUnprocessableEntity, "corrupt upload: %v", err)
+	default:
+		jsonError(w, http.StatusBadRequest, "loading %s: %v", name, err)
+	}
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matrices": s.cat.List(),
+		"stats":    s.cat.Stats(),
+	})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.cat.Delete(name); err != nil {
+		jsonError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// multiplyRequest is the JSON body of POST /v1/multiply: either {a, b} or
+// {chain: [...]}, optionally storing the result under a new name.
+type multiplyRequest struct {
+	A         string   `json:"a"`
+	B         string   `json:"b"`
+	Chain     []string `json:"chain"`
+	Store     string   `json:"store"`
+	Pin       bool     `json:"pin"`
+	TimeoutMS int64    `json:"timeout_ms"`
+}
+
+func (s *server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	var req multiplyRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	job, err := s.mgr.Submit(service.Request{
+		A: req.A, B: req.B, Chain: req.Chain,
+		Store: req.Store, Pin: req.Pin,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, service.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, service.ErrDraining):
+		jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The admission queue bounds in-server concurrency; the HTTP handler
+	// itself just waits for its job (or the client going away).
+	select {
+	case <-job.Done:
+	case <-r.Context().Done():
+		// The client hung up; the job still runs to completion (its own
+		// deadline bounds it), but nobody is listening.
+		jsonError(w, http.StatusRequestTimeout, "client cancelled")
+		return
+	}
+	res, err := job.Wait()
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, context.DeadlineExceeded):
+		jsonError(w, http.StatusGatewayTimeout, "job deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		jsonError(w, http.StatusServiceUnavailable, "job cancelled by shutdown")
+	case errors.Is(err, catalog.ErrNotFound):
+		jsonError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, catalog.ErrExists):
+		jsonError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, catalog.ErrBudget):
+		jsonError(w, http.StatusInsufficientStorage, "%v", err)
+	default:
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+// handleMetrics renders the counters in the Prometheus text exposition
+// format (stdlib only — no client library dependency).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.mgr.Metrics()
+	cs := s.cat.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(name string, v any) {
+		fmt.Fprintf(w, "%s %v\n", name, v)
+	}
+	secs := func(d time.Duration) string {
+		return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+	}
+	p("atserve_jobs_accepted_total", m.Accepted)
+	p("atserve_jobs_rejected_total", m.Rejected)
+	p("atserve_jobs_completed_total", m.Completed)
+	p("atserve_jobs_failed_total", m.Failed)
+	p("atserve_jobs_canceled_total", m.Canceled)
+	p("atserve_jobs_inflight", m.InFlight)
+	p("atserve_queue_depth", m.Queued)
+	p("atserve_queue_capacity", m.QueueCap)
+	p(`atserve_job_latency_seconds{quantile="0.5"}`, secs(m.LatencyP50))
+	p(`atserve_job_latency_seconds{quantile="0.99"}`, secs(m.LatencyP99))
+	p("atserve_catalog_matrices", cs.Matrices)
+	p("atserve_catalog_resident_bytes", cs.ResidentBytes)
+	p("atserve_catalog_budget_bytes", cs.BudgetBytes)
+	p("atserve_catalog_evictions_total", cs.Evictions)
+	p("atserve_catalog_hits_total", cs.Hits)
+	p("atserve_catalog_misses_total", cs.Misses)
+	p("atserve_mult_estimate_seconds_total", secs(m.Mult.EstimateTime))
+	p("atserve_mult_optimize_seconds_total", secs(m.Mult.OptimizeTime))
+	p("atserve_mult_convert_seconds_total", secs(m.Mult.ConvertTime))
+	p("atserve_mult_multiply_seconds_total", secs(m.Mult.MultiplyTime))
+	p("atserve_mult_finalize_seconds_total", secs(m.Mult.FinalizeTime))
+	p("atserve_mult_wall_seconds_total", secs(m.Mult.WallTime))
+	p("atserve_mult_conversions_total", m.Mult.Conversions)
+	p("atserve_mult_contributions_total", m.Mult.Contributions)
+	p("atserve_mult_target_tiles_total", m.Mult.TargetTiles)
+	p("atserve_mult_tasks_stolen_total", m.Mult.TasksStolen)
+}

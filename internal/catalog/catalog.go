@@ -1,0 +1,352 @@
+// Package catalog implements the named-matrix store of the service layer:
+// the paper frames AT MATRIX as a storage layout inside a main-memory DBMS,
+// where matrices are persistent named objects and multiplications arrive as
+// queries against them. The catalog keeps partitioned AT MATRICES resident,
+// hands out ref-counted read handles to the job layer, tracks resident
+// bytes against a configurable budget, and evicts unpinned entries in LRU
+// order when a new matrix would not fit — the buffer-pool role of the
+// serving stack.
+package catalog
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/mmio"
+)
+
+var (
+	// ErrNotFound reports a name with no resident matrix (never loaded,
+	// deleted, or evicted).
+	ErrNotFound = errors.New("catalog: matrix not found")
+	// ErrExists reports a Put against a name that is already resident;
+	// delete first — silent replacement under concurrent readers is a
+	// correctness trap the catalog refuses to offer.
+	ErrExists = errors.New("catalog: matrix already exists")
+	// ErrBudget reports that a matrix cannot be admitted because the
+	// memory budget is exhausted and everything evictable has been
+	// evicted (the rest is pinned or in use by in-flight jobs).
+	ErrBudget = errors.New("catalog: memory budget exhausted")
+)
+
+// Format identifies the stream format of a load request.
+type Format string
+
+const (
+	// FormatATM is the partitioned AT MATRIX binary (core.WriteTo).
+	FormatATM Format = "atm"
+	// FormatMatrixMarket is a MatrixMarket stream, partitioned on load.
+	FormatMatrixMarket Format = "mtx"
+	// FormatBinaryCOO is the compact binary COO, partitioned on load.
+	FormatBinaryCOO Format = "coo"
+)
+
+// ParseFormat maps a user-supplied format string to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatATM, FormatMatrixMarket, FormatBinaryCOO:
+		return Format(s), nil
+	case "":
+		return FormatATM, nil
+	default:
+		return "", fmt.Errorf("catalog: unknown format %q (want atm, mtx or coo)", s)
+	}
+}
+
+// Catalog is a concurrent store of named resident AT MATRICES.
+type Catalog struct {
+	cfg    core.Config
+	budget int64 // resident-bytes cap; 0 = unlimited
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      *list.List // front = most recently used
+	resident int64
+
+	evictions int64
+	hits      int64
+	misses    int64
+}
+
+// entry is one resident matrix. Its memory is accounted in
+// Catalog.resident from admission until the entry is gone *and* no handle
+// references it any more.
+type entry struct {
+	name   string
+	m      *core.ATMatrix
+	bytes  int64
+	refs   int
+	pinned bool
+	gone   bool // deleted or evicted; unreachable via the map
+	elem   *list.Element
+}
+
+// New returns a catalog that partitions plain uploads with cfg and caps
+// resident bytes at budget (0 = unlimited).
+func New(cfg core.Config, budget int64) (*Catalog, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("catalog: negative budget %d", budget)
+	}
+	return &Catalog{
+		cfg:     cfg,
+		budget:  budget,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}, nil
+}
+
+// Config returns the partitioning configuration loads use.
+func (c *Catalog) Config() core.Config { return c.cfg }
+
+// Put admits an already-built AT MATRIX under the given name. A pinned
+// entry is never evicted. Admission may evict unpinned, unreferenced
+// entries in LRU order to make room; when that is not enough the matrix is
+// rejected with ErrBudget, and a matrix larger than the whole budget is
+// always rejected.
+func (c *Catalog) Put(name string, m *core.ATMatrix, pin bool) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty matrix name")
+	}
+	bytes := m.Bytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[name]; ok {
+		return ErrExists
+	}
+	if err := c.makeRoom(bytes); err != nil {
+		return fmt.Errorf("%w: need %d bytes for %q, budget %d, resident %d", err, bytes, name, c.budget, c.resident)
+	}
+	e := &entry{name: name, m: m, bytes: bytes, pinned: pin}
+	e.elem = c.lru.PushFront(e)
+	c.entries[name] = e
+	c.resident += bytes
+	return nil
+}
+
+// makeRoom evicts unpinned, unreferenced LRU entries until need bytes fit
+// under the budget. Caller holds c.mu.
+func (c *Catalog) makeRoom(need int64) error {
+	if c.budget == 0 {
+		return nil
+	}
+	if need > c.budget {
+		return ErrBudget
+	}
+	for c.resident+need > c.budget {
+		victim := c.oldestEvictable()
+		if victim == nil {
+			return ErrBudget
+		}
+		c.dropLocked(victim)
+		c.evictions++
+	}
+	return nil
+}
+
+// oldestEvictable returns the least-recently-used entry with no pins and no
+// outstanding handles, or nil. Caller holds c.mu.
+func (c *Catalog) oldestEvictable() *entry {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if !e.pinned && e.refs == 0 {
+			return e
+		}
+	}
+	return nil
+}
+
+// dropLocked unlinks an entry from the map and LRU list and releases its
+// accounting if no handles keep it alive. Caller holds c.mu.
+func (c *Catalog) dropLocked(e *entry) {
+	delete(c.entries, e.name)
+	c.lru.Remove(e.elem)
+	e.gone = true
+	if e.refs == 0 {
+		c.resident -= e.bytes
+	}
+}
+
+// Load reads a matrix from the stream in the given format, partitioning
+// plain formats with the catalog's configuration, and admits it under the
+// name. It returns the admitted matrix's Info.
+func (c *Catalog) Load(name string, format Format, r io.Reader, pin bool) (Info, error) {
+	var m *core.ATMatrix
+	switch format {
+	case FormatATM:
+		am, err := core.ReadATMatrix(r)
+		if err != nil {
+			return Info{}, err
+		}
+		if am.BAtomic != c.cfg.BAtomic {
+			// A foreign block size would be rejected by every multiply;
+			// rebuild the layout at the catalog's granularity.
+			re, _, err := core.Partition(am.ToCOO(), c.cfg)
+			if err != nil {
+				return Info{}, err
+			}
+			am = re
+		}
+		m = am
+	case FormatMatrixMarket, FormatBinaryCOO:
+		read := mmio.ReadMatrixMarket
+		if format == FormatBinaryCOO {
+			read = mmio.ReadBinary
+		}
+		src, err := read(r)
+		if err != nil {
+			return Info{}, err
+		}
+		am, _, err := core.Partition(src, c.cfg)
+		if err != nil {
+			return Info{}, err
+		}
+		m = am
+	default:
+		return Info{}, fmt.Errorf("catalog: unknown format %q", format)
+	}
+	if err := c.Put(name, m, pin); err != nil {
+		return Info{}, err
+	}
+	return c.infoOf(name), nil
+}
+
+// Handle is a ref-counted read lease on a resident matrix. The matrix is
+// guaranteed to stay alive (never evicted, its memory accounted) until
+// Release. Handles are not safe for concurrent use, but separate handles
+// to the same matrix are.
+type Handle struct {
+	c        *Catalog
+	e        *entry
+	released bool
+}
+
+// Matrix returns the leased AT MATRIX. Callers must treat it as read-only.
+func (h *Handle) Matrix() *core.ATMatrix { return h.e.m }
+
+// Name returns the name the matrix was acquired under.
+func (h *Handle) Name() string { return h.e.name }
+
+// Release returns the lease. Releasing twice is a no-op.
+func (h *Handle) Release() {
+	if h.released {
+		return
+	}
+	h.released = true
+	c := h.c
+	c.mu.Lock()
+	h.e.refs--
+	if h.e.refs == 0 && h.e.gone {
+		// The entry was deleted or evicted while we were reading; its
+		// memory leaves the accounting only now that the last reader is
+		// done with it.
+		c.resident -= h.e.bytes
+	}
+	c.mu.Unlock()
+}
+
+// Acquire leases a resident matrix for reading and marks it most recently
+// used.
+func (c *Catalog) Acquire(name string) (*Handle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		c.misses++
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	c.hits++
+	e.refs++
+	c.lru.MoveToFront(e.elem)
+	return &Handle{c: c, e: e}, nil
+}
+
+// Delete removes a matrix from the catalog. Outstanding handles stay
+// valid; the memory is released from the accounting when the last one is
+// released.
+func (c *Catalog) Delete(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	c.dropLocked(e)
+	return nil
+}
+
+// Info describes one resident matrix.
+type Info struct {
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	NNZ         int64   `json:"nnz"`
+	Bytes       int64   `json:"bytes"`
+	TilesSparse int     `json:"tiles_sparse"`
+	TilesDense  int     `json:"tiles_dense"`
+	Density     float64 `json:"density"`
+	Pinned      bool    `json:"pinned"`
+	Refs        int     `json:"refs"`
+}
+
+func infoFor(e *entry) Info {
+	sp, d := e.m.TileCount()
+	return Info{
+		Name: e.name, Rows: e.m.Rows, Cols: e.m.Cols,
+		NNZ: e.m.NNZ(), Bytes: e.bytes,
+		TilesSparse: sp, TilesDense: d,
+		Density: e.m.Density(),
+		Pinned:  e.pinned, Refs: e.refs,
+	}
+}
+
+// infoOf snapshots one entry's Info; zero Info when absent.
+func (c *Catalog) infoOf(name string) Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[name]; ok {
+		return infoFor(e)
+	}
+	return Info{}
+}
+
+// List snapshots all resident matrices in most-recently-used order.
+func (c *Catalog) List() []Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Info, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, infoFor(el.Value.(*entry)))
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the catalog counters.
+type Stats struct {
+	Matrices      int   `json:"matrices"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+	Evictions     int64 `json:"evictions"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+}
+
+// Stats returns the current counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Matrices:      len(c.entries),
+		ResidentBytes: c.resident,
+		BudgetBytes:   c.budget,
+		Evictions:     c.evictions,
+		Hits:          c.hits,
+		Misses:        c.misses,
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,6 +26,21 @@ type MultOptions struct {
 	// DynOpt enables the dynamic optimizer: cost-based kernel selection
 	// with just-in-time operand conversions (§III-C).
 	DynOpt bool
+	// Ctx, when non-nil, cancels the multiplication: the operator checks
+	// it between phases and the worker teams check it between tile-task
+	// batches, so a cancelled or deadline-exceeded run aborts promptly
+	// without interrupting a tile multiplication mid-flight. The operator
+	// returns ctx.Err() (context.Canceled or context.DeadlineExceeded)
+	// and no result. A nil Ctx means the run cannot be cancelled.
+	Ctx context.Context
+}
+
+// ctxErr returns the cancellation state of the options' context.
+func (o MultOptions) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // DefaultMultOptions enables the full ATMULT behavior.
@@ -100,6 +116,9 @@ func MultiplyOpt(a, b *ATMatrix, cfg Config, opts MultOptions) (*ATMatrix, *Mult
 	if a.BAtomic != cfg.BAtomic || b.BAtomic != cfg.BAtomic {
 		return nil, nil, fmt.Errorf("core: operand block size (%d, %d) does not match config b_atomic %d", a.BAtomic, b.BAtomic, cfg.BAtomic)
 	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	wallStart := time.Now()
 	stats := &MultStats{Numa: numa.NewStats(cfg.Topology)}
 
@@ -171,9 +190,17 @@ func MultiplyOpt(a, b *ATMatrix, cfg Config, opts MultOptions) (*ATMatrix, *Mult
 			queues[int(home)] = append(queues[int(home)], int32(ti*len(colBands)+tj))
 		}
 	}
-	rs := pool.RunIndexed(queues, mc.runPair)
+	if err := opts.ctxErr(); err != nil {
+		return nil, nil, err
+	}
+	rs := pool.RunIndexedCtx(opts.Ctx, queues, mc.runPair)
 	stats.TasksStolen = rs.Stolen
 	stats.ScratchBytes = scratchFootprint.Load()
+	// A cancelled run may have skipped arbitrary pairs; the partial slot
+	// grid is not a valid product, so abort before assembly.
+	if err := opts.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 
 	// Assemble the result AT MATRIX: compact the produced slots into
 	// exact-size backing arrays so the (mostly empty) pair grid is not

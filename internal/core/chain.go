@@ -174,13 +174,20 @@ func (p *ChainPlan) render(i, j int) string {
 // MultiplyChain optimizes and executes A0·A1·…·An-1 with ATMULT,
 // repartitioning intermediates so later steps see adaptive layouts.
 func MultiplyChain(chain []*ATMatrix, cfg Config) (*ATMatrix, *ChainStats, error) {
+	return MultiplyChainOpt(chain, cfg, DefaultMultOptions())
+}
+
+// MultiplyChainOpt is MultiplyChain with explicit per-step multiplication
+// options; in particular opts.Ctx cancels the chain between (and inside)
+// the individual ATMULT steps.
+func MultiplyChainOpt(chain []*ATMatrix, cfg Config, opts MultOptions) (*ATMatrix, *ChainStats, error) {
 	plan, err := OptimizeChain(chain, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := &ChainStats{Plan: plan}
 	t0 := time.Now()
-	result, err := executeChain(chain, plan, cfg, 0, len(chain)-1, stats)
+	result, err := executeChain(chain, plan, cfg, opts, 0, len(chain)-1, stats)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -188,20 +195,20 @@ func MultiplyChain(chain []*ATMatrix, cfg Config) (*ATMatrix, *ChainStats, error
 	return result, stats, nil
 }
 
-func executeChain(chain []*ATMatrix, plan *ChainPlan, cfg Config, i, j int, stats *ChainStats) (*ATMatrix, error) {
+func executeChain(chain []*ATMatrix, plan *ChainPlan, cfg Config, opts MultOptions, i, j int, stats *ChainStats) (*ATMatrix, error) {
 	if i == j {
 		return chain[i], nil
 	}
 	k := plan.splits[i][j]
-	left, err := executeChain(chain, plan, cfg, i, k, stats)
+	left, err := executeChain(chain, plan, cfg, opts, i, k, stats)
 	if err != nil {
 		return nil, err
 	}
-	right, err := executeChain(chain, plan, cfg, k+1, j, stats)
+	right, err := executeChain(chain, plan, cfg, opts, k+1, j, stats)
 	if err != nil {
 		return nil, err
 	}
-	out, mstats, err := Multiply(left, right, cfg)
+	out, mstats, err := MultiplyOpt(left, right, cfg, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -3,8 +3,12 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
+	"math"
 
 	"atmatrix/internal/mat"
 	"atmatrix/internal/numa"
@@ -21,13 +25,31 @@ import (
 //	  uint8 kind, int32 home
 //	  sparse: int64 nnz, rowPtr[rows+1], colIdx[nnz] (int32), val[nnz]
 //	  dense:  val[rows·cols] (compact row-major)
+//	uint32 CRC-32C footer over every preceding byte (including the magic)
+//
+// The footer lets a server distinguish a corrupt upload (ErrChecksum) from
+// a well-formed stream, and ErrBadMagic a stream that never was an AT
+// MATRIX; both are detectable with errors.Is.
 
 const atMagic = "ATMAT1\n\x00"
 
+var (
+	// ErrBadMagic reports a stream that does not start with the AT MATRIX
+	// magic — it is some other file format entirely.
+	ErrBadMagic = errors.New("core: bad AT MATRIX magic")
+	// ErrChecksum reports a stream whose CRC-32C footer does not match its
+	// content: the bytes were damaged after WriteTo produced them.
+	ErrChecksum = errors.New("core: AT MATRIX checksum mismatch")
+)
+
+// castagnoli is the CRC-32C polynomial table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // WriteTo serializes the AT MATRIX. It returns the number of bytes
-// written.
+// written, including the trailing CRC-32C footer.
 func (a *ATMatrix) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &countingWriter{w: bw, crc: crc32.New(castagnoli)}
 	if _, err := cw.Write([]byte(atMagic)); err != nil {
 		return cw.n, fmt.Errorf("core: writing magic: %w", err)
 	}
@@ -68,26 +90,36 @@ func (a *ATMatrix) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	bw := cw.w.(*bufio.Writer)
+	// The footer is the checksum of everything before it, so it is written
+	// past the hashing writer.
+	sum := cw.crc.Sum32()
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], sum)
+	if _, err := bw.Write(foot[:]); err != nil {
+		return cw.n, fmt.Errorf("core: writing checksum: %w", err)
+	}
+	cw.n += 4
 	if err := bw.Flush(); err != nil {
 		return cw.n, fmt.Errorf("core: flushing: %w", err)
 	}
 	return cw.n, nil
 }
 
-// ReadATMatrix deserializes an AT MATRIX written by WriteTo and validates
-// its invariants.
+// ReadATMatrix deserializes an AT MATRIX written by WriteTo, verifies the
+// CRC-32C footer and validates the structural invariants. Payload reads are
+// chunked and allocations grow incrementally, so a corrupt or hostile
+// header cannot force an allocation larger than the actual stream.
 func ReadATMatrix(r io.Reader) (*ATMatrix, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20), crc: crc32.New(castagnoli)}
 	magic := make([]byte, len(atMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(cr, magic); err != nil {
 		return nil, fmt.Errorf("core: reading magic: %w", err)
 	}
 	if string(magic) != atMagic {
-		return nil, fmt.Errorf("core: bad magic %q", magic)
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, magic)
 	}
 	var hdr [4]int64
-	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, hdr[:]); err != nil {
 		return nil, fmt.Errorf("core: reading header: %w", err)
 	}
 	rows, cols, bAtomic, nTiles := hdr[0], hdr[1], hdr[2], hdr[3]
@@ -110,15 +142,15 @@ func ReadATMatrix(r io.Reader) (*ATMatrix, error) {
 	out := newATMatrix(int(rows), int(cols), int(bAtomic))
 	for ti := int64(0); ti < nTiles; ti++ {
 		var meta [4]int64
-		if err := binary.Read(br, binary.LittleEndian, meta[:]); err != nil {
+		if err := binary.Read(cr, binary.LittleEndian, meta[:]); err != nil {
 			return nil, fmt.Errorf("core: tile %d bounds: %w", ti, err)
 		}
 		var kind uint8
-		if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
+		if err := binary.Read(cr, binary.LittleEndian, &kind); err != nil {
 			return nil, fmt.Errorf("core: tile %d kind: %w", ti, err)
 		}
 		var home int32
-		if err := binary.Read(br, binary.LittleEndian, &home); err != nil {
+		if err := binary.Read(cr, binary.LittleEndian, &home); err != nil {
 			return nil, fmt.Errorf("core: tile %d home: %w", ti, err)
 		}
 		t := &Tile{
@@ -134,34 +166,36 @@ func ReadATMatrix(r io.Reader) (*ATMatrix, error) {
 		switch t.Kind {
 		case mat.Sparse:
 			var nnz int64
-			if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+			if err := binary.Read(cr, binary.LittleEndian, &nnz); err != nil {
 				return nil, fmt.Errorf("core: tile %d nnz: %w", ti, err)
 			}
 			if nnz < 0 || nnz > int64(t.Rows)*int64(t.Cols) {
 				return nil, fmt.Errorf("core: tile %d impossible nnz %d", ti, nnz)
 			}
-			csr := mat.NewCSR(t.Rows, t.Cols)
-			csr.ColIdx = make([]int32, nnz)
-			csr.Val = make([]float64, nnz)
-			if err := binary.Read(br, binary.LittleEndian, csr.RowPtr); err != nil {
+			rowPtr, err := readInt64s(cr, int64(t.Rows)+1)
+			if err != nil {
 				return nil, fmt.Errorf("core: tile %d row pointers: %w", ti, err)
 			}
-			if err := binary.Read(br, binary.LittleEndian, csr.ColIdx); err != nil {
+			colIdx, err := readInt32s(cr, nnz)
+			if err != nil {
 				return nil, fmt.Errorf("core: tile %d columns: %w", ti, err)
 			}
-			if err := binary.Read(br, binary.LittleEndian, csr.Val); err != nil {
+			val, err := readFloat64s(cr, nnz)
+			if err != nil {
 				return nil, fmt.Errorf("core: tile %d values: %w", ti, err)
 			}
+			csr := &mat.CSR{Rows: t.Rows, Cols: t.Cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
 			if err := csr.Validate(); err != nil {
 				return nil, fmt.Errorf("core: tile %d payload: %w", ti, err)
 			}
 			t.Sp = csr
 			t.NNZ = nnz
 		case mat.DenseKind:
-			d := mat.NewDense(t.Rows, t.Cols)
-			if err := binary.Read(br, binary.LittleEndian, d.Data); err != nil {
+			data, err := readFloat64s(cr, int64(t.Rows)*int64(t.Cols))
+			if err != nil {
 				return nil, fmt.Errorf("core: tile %d payload: %w", ti, err)
 			}
+			d := &mat.Dense{Rows: t.Rows, Cols: t.Cols, Stride: t.Cols, Data: data}
 			t.D = d
 			t.NNZ = d.NNZ()
 		default:
@@ -169,19 +203,90 @@ func ReadATMatrix(r io.Reader) (*ATMatrix, error) {
 		}
 		out.addTile(t)
 	}
+	// The footer itself is not part of the checksummed bytes.
+	want := cr.crc.Sum32()
+	var foot [4]byte
+	if _, err := io.ReadFull(cr.r, foot[:]); err != nil {
+		return nil, fmt.Errorf("core: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(foot[:]); got != want {
+		return nil, fmt.Errorf("%w: stream %08x, computed %08x", ErrChecksum, got, want)
+	}
 	if err := out.Validate(); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// readSlice reads n fixed-size little-endian elements through a bounded
+// chunk buffer. The destination grows incrementally, so a hostile length
+// field cannot allocate more than the stream actually delivers (plus one
+// bounded chunk); a short stream fails with io.ErrUnexpectedEOF.
+func readSlice[T any](r io.Reader, n int64, size int, dec func([]byte) T) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative element count %d", n)
+	}
+	const chunkBytes = 1 << 16 // multiple of every element size used
+	initCap := n
+	if initCap > chunkBytes/int64(size) {
+		initCap = chunkBytes / int64(size)
+	}
+	out := make([]T, 0, initCap)
+	var buf [chunkBytes]byte
+	for int64(len(out)) < n {
+		want := (n - int64(len(out))) * int64(size)
+		if want > chunkBytes {
+			want = chunkBytes
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		for off := int64(0); off < want; off += int64(size) {
+			out = append(out, dec(buf[off:off+int64(size)]))
+		}
+	}
+	return out, nil
+}
+
+func readInt64s(r io.Reader, n int64) ([]int64, error) {
+	return readSlice(r, n, 8, func(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) })
+}
+
+func readInt32s(r io.Reader, n int64) ([]int32, error) {
+	return readSlice(r, n, 4, func(b []byte) int32 { return int32(binary.LittleEndian.Uint32(b)) })
+}
+
+func readFloat64s(r io.Reader, n int64) ([]float64, error) {
+	return readSlice(r, n, 8, func(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) })
+}
+
+// countingWriter tracks bytes written and feeds them to the running CRC.
 type countingWriter struct {
-	w io.Writer
-	n int64
+	w   io.Writer
+	n   int64
+	crc hash.Hash32
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// crcReader feeds every byte it delivers to the running CRC.
+type crcReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.crc.Write(p[:n])
+	}
 	return n, err
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -95,8 +96,8 @@ func TestSerializeRejectsCorruption(t *testing.T) {
 	}
 	bad := append([]byte(nil), data...)
 	copy(bad, "WRONGMAG")
-	if _, err := ReadATMatrix(bytes.NewReader(bad)); err == nil {
-		t.Fatal("bad magic accepted")
+	if _, err := ReadATMatrix(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v, want ErrBadMagic", err)
 	}
 	// Corrupt the tile count to something absurd.
 	bad = append([]byte(nil), data...)
@@ -104,5 +105,77 @@ func TestSerializeRejectsCorruption(t *testing.T) {
 	bad[8+25] = 0xff
 	if _, err := ReadATMatrix(bytes.NewReader(bad)); err == nil {
 		t.Fatal("absurd tile count accepted")
+	}
+}
+
+// TestSerializeChecksum flips single payload bytes and checks the CRC-32C
+// footer rejects each corruption with the typed ErrChecksum — the signal
+// the catalog uses to distinguish a damaged upload from an I/O failure.
+func TestSerializeChecksum(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	cfg := testConfig()
+	am, _, err := Partition(mat.RandomCOO(rng, 64, 64, 600), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := am.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Every corruption past the header must surface as *some* error, and a
+	// value-byte flip (which passes all structural validation) must surface
+	// specifically as ErrChecksum.
+	for _, off := range []int{len(data) / 2, len(data) - 8} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		if _, err := ReadATMatrix(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d accepted", off)
+		}
+	}
+	// Flipping the low bit of a float64 value mantissa changes no structure
+	// at all; only the checksum can catch it.
+	bad := append([]byte(nil), data...)
+	bad[len(data)-12] ^= 0x01
+	if _, err := ReadATMatrix(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("silent payload corruption: got %v, want ErrChecksum", err)
+	}
+	// A truncated footer is an I/O-shaped error, not a checksum mismatch.
+	if _, err := ReadATMatrix(bytes.NewReader(data[:len(data)-2])); err == nil || errors.Is(err, ErrChecksum) {
+		t.Fatalf("truncated footer: got %v, want non-checksum read error", err)
+	}
+}
+
+// TestSerializeHostileNNZ checks that a header claiming a huge tile payload
+// fails on the short stream instead of allocating the claimed size.
+func TestSerializeHostileNNZ(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(134))
+	am, _, err := Partition(mat.RandomCOO(rng, 64, 64, 600), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := am.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// First tile starts after magic (8) + header (32): bounds (32) + kind
+	// (1) + home (4), then the int64 nnz of the first (sparse) tile.
+	off := 8 + 32 + 32 + 1 + 4
+	if mat.Kind(data[8+32+32]) != mat.Sparse {
+		t.Skip("first tile not sparse under this seed")
+	}
+	bad := append([]byte(nil), data...)
+	// Claim nnz = 64·64 (the maximum the tile bounds allow) with the same
+	// short stream behind it: the chunked reader must fail at EOF.
+	for i := 0; i < 8; i++ {
+		bad[off+i] = 0
+	}
+	bad[off] = 0x00
+	bad[off+1] = 0x10 // 4096 little-endian
+	if _, err := ReadATMatrix(bytes.NewReader(bad)); err == nil {
+		t.Fatal("hostile nnz accepted")
 	}
 }

@@ -80,6 +80,9 @@ func ReadMatrixMarket(r io.Reader) (*mat.COO, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mmio: bad column count %q", sz[1])
 	}
+	if rows < 0 || cols < 0 || rows > 1<<31 || cols > 1<<31 {
+		return nil, fmt.Errorf("mmio: unreasonable dimensions %d×%d", rows, cols)
+	}
 	out := mat.NewCOO(rows, cols)
 
 	if layout == "array" {
@@ -105,6 +108,9 @@ func ReadMatrixMarket(r io.Reader) (*mat.COO, error) {
 	nnz, err := strconv.Atoi(sz[2])
 	if err != nil {
 		return nil, fmt.Errorf("mmio: bad nnz %q", sz[2])
+	}
+	if nnz < 0 || int64(nnz) > int64(rows)*int64(cols) {
+		return nil, fmt.Errorf("mmio: header claims %d entries for a %d×%d matrix", nnz, rows, cols)
 	}
 	for i := 0; i < nnz; i++ {
 		line, err := readLine(br)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -67,8 +68,17 @@ type runReq struct {
 	next     []atomic.Int64
 	stealing bool
 	grain    int
-	stolen   atomic.Int64
-	wg       sync.WaitGroup
+	// ctx, when non-nil, aborts the run between task executions: a
+	// cancelled request stops draining its queues but never interrupts a
+	// task mid-flight, so worker-local state stays consistent.
+	ctx    context.Context
+	stolen atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// cancelled reports whether the request's context has been cancelled.
+func (req *runReq) cancelled() bool {
+	return req.ctx != nil && req.ctx.Err() != nil
 }
 
 // queueLen returns the length of socket s's folded queue.
@@ -142,12 +152,19 @@ func (r *Runtime) Topology() numa.Topology { return r.topo }
 // serialized per leader, which bounds the process-wide parallelism to the
 // topology — the point of a persistent worker pool.
 func (r *Runtime) Run(queues [][]Task, stealing bool, grain int) RunStats {
+	return r.RunCtx(nil, queues, stealing, grain)
+}
+
+// RunCtx is Run with a cancellation context: when ctx is cancelled the
+// leaders stop picking up further tasks (in-flight tasks always finish) and
+// the call returns. ctx may be nil for an uncancellable run.
+func (r *Runtime) RunCtx(ctx context.Context, queues [][]Task, stealing bool, grain int) RunStats {
 	s := len(r.teams)
 	folded := make([][]Task, s)
 	for i, q := range queues {
 		folded[i%s] = append(folded[i%s], q...)
 	}
-	return r.dispatch(&runReq{folded: folded, stealing: stealing, grain: grain})
+	return r.dispatch(&runReq{folded: folded, stealing: stealing, grain: grain, ctx: ctx})
 }
 
 // RunIndexed executes queues of item ids through one shared task function,
@@ -155,12 +172,17 @@ func (r *Runtime) Run(queues [][]Task, stealing bool, grain int) RunStats {
 // the allocation-free bulk form: a multiplication enqueues one int32 per
 // tile pair instead of one closure per pair.
 func (r *Runtime) RunIndexed(queues [][]int32, run func(team *Team, item int32), stealing bool, grain int) RunStats {
+	return r.RunIndexedCtx(nil, queues, run, stealing, grain)
+}
+
+// RunIndexedCtx is RunIndexed with a cancellation context (see RunCtx).
+func (r *Runtime) RunIndexedCtx(ctx context.Context, queues [][]int32, run func(team *Team, item int32), stealing bool, grain int) RunStats {
 	s := len(r.teams)
 	folded := make([][]int32, s)
 	for i, q := range queues {
 		folded[i%s] = append(folded[i%s], q...)
 	}
-	return r.dispatch(&runReq{items: folded, run: run, stealing: stealing, grain: grain})
+	return r.dispatch(&runReq{items: folded, run: run, stealing: stealing, grain: grain, ctx: ctx})
 }
 
 func (r *Runtime) dispatch(req *runReq) RunStats {
@@ -182,6 +204,9 @@ func (r *Runtime) leaderLoop(t *workerTeam) {
 	for req := range t.leaderCh {
 		team := &Team{Socket: t.socket, Workers: t.size, Grain: req.grain, home: t}
 		for {
+			if req.cancelled() {
+				break
+			}
 			i := int(req.next[sock].Add(1) - 1)
 			if i >= req.queueLen(sock) {
 				break
@@ -192,6 +217,9 @@ func (r *Runtime) leaderLoop(t *workerTeam) {
 			for off := 1; off < len(r.teams); off++ {
 				victim := (sock + off) % len(r.teams)
 				for {
+					if req.cancelled() {
+						break
+					}
 					i := int(req.next[victim].Add(1) - 1)
 					if i >= req.queueLen(victim) {
 						break

@@ -16,6 +16,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -161,30 +162,40 @@ func (p *Pool) Topology() numa.Topology { return p.topo }
 // Run executes the queues: queues[s] holds the tasks affine to socket s.
 // It blocks until every task has run exactly once. Queue indexes beyond
 // the socket count are folded back round-robin.
-func (p *Pool) Run(queues [][]Task) RunStats {
+func (p *Pool) Run(queues [][]Task) RunStats { return p.RunCtx(nil, queues) }
+
+// RunCtx is Run with a cancellation context: a cancelled ctx stops the
+// teams from picking up further tasks (in-flight tasks always finish). A
+// nil ctx means an uncancellable run.
+func (p *Pool) RunCtx(ctx context.Context, queues [][]Task) RunStats {
 	if !p.Ephemeral {
-		return RuntimeFor(p.topo).Run(queues, p.Stealing, p.RowGrain)
+		return RuntimeFor(p.topo).RunCtx(ctx, queues, p.Stealing, p.RowGrain)
 	}
 	s := p.topo.Sockets
 	folded := make([][]Task, s)
 	for i, q := range queues {
 		folded[i%s] = append(folded[i%s], q...)
 	}
-	return p.runEphemeral(&runReq{folded: folded, stealing: p.Stealing, grain: p.RowGrain})
+	return p.runEphemeral(&runReq{folded: folded, stealing: p.Stealing, grain: p.RowGrain, ctx: ctx})
 }
 
 // RunIndexed executes queues of item ids through one shared task function
 // (see Runtime.RunIndexed); queues[s] holds the items affine to socket s.
 func (p *Pool) RunIndexed(queues [][]int32, run func(team *Team, item int32)) RunStats {
+	return p.RunIndexedCtx(nil, queues, run)
+}
+
+// RunIndexedCtx is RunIndexed with a cancellation context (see RunCtx).
+func (p *Pool) RunIndexedCtx(ctx context.Context, queues [][]int32, run func(team *Team, item int32)) RunStats {
 	if !p.Ephemeral {
-		return RuntimeFor(p.topo).RunIndexed(queues, run, p.Stealing, p.RowGrain)
+		return RuntimeFor(p.topo).RunIndexedCtx(ctx, queues, run, p.Stealing, p.RowGrain)
 	}
 	s := p.topo.Sockets
 	folded := make([][]int32, s)
 	for i, q := range queues {
 		folded[i%s] = append(folded[i%s], q...)
 	}
-	return p.runEphemeral(&runReq{items: folded, run: run, stealing: p.Stealing, grain: p.RowGrain})
+	return p.runEphemeral(&runReq{items: folded, run: run, stealing: p.Stealing, grain: p.RowGrain, ctx: ctx})
 }
 
 // runEphemeral is the pre-runtime implementation: one goroutine per socket
@@ -200,6 +211,9 @@ func (p *Pool) runEphemeral(req *runReq) RunStats {
 			team := &Team{Socket: numa.Node(sock), Workers: p.topo.CoresPerSocket, Grain: p.RowGrain}
 			// Drain the local queue first.
 			for {
+				if req.cancelled() {
+					return
+				}
 				i := int(req.next[sock].Add(1) - 1)
 				if i >= req.queueLen(sock) {
 					break
@@ -213,6 +227,9 @@ func (p *Pool) runEphemeral(req *runReq) RunStats {
 			for off := 1; off < s; off++ {
 				victim := (sock + off) % s
 				for {
+					if req.cancelled() {
+						return
+					}
 					i := int(req.next[victim].Add(1) - 1)
 					if i >= req.queueLen(victim) {
 						break

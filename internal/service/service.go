@@ -1,0 +1,437 @@
+// Package service implements the job layer of the serving stack: an
+// admission-controlled queue in front of core.MultiplyOpt and
+// core.MultiplyChainOpt. Requests against cataloged matrices are admitted
+// into a bounded queue (rejected with backpressure when full), executed
+// under per-job deadlines by a fixed worker pool — at most one in-flight
+// multiplication per simulated socket team, since every ATMULT fans out
+// across all teams and the persistent runtime serializes excess requests
+// per leader anyway — and accounted in aggregate metrics the HTTP
+// front-end exposes.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atmatrix/internal/catalog"
+	"atmatrix/internal/core"
+)
+
+var (
+	// ErrQueueFull reports that the admission queue is at capacity; the
+	// caller should back off and retry (HTTP 429).
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining reports that the manager is shutting down and admits no
+	// new jobs (HTTP 503).
+	ErrDraining = errors.New("service: shutting down")
+	// ErrBadRequest reports a structurally invalid request.
+	ErrBadRequest = errors.New("service: bad request")
+)
+
+// Options tunes the manager.
+type Options struct {
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// ErrQueueFull. Zero defaults to 4 × Workers.
+	QueueDepth int
+	// Workers is the number of jobs executed concurrently. Zero defaults
+	// to the topology's socket count: each ATMULT spreads over all socket
+	// teams and the persistent runtime serializes per leader, so more
+	// in-flight multiplies than teams only adds queueing inside the
+	// scheduler.
+	Workers int
+	// DefaultTimeout is applied to jobs that do not carry their own
+	// deadline; zero means no deadline.
+	DefaultTimeout time.Duration
+}
+
+// Request describes one multiplication job: either a pair (A, B) or a
+// chain of three or more operands, by catalog name.
+type Request struct {
+	A, B  string
+	Chain []string
+	// Store, when non-empty, repartitions the result adaptively and
+	// admits it into the catalog under this name.
+	Store string
+	// Pin pins the stored result against eviction.
+	Pin bool
+	// Timeout overrides the manager's default per-job deadline.
+	Timeout time.Duration
+}
+
+// names returns the operand list of the request.
+func (r *Request) names() []string {
+	if len(r.Chain) > 0 {
+		return r.Chain
+	}
+	return []string{r.A, r.B}
+}
+
+func (r *Request) validate() error {
+	if len(r.Chain) > 0 {
+		if r.A != "" || r.B != "" {
+			return fmt.Errorf("%w: give either a/b or chain, not both", ErrBadRequest)
+		}
+		if len(r.Chain) < 2 {
+			return fmt.Errorf("%w: chain needs at least two operands", ErrBadRequest)
+		}
+		return nil
+	}
+	if r.A == "" || r.B == "" {
+		return fmt.Errorf("%w: both operand names required", ErrBadRequest)
+	}
+	return nil
+}
+
+// Result summarizes a completed job.
+type Result struct {
+	Rows        int           `json:"rows"`
+	Cols        int           `json:"cols"`
+	NNZ         int64         `json:"nnz"`
+	Bytes       int64         `json:"bytes"`
+	TilesSparse int           `json:"tiles_sparse"`
+	TilesDense  int           `json:"tiles_dense"`
+	Stored      string        `json:"stored,omitempty"`
+	ChainExpr   string        `json:"chain_expr,omitempty"`
+	Wall        time.Duration `json:"wall_ns"`
+	Queue       time.Duration `json:"queue_ns"`
+}
+
+// Job is one admitted request. Done is closed when the job finishes;
+// Result/Err are valid after that.
+type Job struct {
+	req      Request
+	ctx      context.Context
+	cancel   context.CancelFunc
+	enqueued time.Time
+
+	Done   chan struct{}
+	Result *Result
+	Err    error
+}
+
+// Manager owns the admission queue and the worker pool.
+type Manager struct {
+	cat  *catalog.Catalog
+	cfg  core.Config
+	opts Options
+
+	queue    chan *Job
+	rootCtx  context.Context
+	rootStop context.CancelFunc
+	workers  sync.WaitGroup
+
+	admitMu sync.RWMutex
+	closed  bool
+
+	m metrics
+}
+
+// metrics holds the manager's counters. accepted = completed + failed +
+// canceled + queued + inflight at every instant (queued and inflight are
+// gauges, the rest monotonic).
+type metrics struct {
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	inflight  atomic.Int64
+
+	// Aggregated core.MultStats across completed jobs.
+	statMu      sync.Mutex
+	mult        core.MultStats
+	latencies   []time.Duration // ring buffer of recent job latencies
+	latencyNext int
+}
+
+const latencyWindow = 1024
+
+// New starts a manager over the catalog. The manager multiplies with the
+// catalog's configuration.
+func New(cat *catalog.Catalog, opts Options) *Manager {
+	cfg := cat.Config()
+	if opts.Workers <= 0 {
+		opts.Workers = cfg.Topology.Sockets
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4 * opts.Workers
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cat:      cat,
+		cfg:      cfg,
+		opts:     opts,
+		queue:    make(chan *Job, opts.QueueDepth),
+		rootCtx:  ctx,
+		rootStop: stop,
+	}
+	m.m.latencies = make([]time.Duration, 0, latencyWindow)
+	for i := 0; i < opts.Workers; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates and admits a job without blocking: a full queue returns
+// ErrQueueFull immediately (the backpressure signal), a draining manager
+// ErrDraining. The returned job completes asynchronously; wait on Done.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = m.opts.DefaultTimeout
+	}
+	m.admitMu.RLock()
+	defer m.admitMu.RUnlock()
+	if m.closed {
+		m.m.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	ctx := m.rootCtx
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	job := &Job{req: req, ctx: ctx, cancel: cancel, enqueued: time.Now(), Done: make(chan struct{})}
+	select {
+	case m.queue <- job:
+		m.m.accepted.Add(1)
+		return job, nil
+	default:
+		cancel()
+		m.m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (j *Job) Wait() (*Result, error) {
+	<-j.Done
+	return j.Result, j.Err
+}
+
+// worker drains the queue until it is closed by Close.
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for job := range m.queue {
+		m.run(job)
+	}
+}
+
+// run executes one job end to end.
+func (m *Manager) run(job *Job) {
+	m.m.inflight.Add(1)
+	defer m.m.inflight.Add(-1)
+	defer job.cancel()
+	queueWait := time.Since(job.enqueued)
+
+	res, err := m.execute(job)
+	if err == nil {
+		res.Queue = queueWait
+		job.Result = res
+		m.m.completed.Add(1)
+		m.m.observeLatency(queueWait + res.Wall)
+	} else {
+		job.Err = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			m.m.canceled.Add(1)
+		} else {
+			m.m.failed.Add(1)
+		}
+	}
+	close(job.Done)
+}
+
+func (m *Manager) execute(job *Job) (*Result, error) {
+	// A job that spent its whole deadline queued aborts here, before
+	// acquiring anything.
+	if err := job.ctx.Err(); err != nil {
+		return nil, err
+	}
+	names := job.req.names()
+	handles := make([]*catalog.Handle, 0, len(names))
+	defer func() {
+		for _, h := range handles {
+			h.Release()
+		}
+	}()
+	operands := make([]*core.ATMatrix, 0, len(names))
+	for _, name := range names {
+		h, err := m.cat.Acquire(name)
+		if err != nil {
+			return nil, err
+		}
+		handles = append(handles, h)
+		operands = append(operands, h.Matrix())
+	}
+
+	opts := core.DefaultMultOptions()
+	opts.Ctx = job.ctx
+	t0 := time.Now()
+	var (
+		out   *core.ATMatrix
+		err   error
+		expr  string
+		stats []*core.MultStats
+	)
+	if len(job.req.Chain) > 0 {
+		var cst *core.ChainStats
+		out, cst, err = core.MultiplyChainOpt(operands, m.cfg, opts)
+		if err == nil {
+			expr = cst.Plan.Expression
+			stats = cst.StepStats
+		}
+	} else {
+		var mst *core.MultStats
+		out, mst, err = core.MultiplyOpt(operands[0], operands[1], m.cfg, opts)
+		if err == nil {
+			stats = []*core.MultStats{mst}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0)
+	m.m.aggregate(stats)
+
+	res := &Result{
+		Rows: out.Rows, Cols: out.Cols, NNZ: out.NNZ(), Bytes: out.Bytes(),
+		ChainExpr: expr, Wall: wall,
+	}
+	res.TilesSparse, res.TilesDense = out.TileCount()
+	if job.req.Store != "" {
+		// Stored results become first-class operands of later jobs, so
+		// rebuild the band-grid result into an adaptive layout.
+		re, _, err := out.Repartition(m.cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.cat.Put(job.req.Store, re, job.req.Pin); err != nil {
+			return nil, err
+		}
+		res.Stored = job.req.Store
+		res.Bytes = re.Bytes()
+		res.TilesSparse, res.TilesDense = re.TileCount()
+	}
+	return res, nil
+}
+
+// observeLatency records one completed-job latency in the ring buffer.
+func (mm *metrics) observeLatency(d time.Duration) {
+	mm.statMu.Lock()
+	defer mm.statMu.Unlock()
+	if len(mm.latencies) < latencyWindow {
+		mm.latencies = append(mm.latencies, d)
+		return
+	}
+	mm.latencies[mm.latencyNext] = d
+	mm.latencyNext = (mm.latencyNext + 1) % latencyWindow
+}
+
+// aggregate folds per-step MultStats into the running totals.
+func (mm *metrics) aggregate(steps []*core.MultStats) {
+	mm.statMu.Lock()
+	defer mm.statMu.Unlock()
+	for _, s := range steps {
+		mm.mult.EstimateTime += s.EstimateTime
+		mm.mult.OptimizeTime += s.OptimizeTime
+		mm.mult.ConvertTime += s.ConvertTime
+		mm.mult.MultiplyTime += s.MultiplyTime
+		mm.mult.FinalizeTime += s.FinalizeTime
+		mm.mult.WallTime += s.WallTime
+		mm.mult.Conversions += s.Conversions
+		mm.mult.Contributions += s.Contributions
+		mm.mult.TargetTiles += s.TargetTiles
+		mm.mult.TasksStolen += s.TasksStolen
+	}
+}
+
+// Metrics is a consistent snapshot of the manager's counters.
+type Metrics struct {
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	InFlight  int64 `json:"in_flight"`
+	Queued    int64 `json:"queued"`
+	QueueCap  int64 `json:"queue_capacity"`
+
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+
+	Mult core.MultStats `json:"mult"`
+}
+
+// Metrics snapshots the counters. The monotonic counters are read before
+// the gauges, so accepted ≥ completed+failed+canceled+queued+inflight can
+// transiently miss a job in handoff but never double-counts one.
+func (m *Manager) Metrics() Metrics {
+	out := Metrics{
+		Completed: m.m.completed.Load(),
+		Failed:    m.m.failed.Load(),
+		Canceled:  m.m.canceled.Load(),
+		Rejected:  m.m.rejected.Load(),
+		Accepted:  m.m.accepted.Load(),
+		InFlight:  m.m.inflight.Load(),
+		Queued:    int64(len(m.queue)),
+		QueueCap:  int64(cap(m.queue)),
+	}
+	m.m.statMu.Lock()
+	out.Mult = m.m.mult
+	if n := len(m.m.latencies); n > 0 {
+		sorted := make([]time.Duration, n)
+		copy(sorted, m.m.latencies)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		out.LatencyP50 = sorted[n/2]
+		out.LatencyP99 = sorted[(n*99)/100]
+	}
+	m.m.statMu.Unlock()
+	return out
+}
+
+// Close stops admission, drains queued and in-flight jobs, and returns
+// once the workers exited. Jobs still running when the drain timeout
+// expires are cancelled through their context (aborting between tile-task
+// batches) and accounted as canceled. A second Close is a no-op.
+func (m *Manager) Close(drainTimeout time.Duration) error {
+	m.admitMu.Lock()
+	if m.closed {
+		m.admitMu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.admitMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(done)
+	}()
+	var timedOut bool
+	if drainTimeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(drainTimeout):
+			timedOut = true
+			m.rootStop() // cancel everything still running or queued
+			<-done
+		}
+	} else {
+		<-done
+	}
+	m.rootStop()
+	if timedOut {
+		return fmt.Errorf("service: drain timeout after %v; in-flight jobs cancelled", drainTimeout)
+	}
+	return nil
+}
