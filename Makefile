@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check build test vet race bench serve-smoke
+.PHONY: check fmt build test vet race chaos bench serve-smoke
 
-## check: the pre-PR gate — vet, build, full test suite, and the
-## concurrency stress tests under the race detector.
-check: vet build test race
+## check: the pre-PR gate — formatting, vet, build, full test suite, the
+## concurrency stress tests under the race detector, and the fault-injection
+## chaos suite under the race detector.
+check: fmt vet build test race chaos
+
+## fmt: fail if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +22,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/sched ./internal/core ./internal/catalog ./internal/service ./cmd/atserve -run 'Concurrent|Cancel'
+
+## chaos: the fault-injection suite — injected kernel panics, hung tasks,
+## transient failures, corrupt streams, double releases — with the race
+## detector and the goroutine leak checks armed.
+chaos:
+	$(GO) test -race ./internal/faultinject ./internal/sched ./internal/catalog ./internal/service ./cmd/atserve -run 'Chaos|Fault|Panic|Watchdog|Release|WriteFile' -count=1
 
 ## bench: the per-figure benchmarks with allocation counts.
 bench:

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breaker is the brownout circuit of the front-end: it watches admission
+// rejections (the saturation signal — a full queue means the workers cannot
+// keep up) and, once rejections cluster, opens for a cooldown during which
+// low-priority multiplies are shed immediately with 503 + Retry-After
+// instead of competing with interactive traffic for the queue. Shedding the
+// deprioritized tail is what keeps the high-priority path's queue slots
+// available during overload — degrade before falling over.
+type breaker struct {
+	window    time.Duration // how far back rejections count
+	threshold int           // rejections within window that open the circuit
+	cooldown  time.Duration // how long the circuit stays open
+
+	mu         sync.Mutex
+	rejections []time.Time
+	openUntil  time.Time
+
+	trips atomic.Int64 // times the circuit opened
+	shed  atomic.Int64 // low-priority jobs shed while open
+}
+
+func newBreaker() *breaker {
+	return &breaker{window: 10 * time.Second, threshold: 5, cooldown: 5 * time.Second}
+}
+
+// recordRejection notes one queue-full rejection and opens the circuit when
+// the rejection rate crosses the threshold.
+func (b *breaker) recordRejection(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cutoff := now.Add(-b.window)
+	kept := b.rejections[:0]
+	for _, t := range b.rejections {
+		if t.After(cutoff) {
+			kept = append(kept, t)
+		}
+	}
+	b.rejections = append(kept, now)
+	if len(b.rejections) >= b.threshold && now.After(b.openUntil) {
+		b.openUntil = now.Add(b.cooldown)
+		b.trips.Add(1)
+	}
+}
+
+// open reports whether the circuit is currently open (brownout active).
+func (b *breaker) open(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.Before(b.openUntil)
+}
+
+// retryAfter renders a jittered Retry-After value in seconds. The jitter
+// spreads the retry herd: a constant would synchronize every backed-off
+// client onto the same instant, re-saturating the queue at each period.
+func retryAfter() string {
+	return fmt.Sprintf("%d", 1+rand.Intn(3))
+}

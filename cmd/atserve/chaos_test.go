@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/leakcheck"
+	"atmatrix/internal/sched"
+	"atmatrix/internal/service"
+)
+
+// healthz fetches /healthz and returns the status string plus reasons.
+func healthz(t *testing.T, base string) (string, []string, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Status, out.Reasons, resp.StatusCode
+}
+
+// TestChaosE2E is the acceptance chaos drill: with faults injected through
+// the same registry ATSERVE_FAULTS arms, the process must survive a kernel
+// panic, a hung task, and a corrupt upload — failing only the affected jobs
+// with typed statuses, reporting degradation on /healthz, exposing the fault
+// counters on /metrics, serving healthy multiplies afterwards, and leaking
+// zero goroutines.
+func TestChaosE2E(t *testing.T) {
+	leakcheck.Check(t)
+	t.Cleanup(func() { sched.RuntimeFor(testConfig().Topology).Close() })
+	t.Cleanup(faultinject.Disable)
+	_, ts := newTestServer(t, 0, service.Options{
+		Watchdog:  25 * time.Millisecond,
+		RetryBase: 2 * time.Millisecond,
+	})
+
+	for i, name := range []string{"a", "b", "c", "d"} {
+		resp := upload(t, ts.URL, name, rmatStream(t, 64, 640, int64(50+i)))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %s: status %d", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// --- Fault 1: kernel panic. The job fails typed (500 with the panic
+	// surfaced), the operands are quarantined, the process stays up.
+	faultinject.Enable(1, faultinject.Rule{Site: "sched.task", Kind: faultinject.KindPanic})
+	resp, out := multiply(t, ts.URL, map[string]any{"a": "a", "b": "b"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked multiply: status %d (%v), want 500", resp.StatusCode, out)
+	}
+	faultinject.Disable()
+	resp, out = multiply(t, ts.URL, map[string]any{"a": "a", "b": "b"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("multiply on quarantined operands: status %d (%v), want 422", resp.StatusCode, out)
+	}
+	if status, reasons, code := healthz(t, ts.URL); status != "degraded" || code != http.StatusOK || len(reasons) == 0 {
+		t.Fatalf("healthz after panic = %q (%d) %v, want degraded/200 with reasons", status, code, reasons)
+	}
+
+	// --- Fault 2: hung task. The watchdog degrades the stuck team, the
+	// transient failure is retried on the healthy team, the job succeeds.
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "sched.task", Kind: faultinject.KindDelay, Delay: 300 * time.Millisecond,
+	})
+	resp, out = multiply(t, ts.URL, map[string]any{"a": "c", "b": "d"})
+	faultinject.Disable()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply with hung task: status %d (%v), want 200 via retry", resp.StatusCode, out)
+	}
+
+	// --- Fault 3: corrupt .atm upload. Rejected typed, name quarantined,
+	// and a later multiply naming it fails fast instead of 404-ing.
+	r, err := http.Post(ts.URL+"/v1/matrices?name=corrupt&format=atm",
+		"application/octet-stream", bytes.NewReader([]byte("ATMAT1\x00garbage")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt upload: status %d, want 422", r.StatusCode)
+	}
+	resp, out = multiply(t, ts.URL, map[string]any{"a": "corrupt", "b": "c"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("multiply on corrupt name: status %d (%v), want 422", resp.StatusCode, out)
+	}
+
+	// --- Recovery: healthy operands multiply fine after all three faults.
+	resp, out = multiply(t, ts.URL, map[string]any{"a": "c", "b": "d"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy multiply after chaos: status %d (%v), want 200", resp.StatusCode, out)
+	}
+
+	// --- Counters: every fault class left a nonzero trace on /metrics.
+	for _, metric := range []string{
+		"atserve_retries_total", "atserve_task_panics_total", "atserve_watchdog_timeouts_total",
+	} {
+		if v := metricValue(t, ts.URL, metric); v == 0 {
+			t.Errorf("%s = 0 after chaos run, want nonzero", metric)
+		}
+	}
+	if v := metricValue(t, ts.URL, "atserve_quarantined_matrices"); v != 3 {
+		t.Errorf("quarantined = %v, want 3 (a, b, corrupt)", v)
+	}
+
+	// --- Operator reset: deleting quarantined names lifts the quarantine;
+	// a fresh upload of "a" serves again.
+	for _, name := range []string{"a", "b", "corrupt"} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/matrices/"+name, nil)
+		dr, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr.Body.Close()
+		if dr.StatusCode != http.StatusNoContent {
+			t.Fatalf("delete %s: status %d, want 204", name, dr.StatusCode)
+		}
+	}
+	resp = upload(t, ts.URL, "a", rmatStream(t, 64, 640, 60))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("re-upload a: status %d", resp.StatusCode)
+	}
+	resp, out = multiply(t, ts.URL, map[string]any{"a": "a", "b": "c"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply after quarantine reset: status %d (%v), want 200", resp.StatusCode, out)
+	}
+
+	// Let the team degraded by fault 2 self-heal so the leak check sees a
+	// quiescent runtime.
+	rt := sched.RuntimeFor(testConfig().Topology)
+	for deadline := time.Now().Add(2 * time.Second); len(rt.DegradedSockets()) != 0; {
+		if time.Now().After(deadline) {
+			t.Fatalf("sockets still degraded: %v", rt.DegradedSockets())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosBrownoutShedsLowPriority drives the breaker directly: once queue
+// rejections cluster, low-priority multiplies are shed with 503 + jittered
+// Retry-After while normal traffic keeps being admitted, and /healthz
+// reports the brownout.
+func TestChaosBrownoutShedsLowPriority(t *testing.T) {
+	leakcheck.Check(t)
+	t.Cleanup(func() { sched.RuntimeFor(testConfig().Topology).Close() })
+	s, ts := newTestServer(t, 0, service.Options{})
+
+	resp := upload(t, ts.URL, "a", rmatStream(t, 64, 640, 70))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+
+	now := time.Now()
+	for i := 0; i < s.brk.threshold; i++ {
+		s.brk.recordRejection(now)
+	}
+	if !s.brk.open(time.Now()) {
+		t.Fatal("breaker did not open at threshold")
+	}
+
+	body, _ := json.Marshal(map[string]any{"a": "a", "b": "a", "priority": "low"})
+	lr, err := http.Post(ts.URL+"/v1/multiply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if lr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("low-priority multiply during brownout: status %d, want 503", lr.StatusCode)
+	}
+	ra, err := strconv.Atoi(lr.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 3 {
+		t.Fatalf("Retry-After = %q, want an integer in [1,3]", lr.Header.Get("Retry-After"))
+	}
+
+	// Normal-priority traffic is NOT shed during a brownout.
+	mr, out := multiply(t, ts.URL, map[string]any{"a": "a", "b": "a"})
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("normal multiply during brownout: status %d (%v), want 200", mr.StatusCode, out)
+	}
+
+	if status, reasons, _ := healthz(t, ts.URL); status != "degraded" || len(reasons) == 0 {
+		t.Fatalf("healthz during brownout = %q %v, want degraded with reasons", status, reasons)
+	}
+	if v := metricValue(t, ts.URL, "atserve_brownout_trips_total"); v != 1 {
+		t.Errorf("brownout trips = %v, want 1", v)
+	}
+	if v := metricValue(t, ts.URL, "atserve_brownout_shed_total"); v != 1 {
+		t.Errorf("brownout shed = %v, want 1", v)
+	}
+}

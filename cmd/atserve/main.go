@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
 	"atmatrix/internal/numa"
 	"atmatrix/internal/service"
 )
@@ -46,6 +47,8 @@ func main() {
 		queueDepth = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
 		workers    = flag.Int("workers", 0, "concurrent multiply jobs (0 = one per socket)")
 		timeout    = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		watchdog   = flag.Duration("watchdog", 0, "per-tile-task deadline; a stuck kernel degrades its team instead of hanging the job (0 = off)")
+		retries    = flag.Int("retries", 0, "max retries of transiently-failed jobs (0 = default of 2, negative = none)")
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight jobs")
 		maxUpload  = flag.Int64("max-upload", 1<<30, "maximum upload body size in bytes")
 		allowPath  = flag.Bool("allow-path-loads", false, "allow JSON loads that name files on the server filesystem")
@@ -67,10 +70,29 @@ func main() {
 		cfg.Topology = numa.Topology{Sockets: *sockets, CoresPerSocket: *cores}
 	}
 
+	// Fault injection stays disarmed unless the operator opts in through the
+	// environment; the hooks themselves are always compiled in (one atomic
+	// load when idle) so chaos drills run against the production binary.
+	if spec := os.Getenv(faultinject.EnvVar); spec != "" {
+		var seed int64
+		if sv := os.Getenv(faultinject.EnvSeedVar); sv != "" {
+			if _, err := fmt.Sscanf(sv, "%d", &seed); err != nil {
+				log.Fatalf("atserve: bad %s %q: %v", faultinject.EnvSeedVar, sv, err)
+			}
+		}
+		rules, err := faultinject.EnableFromSpec(spec, seed)
+		if err != nil {
+			log.Fatalf("atserve: %v", err)
+		}
+		log.Printf("atserve: FAULT INJECTION ARMED (%s=%q, seed %d): %d rule(s)", faultinject.EnvVar, spec, seed, len(rules))
+	}
+
 	s, err := newServer(cfg, *budget, service.Options{
 		QueueDepth:     *queueDepth,
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
+		Watchdog:       *watchdog,
+		MaxRetries:     *retries,
 	}, *allowPath, *maxUpload)
 	if err != nil {
 		log.Fatalf("atserve: %v", err)

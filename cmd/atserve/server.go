@@ -14,6 +14,8 @@ import (
 
 	"atmatrix/internal/catalog"
 	"atmatrix/internal/core"
+	"atmatrix/internal/numa"
+	"atmatrix/internal/sched"
 	"atmatrix/internal/service"
 )
 
@@ -23,9 +25,11 @@ import (
 type server struct {
 	cat       *catalog.Catalog
 	mgr       *service.Manager
+	topo      numa.Topology
+	brk       *breaker
 	started   time.Time
 	draining  atomic.Bool
-	allowPath bool  // permit {"path": ...} loads from the server filesystem
+	allowPath bool  // permit {"path": ...} loads/saves on the server filesystem
 	maxUpload int64 // request body cap for uploads
 }
 
@@ -40,6 +44,8 @@ func newServer(cfg core.Config, budget int64, opts service.Options, allowPath bo
 	return &server{
 		cat:       cat,
 		mgr:       service.New(cat, opts),
+		topo:      cfg.Topology,
+		brk:       newBreaker(),
 		started:   time.Now(),
 		allowPath: allowPath,
 		maxUpload: maxUpload,
@@ -53,6 +59,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("PUT /v1/matrices", s.handleLoad) // curl -T sends PUT
 	mux.HandleFunc("GET /v1/matrices", s.handleList)
 	mux.HandleFunc("DELETE /v1/matrices/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/matrices/{name}/save", s.handleSave)
 	mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -142,12 +149,18 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	info, err := s.cat.Load(name, format, src, pin)
 	switch {
 	case err == nil:
+		// A fresh, checksum-verified load supersedes any earlier poisoning
+		// under this name.
+		s.mgr.Unquarantine(name)
 		writeJSON(w, http.StatusCreated, info)
 	case errors.Is(err, catalog.ErrExists):
 		jsonError(w, http.StatusConflict, "%v", err)
 	case errors.Is(err, catalog.ErrBudget):
 		jsonError(w, http.StatusInsufficientStorage, "%v", err)
 	case errors.Is(err, core.ErrChecksum), errors.Is(err, core.ErrBadMagic):
+		// The stream failed verification: quarantine the name so multiplies
+		// referencing it fail fast and typed until a good load replaces it.
+		s.mgr.Quarantine(name, fmt.Sprintf("corrupt load: %v", err))
 		jsonError(w, http.StatusUnprocessableEntity, "corrupt upload: %v", err)
 	default:
 		jsonError(w, http.StatusBadRequest, "loading %s: %v", name, err)
@@ -163,11 +176,52 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	// Deleting a quarantined name lifts the quarantine even when the matrix
+	// itself is gone (e.g. it never loaded): delete is the operator's reset.
+	wasQuarantined := s.mgr.Unquarantine(name)
 	if err := s.cat.Delete(name); err != nil {
+		if wasQuarantined {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 		jsonError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// saveRequest is the JSON body of POST /v1/matrices/{name}/save.
+type saveRequest struct {
+	Path string `json:"path"`
+}
+
+// handleSave writes a resident matrix to a server-side file crash-safely
+// (temp file + fsync + atomic rename). Like path loads, writing server
+// paths is gated behind -allow-path-loads.
+func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if !s.allowPath {
+		jsonError(w, http.StatusForbidden, "path saves disabled; start with -allow-path-loads")
+		return
+	}
+	var req saveRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Path == "" {
+		jsonError(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	name := r.PathValue("name")
+	n, err := s.cat.Save(name, req.Path)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]any{"name": name, "path": req.Path, "bytes": n})
+	case errors.Is(err, catalog.ErrNotFound):
+		jsonError(w, http.StatusNotFound, "%v", err)
+	default:
+		jsonError(w, http.StatusInternalServerError, "saving %s: %v", name, err)
+	}
 }
 
 // multiplyRequest is the JSON body of POST /v1/multiply: either {a, b} or
@@ -179,12 +233,23 @@ type multiplyRequest struct {
 	Store     string   `json:"store"`
 	Pin       bool     `json:"pin"`
 	TimeoutMS int64    `json:"timeout_ms"`
+	// Priority "low" marks the job sheddable: during a brownout (the
+	// breaker opened on queue saturation) low-priority multiplies are
+	// rejected immediately with 503 + Retry-After instead of taking queue
+	// slots from interactive traffic. Empty or "normal" is never shed.
+	Priority string `json:"priority"`
 }
 
 func (s *server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	var req multiplyRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		jsonError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Priority == "low" && s.brk.open(time.Now()) {
+		s.brk.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfter())
+		jsonError(w, http.StatusServiceUnavailable, "brownout: low-priority multiplies shed, retry later")
 		return
 	}
 	job, err := s.mgr.Submit(service.Request{
@@ -195,11 +260,15 @@ func (s *server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case errors.Is(err, service.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		s.brk.recordRejection(time.Now())
+		w.Header().Set("Retry-After", retryAfter())
 		jsonError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, service.ErrDraining):
 		jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, service.ErrQuarantined):
+		jsonError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	default:
 		jsonError(w, http.StatusBadRequest, "%v", err)
@@ -234,13 +303,33 @@ func (s *server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz reports one of three states: "ok", "degraded" (still
+// serving, but a brownout is active, a worker team was abandoned by a
+// watchdog, or matrices sit in quarantine — each spelled out in reasons),
+// or "draining" (shutting down, 503 so load balancers stop routing here).
+// Degraded stays 200: the process serves, just below full capacity.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	var reasons []string
+	if s.brk.open(time.Now()) {
+		reasons = append(reasons, "brownout: admission queue saturated, shedding low-priority multiplies")
+	}
+	if ds := sched.RuntimeFor(s.topo).DegradedSockets(); len(ds) > 0 {
+		reasons = append(reasons, fmt.Sprintf("scheduler: %d worker team(s) degraded (sockets %v)", len(ds), ds))
+	}
+	if q := s.mgr.Quarantined(); len(q) > 0 {
+		reasons = append(reasons, fmt.Sprintf("catalog: %d matrix(es) quarantined", len(q)))
+	}
+	status := "ok"
+	if len(reasons) > 0 {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+		"status":    status,
+		"reasons":   reasons,
 		"uptime_ms": time.Since(s.started).Milliseconds(),
 	})
 }
@@ -265,6 +354,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("atserve_jobs_inflight", m.InFlight)
 	p("atserve_queue_depth", m.Queued)
 	p("atserve_queue_capacity", m.QueueCap)
+	p("atserve_retries_total", m.Retries)
+	p("atserve_task_panics_total", m.TaskPanics)
+	p("atserve_watchdog_timeouts_total", m.WatchdogTimeouts)
+	p("atserve_quarantined_matrices", m.Quarantined)
+	p("atserve_brownout_trips_total", s.brk.trips.Load())
+	p("atserve_brownout_shed_total", s.brk.shed.Load())
+	p("atserve_degraded_sockets", len(sched.RuntimeFor(s.topo).DegradedSockets()))
 	p(`atserve_job_latency_seconds{quantile="0.5"}`, secs(m.LatencyP50))
 	p(`atserve_job_latency_seconds{quantile="0.99"}`, secs(m.LatencyP99))
 	p("atserve_catalog_matrices", cs.Matrices)

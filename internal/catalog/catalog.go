@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
 	"atmatrix/internal/mmio"
 )
 
@@ -115,6 +117,10 @@ func (c *Catalog) Put(name string, m *core.ATMatrix, pin bool) error {
 		return fmt.Errorf("catalog: empty matrix name")
 	}
 	bytes := m.Bytes()
+	if err := faultinject.Do("catalog.put"); err != nil {
+		// Chaos hook: simulated admission/allocation failure.
+		return fmt.Errorf("catalog: admitting %q: %w", name, err)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[name]; ok {
@@ -219,12 +225,14 @@ func (c *Catalog) Load(name string, format Format, r io.Reader, pin bool) (Info,
 
 // Handle is a ref-counted read lease on a resident matrix. The matrix is
 // guaranteed to stay alive (never evicted, its memory accounted) until
-// Release. Handles are not safe for concurrent use, but separate handles
-// to the same matrix are.
+// Release. Handles may be shared across goroutines for Release purposes
+// (the ref count is decremented exactly once no matter how many callers
+// race on Release); reading the matrix concurrently is fine since leased
+// matrices are immutable.
 type Handle struct {
 	c        *Catalog
 	e        *entry
-	released bool
+	released atomic.Bool
 }
 
 // Matrix returns the leased AT MATRIX. Callers must treat it as read-only.
@@ -233,12 +241,13 @@ func (h *Handle) Matrix() *core.ATMatrix { return h.e.m }
 // Name returns the name the matrix was acquired under.
 func (h *Handle) Name() string { return h.e.name }
 
-// Release returns the lease. Releasing twice is a no-op.
+// Release returns the lease. Releasing twice — even concurrently, as when a
+// job's deferred cleanup races its retry loop's error path — decrements the
+// ref count exactly once.
 func (h *Handle) Release() {
-	if h.released {
+	if !h.released.CompareAndSwap(false, true) {
 		return
 	}
-	h.released = true
 	c := h.c
 	c.mu.Lock()
 	h.e.refs--
@@ -265,6 +274,18 @@ func (c *Catalog) Acquire(name string) (*Handle, error) {
 	e.refs++
 	c.lru.MoveToFront(e.elem)
 	return &Handle{c: c, e: e}, nil
+}
+
+// Save writes a resident matrix to path crash-safely (temp file + fsync +
+// atomic rename, see core.WriteFile), holding a read lease for the duration
+// so the matrix cannot be evicted mid-write. It returns the bytes written.
+func (c *Catalog) Save(name, path string) (int64, error) {
+	h, err := c.Acquire(name)
+	if err != nil {
+		return 0, err
+	}
+	defer h.Release()
+	return h.Matrix().WriteFile(path)
 }
 
 // Delete removes a matrix from the catalog. Outstanding handles stay

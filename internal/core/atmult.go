@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,6 +34,11 @@ type MultOptions struct {
 	// returns ctx.Err() (context.Canceled or context.DeadlineExceeded)
 	// and no result. A nil Ctx means the run cannot be cancelled.
 	Ctx context.Context
+	// Watchdog, when positive, bounds every tile task: a task running
+	// longer marks its worker team degraded and fails the multiplication
+	// with a *sched.WatchdogError instead of blocking forever on a hung
+	// kernel. Zero disables the watchdog.
+	Watchdog time.Duration
 }
 
 // ctxErr returns the cancellation state of the options' context.
@@ -176,6 +182,7 @@ func MultiplyOpt(a, b *ATMatrix, cfg Config, opts MultOptions) (*ATMatrix, *Mult
 	pool := sched.NewPool(cfg.Topology)
 	pool.Stealing = cfg.Stealing
 	pool.RowGrain = cfg.RowGrain
+	pool.Watchdog = opts.Watchdog
 	pool.Ephemeral = cfg.EphemeralWorkers
 	queues := make([][]int32, cfg.Topology.Sockets)
 	for ti := range rowBands {
@@ -193,13 +200,25 @@ func MultiplyOpt(a, b *ATMatrix, cfg Config, opts MultOptions) (*ATMatrix, *Mult
 	if err := opts.ctxErr(); err != nil {
 		return nil, nil, err
 	}
-	rs := pool.RunIndexedCtx(opts.Ctx, queues, mc.runPair)
+	rs, runErr := pool.RunIndexedCtx(opts.Ctx, queues, mc.runPair)
 	stats.TasksStolen = rs.Stolen
 	stats.ScratchBytes = scratchFootprint.Load()
 	// A cancelled run may have skipped arbitrary pairs; the partial slot
 	// grid is not a valid product, so abort before assembly.
 	if err := opts.ctxErr(); err != nil {
 		return nil, nil, err
+	}
+	if runErr != nil {
+		// A panicking tile task fails only this multiplication; annotate
+		// the scheduler's error with the target-tile coordinates the item
+		// id encodes.
+		var tpe *sched.TaskPanicError
+		if errors.As(runErr, &tpe) && tpe.Item >= 0 && len(colBands) > 0 {
+			ti, tj := int(tpe.Item)/len(colBands), int(tpe.Item)%len(colBands)
+			return nil, nil, fmt.Errorf("core: ATMULT task panic at target tile (%d,%d) [rows %d–%d × cols %d–%d]: %w",
+				ti, tj, rowBands[ti].Lo, rowBands[ti].Hi, colBands[tj].Lo, colBands[tj].Hi, runErr)
+		}
+		return nil, nil, fmt.Errorf("core: ATMULT run failed: %w", runErr)
 	}
 
 	// Assemble the result AT MATRIX: compact the produced slots into

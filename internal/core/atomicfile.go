@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"atmatrix/internal/faultinject"
+)
+
+// WriteFile serializes the AT MATRIX to path crash-safely: the stream is
+// written to a temporary file in the same directory, fsynced, and atomically
+// renamed over the destination, so a process killed mid-write never leaves
+// a torn file that would later fail its CRC-32C check — readers see either
+// the previous content or the complete new stream. The containing directory
+// is fsynced after the rename so the new name itself survives a crash.
+func (a *ATMatrix) WriteFile(path string) (n int64, err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".atm-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("core: creating temp file in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err := faultinject.Do("core.writefile"); err != nil {
+		// Simulated crash mid-write: the deferred cleanup removes the
+		// temp file and the destination is untouched.
+		return 0, err
+	}
+	n, err = a.WriteTo(tmp)
+	if err != nil {
+		return n, err
+	}
+	if err = tmp.Sync(); err != nil {
+		return n, fmt.Errorf("core: syncing %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return n, fmt.Errorf("core: closing %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return n, fmt.Errorf("core: renaming into place: %w", err)
+	}
+	// Durability of the rename itself: fsync the directory. Some platforms
+	// reject directory fsync; that only weakens durability, not atomicity,
+	// so such errors are ignored.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return n, nil
+}
+
+// ReadATMatrixFile reads an AT MATRIX from a file written by WriteFile (or
+// any ATMAT1 stream on disk).
+func ReadATMatrixFile(path string) (*ATMatrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadATMatrix(f)
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/sched"
+)
+
+// TestMultiplyPanicReportsTargetTile checks the kernel panic domain end to
+// end: an injected panic inside an ATMULT task surfaces as a typed
+// *TaskPanicError wrapped with the target tile's coordinates, the process
+// survives, and the very next multiplication on the same persistent teams
+// computes the correct product.
+func TestMultiplyPanicReportsTargetTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cfg := testConfig()
+	src, err := genHeterogeneous(rng, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _, err := Partition(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, stats, err := Multiply(am, am, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Contributions == 0 {
+		t.Fatal("test matrix produced no tile-multiplication tasks")
+	}
+
+	reset := faultinject.Enable(1, faultinject.Rule{
+		Site: "sched.task", Kind: faultinject.KindPanic,
+	})
+	_, _, err = Multiply(am, am, cfg)
+	reset()
+	var tpe *sched.TaskPanicError
+	if !errors.As(err, &tpe) {
+		t.Fatalf("Multiply error = %v, want wrapped *TaskPanicError", err)
+	}
+	if tpe.Item < 0 {
+		t.Errorf("panic Item = %d, want a tile-pair index", tpe.Item)
+	}
+	if !strings.Contains(err.Error(), "target tile") {
+		t.Errorf("error %q does not name the target tile", err)
+	}
+
+	got, _, err := Multiply(am, am, cfg)
+	if err != nil {
+		t.Fatalf("multiply after recovered panic failed: %v", err)
+	}
+	if !got.ToDense().EqualApprox(want.ToDense(), 0) {
+		t.Fatal("multiply after recovered panic computed a different product")
+	}
+}

@@ -78,7 +78,9 @@ func (a *ATMatrix) MatVec(x []float64, cfg Config) ([]float64, error) {
 			})
 		})
 	}
-	pool.Run(queues)
+	if _, err := pool.Run(queues); err != nil {
+		return nil, err
+	}
 	return y, nil
 }
 

@@ -102,7 +102,9 @@ func Partition(src *mat.COO, cfg Config) (*ATMatrix, *PartitionStats, error) {
 	if status == stForward {
 		p.materialize(0, uint64(len(cnts)), nnz)
 	}
-	p.buildTiles()
+	if err := p.buildTiles(); err != nil {
+		return nil, nil, err
+	}
 	stats.BuildTime = time.Since(t0)
 	return p.out, stats, nil
 }
@@ -262,7 +264,7 @@ func (p *partitioner) materialize(zs, ze uint64, nnz int64) {
 // buildTiles executes the planned materializations — in parallel across
 // the pool's workers when there is enough work — and registers the tiles
 // in deterministic (recursion) order.
-func (p *partitioner) buildTiles() {
+func (p *partitioner) buildTiles() error {
 	tiles := make([]*Tile, len(p.jobs))
 	build := func(i int) { tiles[i] = p.buildTile(p.jobs[i]) }
 	if len(p.jobs) >= 4 && p.cfg.Topology.TotalCores() > 1 {
@@ -273,7 +275,9 @@ func (p *partitioner) buildTiles() {
 			i := i
 			tasks[i] = func(*sched.Team) { build(i) }
 		}
-		pool.RunFlat(tasks)
+		if _, err := pool.RunFlat(tasks); err != nil {
+			return err
+		}
 	} else {
 		for i := range p.jobs {
 			build(i)
@@ -282,6 +286,7 @@ func (p *partitioner) buildTiles() {
 	for _, t := range tiles {
 		p.out.addTile(t)
 	}
+	return nil
 }
 
 // buildTile materializes one planned tile: because an element's Z-value

@@ -63,7 +63,9 @@ func MulSpSpSp(a, b *mat.CSR, cfg Config) (*mat.CSR, error) {
 			kernels.SpSpSp(acc, ch.Lo, 0, aw, kernels.FullCSR(b), spa)
 		})
 	}
-	pool.RunFlat(tasks)
+	if _, err := pool.RunFlat(tasks); err != nil {
+		return nil, err
+	}
 	return acc.ToCSR(), nil
 }
 
@@ -82,7 +84,9 @@ func MulSpSpD(a, b *mat.CSR, cfg Config) (*mat.Dense, error) {
 			kernels.SpSpD(c.Window(ch.Lo, ch.Hi, 0, c.Cols), aw, kernels.FullCSR(b))
 		})
 	}
-	pool.RunFlat(tasks)
+	if _, err := pool.RunFlat(tasks); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -101,7 +105,9 @@ func MulSpDD(a *mat.CSR, b *mat.Dense, cfg Config) (*mat.Dense, error) {
 			kernels.SpDD(c.Window(ch.Lo, ch.Hi, 0, c.Cols), aw, b)
 		})
 	}
-	pool.RunFlat(tasks)
+	if _, err := pool.RunFlat(tasks); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -120,7 +126,9 @@ func MulDSpD(a *mat.Dense, b *mat.CSR, cfg Config) (*mat.Dense, error) {
 			kernels.DSpD(c.Window(ch.Lo, ch.Hi, 0, c.Cols), a.Window(ch.Lo, ch.Hi, 0, a.Cols), kernels.FullCSR(b))
 		})
 	}
-	pool.RunFlat(tasks)
+	if _, err := pool.RunFlat(tasks); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -138,7 +146,9 @@ func MulDDD(a, b *mat.Dense, cfg Config) (*mat.Dense, error) {
 			kernels.DDD(c.Window(ch.Lo, ch.Hi, 0, c.Cols), a.Window(ch.Lo, ch.Hi, 0, a.Cols), b)
 		})
 	}
-	pool.RunFlat(tasks)
+	if _, err := pool.RunFlat(tasks); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 

@@ -1,0 +1,279 @@
+// Package faultinject is the deterministic fault-injection registry of the
+// serving stack. Instrumented sites across the scheduler, the catalog and
+// the service layer call Do(site); with no faults armed that is a single
+// atomic load, so the hooks are compiled into production binaries at
+// negligible cost and armed only explicitly — tests call Enable directly,
+// binaries opt in through the ATSERVE_FAULTS environment variable.
+//
+// Faults are deterministic by construction: a rule fires on exact hit
+// ordinals (After/Count), and the only randomized mode (Prob) draws from a
+// rand.Rand seeded through Enable, so a chaos run replays bit-identically
+// for a given seed. Supported kinds:
+//
+//	panic      panic at the site (the scheduler converts it to a TaskPanicError)
+//	delay      sleep at the site (drives watchdog timeouts)
+//	transient  return ErrInjectedTransient (retryable; Transient() == true)
+//	error      return ErrInjected (permanent)
+//	alloc      return ErrInjectedAlloc (simulated allocation failure)
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable binaries read to arm faults; see
+// ParseSpec for the grammar. EnvSeedVar optionally seeds the Prob rng.
+const (
+	EnvVar     = "ATSERVE_FAULTS"
+	EnvSeedVar = "ATSERVE_FAULTS_SEED"
+)
+
+// Kind names what a firing rule does at its site.
+type Kind string
+
+const (
+	// KindPanic panics with an *InjectedPanic value.
+	KindPanic Kind = "panic"
+	// KindDelay sleeps for the rule's Delay (default 100ms).
+	KindDelay Kind = "delay"
+	// KindTransient returns ErrInjectedTransient, which classifies as
+	// retryable (it implements Transient() bool).
+	KindTransient Kind = "transient"
+	// KindError returns ErrInjected, a permanent failure.
+	KindError Kind = "error"
+	// KindAlloc returns ErrInjectedAlloc, a simulated allocation failure.
+	KindAlloc Kind = "alloc"
+)
+
+var (
+	// ErrInjected is the canned permanent error of KindError rules.
+	ErrInjected = errors.New("faultinject: injected error")
+	// ErrInjectedAlloc is the canned error of KindAlloc rules.
+	ErrInjectedAlloc = errors.New("faultinject: injected allocation failure")
+	// ErrInjectedTransient is the canned error of KindTransient rules.
+	ErrInjectedTransient error = &transientError{}
+)
+
+// transientError marks the injected transient failure as retryable via the
+// Transient() marker the service layer's classifier looks for.
+type transientError struct{}
+
+func (*transientError) Error() string   { return "faultinject: injected transient error" }
+func (*transientError) Transient() bool { return true }
+
+// InjectedPanic is the value KindPanic rules panic with, so tests can tell
+// an injected panic from a genuine one.
+type InjectedPanic struct{ Site string }
+
+func (p *InjectedPanic) String() string { return "faultinject: injected panic at " + p.Site }
+
+// Rule arms one fault at one site. The zero After fires from the first hit;
+// the zero Count fires exactly once; Count < 0 fires on every matching hit.
+type Rule struct {
+	Site  string
+	Kind  Kind
+	After int64         // 1-based hit ordinal at which the rule starts firing (0 → 1)
+	Count int64         // fires before disarming (0 → 1; negative → unlimited)
+	Delay time.Duration // sleep duration for KindDelay (0 → 100ms)
+	Prob  float64       // in (0,1): fire with this probability per eligible hit
+	Err   error         // overrides the canned error for error kinds
+}
+
+// ruleState is one armed rule with its private hit counters.
+type ruleState struct {
+	Rule
+	hits  atomic.Int64
+	fired atomic.Int64
+}
+
+// registry is one Enable epoch: the armed rules keyed by site plus the
+// seeded rng for probabilistic rules.
+type registry struct {
+	rules map[string][]*ruleState
+	mu    sync.Mutex // guards rng
+	rng   *rand.Rand
+}
+
+var active atomic.Pointer[registry]
+
+// Enabled reports whether any faults are armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Enable arms the rules, replacing any previously armed set, and returns a
+// reset function that disarms everything (defer it in tests). The seed
+// drives only probabilistic (Prob) rules; counting rules are deterministic
+// regardless.
+func Enable(seed int64, rules ...Rule) func() {
+	reg := &registry{rules: make(map[string][]*ruleState), rng: rand.New(rand.NewSource(seed))}
+	for _, r := range rules {
+		if r.After <= 0 {
+			r.After = 1
+		}
+		if r.Count == 0 {
+			r.Count = 1
+		}
+		if r.Kind == KindDelay && r.Delay == 0 {
+			r.Delay = 100 * time.Millisecond
+		}
+		reg.rules[r.Site] = append(reg.rules[r.Site], &ruleState{Rule: r})
+	}
+	active.Store(reg)
+	return Disable
+}
+
+// Disable disarms all faults.
+func Disable() { active.Store(nil) }
+
+// Do is the instrumentation hook: sites call it and act on the result. It
+// returns nil (after an optional injected sleep) or an error to inject, and
+// panics for armed KindPanic rules. With nothing armed it is one atomic
+// load.
+func Do(site string) error {
+	reg := active.Load()
+	if reg == nil {
+		return nil
+	}
+	rules := reg.rules[site]
+	if len(rules) == 0 {
+		return nil
+	}
+	var err error
+	for _, r := range rules {
+		hit := r.hits.Add(1)
+		if hit < r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired.Load() >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 {
+			reg.mu.Lock()
+			miss := reg.rng.Float64() >= r.Prob
+			reg.mu.Unlock()
+			if miss {
+				continue
+			}
+		}
+		r.fired.Add(1)
+		switch r.Kind {
+		case KindPanic:
+			panic(&InjectedPanic{Site: site})
+		case KindDelay:
+			time.Sleep(r.Delay)
+		case KindTransient:
+			if err == nil {
+				err = injectedErr(r, ErrInjectedTransient)
+			}
+		case KindAlloc:
+			if err == nil {
+				err = injectedErr(r, ErrInjectedAlloc)
+			}
+		default: // KindError and anything unrecognized: permanent error
+			if err == nil {
+				err = injectedErr(r, ErrInjected)
+			}
+		}
+	}
+	return err
+}
+
+func injectedErr(r *ruleState, canned error) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return fmt.Errorf("%w (site %s)", canned, r.Site)
+}
+
+// Fired returns how many times rules at the site have fired, for test
+// assertions.
+func Fired(site string) int64 {
+	reg := active.Load()
+	if reg == nil {
+		return 0
+	}
+	var n int64
+	for _, r := range reg.rules[site] {
+		n += r.fired.Load()
+	}
+	return n
+}
+
+// ParseSpec parses the ATSERVE_FAULTS grammar: comma-separated rules of the
+// form
+//
+//	site=kind[@after][xcount][:delay]
+//
+// e.g. "sched.task=panic@3,sched.task=delay@5:300ms,service.execute=transientx2".
+// after is the 1-based hit ordinal at which the rule starts firing, count
+// how many hits fire (default 1, "*" = unlimited), delay the sleep for
+// delay rules.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(field, "=")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("faultinject: rule %q: want site=kind[@after][xcount][:delay]", field)
+		}
+		r := Rule{Site: site}
+		if k, d, ok := strings.Cut(rest, ":"); ok {
+			rest = k
+			delay, err := time.ParseDuration(d)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: rule %q: bad delay: %v", field, err)
+			}
+			r.Delay = delay
+		}
+		if k, c, ok := strings.Cut(rest, "x"); ok {
+			rest = k
+			if c == "*" {
+				r.Count = -1
+			} else {
+				n, err := strconv.ParseInt(c, 10, 64)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("faultinject: rule %q: bad count %q", field, c)
+				}
+				r.Count = n
+			}
+		}
+		if k, a, ok := strings.Cut(rest, "@"); ok {
+			rest = k
+			n, err := strconv.ParseInt(a, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("faultinject: rule %q: bad ordinal %q", field, a)
+			}
+			r.After = n
+		}
+		switch Kind(rest) {
+		case KindPanic, KindDelay, KindTransient, KindError, KindAlloc:
+			r.Kind = Kind(rest)
+		default:
+			return nil, fmt.Errorf("faultinject: rule %q: unknown kind %q", field, rest)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// EnableFromSpec parses and arms a spec with the given seed; an empty spec
+// is a no-op. It returns the armed rules for logging.
+func EnableFromSpec(spec string, seed int64) ([]Rule, error) {
+	rules, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(rules) > 0 {
+		Enable(seed, rules...)
+	}
+	return rules, nil
+}

@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() with nothing armed")
+	}
+	if err := Do("anything"); err != nil {
+		t.Fatalf("Do with nothing armed returned %v", err)
+	}
+}
+
+func TestCountingDeterminism(t *testing.T) {
+	defer Enable(1, Rule{Site: "s", Kind: KindError, After: 3, Count: 2})()
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, Do("s"))
+	}
+	for i, e := range errs {
+		wantErr := i == 2 || i == 3 // hits 3 and 4
+		if (e != nil) != wantErr {
+			t.Errorf("hit %d: err=%v, want firing=%v", i+1, e, wantErr)
+		}
+	}
+	if got := Fired("s"); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+	if !errors.Is(errs[2], ErrInjected) {
+		t.Errorf("injected error %v is not ErrInjected", errs[2])
+	}
+}
+
+func TestTransientMarker(t *testing.T) {
+	defer Enable(1, Rule{Site: "s", Kind: KindTransient})()
+	err := Do("s")
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatalf("transient injection %v does not carry Transient() == true", err)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	defer Enable(1, Rule{Site: "s", Kind: KindPanic, After: 2})()
+	if err := Do("s"); err != nil {
+		t.Fatalf("hit 1 should not fire: %v", err)
+	}
+	defer func() {
+		p := recover()
+		ip, ok := p.(*InjectedPanic)
+		if !ok || ip.Site != "s" {
+			t.Fatalf("recovered %v, want *InjectedPanic at s", p)
+		}
+	}()
+	Do("s")
+	t.Fatal("second hit did not panic")
+}
+
+func TestDelayRule(t *testing.T) {
+	defer Enable(1, Rule{Site: "s", Kind: KindDelay, Delay: 30 * time.Millisecond})()
+	t0 := time.Now()
+	if err := Do("s"); err != nil {
+		t.Fatalf("delay rule returned error %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Errorf("delay rule slept only %v", d)
+	}
+}
+
+func TestProbSeededReplay(t *testing.T) {
+	run := func(seed int64) []bool {
+		defer Enable(seed, Rule{Site: "s", Kind: KindError, Count: -1, Prob: 0.5})()
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Do("s") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("sched.task=panic@3, sched.task=delay@5x2:300ms,service.execute=transientx*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	if r := rules[0]; r.Site != "sched.task" || r.Kind != KindPanic || r.After != 3 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if r := rules[1]; r.Kind != KindDelay || r.After != 5 || r.Count != 2 || r.Delay != 300*time.Millisecond {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	if r := rules[2]; r.Kind != KindTransient || r.Count != -1 {
+		t.Errorf("rule 2 = %+v", r)
+	}
+	for _, bad := range []string{"nosite", "s=frobnicate", "s=panic@0", "s=panic@x", "s=delay:zzz", "s=errorx0"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package leakcheck is a stdlib-only goroutine-leak harness for the chaos,
+// cancellation and shutdown tests: it snapshots the goroutine count when a
+// test starts and asserts at cleanup that the count returned to (at most)
+// the baseline, waiting out goroutines that are still winding down.
+//
+// Callers that start persistent infrastructure during the test (e.g. a
+// sched.Runtime) must tear it down in a cleanup registered *after* Check so
+// the teardown runs first (testing cleanups are LIFO).
+package leakcheck
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails the test if the count has not returned to the baseline within the
+// grace period.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d at test start, %d after cleanup\n%s", base, n, stacks())
+	})
+}
+
+// stacks renders all goroutine stacks, truncated to keep failures readable.
+func stacks() []byte {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	const maxDump = 16 << 10
+	if len(buf) > maxDump {
+		cut := bytes.LastIndex(buf[:maxDump], []byte("\n\ngoroutine "))
+		if cut < 0 {
+			cut = maxDump
+		}
+		buf = append(buf[:cut], []byte("\n... (truncated)")...)
+	}
+	return buf
+}

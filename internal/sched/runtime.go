@@ -2,9 +2,12 @@ package sched
 
 import (
 	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"atmatrix/internal/faultinject"
 	"atmatrix/internal/numa"
 )
 
@@ -18,12 +21,22 @@ import (
 // more importantly — gives every worker a stable identity that per-worker
 // scratch arenas can key off (see Team.WorkerLocal).
 //
+// The runtime is also the process's panic domain boundary: a panic inside a
+// task body (including its ParallelRows fan-out) is recovered on the worker,
+// converted to a *TaskPanicError, and fails only the run that owned the
+// task. A run may additionally arm a per-task watchdog; a task overrunning
+// it marks the owning team degraded and fails the run with a *WatchdogError
+// instead of blocking the caller forever. Degraded teams are skipped by
+// later runs (their queues are refolded onto healthy teams) and self-heal
+// when the stuck task finally returns.
+//
 // Tasks must not call Run (directly or through a Pool) from inside a task:
 // the leader executing the outer task would never pick up the nested
 // request. None of the operators in this repository nest runs.
 type Runtime struct {
-	topo  numa.Topology
-	teams []*workerTeam
+	topo   numa.Topology
+	teams  []*workerTeam
+	closed atomic.Bool
 }
 
 // workerTeam is the persistent backing of one socket's team: a leader
@@ -46,6 +59,25 @@ type workerTeam struct {
 	// Slot w is owned exclusively by whichever goroutine currently executes
 	// worker w's chunk; the channel/WaitGroup handoffs order all accesses.
 	locals []any
+
+	// taskStart is the UnixNano start time of the leader's in-flight task,
+	// 0 while idle; run watchdogs read it to detect stuck tasks.
+	taskStart atomic.Int64
+
+	// degraded marks a team abandoned by a watchdog. Dispatch skips
+	// degraded teams; the leader clears the flag when it finishes the
+	// request it was abandoned in, proving it is alive again.
+	degraded atomic.Bool
+
+	// fanoutPanic holds the first panic of the current ParallelRows
+	// fan-out's helper chunks. Only one fan-out runs per team at a time,
+	// so a single slot suffices.
+	fanoutPanic atomic.Pointer[fanoutPanic]
+
+	// leaderDone is closed when the leader goroutine exits (Close);
+	// helpersDone tracks the helper goroutines.
+	leaderDone  chan struct{}
+	helpersDone sync.WaitGroup
 }
 
 // rowJob is one intra-tile work item: a row chunk of the current tile
@@ -54,6 +86,21 @@ type rowJob struct {
 	lo, hi, worker int
 	f              func(lo, hi, worker int)
 	wg             *sync.WaitGroup
+}
+
+// RunOpts tunes one run on the persistent runtime.
+type RunOpts struct {
+	// Stealing enables cross-team work stealing once a team's own queue
+	// is drained.
+	Stealing bool
+	// Grain is the minimum number of rows per worker in ParallelRows
+	// (see Team.Grain).
+	Grain int
+	// Watchdog, when positive, is the per-task deadline: a task running
+	// longer marks its team degraded and fails the run with a
+	// *WatchdogError instead of blocking the caller. Zero disables the
+	// watchdog.
+	Watchdog time.Duration
 }
 
 // runReq is one Pool.Run handed to the leaders: the folded per-socket task
@@ -68,17 +115,67 @@ type runReq struct {
 	next     []atomic.Int64
 	stealing bool
 	grain    int
+	watchdog time.Duration
 	// ctx, when non-nil, aborts the run between task executions: a
 	// cancelled request stops draining its queues but never interrupts a
 	// task mid-flight, so worker-local state stays consistent.
 	ctx    context.Context
 	stolen atomic.Int64
-	wg     sync.WaitGroup
+
+	// done closes when every participating team has finished or been
+	// abandoned; finished[s] flips exactly once per socket (by the leader
+	// on completion or by the watchdog on abandonment) and pending counts
+	// the sockets still outstanding.
+	done     chan struct{}
+	pending  atomic.Int64
+	finished []atomic.Bool
+
+	// failed flips on the first task panic so all teams stop draining this
+	// request's queues; err holds the first failure.
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
 }
 
 // cancelled reports whether the request's context has been cancelled.
 func (req *runReq) cancelled() bool {
 	return req.ctx != nil && req.ctx.Err() != nil
+}
+
+// aborted reports whether leaders should stop picking up this request's
+// tasks: the context was cancelled or a task already failed the run.
+func (req *runReq) aborted() bool {
+	return req.failed.Load() || req.cancelled()
+}
+
+// fail records the run's first error and stops further task pickup.
+func (req *runReq) fail(err error) {
+	req.errMu.Lock()
+	if req.err == nil {
+		req.err = err
+	}
+	req.errMu.Unlock()
+	req.failed.Store(true)
+}
+
+// firstErr returns the recorded failure, if any.
+func (req *runReq) firstErr() error {
+	req.errMu.Lock()
+	defer req.errMu.Unlock()
+	return req.err
+}
+
+// markDone retires socket s's participation exactly once, whether called by
+// the leader on completion or by the watchdog on abandonment. It reports
+// whether this call was the one that retired the socket.
+func (req *runReq) markDone(s int) bool {
+	if !req.finished[s].CompareAndSwap(false, true) {
+		return false
+	}
+	if req.pending.Add(-1) == 0 {
+		close(req.done)
+	}
+	return true
 }
 
 // queueLen returns the length of socket s's folded queue.
@@ -98,6 +195,35 @@ func (req *runReq) exec(s, i int, team *Team) {
 	req.folded[s][i](team)
 }
 
+// safeExec is exec behind the panic boundary: a panicking task (or an
+// injected fault) is converted into a *TaskPanicError that fails only this
+// request. Panics surfacing from ParallelRows helper chunks arrive as
+// *fanoutPanic values carrying the original goroutine's stack.
+func (req *runReq) safeExec(s, i int, team *Team) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		stack := debug.Stack()
+		if fp, ok := p.(*fanoutPanic); ok {
+			p, stack = fp.value, fp.stack
+		}
+		item := int32(-1)
+		if req.run != nil {
+			item = req.items[s][i]
+		}
+		taskPanics.Add(1)
+		req.fail(&TaskPanicError{Socket: team.Socket, Item: item, Value: p, Stack: stack})
+	}()
+	if err := faultinject.Do("sched.task"); err != nil {
+		// Tasks have no error return; an armed error rule at this site
+		// surfaces as a (recovered) panic.
+		panic(err)
+	}
+	req.exec(s, i, team)
+}
+
 // RunStats reports scheduling counters of one Run call.
 type RunStats struct {
 	// Stolen is the number of tasks executed by a team other than the one
@@ -111,8 +237,9 @@ var (
 )
 
 // RuntimeFor returns the shared persistent runtime for a topology, starting
-// its workers on first use. Runtimes live for the remainder of the process —
-// idle workers block on their channels and cost nothing but stack space.
+// its workers on first use. Runtimes live for the remainder of the process
+// unless explicitly Closed — idle workers block on their channels and cost
+// nothing but stack space.
 func RuntimeFor(topo numa.Topology) *Runtime {
 	runtimeMu.Lock()
 	defer runtimeMu.Unlock()
@@ -125,15 +252,17 @@ func RuntimeFor(topo numa.Topology) *Runtime {
 	r := &Runtime{topo: topo}
 	for s := 0; s < topo.Sockets; s++ {
 		t := &workerTeam{
-			rt:       r,
-			socket:   numa.Node(s),
-			size:     topo.CoresPerSocket,
-			leaderCh: make(chan *runReq, 1),
-			jobCh:    make(chan rowJob, topo.CoresPerSocket),
-			locals:   make([]any, topo.CoresPerSocket),
+			rt:         r,
+			socket:     numa.Node(s),
+			size:       topo.CoresPerSocket,
+			leaderCh:   make(chan *runReq, 1),
+			jobCh:      make(chan rowJob, topo.CoresPerSocket),
+			locals:     make([]any, topo.CoresPerSocket),
+			leaderDone: make(chan struct{}),
 		}
 		r.teams = append(r.teams, t)
 		go r.leaderLoop(t)
+		t.helpersDone.Add(t.size - 1)
 		for w := 1; w < t.size; w++ {
 			go t.helperLoop()
 		}
@@ -145,54 +274,176 @@ func RuntimeFor(topo numa.Topology) *Runtime {
 // Topology returns the runtime's topology.
 func (r *Runtime) Topology() numa.Topology { return r.topo }
 
-// Run executes the queues on the persistent teams with the same semantics
-// as Pool.Run: queues[s] holds the tasks affine to socket s, every task
-// runs exactly once, and the call blocks until all tasks finished.
-// Concurrent Run calls on the same runtime are safe; their tasks are
-// serialized per leader, which bounds the process-wide parallelism to the
-// topology — the point of a persistent worker pool.
-func (r *Runtime) Run(queues [][]Task, stealing bool, grain int) RunStats {
-	return r.RunCtx(nil, queues, stealing, grain)
+// DegradedSockets returns the sockets currently marked degraded by a
+// watchdog, in ascending order.
+func (r *Runtime) DegradedSockets() []int {
+	var out []int
+	for s, t := range r.teams {
+		if t.degraded.Load() {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
-// RunCtx is Run with a cancellation context: when ctx is cancelled the
-// leaders stop picking up further tasks (in-flight tasks always finish) and
-// the call returns. ctx may be nil for an uncancellable run.
-func (r *Runtime) RunCtx(ctx context.Context, queues [][]Task, stealing bool, grain int) RunStats {
+// Close shuts the runtime's workers down and unregisters it from the
+// process-wide registry, so a later RuntimeFor starts fresh. It blocks
+// until every leader and helper exited — a leader stuck in a task delays
+// Close until that task returns. Close must not race with in-flight Run
+// calls; it exists for tests (leak checks) and controlled teardown.
+func (r *Runtime) Close() {
+	if !r.closed.CompareAndSwap(false, true) {
+		return
+	}
+	runtimeMu.Lock()
+	if runtimes[r.topo] == r {
+		delete(runtimes, r.topo)
+	}
+	runtimeMu.Unlock()
+	for _, t := range r.teams {
+		close(t.leaderCh)
+	}
+	for _, t := range r.teams {
+		<-t.leaderDone
+	}
+	// Helpers only receive jobs from their (now exited) leader, so the job
+	// channels are quiescent and safe to close.
+	for _, t := range r.teams {
+		close(t.jobCh)
+	}
+	for _, t := range r.teams {
+		t.helpersDone.Wait()
+	}
+}
+
+// RunCtx executes the queues on the persistent teams: queues[s] holds the
+// tasks affine to socket s, every task runs exactly once (unless the run is
+// cancelled or fails), and the call blocks until all teams finished. A nil
+// ctx means an uncancellable run. Concurrent RunCtx calls on the same
+// runtime are safe; their tasks are serialized per leader, which bounds the
+// process-wide parallelism to the topology — the point of a persistent
+// worker pool. A non-nil error reports the run's first failure: a
+// *TaskPanicError, a *WatchdogError, ErrNoHealthyTeams, or the context's
+// error.
+func (r *Runtime) RunCtx(ctx context.Context, queues [][]Task, opts RunOpts) (RunStats, error) {
 	s := len(r.teams)
 	folded := make([][]Task, s)
 	for i, q := range queues {
 		folded[i%s] = append(folded[i%s], q...)
 	}
-	return r.dispatch(&runReq{folded: folded, stealing: stealing, grain: grain, ctx: ctx})
+	return r.dispatch(&runReq{folded: folded, stealing: opts.Stealing, grain: opts.Grain, watchdog: opts.Watchdog, ctx: ctx})
 }
 
-// RunIndexed executes queues of item ids through one shared task function,
-// with the same placement, stealing and completion semantics as Run. It is
-// the allocation-free bulk form: a multiplication enqueues one int32 per
-// tile pair instead of one closure per pair.
-func (r *Runtime) RunIndexed(queues [][]int32, run func(team *Team, item int32), stealing bool, grain int) RunStats {
-	return r.RunIndexedCtx(nil, queues, run, stealing, grain)
-}
-
-// RunIndexedCtx is RunIndexed with a cancellation context (see RunCtx).
-func (r *Runtime) RunIndexedCtx(ctx context.Context, queues [][]int32, run func(team *Team, item int32), stealing bool, grain int) RunStats {
+// RunIndexedCtx executes queues of item ids through one shared task
+// function, with the same placement, stealing and completion semantics as
+// RunCtx. It is the allocation-free bulk form: a multiplication enqueues
+// one int32 per tile pair instead of one closure per pair.
+func (r *Runtime) RunIndexedCtx(ctx context.Context, queues [][]int32, run func(team *Team, item int32), opts RunOpts) (RunStats, error) {
 	s := len(r.teams)
 	folded := make([][]int32, s)
 	for i, q := range queues {
 		folded[i%s] = append(folded[i%s], q...)
 	}
-	return r.dispatch(&runReq{items: folded, run: run, stealing: stealing, grain: grain, ctx: ctx})
+	return r.dispatch(&runReq{items: folded, run: run, stealing: opts.Stealing, grain: opts.Grain, watchdog: opts.Watchdog, ctx: ctx})
 }
 
-func (r *Runtime) dispatch(req *runReq) RunStats {
-	req.next = make([]atomic.Int64, len(r.teams))
-	req.wg.Add(len(r.teams))
-	for _, t := range r.teams {
-		t.leaderCh <- req
+func (r *Runtime) dispatch(req *runReq) (RunStats, error) {
+	n := len(r.teams)
+	req.next = make([]atomic.Int64, n)
+	req.finished = make([]atomic.Bool, n)
+	req.done = make(chan struct{})
+
+	// Degraded teams do not participate: their queues are refolded onto
+	// healthy teams so no task is lost, and their finished slots are
+	// pre-retired.
+	healthy := make([]int, 0, n)
+	for s, t := range r.teams {
+		if !t.degraded.Load() {
+			healthy = append(healthy, s)
+		}
 	}
-	req.wg.Wait()
-	return RunStats{Stolen: req.stolen.Load()}
+	if len(healthy) == 0 {
+		return RunStats{}, ErrNoHealthyTeams
+	}
+	if len(healthy) < n {
+		for s, t := range r.teams {
+			if !t.degraded.Load() {
+				continue
+			}
+			dst := healthy[s%len(healthy)]
+			if req.run != nil {
+				req.items[dst] = append(req.items[dst], req.items[s]...)
+				req.items[s] = nil
+			} else {
+				req.folded[dst] = append(req.folded[dst], req.folded[s]...)
+				req.folded[s] = nil
+			}
+			req.finished[s].Store(true)
+		}
+	}
+	req.pending.Store(int64(len(healthy)))
+
+	for _, s := range healthy {
+		t := r.teams[s]
+		select {
+		case t.leaderCh <- req:
+		default:
+			// The leader is backed up behind an earlier request. Hand off
+			// asynchronously so a team hung in another run cannot wedge
+			// this dispatch; the send is abandoned once this run finishes
+			// (e.g. the watchdog retired the team).
+			go func(t *workerTeam) {
+				select {
+				case t.leaderCh <- req:
+				case <-req.done:
+				}
+			}(t)
+		}
+	}
+	if req.watchdog > 0 {
+		go r.watchdogLoop(req, healthy)
+	}
+	<-req.done
+	return RunStats{Stolen: req.stolen.Load()}, req.firstErr()
+}
+
+// watchdogLoop polls the participating teams' in-flight task start times
+// and abandons any team whose current task overran the request's watchdog
+// deadline: the team is marked degraded, the run fails with a
+// *WatchdogError, and the run's completion no longer waits on that team.
+// The stuck leader itself keeps running; when its task finally returns it
+// clears the degraded mark.
+func (r *Runtime) watchdogLoop(req *runReq, participants []int) {
+	interval := req.watchdog / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-req.done:
+			return
+		case <-ticker.C:
+			now := time.Now().UnixNano()
+			for _, s := range participants {
+				if req.finished[s].Load() {
+					continue
+				}
+				t := r.teams[s]
+				start := t.taskStart.Load()
+				if start == 0 || time.Duration(now-start) < req.watchdog {
+					continue
+				}
+				// Mark degraded before retiring the socket so a caller
+				// retrying right after the error skips this team.
+				t.degraded.Store(true)
+				watchdogTimeouts.Add(1)
+				req.fail(&WatchdogError{Socket: t.socket, Elapsed: time.Duration(now - start)})
+				req.markDone(s)
+			}
+		}
+	}
 }
 
 // leaderLoop is the per-socket leader: for every request it drains the
@@ -200,43 +451,56 @@ func (r *Runtime) dispatch(req *runReq) RunStats {
 // signals completion. Tasks run on the leader goroutine itself; only
 // ParallelRows fans out to the helpers.
 func (r *Runtime) leaderLoop(t *workerTeam) {
+	defer close(t.leaderDone)
 	sock := int(t.socket)
 	for req := range t.leaderCh {
 		team := &Team{Socket: t.socket, Workers: t.size, Grain: req.grain, home: t}
-		for {
-			if req.cancelled() {
-				break
-			}
+		for !req.aborted() && !req.finished[sock].Load() {
 			i := int(req.next[sock].Add(1) - 1)
 			if i >= req.queueLen(sock) {
 				break
 			}
-			req.exec(sock, i, team)
+			t.taskStart.Store(time.Now().UnixNano())
+			req.safeExec(sock, i, team)
+			t.taskStart.Store(0)
 		}
 		if req.stealing {
 			for off := 1; off < len(r.teams); off++ {
 				victim := (sock + off) % len(r.teams)
-				for {
-					if req.cancelled() {
-						break
-					}
+				for !req.aborted() && !req.finished[sock].Load() {
 					i := int(req.next[victim].Add(1) - 1)
 					if i >= req.queueLen(victim) {
 						break
 					}
-					req.exec(victim, i, team)
+					t.taskStart.Store(time.Now().UnixNano())
+					req.safeExec(victim, i, team)
+					t.taskStart.Store(0)
 					req.stolen.Add(1)
 				}
 			}
 		}
-		req.wg.Done()
+		if !req.markDone(sock) {
+			// The watchdog abandoned us mid-request, but the stuck task
+			// has returned and the team is serving again: self-heal.
+			t.degraded.Store(false)
+		}
 	}
 }
 
 // helperLoop serves the intra-tile row chunks of this team's leader.
 func (t *workerTeam) helperLoop() {
+	defer t.helpersDone.Done()
 	for j := range t.jobCh {
-		j.f(j.lo, j.hi, j.worker)
-		j.wg.Done()
+		t.runJob(j)
+	}
+}
+
+// runJob executes one row chunk behind the fan-out panic boundary: a panic
+// is parked in the team's fanoutPanic slot (first one wins) for the leader
+// to re-raise after the barrier, and the WaitGroup is always released.
+func (t *workerTeam) runJob(j rowJob) {
+	defer j.wg.Done()
+	if fp := runChunk(j.f, j.lo, j.hi, j.worker); fp != nil {
+		t.fanoutPanic.CompareAndSwap(nil, fp)
 	}
 }

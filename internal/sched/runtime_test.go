@@ -81,7 +81,10 @@ func TestRunStatsStolenCount(t *testing.T) {
 		queues[0] = append(queues[0], func(*Team) {})
 	}
 	done := make(chan RunStats)
-	go func() { done <- p.Run(queues) }()
+	go func() {
+		rs, _ := p.Run(queues)
+		done <- rs
+	}()
 	time.Sleep(5 * time.Millisecond)
 	close(block)
 	rs := <-done
@@ -101,7 +104,7 @@ func TestRunStatsNoStealWithoutFlag(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		queues[i%2] = append(queues[i%2], func(*Team) {})
 	}
-	if rs := p.Run(queues); rs.Stolen != 0 {
+	if rs, _ := p.Run(queues); rs.Stolen != 0 {
 		t.Fatalf("stolen = %d without stealing enabled", rs.Stolen)
 	}
 }
@@ -136,7 +139,7 @@ func TestRunIndexedStealing(t *testing.T) {
 	for i := 0; i < 90; i++ {
 		queues[0] = append(queues[0], int32(i))
 	}
-	rs := p.RunIndexed(queues, func(*Team, int32) { n.Add(1) })
+	rs, _ := p.RunIndexed(queues, func(*Team, int32) { n.Add(1) })
 	if n.Load() != 90 {
 		t.Fatalf("ran %d items, want 90", n.Load())
 	}

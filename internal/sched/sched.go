@@ -19,6 +19,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"atmatrix/internal/numa"
 )
@@ -93,7 +94,10 @@ func (t *Team) ParallelRows(n int, f func(lo, hi, worker int)) {
 	if t.home != nil {
 		// Persistent path: hand chunks 1..w-1 to the team's resident
 		// helpers, run chunk 0 on the leader, then wait on the reusable
-		// barrier. No goroutine is created.
+		// barrier. No goroutine is created. A panic in any chunk —
+		// including the leader's own — is deferred past the barrier so the
+		// reusable WaitGroup is never abandoned mid-count, then re-raised
+		// for the task-level recovery to convert into a TaskPanicError.
 		wg := &t.home.wg
 		wg.Add(w - 1)
 		lo := first
@@ -105,12 +109,20 @@ func (t *Team) ParallelRows(n int, f func(lo, hi, worker int)) {
 			t.home.jobCh <- rowJob{lo: lo, hi: lo + sz, worker: i, f: f, wg: wg}
 			lo += sz
 		}
-		f(0, first, 0)
+		leaderP := runChunk(f, 0, first, 0)
 		wg.Wait()
+		if fp := t.home.fanoutPanic.Swap(nil); fp != nil {
+			panic(fp)
+		}
+		if leaderP != nil {
+			panic(leaderP)
+		}
 		return
 	}
-	// Ad-hoc path (tests, ephemeral pools): spawn per call as before.
+	// Ad-hoc path (tests, ephemeral pools): spawn per call as before, with
+	// the same panic-past-the-barrier discipline.
 	var wg sync.WaitGroup
+	var shared atomic.Pointer[fanoutPanic]
 	wg.Add(w - 1)
 	lo := first
 	for i := 1; i < w; i++ {
@@ -120,12 +132,20 @@ func (t *Team) ParallelRows(n int, f func(lo, hi, worker int)) {
 		}
 		go func(lo, hi, worker int) {
 			defer wg.Done()
-			f(lo, hi, worker)
+			if fp := runChunk(f, lo, hi, worker); fp != nil {
+				shared.CompareAndSwap(nil, fp)
+			}
 		}(lo, lo+sz, i)
 		lo += sz
 	}
-	f(0, first, 0)
+	leaderP := runChunk(f, 0, first, 0)
 	wg.Wait()
+	if fp := shared.Load(); fp != nil {
+		panic(fp)
+	}
+	if leaderP != nil {
+		panic(leaderP)
+	}
 }
 
 // Pool runs per-team task queues. It is a thin adapter over the shared
@@ -141,6 +161,12 @@ type Pool struct {
 	// RowGrain is the minimum number of rows per worker handed to
 	// Team.ParallelRows (see Team.Grain).
 	RowGrain int
+	// Watchdog, when positive, is the per-task deadline: a task running
+	// longer marks its team degraded and fails the run with a
+	// *WatchdogError instead of blocking the caller forever. Zero
+	// disables the watchdog. Only the persistent runtime enforces it;
+	// Ephemeral pools ignore the knob.
+	Watchdog time.Duration
 	// Ephemeral restores the historical spawn-per-call scheduler: every
 	// Run starts fresh goroutines and no persistent worker state is
 	// reused. It exists as the ablation baseline for the persistent
@@ -160,16 +186,20 @@ func NewPool(topo numa.Topology) *Pool {
 func (p *Pool) Topology() numa.Topology { return p.topo }
 
 // Run executes the queues: queues[s] holds the tasks affine to socket s.
-// It blocks until every task has run exactly once. Queue indexes beyond
-// the socket count are folded back round-robin.
-func (p *Pool) Run(queues [][]Task) RunStats { return p.RunCtx(nil, queues) }
+// It blocks until every task has run exactly once (or the run failed). The
+// error, when non-nil, is the run's first failure: a *TaskPanicError for a
+// recovered task panic, a *WatchdogError for a task that overran the
+// pool's watchdog, or ErrNoHealthyTeams. Queue indexes beyond the socket
+// count are folded back round-robin.
+func (p *Pool) Run(queues [][]Task) (RunStats, error) { return p.RunCtx(nil, queues) }
 
 // RunCtx is Run with a cancellation context: a cancelled ctx stops the
 // teams from picking up further tasks (in-flight tasks always finish). A
-// nil ctx means an uncancellable run.
-func (p *Pool) RunCtx(ctx context.Context, queues [][]Task) RunStats {
+// nil ctx means an uncancellable run. Cancellation is reported by the
+// caller inspecting ctx, not through the returned error.
+func (p *Pool) RunCtx(ctx context.Context, queues [][]Task) (RunStats, error) {
 	if !p.Ephemeral {
-		return RuntimeFor(p.topo).RunCtx(ctx, queues, p.Stealing, p.RowGrain)
+		return RuntimeFor(p.topo).RunCtx(ctx, queues, p.runOpts())
 	}
 	s := p.topo.Sockets
 	folded := make([][]Task, s)
@@ -180,15 +210,16 @@ func (p *Pool) RunCtx(ctx context.Context, queues [][]Task) RunStats {
 }
 
 // RunIndexed executes queues of item ids through one shared task function
-// (see Runtime.RunIndexed); queues[s] holds the items affine to socket s.
-func (p *Pool) RunIndexed(queues [][]int32, run func(team *Team, item int32)) RunStats {
+// (see Runtime.RunIndexedCtx); queues[s] holds the items affine to socket
+// s.
+func (p *Pool) RunIndexed(queues [][]int32, run func(team *Team, item int32)) (RunStats, error) {
 	return p.RunIndexedCtx(nil, queues, run)
 }
 
 // RunIndexedCtx is RunIndexed with a cancellation context (see RunCtx).
-func (p *Pool) RunIndexedCtx(ctx context.Context, queues [][]int32, run func(team *Team, item int32)) RunStats {
+func (p *Pool) RunIndexedCtx(ctx context.Context, queues [][]int32, run func(team *Team, item int32)) (RunStats, error) {
 	if !p.Ephemeral {
-		return RuntimeFor(p.topo).RunIndexedCtx(ctx, queues, run, p.Stealing, p.RowGrain)
+		return RuntimeFor(p.topo).RunIndexedCtx(ctx, queues, run, p.runOpts())
 	}
 	s := p.topo.Sockets
 	folded := make([][]int32, s)
@@ -198,9 +229,15 @@ func (p *Pool) RunIndexedCtx(ctx context.Context, queues [][]int32, run func(tea
 	return p.runEphemeral(&runReq{items: folded, run: run, stealing: p.Stealing, grain: p.RowGrain, ctx: ctx})
 }
 
+func (p *Pool) runOpts() RunOpts {
+	return RunOpts{Stealing: p.Stealing, Grain: p.RowGrain, Watchdog: p.Watchdog}
+}
+
 // runEphemeral is the pre-runtime implementation: one goroutine per socket
-// per call, teams without persistent backing.
-func (p *Pool) runEphemeral(req *runReq) RunStats {
+// per call, teams without persistent backing. Task panics are isolated the
+// same way as on the persistent runtime; the watchdog is not enforced
+// (ephemeral teams exist only as the ablation baseline).
+func (p *Pool) runEphemeral(req *runReq) (RunStats, error) {
 	s := p.topo.Sockets
 	req.next = make([]atomic.Int64, s)
 	var wg sync.WaitGroup
@@ -211,14 +248,14 @@ func (p *Pool) runEphemeral(req *runReq) RunStats {
 			team := &Team{Socket: numa.Node(sock), Workers: p.topo.CoresPerSocket, Grain: p.RowGrain}
 			// Drain the local queue first.
 			for {
-				if req.cancelled() {
+				if req.aborted() {
 					return
 				}
 				i := int(req.next[sock].Add(1) - 1)
 				if i >= req.queueLen(sock) {
 					break
 				}
-				req.exec(sock, i, team)
+				req.safeExec(sock, i, team)
 			}
 			if !p.Stealing {
 				return
@@ -227,26 +264,26 @@ func (p *Pool) runEphemeral(req *runReq) RunStats {
 			for off := 1; off < s; off++ {
 				victim := (sock + off) % s
 				for {
-					if req.cancelled() {
+					if req.aborted() {
 						return
 					}
 					i := int(req.next[victim].Add(1) - 1)
 					if i >= req.queueLen(victim) {
 						break
 					}
-					req.exec(victim, i, team)
+					req.safeExec(victim, i, team)
 					req.stolen.Add(1)
 				}
 			}
 		}(sock)
 	}
 	wg.Wait()
-	return RunStats{Stolen: req.stolen.Load()}
+	return RunStats{Stolen: req.stolen.Load()}, req.firstErr()
 }
 
 // RunFlat distributes a flat task list round-robin across sockets and
 // runs it; a convenience for callers without placement information.
-func (p *Pool) RunFlat(tasks []Task) RunStats {
+func (p *Pool) RunFlat(tasks []Task) (RunStats, error) {
 	queues := make([][]Task, p.topo.Sockets)
 	for i, t := range tasks {
 		s := i % p.topo.Sockets

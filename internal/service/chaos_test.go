@@ -1,0 +1,172 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/leakcheck"
+	"atmatrix/internal/sched"
+)
+
+// chaosManager builds a leak-checked manager over the shared test catalog.
+// Cleanups run LIFO: the manager drains, then the persistent scheduler
+// runtime closes, then the leak check asserts the goroutine count returned
+// to baseline — the zero-leak guarantee of the chaos suite.
+func chaosManager(t *testing.T, opts Options) *Manager {
+	t.Helper()
+	leakcheck.Check(t)
+	t.Cleanup(func() { sched.RuntimeFor(testConfig().Topology).Close() })
+	t.Cleanup(faultinject.Disable)
+	m := New(testCatalog(t), opts)
+	t.Cleanup(func() { m.Close(5 * time.Second) })
+	return m
+}
+
+// requireZeroRefs asserts every catalog entry's read handles were returned —
+// the exactly-once release property across success, rejection, retry, and
+// failure paths.
+func requireZeroRefs(t *testing.T, m *Manager) {
+	t.Helper()
+	for _, info := range m.cat.List() {
+		if info.Refs != 0 {
+			t.Errorf("matrix %q holds %d refs after jobs finished, want 0", info.Name, info.Refs)
+		}
+	}
+}
+
+func TestChaosPanicFailsJobAndQuarantinesOperands(t *testing.T) {
+	m := chaosManager(t, Options{MaxRetries: -1})
+	faultinject.Enable(1, faultinject.Rule{Site: "sched.task", Kind: faultinject.KindPanic})
+
+	job, err := m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = job.Wait()
+	var tpe *sched.TaskPanicError
+	if !errors.As(err, &tpe) {
+		t.Fatalf("job error = %v, want wrapped *TaskPanicError", err)
+	}
+	faultinject.Disable()
+
+	// Both operands are quarantined; resubmission fails fast and typed.
+	if q := m.Quarantined(); len(q) != 2 {
+		t.Fatalf("quarantined = %v, want both operands", q)
+	}
+	if _, err := m.Submit(Request{A: "a", B: "b"}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("resubmit error = %v, want ErrQuarantined", err)
+	}
+	mm := m.Metrics()
+	if mm.TaskPanics == 0 || mm.Quarantined != 2 || mm.Failed != 1 {
+		t.Errorf("metrics after panic = %+v", mm)
+	}
+
+	// Lifting the quarantine restores service; the same matrices multiply
+	// fine once the fault is gone.
+	m.Unquarantine("a")
+	m.Unquarantine("b")
+	job, err = m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatalf("healthy multiply after quarantine lift failed: %v", err)
+	}
+	requireZeroRefs(t, m)
+}
+
+func TestChaosTransientFaultIsRetriedToSuccess(t *testing.T) {
+	m := chaosManager(t, Options{RetryBase: 2 * time.Millisecond})
+	// Two injected transient failures, then clean: with the default budget
+	// of two retries the third attempt succeeds.
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "service.execute", Kind: faultinject.KindTransient, Count: 2,
+	})
+	job, err := m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatalf("job failed despite retry budget: %v", err)
+	}
+	mm := m.Metrics()
+	if mm.Retries != 2 {
+		t.Errorf("retries = %d, want 2", mm.Retries)
+	}
+	if mm.Completed != 1 || mm.Failed != 0 {
+		t.Errorf("metrics = %+v, want 1 completed, 0 failed", mm)
+	}
+	requireZeroRefs(t, m)
+}
+
+func TestChaosRetriesExhaustedFailPermanently(t *testing.T) {
+	m := chaosManager(t, Options{MaxRetries: 1, RetryBase: 2 * time.Millisecond})
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "service.execute", Kind: faultinject.KindTransient, Count: -1,
+	})
+	job, err := m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); !errors.Is(err, faultinject.ErrInjectedTransient) {
+		t.Fatalf("job error = %v, want the injected transient failure", err)
+	}
+	mm := m.Metrics()
+	if mm.Retries != 1 || mm.Failed != 1 {
+		t.Errorf("metrics = %+v, want 1 retry and 1 failure", mm)
+	}
+	// Transient exhaustion is not data poisoning: nothing is quarantined.
+	if q := m.Quarantined(); len(q) != 0 {
+		t.Errorf("quarantined = %v, want none", q)
+	}
+	requireZeroRefs(t, m)
+}
+
+func TestChaosHungTaskDegradesThenRetrySucceeds(t *testing.T) {
+	m := chaosManager(t, Options{
+		Watchdog:  25 * time.Millisecond,
+		RetryBase: 2 * time.Millisecond,
+	})
+	// One task hangs well past the watchdog; the attempt fails transiently,
+	// the retry lands on the remaining healthy team and completes.
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "sched.task", Kind: faultinject.KindDelay, Delay: 300 * time.Millisecond,
+	})
+	job, err := m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatalf("job failed despite watchdog+retry: %v", err)
+	}
+	mm := m.Metrics()
+	if mm.WatchdogTimeouts == 0 {
+		t.Error("watchdog timeout counter did not advance")
+	}
+	if mm.Retries == 0 {
+		t.Error("retry counter did not advance")
+	}
+	// Wait for the stuck team to self-heal so the runtime closes promptly
+	// and the leak check sees a quiescent scheduler.
+	rt := sched.RuntimeFor(testConfig().Topology)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(rt.DegradedSockets()) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	requireZeroRefs(t, m)
+}
+
+// TestChaosRejectedJobsHoldNoRefs covers the admission bug fix: jobs that
+// never enter the queue (quarantine, backpressure, drain) must not acquire —
+// and therefore cannot leak — catalog read handles.
+func TestChaosRejectedJobsHoldNoRefs(t *testing.T) {
+	m := chaosManager(t, Options{})
+	m.Quarantine("a", "test poisoning")
+	if _, err := m.Submit(Request{A: "a", B: "b"}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("want ErrQuarantined, got %v", err)
+	}
+	m.Unquarantine("a")
+	requireZeroRefs(t, m)
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,8 @@ import (
 
 	"atmatrix/internal/catalog"
 	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/sched"
 )
 
 var (
@@ -31,7 +34,43 @@ var (
 	ErrDraining = errors.New("service: shutting down")
 	// ErrBadRequest reports a structurally invalid request.
 	ErrBadRequest = errors.New("service: bad request")
+	// ErrQuarantined reports a request naming a quarantined matrix: one
+	// whose kernel panicked or whose on-disk stream failed verification.
+	// Quarantined requests fail fast (HTTP 422) instead of burning worker
+	// time on a poisoned operand; deleting and re-loading the matrix lifts
+	// the quarantine.
+	ErrQuarantined = errors.New("service: matrix quarantined")
 )
+
+// failureClass buckets job errors for the retry policy.
+type failureClass int
+
+const (
+	// failPermanent errors fail the job immediately: bad requests, missing
+	// matrices, kernel panics, corrupt data.
+	failPermanent failureClass = iota
+	// failTransient errors are retried with backoff under the job's
+	// deadline: watchdog timeouts, all-teams-degraded windows, injected
+	// transient faults — anything implementing Transient() bool → true.
+	failTransient
+	// failCanceled errors mean the job's own deadline or the drain cancel
+	// fired; never retried, accounted as canceled rather than failed.
+	failCanceled
+)
+
+// classify maps a job error to its failure class. The transient marker
+// interface is how lower layers (sched.WatchdogError, ErrNoHealthyTeams,
+// injected faults) opt into retries without this package enumerating them.
+func classify(err error) failureClass {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return failCanceled
+	}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) && tr.Transient() {
+		return failTransient
+	}
+	return failPermanent
+}
 
 // Options tunes the manager.
 type Options struct {
@@ -47,6 +86,19 @@ type Options struct {
 	// DefaultTimeout is applied to jobs that do not carry their own
 	// deadline; zero means no deadline.
 	DefaultTimeout time.Duration
+	// MaxRetries bounds how often a transiently-failed job is re-executed
+	// (total attempts = 1 + MaxRetries). Zero defaults to 2; negative
+	// disables retries.
+	MaxRetries int
+	// RetryBase is the first backoff delay; each retry doubles it up to
+	// RetryMax, and the actual sleep is jittered to half-to-full of the
+	// computed delay. Zero defaults to 50ms (base) and 2s (max).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Watchdog is the per-tile-task deadline handed to the scheduler: a
+	// kernel task running longer degrades its team and fails the attempt
+	// with a transient (hence retried) error. Zero disables the watchdog.
+	Watchdog time.Duration
 }
 
 // Request describes one multiplication job: either a pair (A, B) or a
@@ -128,6 +180,10 @@ type Manager struct {
 	admitMu sync.RWMutex
 	closed  bool
 
+	// quarantined maps matrix names to the reason they were poisoned.
+	quarMu      sync.Mutex
+	quarantined map[string]string
+
 	m metrics
 }
 
@@ -141,6 +197,7 @@ type metrics struct {
 	failed    atomic.Int64
 	canceled  atomic.Int64
 	inflight  atomic.Int64
+	retries   atomic.Int64
 
 	// Aggregated core.MultStats across completed jobs.
 	statMu      sync.Mutex
@@ -161,14 +218,27 @@ func New(cat *catalog.Catalog, opts Options) *Manager {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 4 * opts.Workers
 	}
+	switch {
+	case opts.MaxRetries == 0:
+		opts.MaxRetries = 2
+	case opts.MaxRetries < 0:
+		opts.MaxRetries = 0
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 50 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 2 * time.Second
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cat:      cat,
-		cfg:      cfg,
-		opts:     opts,
-		queue:    make(chan *Job, opts.QueueDepth),
-		rootCtx:  ctx,
-		rootStop: stop,
+		cat:         cat,
+		cfg:         cfg,
+		opts:        opts,
+		queue:       make(chan *Job, opts.QueueDepth),
+		rootCtx:     ctx,
+		rootStop:    stop,
+		quarantined: make(map[string]string),
 	}
 	m.m.latencies = make([]time.Duration, 0, latencyWindow)
 	for i := 0; i < opts.Workers; i++ {
@@ -184,6 +254,10 @@ func New(cat *catalog.Catalog, opts Options) *Manager {
 func (m *Manager) Submit(req Request) (*Job, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
+	}
+	if name, reason, ok := m.quarantinedOperand(req.names()); ok {
+		m.m.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %q (%s)", ErrQuarantined, name, reason)
 	}
 	timeout := req.Timeout
 	if timeout == 0 {
@@ -226,14 +300,33 @@ func (m *Manager) worker() {
 	}
 }
 
-// run executes one job end to end.
+// run executes one job end to end: the first attempt plus up to MaxRetries
+// re-executions of transient failures, each separated by capped exponential
+// backoff with jitter slept under the job's own deadline. Permanent kernel
+// panics additionally quarantine the job's operands — a matrix whose data
+// keeps crashing the multiply must not be allowed to take out worker after
+// worker.
 func (m *Manager) run(job *Job) {
 	m.m.inflight.Add(1)
 	defer m.m.inflight.Add(-1)
 	defer job.cancel()
 	queueWait := time.Since(job.enqueued)
 
-	res, err := m.execute(job)
+	var (
+		res *Result
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		res, err = m.execute(job)
+		if err == nil || classify(err) != failTransient || attempt >= m.opts.MaxRetries {
+			break
+		}
+		m.m.retries.Add(1)
+		if !m.backoff(job.ctx, attempt) {
+			err = job.ctx.Err()
+			break
+		}
+	}
 	if err == nil {
 		res.Queue = queueWait
 		job.Result = res
@@ -241,13 +334,85 @@ func (m *Manager) run(job *Job) {
 		m.m.observeLatency(queueWait + res.Wall)
 	} else {
 		job.Err = err
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if classify(err) == failCanceled {
 			m.m.canceled.Add(1)
 		} else {
 			m.m.failed.Add(1)
+			var tpe *sched.TaskPanicError
+			if errors.As(err, &tpe) {
+				reason := fmt.Sprintf("kernel panic during multiply: %v", tpe.Value)
+				for _, name := range job.req.names() {
+					m.Quarantine(name, reason)
+				}
+			}
 		}
 	}
 	close(job.Done)
+}
+
+// backoff sleeps the attempt's retry delay — RetryBase doubled per attempt,
+// capped at RetryMax, jittered uniformly over the upper half so synchronized
+// retries from concurrent jobs spread out — and reports false if the job's
+// context expired first.
+func (m *Manager) backoff(ctx context.Context, attempt int) bool {
+	d := m.opts.RetryBase << uint(attempt)
+	if d <= 0 || d > m.opts.RetryMax {
+		d = m.opts.RetryMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// Quarantine marks a matrix as poisoned: later Submits naming it fail fast
+// with ErrQuarantined. The first reason sticks.
+func (m *Manager) Quarantine(name, reason string) {
+	m.quarMu.Lock()
+	if _, ok := m.quarantined[name]; !ok {
+		m.quarantined[name] = reason
+	}
+	m.quarMu.Unlock()
+}
+
+// Unquarantine lifts a matrix's quarantine (the delete/re-load path) and
+// reports whether it was quarantined.
+func (m *Manager) Unquarantine(name string) bool {
+	m.quarMu.Lock()
+	defer m.quarMu.Unlock()
+	if _, ok := m.quarantined[name]; !ok {
+		return false
+	}
+	delete(m.quarantined, name)
+	return true
+}
+
+// Quarantined snapshots the quarantined matrices and their reasons.
+func (m *Manager) Quarantined() map[string]string {
+	m.quarMu.Lock()
+	defer m.quarMu.Unlock()
+	out := make(map[string]string, len(m.quarantined))
+	for k, v := range m.quarantined {
+		out[k] = v
+	}
+	return out
+}
+
+// quarantinedOperand returns the first quarantined name among names.
+func (m *Manager) quarantinedOperand(names []string) (name, reason string, ok bool) {
+	m.quarMu.Lock()
+	defer m.quarMu.Unlock()
+	for _, n := range names {
+		if r, hit := m.quarantined[n]; hit {
+			return n, r, true
+		}
+	}
+	return "", "", false
 }
 
 func (m *Manager) execute(job *Job) (*Result, error) {
@@ -255,6 +420,11 @@ func (m *Manager) execute(job *Job) (*Result, error) {
 	// acquiring anything.
 	if err := job.ctx.Err(); err != nil {
 		return nil, err
+	}
+	// Chaos hook: lets the fault suite drive the retry loop (transient
+	// errors) and the permanent-failure path without touching the kernels.
+	if err := faultinject.Do("service.execute"); err != nil {
+		return nil, fmt.Errorf("service: executing job: %w", err)
 	}
 	names := job.req.names()
 	handles := make([]*catalog.Handle, 0, len(names))
@@ -275,6 +445,7 @@ func (m *Manager) execute(job *Job) (*Result, error) {
 
 	opts := core.DefaultMultOptions()
 	opts.Ctx = job.ctx
+	opts.Watchdog = m.opts.Watchdog
 	t0 := time.Now()
 	var (
 		out   *core.ATMatrix
@@ -365,6 +536,15 @@ type Metrics struct {
 	Queued    int64 `json:"queued"`
 	QueueCap  int64 `json:"queue_capacity"`
 
+	// Retries counts transient-failure re-executions; Quarantined the
+	// matrices currently quarantined. TaskPanics and WatchdogTimeouts are
+	// the process-wide scheduler fault counters (they include panics and
+	// timeouts from outside this manager, e.g. direct core callers).
+	Retries          int64 `json:"retries"`
+	Quarantined      int64 `json:"quarantined"`
+	TaskPanics       int64 `json:"task_panics"`
+	WatchdogTimeouts int64 `json:"watchdog_timeouts"`
+
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
 
@@ -384,7 +564,12 @@ func (m *Manager) Metrics() Metrics {
 		InFlight:  m.m.inflight.Load(),
 		Queued:    int64(len(m.queue)),
 		QueueCap:  int64(cap(m.queue)),
+		Retries:   m.m.retries.Load(),
 	}
+	out.TaskPanics, out.WatchdogTimeouts = sched.Counters()
+	m.quarMu.Lock()
+	out.Quarantined = int64(len(m.quarantined))
+	m.quarMu.Unlock()
 	m.m.statMu.Lock()
 	out.Mult = m.m.mult
 	if n := len(m.m.latencies); n > 0 {
