@@ -56,7 +56,8 @@ func TestChaosE2E(t *testing.T) {
 	}
 
 	// --- Fault 1: kernel panic. The job fails typed (500 with the panic
-	// surfaced), the operands are quarantined, the process stays up.
+	// surfaced), the operand pair is quarantined as a combination, the
+	// process stays up.
 	faultinject.Enable(1, faultinject.Rule{Site: "sched.task", Kind: faultinject.KindPanic})
 	resp, out := multiply(t, ts.URL, map[string]any{"a": "a", "b": "b"})
 	if resp.StatusCode != http.StatusInternalServerError {
@@ -65,7 +66,13 @@ func TestChaosE2E(t *testing.T) {
 	faultinject.Disable()
 	resp, out = multiply(t, ts.URL, map[string]any{"a": "a", "b": "b"})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("multiply on quarantined operands: status %d (%v), want 422", resp.StatusCode, out)
+		t.Fatalf("multiply on quarantined pair: status %d (%v), want 422", resp.StatusCode, out)
+	}
+	// The quarantine is surgical: each member still multiplies with other
+	// co-operands.
+	resp, out = multiply(t, ts.URL, map[string]any{"a": "a", "b": "c"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quarantined-pair member with healthy co-operand: status %d (%v), want 200", resp.StatusCode, out)
 	}
 	if status, reasons, code := healthz(t, ts.URL); status != "degraded" || code != http.StatusOK || len(reasons) == 0 {
 		t.Fatalf("healthz after panic = %q (%d) %v, want degraded/200 with reasons", status, code, reasons)
@@ -112,12 +119,13 @@ func TestChaosE2E(t *testing.T) {
 			t.Errorf("%s = 0 after chaos run, want nonzero", metric)
 		}
 	}
-	if v := metricValue(t, ts.URL, "atserve_quarantined_matrices"); v != 3 {
-		t.Errorf("quarantined = %v, want 3 (a, b, corrupt)", v)
+	if v := metricValue(t, ts.URL, "atserve_quarantined_matrices"); v != 2 {
+		t.Errorf("quarantined = %v, want 2 (the a×b pair, corrupt)", v)
 	}
 
-	// --- Operator reset: deleting quarantined names lifts the quarantine;
-	// a fresh upload of "a" serves again.
+	// --- Operator reset: deleting an implicated name lifts the quarantine
+	// of every combination it belongs to; a fresh upload of "a" serves
+	// again.
 	for _, name := range []string{"a", "b", "corrupt"} {
 		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/matrices/"+name, nil)
 		dr, err := http.DefaultClient.Do(req)

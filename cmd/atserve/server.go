@@ -321,7 +321,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		reasons = append(reasons, fmt.Sprintf("scheduler: %d worker team(s) degraded (sockets %v)", len(ds), ds))
 	}
 	if q := s.mgr.Quarantined(); len(q) > 0 {
-		reasons = append(reasons, fmt.Sprintf("catalog: %d matrix(es) quarantined", len(q)))
+		reasons = append(reasons, fmt.Sprintf("catalog: %d quarantine entry(ies) in force", len(q)))
 	}
 	status := "ok"
 	if len(reasons) > 0 {

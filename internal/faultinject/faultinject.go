@@ -93,6 +93,25 @@ type ruleState struct {
 	fired atomic.Int64
 }
 
+// reserve atomically claims one firing slot, so a Count-bounded rule fires
+// at most Count times even when its site is hit from several goroutines at
+// once (a check-then-increment would overfire under that race).
+func (r *ruleState) reserve() bool {
+	if r.Count <= 0 {
+		r.fired.Add(1)
+		return true
+	}
+	for {
+		n := r.fired.Load()
+		if n >= r.Count {
+			return false
+		}
+		if r.fired.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
 // registry is one Enable epoch: the armed rules keyed by site plus the
 // seeded rng for probabilistic rules.
 type registry struct {
@@ -151,6 +170,7 @@ func Do(site string) error {
 			continue
 		}
 		if r.Count > 0 && r.fired.Load() >= r.Count {
+			// Exhausted: cheap pre-check so spent rules skip the rng draw.
 			continue
 		}
 		if r.Prob > 0 && r.Prob < 1 {
@@ -161,7 +181,9 @@ func Do(site string) error {
 				continue
 			}
 		}
-		r.fired.Add(1)
+		if !r.reserve() {
+			continue
+		}
 		switch r.Kind {
 		case KindPanic:
 			panic(&InjectedPanic{Site: site})

@@ -2,6 +2,8 @@ package faultinject
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -33,6 +35,39 @@ func TestCountingDeterminism(t *testing.T) {
 	}
 	if !errors.Is(errs[2], ErrInjected) {
 		t.Errorf("injected error %v is not ErrInjected", errs[2])
+	}
+}
+
+// TestFaultCountBoundConcurrent asserts the firing slot is reserved
+// atomically: a Count-bounded rule hit from many goroutines at once — the
+// sched.task site under concurrent leaders is exactly this shape — must
+// fire exactly Count times, never more.
+func TestFaultCountBoundConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		hits    = 200
+		count   = 5
+	)
+	defer Enable(1, Rule{Site: "s", Kind: KindError, Count: count})()
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < hits; i++ {
+				if Do("s") != nil {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fired.Load(); n != count {
+		t.Errorf("rule fired %d times across %d concurrent hits, want exactly %d", n, workers*hits, count)
+	}
+	if n := Fired("s"); n != count {
+		t.Errorf("Fired = %d, want %d", n, count)
 	}
 }
 

@@ -166,6 +166,105 @@ func TestWatchdogDegradesTeamAndSelfHeals(t *testing.T) {
 	}
 }
 
+// TestWatchdogDegradedTeamHealsWithoutRedelivery guards the self-heal path
+// when the degrading run was never delivered to the stuck leader: its
+// dispatch handoff is abandoned once the watchdog retires the team, so
+// healing must not depend on the leader ever seeing that request — the
+// leader finishing any request is the proof of life.
+func TestWatchdogDegradedTeamHealsWithoutRedelivery(t *testing.T) {
+	rt, p := faultRuntime(t, 2, 2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blockedErr := make(chan error, 1)
+	// Run 1 wedges socket 0's leader.
+	go func() {
+		_, err := p.Run([][]Task{{func(team *Team) { close(started); <-release }}, {}})
+		blockedErr <- err
+	}()
+	<-started
+	// Run 2 parks in the leader's size-1 channel buffer so run 3's handoff
+	// must go through the abandonable async path.
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := p.Run([][]Task{{func(team *Team) {}}, {}})
+		queuedErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	wp := NewPool(p.Topology())
+	wp.Watchdog = 30 * time.Millisecond
+	_, err := wp.Run([][]Task{{func(team *Team) {}}, {func(team *Team) {}}})
+	var wde *WatchdogError
+	if !errors.As(err, &wde) {
+		t.Fatalf("watchdogged run error = %v, want *WatchdogError", err)
+	}
+	if ds := rt.DegradedSockets(); len(ds) != 1 || ds[0] != 0 {
+		t.Fatalf("DegradedSockets = %v, want [0]", ds)
+	}
+	// Unwedge the leader. It finishes runs 1 and 2 — neither of which is
+	// the run that degraded it — and must still self-heal.
+	close(release)
+	if err := <-blockedErr; err != nil {
+		t.Fatalf("blocked run failed: %v", err)
+	}
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued run failed: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(rt.DegradedSockets()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("team never healed; DegradedSockets = %v (degrading request was never redelivered)", rt.DegradedSockets())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := wp.Run([][]Task{{func(team *Team) {}}, {func(team *Team) {}}}); err != nil {
+		t.Fatalf("run after heal failed: %v", err)
+	}
+}
+
+// TestWatchdogIgnoresEarlierRunsTask guards against misattribution: a run's
+// watchdog measures stuck time from the later of the task's start and the
+// run's own dispatch, so a legitimate long task belonging to an earlier run
+// must not degrade a healthy team out from under a freshly dispatched run.
+func TestWatchdogIgnoresEarlierRunsTask(t *testing.T) {
+	rt, p := faultRuntime(t, 2, 2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	earlier := make(chan error, 1)
+	go func() {
+		_, err := p.Run([][]Task{{func(team *Team) { close(started); <-release }}, {}})
+		earlier <- err
+	}()
+	<-started
+	// Let the earlier run's task predate the watchdogged run by more than
+	// the whole deadline, so degrading on raw task age would fire on the
+	// watchdog's very first poll.
+	time.Sleep(450 * time.Millisecond)
+
+	wp := NewPool(p.Topology())
+	wp.Watchdog = 400 * time.Millisecond
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		defer close(done)
+		_, runErr = wp.Run([][]Task{{func(team *Team) {}}, {func(team *Team) {}}})
+	}()
+	// Free the leader well past the watchdog's first polls but well before
+	// a full deadline has elapsed since the run's dispatch.
+	time.Sleep(200 * time.Millisecond)
+	close(release)
+	<-done
+	if runErr != nil {
+		t.Fatalf("run queued behind an earlier long task failed: %v (watchdog misattribution)", runErr)
+	}
+	if err := <-earlier; err != nil {
+		t.Fatalf("earlier run failed: %v", err)
+	}
+	if ds := rt.DegradedSockets(); len(ds) != 0 {
+		t.Errorf("DegradedSockets = %v, want none", ds)
+	}
+}
+
 func TestAllTeamsDegradedIsTransientError(t *testing.T) {
 	rt, p := faultRuntime(t, 1, 3)
 	p.Watchdog = 20 * time.Millisecond

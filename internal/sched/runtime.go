@@ -24,11 +24,14 @@ import (
 // The runtime is also the process's panic domain boundary: a panic inside a
 // task body (including its ParallelRows fan-out) is recovered on the worker,
 // converted to a *TaskPanicError, and fails only the run that owned the
-// task. A run may additionally arm a per-task watchdog; a task overrunning
-// it marks the owning team degraded and fails the run with a *WatchdogError
+// task. A run may additionally arm a per-task watchdog; a task monopolizing
+// a leader past the deadline — measured from the later of the task's start
+// and the run's dispatch, so backlog from concurrent runs does not count —
+// marks the owning team degraded and fails the run with a *WatchdogError
 // instead of blocking the caller forever. Degraded teams are skipped by
 // later runs (their queues are refolded onto healthy teams) and self-heal
-// when the stuck task finally returns.
+// as soon as their leader finishes any request, the proof that the stuck
+// task has returned.
 //
 // Tasks must not call Run (directly or through a Pool) from inside a task:
 // the leader executing the outer task would never pick up the nested
@@ -37,6 +40,12 @@ type Runtime struct {
 	topo   numa.Topology
 	teams  []*workerTeam
 	closed atomic.Bool
+
+	// handoffs tracks the async dispatch senders (see dispatch). Close
+	// drains it before closing the leader channels, so an abandoned
+	// handoff can never race a channel close: once its request is done,
+	// a sender exits promptly.
+	handoffs sync.WaitGroup
 }
 
 // workerTeam is the persistent backing of one socket's team: a leader
@@ -65,8 +74,10 @@ type workerTeam struct {
 	taskStart atomic.Int64
 
 	// degraded marks a team abandoned by a watchdog. Dispatch skips
-	// degraded teams; the leader clears the flag when it finishes the
-	// request it was abandoned in, proving it is alive again.
+	// degraded teams; the leader clears the flag whenever it finishes a
+	// request — proof that it is alive — so a team heals even when the
+	// run that degraded it was abandoned in dispatch and never reached
+	// this leader.
 	degraded atomic.Bool
 
 	// fanoutPanic holds the first panic of the current ParallelRows
@@ -116,6 +127,12 @@ type runReq struct {
 	stealing bool
 	grain    int
 	watchdog time.Duration
+	// dispatched is the UnixNano time the request was handed to the
+	// leaders. The watchdog measures stuck time from the later of this and
+	// the in-flight task's start, so a task (or a backlog of tasks)
+	// belonging to an earlier run cannot fail this run until it has
+	// monopolized a leader for a full deadline of this run's lifetime.
+	dispatched int64
 	// ctx, when non-nil, aborts the run between task executions: a
 	// cancelled request stops draining its queues but never interrupts a
 	// task mid-flight, so worker-local state stays consistent.
@@ -300,6 +317,10 @@ func (r *Runtime) Close() {
 		delete(runtimes, r.topo)
 	}
 	runtimeMu.Unlock()
+	// Wait out abandoned async handoffs — their runs are done, so they
+	// exit promptly — before closing the channels they may still be
+	// trying to send on.
+	r.handoffs.Wait()
 	for _, t := range r.teams {
 		close(t.leaderCh)
 	}
@@ -323,8 +344,9 @@ func (r *Runtime) Close() {
 // runtime are safe; their tasks are serialized per leader, which bounds the
 // process-wide parallelism to the topology — the point of a persistent
 // worker pool. A non-nil error reports the run's first failure: a
-// *TaskPanicError, a *WatchdogError, ErrNoHealthyTeams, or the context's
-// error.
+// *TaskPanicError, a *WatchdogError, or ErrNoHealthyTeams. Cancellation is
+// reported by the caller inspecting ctx, not through the returned error
+// (the same contract as Pool.RunCtx).
 func (r *Runtime) RunCtx(ctx context.Context, queues [][]Task, opts RunOpts) (RunStats, error) {
 	s := len(r.teams)
 	folded := make([][]Task, s)
@@ -382,6 +404,7 @@ func (r *Runtime) dispatch(req *runReq) (RunStats, error) {
 		}
 	}
 	req.pending.Store(int64(len(healthy)))
+	req.dispatched = time.Now().UnixNano()
 
 	for _, s := range healthy {
 		t := r.teams[s]
@@ -391,8 +414,12 @@ func (r *Runtime) dispatch(req *runReq) (RunStats, error) {
 			// The leader is backed up behind an earlier request. Hand off
 			// asynchronously so a team hung in another run cannot wedge
 			// this dispatch; the send is abandoned once this run finishes
-			// (e.g. the watchdog retired the team).
+			// (e.g. the watchdog retired the team). A leader receiving a
+			// request that is already done skips all of its queues and
+			// merely re-proves its liveness.
+			r.handoffs.Add(1)
 			go func(t *workerTeam) {
+				defer r.handoffs.Done()
 				select {
 				case t.leaderCh <- req:
 				case <-req.done:
@@ -408,11 +435,16 @@ func (r *Runtime) dispatch(req *runReq) (RunStats, error) {
 }
 
 // watchdogLoop polls the participating teams' in-flight task start times
-// and abandons any team whose current task overran the request's watchdog
+// and abandons any team one task has monopolized for the request's watchdog
 // deadline: the team is marked degraded, the run fails with a
 // *WatchdogError, and the run's completion no longer waits on that team.
-// The stuck leader itself keeps running; when its task finally returns it
-// clears the degraded mark.
+// Stuck time is measured from the later of the task's start and this
+// request's dispatch, so a task legitimately started under an earlier run —
+// or a backlog of short tasks queued ahead of this one — never degrades a
+// team that keeps making progress. The stuck leader itself keeps running;
+// the degraded mark clears when the leader next finishes a request, or
+// right here if the task turns out to have completed while the team was
+// being retired.
 func (r *Runtime) watchdogLoop(req *runReq, participants []int) {
 	interval := req.watchdog / 4
 	if interval < time.Millisecond {
@@ -432,15 +464,41 @@ func (r *Runtime) watchdogLoop(req *runReq, participants []int) {
 				}
 				t := r.teams[s]
 				start := t.taskStart.Load()
-				if start == 0 || time.Duration(now-start) < req.watchdog {
+				if start == 0 {
+					// The leader is idle: this request is merely queued
+					// (or still in handoff), not stuck.
+					continue
+				}
+				eff := start
+				if req.dispatched > eff {
+					eff = req.dispatched
+				}
+				if time.Duration(now-eff) < req.watchdog {
 					continue
 				}
 				// Mark degraded before retiring the socket so a caller
-				// retrying right after the error skips this team.
+				// retrying right after the error skips this team. Retire
+				// via CAS rather than markDone so the error is recorded
+				// before done closes.
 				t.degraded.Store(true)
+				if !req.finished[s].CompareAndSwap(false, true) {
+					// The leader retired the socket concurrently — it is
+					// alive after all.
+					t.degraded.Store(false)
+					continue
+				}
 				watchdogTimeouts.Add(1)
-				req.fail(&WatchdogError{Socket: t.socket, Elapsed: time.Duration(now - start)})
-				req.markDone(s)
+				req.fail(&WatchdogError{Socket: t.socket, Elapsed: time.Duration(now - eff)})
+				if req.pending.Add(-1) == 0 {
+					close(req.done)
+				}
+				if t.taskStart.Load() != start {
+					// The task judged stuck completed while the team was
+					// being retired: the leader proved itself alive and
+					// may already be idle, so heal now instead of waiting
+					// for a request that might never be delivered.
+					t.degraded.Store(false)
+				}
 			}
 		}
 	}
@@ -479,11 +537,12 @@ func (r *Runtime) leaderLoop(t *workerTeam) {
 				}
 			}
 		}
-		if !req.markDone(sock) {
-			// The watchdog abandoned us mid-request, but the stuck task
-			// has returned and the team is serving again: self-heal.
-			t.degraded.Store(false)
-		}
+		req.markDone(sock)
+		// Finishing a request — any request — proves this leader is alive:
+		// clear a degraded mark left by a watchdog, including one from a
+		// run whose dispatch handoff was abandoned before ever reaching
+		// this leader (that run can never be redelivered to heal us).
+		t.degraded.Store(false)
 	}
 }
 

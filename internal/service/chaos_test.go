@@ -51,22 +51,54 @@ func TestChaosPanicFailsJobAndQuarantinesOperands(t *testing.T) {
 	}
 	faultinject.Disable()
 
-	// Both operands are quarantined; resubmission fails fast and typed.
-	if q := m.Quarantined(); len(q) != 2 {
-		t.Fatalf("quarantined = %v, want both operands", q)
+	// Quarantine is surgical: the panicking pair is blocked as a
+	// combination — resubmitting it fails fast and typed — while each
+	// member stays usable with other co-operands.
+	if q := m.Quarantined(); len(q) != 1 {
+		t.Fatalf("quarantined = %v, want just the a×b combination", q)
 	}
 	if _, err := m.Submit(Request{A: "a", B: "b"}); !errors.Is(err, ErrQuarantined) {
 		t.Fatalf("resubmit error = %v, want ErrQuarantined", err)
 	}
 	mm := m.Metrics()
-	if mm.TaskPanics == 0 || mm.Quarantined != 2 || mm.Failed != 1 {
+	if mm.TaskPanics == 0 || mm.Quarantined != 1 || mm.Failed != 1 {
 		t.Errorf("metrics after panic = %+v", mm)
 	}
+	job, err = m.Submit(Request{A: "a", B: "c"})
+	if err != nil {
+		t.Fatalf("pairing a with a healthy co-operand rejected: %v", err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatalf("a with healthy co-operand failed: %v", err)
+	}
 
-	// Lifting the quarantine restores service; the same matrices multiply
+	// A second panic implicating "a" with a different co-operand makes it
+	// the common factor: "a" escalates to individual quarantine and is
+	// blocked with any partner.
+	faultinject.Enable(1, faultinject.Rule{Site: "sched.task", Kind: faultinject.KindPanic})
+	job, err = m.Submit(Request{A: "a", B: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err == nil {
+		t.Fatal("second panicking multiply unexpectedly succeeded")
+	}
+	faultinject.Disable()
+	if _, err := m.Submit(Request{A: "a", B: "a"}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("escalated operand with fresh partner: error = %v, want ErrQuarantined", err)
+	}
+
+	// Lifting the quarantine (the delete/re-load path) drops the name, its
+	// combinations, and its offense history; the same matrices multiply
 	// fine once the fault is gone.
-	m.Unquarantine("a")
+	if !m.Unquarantine("a") {
+		t.Error("Unquarantine(a) reported nothing lifted")
+	}
 	m.Unquarantine("b")
+	m.Unquarantine("c")
+	if q := m.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantined after lift = %v, want none", q)
+	}
 	job, err = m.Submit(Request{A: "a", B: "b"})
 	if err != nil {
 		t.Fatal(err)

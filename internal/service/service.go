@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,11 +35,14 @@ var (
 	ErrDraining = errors.New("service: shutting down")
 	// ErrBadRequest reports a structurally invalid request.
 	ErrBadRequest = errors.New("service: bad request")
-	// ErrQuarantined reports a request naming a quarantined matrix: one
-	// whose kernel panicked or whose on-disk stream failed verification.
-	// Quarantined requests fail fast (HTTP 422) instead of burning worker
-	// time on a poisoned operand; deleting and re-loading the matrix lifts
-	// the quarantine.
+	// ErrQuarantined reports a request blocked by quarantine: it either
+	// names an individually quarantined matrix (one whose on-disk stream
+	// failed verification, or the common factor of kernel panics across
+	// different co-operands) or reproduces a quarantined operand
+	// combination (one whose multiply panicked the kernel). Quarantined
+	// requests fail fast (HTTP 422) instead of burning worker time on a
+	// poisoned operand; deleting and re-loading an implicated matrix lifts
+	// its quarantine and every combination it belongs to.
 	ErrQuarantined = errors.New("service: matrix quarantined")
 )
 
@@ -180,9 +184,16 @@ type Manager struct {
 	admitMu sync.RWMutex
 	closed  bool
 
-	// quarantined maps matrix names to the reason they were poisoned.
+	// quarMu guards the quarantine state. quarantined maps individually
+	// poisoned matrix names to reasons; quarCombos holds operand
+	// combinations implicated in a kernel panic, keyed by comboKey;
+	// implicated records, per matrix, the combination keys it has panicked
+	// in, driving escalation to individual quarantine (see
+	// QuarantinePanic).
 	quarMu      sync.Mutex
 	quarantined map[string]string
+	quarCombos  map[string]comboQuarantine
+	implicated  map[string]map[string]struct{}
 
 	m metrics
 }
@@ -239,6 +250,8 @@ func New(cat *catalog.Catalog, opts Options) *Manager {
 		rootCtx:     ctx,
 		rootStop:    stop,
 		quarantined: make(map[string]string),
+		quarCombos:  make(map[string]comboQuarantine),
+		implicated:  make(map[string]map[string]struct{}),
 	}
 	m.m.latencies = make([]time.Duration, 0, latencyWindow)
 	for i := 0; i < opts.Workers; i++ {
@@ -303,9 +316,10 @@ func (m *Manager) worker() {
 // run executes one job end to end: the first attempt plus up to MaxRetries
 // re-executions of transient failures, each separated by capped exponential
 // backoff with jitter slept under the job's own deadline. Permanent kernel
-// panics additionally quarantine the job's operands — a matrix whose data
+// panics additionally quarantine the job's operand combination — data that
 // keeps crashing the multiply must not be allowed to take out worker after
-// worker.
+// worker, but a single panic implicates the interaction, not yet any one
+// matrix (see QuarantinePanic for the escalation rule).
 func (m *Manager) run(job *Job) {
 	m.m.inflight.Add(1)
 	defer m.m.inflight.Add(-1)
@@ -340,10 +354,7 @@ func (m *Manager) run(job *Job) {
 			m.m.failed.Add(1)
 			var tpe *sched.TaskPanicError
 			if errors.As(err, &tpe) {
-				reason := fmt.Sprintf("kernel panic during multiply: %v", tpe.Value)
-				for _, name := range job.req.names() {
-					m.Quarantine(name, reason)
-				}
+				m.QuarantinePanic(job.req.names(), fmt.Sprintf("kernel panic during multiply: %v", tpe.Value))
 			}
 		}
 	}
@@ -370,8 +381,33 @@ func (m *Manager) backoff(ctx context.Context, attempt int) bool {
 	}
 }
 
-// Quarantine marks a matrix as poisoned: later Submits naming it fail fast
-// with ErrQuarantined. The first reason sticks.
+// comboQuarantine is one quarantined operand combination: the kernel
+// panicked while multiplying exactly these matrices together, so the
+// combination is blocked while each member stays usable with other
+// co-operands (until repeat offenses escalate it — see QuarantinePanic).
+type comboQuarantine struct {
+	names  []string
+	reason string
+}
+
+// comboKey canonicalizes an operand set: sorted, deduplicated, joined into
+// a human-readable key ("a × b") that doubles as the entry's display name.
+func comboKey(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for i, n := range sorted {
+		if i == 0 || n != sorted[i-1] {
+			uniq = append(uniq, n)
+		}
+	}
+	return strings.Join(uniq, " × ")
+}
+
+// Quarantine marks a single matrix as poisoned: later Submits naming it
+// fail fast with ErrQuarantined. The first reason sticks. This is the
+// individual path, used for matrices whose on-disk stream failed
+// verification; kernel panics go through QuarantinePanic instead.
 func (m *Manager) Quarantine(name, reason string) {
 	m.quarMu.Lock()
 	if _, ok := m.quarantined[name]; !ok {
@@ -380,30 +416,95 @@ func (m *Manager) Quarantine(name, reason string) {
 	m.quarMu.Unlock()
 }
 
-// Unquarantine lifts a matrix's quarantine (the delete/re-load path) and
-// reports whether it was quarantined.
+// QuarantinePanic records a kernel panic implicating the given operands.
+// Quarantine is surgical: the offending combination is blocked (later
+// submissions multiplying these matrices together fail fast), but each
+// member stays usable with other co-operands — a single panic implicates
+// the interaction, not yet any one matrix. A matrix implicated in panics
+// across two different combinations is the common factor and escalates to
+// individual quarantine.
+func (m *Manager) QuarantinePanic(names []string, reason string) {
+	key := comboKey(names)
+	m.quarMu.Lock()
+	defer m.quarMu.Unlock()
+	if _, ok := m.quarCombos[key]; !ok {
+		m.quarCombos[key] = comboQuarantine{names: append([]string(nil), names...), reason: reason}
+	}
+	for _, n := range names {
+		set := m.implicated[n]
+		if set == nil {
+			set = make(map[string]struct{})
+			m.implicated[n] = set
+		}
+		set[key] = struct{}{}
+		if len(set) >= 2 {
+			if _, ok := m.quarantined[n]; !ok {
+				m.quarantined[n] = fmt.Sprintf("implicated in %d panicking multiplications; last: %s", len(set), reason)
+			}
+		}
+	}
+}
+
+// Unquarantine lifts a matrix's quarantine (the delete/re-load path): the
+// name itself, every quarantined combination it belongs to, and its panic
+// implication history are dropped — the matrix's data is gone or fresh, so
+// its past offenses no longer say anything. Reports whether any quarantine
+// entry was lifted.
 func (m *Manager) Unquarantine(name string) bool {
 	m.quarMu.Lock()
 	defer m.quarMu.Unlock()
-	if _, ok := m.quarantined[name]; !ok {
-		return false
-	}
+	_, hit := m.quarantined[name]
 	delete(m.quarantined, name)
-	return true
+	for key, c := range m.quarCombos {
+		member := false
+		for _, n := range c.names {
+			if n == name {
+				member = true
+				break
+			}
+		}
+		if !member {
+			continue
+		}
+		delete(m.quarCombos, key)
+		hit = true
+		// Forgive the combination for its other members too, so a stale
+		// offense cannot count toward their escalation later.
+		for _, n := range c.names {
+			if set := m.implicated[n]; set != nil {
+				delete(set, key)
+				if len(set) == 0 {
+					delete(m.implicated, n)
+				}
+			}
+		}
+	}
+	delete(m.implicated, name)
+	return hit
 }
 
-// Quarantined snapshots the quarantined matrices and their reasons.
+// Quarantined snapshots the quarantine entries in force — individually
+// quarantined matrices and quarantined operand combinations (keyed
+// "a × b") — with their reasons.
 func (m *Manager) Quarantined() map[string]string {
 	m.quarMu.Lock()
 	defer m.quarMu.Unlock()
-	out := make(map[string]string, len(m.quarantined))
+	out := make(map[string]string, len(m.quarantined)+len(m.quarCombos))
 	for k, v := range m.quarantined {
 		out[k] = v
+	}
+	for k, c := range m.quarCombos {
+		if _, ok := out[k]; !ok {
+			out[k] = c.reason
+		}
 	}
 	return out
 }
 
-// quarantinedOperand returns the first quarantined name among names.
+// quarantinedOperand returns the first quarantine entry blocking the given
+// operand set: an individually quarantined name, or a quarantined
+// combination all of whose members appear among the operands (a chain
+// containing a poisoned pair is blocked too).
 func (m *Manager) quarantinedOperand(names []string) (name, reason string, ok bool) {
 	m.quarMu.Lock()
 	defer m.quarMu.Unlock()
@@ -411,6 +512,22 @@ func (m *Manager) quarantinedOperand(names []string) (name, reason string, ok bo
 		if r, hit := m.quarantined[n]; hit {
 			return n, r, true
 		}
+	}
+	if len(m.quarCombos) == 0 {
+		return "", "", false
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+combos:
+	for key, c := range m.quarCombos {
+		for _, member := range c.names {
+			if !have[member] {
+				continue combos
+			}
+		}
+		return key, c.reason, true
 	}
 	return "", "", false
 }
@@ -537,7 +654,9 @@ type Metrics struct {
 	QueueCap  int64 `json:"queue_capacity"`
 
 	// Retries counts transient-failure re-executions; Quarantined the
-	// matrices currently quarantined. TaskPanics and WatchdogTimeouts are
+	// quarantine entries currently in force (individually quarantined
+	// matrices plus panic-implicated operand combinations). TaskPanics and
+	// WatchdogTimeouts are
 	// the process-wide scheduler fault counters (they include panics and
 	// timeouts from outside this manager, e.g. direct core callers).
 	Retries          int64 `json:"retries"`
@@ -568,7 +687,7 @@ func (m *Manager) Metrics() Metrics {
 	}
 	out.TaskPanics, out.WatchdogTimeouts = sched.Counters()
 	m.quarMu.Lock()
-	out.Quarantined = int64(len(m.quarantined))
+	out.Quarantined = int64(len(m.quarantined) + len(m.quarCombos))
 	m.quarMu.Unlock()
 	m.m.statMu.Lock()
 	out.Mult = m.m.mult

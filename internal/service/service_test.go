@@ -23,8 +23,8 @@ func testConfig() core.Config {
 	return cfg
 }
 
-// testCatalog loads two small operands ("a", "b") and one big one ("big",
-// slow enough to keep a worker busy while tests fill the queue).
+// testCatalog loads three small operands ("a", "b", "c") and one big one
+// ("big", slow enough to keep a worker busy while tests fill the queue).
 func testCatalog(t *testing.T) *catalog.Catalog {
 	t.Helper()
 	cfg := testConfig()
@@ -33,7 +33,7 @@ func testCatalog(t *testing.T) *catalog.Catalog {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(42))
-	for name, dim := range map[string]int{"a": 64, "b": 64} {
+	for name, dim := range map[string]int{"a": 64, "b": 64, "c": 64} {
 		am, _, err := core.Partition(mat.RandomCOO(rng, dim, dim, dim*10), cfg)
 		if err != nil {
 			t.Fatal(err)
