@@ -21,19 +21,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched ./internal/core ./internal/catalog ./internal/service ./cmd/atserve -run 'Concurrent|Cancel'
+	$(GO) test -race ./internal/sched ./internal/core ./internal/catalog ./internal/service ./cmd/atserve -run 'Concurrent|Cancel|Scrub|Recover|Spill|Verify|Bitflip'
 
 ## chaos: the fault-injection suite — injected kernel panics, hung tasks,
-## transient failures, corrupt streams, double releases — with the race
-## detector and the goroutine leak checks armed.
+## transient failures, corrupt streams, double releases, bit flips, crash
+## recovery — with the race detector and the goroutine leak checks armed.
 chaos:
-	$(GO) test -race ./internal/faultinject ./internal/sched ./internal/catalog ./internal/service ./cmd/atserve -run 'Chaos|Fault|Panic|Watchdog|Release|WriteFile' -count=1
+	$(GO) test -race ./internal/faultinject ./internal/sched ./internal/catalog ./internal/service ./cmd/atserve -run 'Chaos|Fault|Panic|Watchdog|Release|WriteFile|Scrub|Recover|Spill|Verify|Bitflip' -count=1
 
 ## bench: the per-figure benchmarks with allocation counts.
 bench:
 	$(GO) test -bench=. -benchmem
 
-## serve-smoke: build the real atserve binary, start it on a random port,
-## run one multiply over HTTP, check /healthz, and shut it down cleanly.
+## serve-smoke: build the real atserve binary and drive it over HTTP — one
+## multiply + clean SIGTERM shutdown, then the kill -9 crash-recovery drill
+## against a durable data dir.
 serve-smoke:
-	ATSERVE_SMOKE=1 $(GO) test ./cmd/atserve -run TestServeSmoke -count=1 -v
+	ATSERVE_SMOKE=1 $(GO) test ./cmd/atserve -run 'TestServeSmoke|TestRecoverSmoke' -count=1 -v

@@ -12,10 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"atmatrix/internal/core"
 	"atmatrix/internal/gen"
 	"atmatrix/internal/mat"
 	"atmatrix/internal/mmio"
@@ -41,23 +43,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "atgen: %v\n", err)
-			os.Exit(1)
+	write := func(w io.Writer) error {
+		switch *format {
+		case "mtx":
+			return mmio.WriteMatrixMarket(w, a)
+		case "bin":
+			return mmio.WriteBinary(w, a)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
 		}
-		defer f.Close()
-		w = f
 	}
-	switch *format {
-	case "mtx":
-		err = mmio.WriteMatrixMarket(w, a)
-	case "bin":
-		err = mmio.WriteBinary(w, a)
-	default:
-		err = fmt.Errorf("unknown format %q", *format)
+	if *out == "" {
+		err = write(os.Stdout)
+	} else {
+		// Crash-safe: a generation interrupted mid-stream must not leave a
+		// torn file where a benchmark script expects a matrix.
+		_, err = core.WriteFileAtomic(*out, func(w io.Writer) (int64, error) {
+			return 0, write(w)
+		})
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "atgen: %v\n", err)

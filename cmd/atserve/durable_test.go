@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/service"
+)
+
+// durableServer stands up the production handler stack over a durable
+// catalog in a fresh temp directory.
+func durableServer(t *testing.T, dataDir string, sc serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	sc.cfg = testConfig()
+	sc.dataDir = dataDir
+	s, err := newServer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.shutdown(30 * time.Second)
+	})
+	return s, ts
+}
+
+func healthStatus(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	status, _ := out["status"].(string)
+	return status
+}
+
+// TestServerRecoverAfterRestart is the in-process crash-recovery drill: a
+// server admits matrices (one pinned) and serves a multiply; the process
+// "dies" (the server object is abandoned without any shutdown flush); a
+// second server over the same data directory recovers, the pinned matrix
+// is resident, the unpinned one lazily reloads, and the product it serves
+// is byte-identical to the pre-crash one.
+func TestServerRecoverAfterRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	outDir := t.TempDir()
+	s1, ts1 := durableServer(t, dataDir, serverConfig{allowPath: true})
+
+	pinResp, err := http.Post(ts1.URL+"/v1/matrices?name=A&format=coo&pin=true",
+		"application/octet-stream", rmatStream(t, 64, 640, 401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinResp.Body.Close()
+	if pinResp.StatusCode != http.StatusCreated {
+		t.Fatalf("pinned upload: status %d", pinResp.StatusCode)
+	}
+	if resp := upload(t, ts1.URL, "B", rmatStream(t, 64, 640, 402)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload B: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, out := multiply(t, ts1.URL, map[string]any{"a": "A", "b": "B", "store": "P1"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-crash multiply: status %d (%v)", resp.StatusCode, out)
+	}
+	f1 := filepath.Join(outDir, "pre.atm")
+	saveBody, _ := json.Marshal(map[string]string{"path": f1})
+	if resp, err := http.Post(ts1.URL+"/v1/matrices/P1/save", "application/json", bytes.NewReader(saveBody)); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("save P1: %v status %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	// Crash: no shutdown, no flush — the durable write-through is all the
+	// second server gets. (The httptest server is closed so the port is
+	// free, but s1's catalog and manager are simply abandoned.)
+	ts1.Close()
+	_ = s1
+
+	s2, ts2 := durableServer(t, dataDir, serverConfig{allowPath: true})
+	rs, err := s2.recoverCatalog()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rs.Registered != 3 || rs.Loaded != 1 || len(rs.Failed) != 0 {
+		t.Fatalf("recover stats = %+v, want 3 registered (A, B, P1), 1 pinned loaded", rs)
+	}
+	if got := healthStatus(t, ts2.URL); got != "ok" {
+		t.Fatalf("healthz after recovery = %q, want ok", got)
+	}
+	if got := s2.cat.Stats().Recovered; got != 3 {
+		t.Fatalf("recovered counter = %d, want 3", got)
+	}
+	// Pinned A is resident; B and P1 wait spilled until first use.
+	for _, info := range s2.cat.List() {
+		switch info.Name {
+		case "A":
+			if info.Spilled || !info.Pinned {
+				t.Fatalf("A after recovery: %+v, want resident and pinned", info)
+			}
+		case "B", "P1":
+			if info.Spilled != true {
+				t.Fatalf("%s after recovery: %+v, want spilled", info.Name, info)
+			}
+		}
+	}
+	// The same multiply against the recovered operands yields a
+	// byte-identical product.
+	if resp, out := multiply(t, ts2.URL, map[string]any{"a": "A", "b": "B", "store": "P2"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery multiply: status %d (%v)", resp.StatusCode, out)
+	}
+	f2 := filepath.Join(outDir, "post.atm")
+	saveBody, _ = json.Marshal(map[string]string{"path": f2})
+	if resp, err := http.Post(ts2.URL+"/v1/matrices/P2/save", "application/json", bytes.NewReader(saveBody)); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("save P2: %v status %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	pre, err := os.ReadFile(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := os.ReadFile(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pre, post) {
+		t.Fatal("multiply result differs across crash recovery")
+	}
+	if rel := metricValue(t, ts2.URL, "atserve_catalog_reloads_total"); rel < 1 {
+		t.Fatalf("reloads = %v, want >= 1 (B lazily reloaded)", rel)
+	}
+}
+
+// TestServerHealthzReportsRecovering: while boot recovery is in flight the
+// health endpoint reports "recovering" with 200, so load balancers route
+// traffic (lazy reloads work) while dashboards see the state.
+func TestServerHealthzReportsRecovering(t *testing.T) {
+	s, ts := durableServer(t, t.TempDir(), serverConfig{})
+	s.recovering.Store(true)
+	if got := healthStatus(t, ts.URL); got != "recovering" {
+		t.Fatalf("healthz = %q, want recovering", got)
+	}
+	s.recovering.Store(false)
+	if got := healthStatus(t, ts.URL); got != "ok" {
+		t.Fatalf("healthz = %q, want ok", got)
+	}
+}
+
+// TestServerScrubEndpointRepairsBitflip drives the full integrity loop over
+// HTTP: an armed chaos rule corrupts a resident matrix during the admin
+// scrub, the pass detects and repairs it from the durable copy, the
+// quarantine opens and closes around the repair, and the counters land in
+// /metrics.
+func TestServerScrubEndpointRepairsBitflip(t *testing.T) {
+	t.Cleanup(faultinject.Disable)
+	_, ts := durableServer(t, t.TempDir(), serverConfig{})
+	if resp := upload(t, ts.URL, "A", rmatStream(t, 64, 640, 403)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "catalog.scrub", Kind: faultinject.KindBitflip, Count: 1,
+	})
+	resp, err := http.Post(ts.URL+"/v1/admin/scrub", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrub: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Pass struct {
+			Scanned int64 `json:"scanned"`
+			Errors  int64 `json:"errors"`
+			Repairs int64 `json:"repairs"`
+		} `json:"pass"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Pass.Scanned != 1 || out.Pass.Errors != 1 || out.Pass.Repairs != 1 {
+		t.Fatalf("scrub pass = %+v, want 1/1/1", out.Pass)
+	}
+	// Repair lifted the quarantine: the matrix multiplies again and health
+	// is back to ok.
+	if resp, mout := multiply(t, ts.URL, map[string]any{"a": "A", "b": "A"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply after repair: status %d (%v)", resp.StatusCode, mout)
+	}
+	if got := healthStatus(t, ts.URL); got != "ok" {
+		t.Fatalf("healthz after repair = %q, want ok", got)
+	}
+	if v := metricValue(t, ts.URL, "atserve_scrub_errors_total"); v != 1 {
+		t.Fatalf("scrub_errors_total = %v, want 1", v)
+	}
+	if v := metricValue(t, ts.URL, "atserve_scrub_repairs_total"); v != 1 {
+		t.Fatalf("scrub_repairs_total = %v, want 1", v)
+	}
+}
+
+// TestServerVerifyRejectsCorruptProduct wires -verify end to end: with the
+// result bitflip armed persistently, a verifying server fails the multiply
+// with 500 after one retry instead of serving the wrong product, and the
+// failure is visible in /metrics.
+func TestServerVerifyRejectsCorruptProduct(t *testing.T) {
+	t.Cleanup(faultinject.Disable)
+	_, ts := durableServer(t, t.TempDir(), serverConfig{
+		opts: service.Options{Verify: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond},
+	})
+	if resp := upload(t, ts.URL, "A", rmatStream(t, 64, 640, 404)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "core.mult.result", Kind: faultinject.KindBitflip, Count: 8,
+	})
+	resp, out := multiply(t, ts.URL, map[string]any{"a": "A", "b": "A"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("verified multiply of corrupted result: status %d (%v), want 500", resp.StatusCode, out)
+	}
+	if v := metricValue(t, ts.URL, "atserve_verify_failed_total"); v != 2 {
+		t.Fatalf("verify_failed_total = %v, want 2 (attempt + one retry)", v)
+	}
+	if v := metricValue(t, ts.URL, "atserve_retries_total"); v != 1 {
+		t.Fatalf("retries_total = %v, want exactly 1", v)
+	}
+}
+
+// TestRecoverSmoke is the kill -9 drill against the real binary: load a
+// pinned and an unpinned matrix, record a product, SIGKILL the process,
+// restart it over the same data directory, and require the recovered
+// server to serve the identical product. Gated behind ATSERVE_SMOKE=1
+// (run via `make serve-smoke`).
+func TestRecoverSmoke(t *testing.T) {
+	if os.Getenv("ATSERVE_SMOKE") != "1" {
+		t.Skip("set ATSERVE_SMOKE=1 to run the binary smoke test")
+	}
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	bin := filepath.Join(dir, "atserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	start := func() (*exec.Cmd, string, *bytes.Buffer) {
+		addrFile := filepath.Join(dir, "addr")
+		os.Remove(addrFile)
+		cmd := exec.Command(bin,
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-b-atomic", "8", "-sockets", "2", "-cores", "2",
+			"-data-dir", dataDir, "-verify", "2", "-drain", "10s",
+			"-allow-path-loads")
+		var logs bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &logs, &logs
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var base string
+		for deadline := time.Now().Add(15 * time.Second); ; {
+			if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+				base = "http://" + strings.TrimSpace(string(data))
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("server never wrote addr file; logs:\n%s", logs.String())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return cmd, base, &logs
+	}
+	save := func(base, name, path string) {
+		body, _ := json.Marshal(map[string]string{"path": path})
+		resp, err := http.Post(base+"/v1/matrices/"+name+"/save", "application/json", bytes.NewReader(body))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("save %s: %v status %v", name, err, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	cmd1, base1, logs1 := start()
+	defer cmd1.Process.Kill()
+	presp, err := http.Post(base1+"/v1/matrices?name=A&format=coo&pin=true",
+		"application/octet-stream", rmatStream(t, 64, 640, 501))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusCreated {
+		t.Fatalf("pinned upload: status %d; logs:\n%s", presp.StatusCode, logs1.String())
+	}
+	if resp := upload(t, base1, "B", rmatStream(t, 64, 640, 502)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload B: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, out := multiply(t, base1, map[string]any{"a": "A", "b": "B", "store": "P"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply: status %d (%v)", resp.StatusCode, out)
+	}
+	pre := filepath.Join(dir, "pre.atm")
+	save(base1, "P", pre)
+
+	// kill -9: no drain, no flush, no goodbye.
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	cmd2, base2, logs2 := start()
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd2.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			cmd2.Process.Kill()
+		}
+	}()
+	// Wait out boot recovery.
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if s := healthStatus(t, base2); s == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server stuck recovering; logs:\n%s", logs2.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// All three matrices survived the SIGKILL; the product of the
+	// recovered operands is byte-identical.
+	if resp, out := multiply(t, base2, map[string]any{"a": "A", "b": "B", "store": "P2"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill multiply: status %d (%v); logs:\n%s", resp.StatusCode, out, logs2.String())
+	}
+	post := filepath.Join(dir, "post.atm")
+	save(base2, "P2", post)
+	preBytes, err := os.ReadFile(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postBytes, err := os.ReadFile(post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(preBytes, postBytes) {
+		t.Fatal("product differs across kill -9 recovery")
+	}
+}

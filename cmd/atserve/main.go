@@ -49,6 +49,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 		watchdog   = flag.Duration("watchdog", 0, "per-tile-task deadline; a stuck kernel degrades its team instead of hanging the job (0 = off)")
 		retries    = flag.Int("retries", 0, "max retries of transiently-failed jobs (0 = default of 2, negative = none)")
+		verify     = flag.Int("verify", 0, "Freivalds verification rounds per multiply result (0 = off; k rounds bound the false-negative rate by 2^-k)")
+		dataDir    = flag.String("data-dir", "", "durable catalog directory: write-through persistence, spill-to-disk eviction, crash recovery (empty = memory-only)")
+		scrub      = flag.Duration("scrub", 0, "background integrity-scrub period re-verifying resident tile checksums (0 = off)")
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight jobs")
 		maxUpload  = flag.Int64("max-upload", 1<<30, "maximum upload body size in bytes")
 		allowPath  = flag.Bool("allow-path-loads", false, "allow JSON loads that name files on the server filesystem")
@@ -87,15 +90,42 @@ func main() {
 		log.Printf("atserve: FAULT INJECTION ARMED (%s=%q, seed %d): %d rule(s)", faultinject.EnvVar, spec, seed, len(rules))
 	}
 
-	s, err := newServer(cfg, *budget, service.Options{
-		QueueDepth:     *queueDepth,
-		Workers:        *workers,
-		DefaultTimeout: *timeout,
-		Watchdog:       *watchdog,
-		MaxRetries:     *retries,
-	}, *allowPath, *maxUpload)
+	s, err := newServer(serverConfig{
+		cfg:    cfg,
+		budget: *budget,
+		opts: service.Options{
+			QueueDepth:     *queueDepth,
+			Workers:        *workers,
+			DefaultTimeout: *timeout,
+			Watchdog:       *watchdog,
+			MaxRetries:     *retries,
+			Verify:         *verify,
+		},
+		allowPath:   *allowPath,
+		maxUpload:   *maxUpload,
+		dataDir:     *dataDir,
+		scrubPeriod: *scrub,
+	})
 	if err != nil {
 		log.Fatalf("atserve: %v", err)
+	}
+	// Boot recovery runs behind the listener so health checks see the
+	// process come up immediately — /healthz reports "recovering" until
+	// the pinned matrices are resident again.
+	if *dataDir != "" {
+		go func() {
+			t0 := time.Now()
+			rs, err := s.recoverCatalog()
+			if err != nil {
+				log.Printf("atserve: catalog recovery: %v", err)
+				return
+			}
+			log.Printf("atserve: catalog recovered in %v: %d registered, %d pinned loaded, %d failed",
+				time.Since(t0).Round(time.Millisecond), rs.Registered, rs.Loaded, len(rs.Failed))
+			for _, f := range rs.Failed {
+				log.Printf("atserve: pinned reload failed: %s", f)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

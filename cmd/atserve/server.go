@@ -19,37 +19,74 @@ import (
 	"atmatrix/internal/service"
 )
 
+// serverConfig bundles everything newServer needs; the zero value of the
+// optional fields (dataDir, scrubPeriod, ...) yields the memory-only
+// server the earlier PRs shipped.
+type serverConfig struct {
+	cfg         core.Config
+	budget      int64
+	opts        service.Options
+	allowPath   bool          // permit {"path": ...} loads/saves on the server filesystem
+	maxUpload   int64         // request body cap for uploads
+	dataDir     string        // durable catalog backing store ("" = memory-only)
+	scrubPeriod time.Duration // background integrity scrub period (0 = off)
+}
+
 // server wires the catalog and the job manager to the HTTP surface. It is
 // separate from main so the httptest suite can drive the exact production
 // handler stack.
 type server struct {
-	cat       *catalog.Catalog
-	mgr       *service.Manager
-	topo      numa.Topology
-	brk       *breaker
-	started   time.Time
-	draining  atomic.Bool
-	allowPath bool  // permit {"path": ...} loads/saves on the server filesystem
-	maxUpload int64 // request body cap for uploads
+	cat        *catalog.Catalog
+	mgr        *service.Manager
+	topo       numa.Topology
+	brk        *breaker
+	started    time.Time
+	draining   atomic.Bool
+	recovering atomic.Bool
+	allowPath  bool
+	maxUpload  int64
 }
 
-func newServer(cfg core.Config, budget int64, opts service.Options, allowPath bool, maxUpload int64) (*server, error) {
-	cat, err := catalog.New(cfg, budget)
+func newServer(sc serverConfig) (*server, error) {
+	cat, err := catalog.Open(sc.cfg, sc.budget, sc.dataDir)
 	if err != nil {
 		return nil, err
 	}
-	if maxUpload <= 0 {
-		maxUpload = 1 << 30
+	if sc.maxUpload <= 0 {
+		sc.maxUpload = 1 << 30
 	}
-	return &server{
+	s := &server{
 		cat:       cat,
-		mgr:       service.New(cat, opts),
-		topo:      cfg.Topology,
+		mgr:       service.New(cat, sc.opts),
+		topo:      sc.cfg.Topology,
 		brk:       newBreaker(),
 		started:   time.Now(),
-		allowPath: allowPath,
-		maxUpload: maxUpload,
-	}, nil
+		allowPath: sc.allowPath,
+		maxUpload: sc.maxUpload,
+	}
+	// The scrubber's findings route into the service quarantine: a matrix
+	// that fails its checksum scan is blocked from multiplies until the
+	// repair lands, and the repair lifts the block again.
+	cat.SetIntegrityHooks(
+		func(name, reason string) { s.mgr.Quarantine(name, reason) },
+		func(name string) { s.mgr.Unquarantine(name) },
+	)
+	cat.StartScrubber(sc.scrubPeriod)
+	return s, nil
+}
+
+// recoverCatalog rebuilds the catalog from the data directory's manifest,
+// holding /healthz in the "recovering" state for the duration (pinned
+// matrices reload eagerly, which can take a while). main runs it in the
+// background so the listener is up — and readable for health checks —
+// while recovery proceeds.
+func (s *server) recoverCatalog() (catalog.RecoverStats, error) {
+	if s.cat.DataDir() == "" {
+		return catalog.RecoverStats{}, nil
+	}
+	s.recovering.Store(true)
+	defer s.recovering.Store(false)
+	return s.cat.Recover()
 }
 
 // handler builds the route table.
@@ -61,16 +98,30 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/matrices/{name}", s.handleDelete)
 	mux.HandleFunc("POST /v1/matrices/{name}/save", s.handleSave)
 	mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
+	mux.HandleFunc("POST /v1/admin/scrub", s.handleScrub)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
-// shutdown stops admission (healthz flips to 503 for load balancers) and
-// drains the job manager.
+// shutdown stops admission (healthz flips to 503 for load balancers),
+// drains the job manager, and stops the background scrubber.
 func (s *server) shutdown(drain time.Duration) error {
 	s.draining.Store(true)
-	return s.mgr.Close(drain)
+	err := s.mgr.Close(drain)
+	s.cat.Close()
+	return err
+}
+
+// handleScrub runs one integrity scrub pass synchronously — the operator's
+// on-demand version of the background loop — and returns the pass summary
+// plus the cumulative catalog stats.
+func (s *server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	pass := s.cat.ScrubPass()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pass":  pass,
+		"stats": s.cat.Stats(),
+	})
 }
 
 // jsonError writes a JSON error body with the given status.
@@ -303,7 +354,9 @@ func (s *server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz reports one of three states: "ok", "degraded" (still
+// handleHealthz reports one of four states: "ok", "recovering" (boot-time
+// catalog recovery is still reloading pinned matrices; 200, since the
+// process serves — lazily-reloadable entries included), "degraded" (still
 // serving, but a brownout is active, a worker team was abandoned by a
 // watchdog, or matrices sit in quarantine — each spelled out in reasons),
 // or "draining" (shutting down, 503 so load balancers stop routing here).
@@ -311,6 +364,14 @@ func (s *server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "recovering",
+			"reasons":   []string{"catalog: boot recovery reloading pinned matrices"},
+			"uptime_ms": time.Since(s.started).Milliseconds(),
+		})
 		return
 	}
 	var reasons []string
@@ -355,6 +416,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("atserve_queue_depth", m.Queued)
 	p("atserve_queue_capacity", m.QueueCap)
 	p("atserve_retries_total", m.Retries)
+	p("atserve_verify_failed_total", m.VerifyFailed)
 	p("atserve_task_panics_total", m.TaskPanics)
 	p("atserve_watchdog_timeouts_total", m.WatchdogTimeouts)
 	p("atserve_quarantined_matrices", m.Quarantined)
@@ -369,11 +431,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("atserve_catalog_evictions_total", cs.Evictions)
 	p("atserve_catalog_hits_total", cs.Hits)
 	p("atserve_catalog_misses_total", cs.Misses)
+	p("atserve_catalog_spilled_matrices", cs.Spilled)
+	p("atserve_catalog_spills_total", cs.Spills)
+	p("atserve_catalog_reloads_total", cs.Reloads)
+	p("atserve_catalog_recovered_total", cs.Recovered)
+	p("atserve_scrub_passes_total", cs.ScrubPasses)
+	p("atserve_scrub_scanned_total", cs.ScrubScanned)
+	p("atserve_scrub_errors_total", cs.ScrubErrors)
+	p("atserve_scrub_repairs_total", cs.ScrubRepairs)
+	p("atserve_scrub_unrepaired_total", cs.ScrubUnrepaired)
 	p("atserve_mult_estimate_seconds_total", secs(m.Mult.EstimateTime))
 	p("atserve_mult_optimize_seconds_total", secs(m.Mult.OptimizeTime))
 	p("atserve_mult_convert_seconds_total", secs(m.Mult.ConvertTime))
 	p("atserve_mult_multiply_seconds_total", secs(m.Mult.MultiplyTime))
 	p("atserve_mult_finalize_seconds_total", secs(m.Mult.FinalizeTime))
+	p("atserve_mult_verify_seconds_total", secs(m.Mult.VerifyTime))
 	p("atserve_mult_wall_seconds_total", secs(m.Mult.WallTime))
 	p("atserve_mult_conversions_total", m.Mult.Conversions)
 	p("atserve_mult_contributions_total", m.Mult.Contributions)

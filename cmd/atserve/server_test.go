@@ -35,7 +35,7 @@ func testConfig() core.Config {
 // testServer stands up the production handler stack on httptest.
 func newTestServer(t *testing.T, budget int64, opts service.Options) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(testConfig(), budget, opts, false, 1<<30)
+	s, err := newServer(serverConfig{cfg: testConfig(), budget: budget, opts: opts, maxUpload: 1 << 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +342,7 @@ func TestServeDeadline504(t *testing.T) {
 // TestServeDrainFlipsHealthz verifies shutdown stops admission: healthz
 // flips to 503 and both load and multiply requests are refused.
 func TestServeDrainFlipsHealthz(t *testing.T) {
-	s, err := newServer(testConfig(), 0, service.Options{}, false, 1<<30)
+	s, err := newServer(serverConfig{cfg: testConfig(), maxUpload: 1 << 30})
 	if err != nil {
 		t.Fatal(err)
 	}

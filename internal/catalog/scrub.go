@@ -1,0 +1,183 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
+)
+
+// Background scrubbing: every matrix is sealed with per-tile CRC-32C
+// payload checksums at admission (core.SealChecksums); the scrubber walks
+// the resident set and re-verifies them, catching silent in-memory
+// corruption (bit rot, stray writes, the faultinject bitflip chaos hook)
+// long before a multiply would serve it. A corrupt matrix is reported
+// through the integrity hooks — the service layer quarantines it — and
+// repaired in place by reloading the clean durable copy when one exists.
+
+// ScrubStats summarizes one scrub pass.
+type ScrubStats struct {
+	Scanned    int64 `json:"scanned"`    // resident matrices verified
+	Errors     int64 `json:"errors"`     // matrices with a checksum mismatch
+	Repairs    int64 `json:"repairs"`    // corrupt matrices restored from disk
+	Unrepaired int64 `json:"unrepaired"` // corrupt matrices with no clean copy
+}
+
+// SetIntegrityHooks installs the callbacks the scrubber fires outside the
+// catalog lock: onCorrupt when a resident matrix fails checksum
+// verification (before any repair attempt), onRepair after it has been
+// restored from its durable copy. Either may be nil.
+func (c *Catalog) SetIntegrityHooks(onCorrupt func(name, reason string), onRepair func(name string)) {
+	c.hookMu.Lock()
+	c.onCorrupt = onCorrupt
+	c.onRepair = onRepair
+	c.hookMu.Unlock()
+}
+
+func (c *Catalog) fireOnCorrupt(name, reason string) {
+	c.hookMu.Lock()
+	f := c.onCorrupt
+	c.hookMu.Unlock()
+	if f != nil {
+		f(name, reason)
+	}
+}
+
+func (c *Catalog) fireOnRepair(name string) {
+	c.hookMu.Lock()
+	f := c.onRepair
+	c.hookMu.Unlock()
+	if f != nil {
+		f(name)
+	}
+}
+
+// ScrubPass verifies the per-tile checksums of every resident matrix once,
+// repairing corrupt ones from their durable copies, and returns the pass
+// summary. Each matrix is scanned under a read lease, so it cannot be
+// spilled or evicted mid-verification; handles already reading a corrupt
+// matrix keep their (corrupt) snapshot — the repair protects future
+// acquires, and the quarantine hook keeps new jobs off the name until it
+// lands.
+func (c *Catalog) ScrubPass() ScrubStats {
+	var pass ScrubStats
+	c.mu.Lock()
+	names := make([]string, 0, len(c.entries))
+	for name, e := range c.entries {
+		if e.m != nil {
+			names = append(names, name)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		c.mu.Lock()
+		e, ok := c.entries[name]
+		if !ok || e.gone || e.m == nil {
+			c.mu.Unlock()
+			continue
+		}
+		m := e.m
+		e.refs++ // scrub lease: pins the entry resident for the scan
+		c.mu.Unlock()
+
+		if faultinject.Bitflip("catalog.scrub") {
+			// Chaos hook: plant a silent single-bit corruption the pass
+			// must now detect and repair.
+			m.FlipOneBit()
+		}
+		pass.Scanned++
+		if bad := m.VerifyChecksums(); bad >= 0 {
+			pass.Errors++
+			reason := fmt.Sprintf("scrub: tile %d failed payload CRC", bad)
+			c.fireOnCorrupt(name, reason)
+			if c.repair(e, m) {
+				pass.Repairs++
+				c.fireOnRepair(name)
+			} else {
+				pass.Unrepaired++
+			}
+		}
+		c.releaseRef(e)
+	}
+	c.scrubPasses.Add(1)
+	c.scrubScanned.Add(pass.Scanned)
+	c.scrubErrors.Add(pass.Errors)
+	c.scrubRepairs.Add(pass.Repairs)
+	c.scrubUnrepaired.Add(pass.Unrepaired)
+	return pass
+}
+
+// repair restores a corrupt resident matrix from its durable copy,
+// swapping the fresh tiles in place of the damaged ones. Returns false if
+// there is no durable copy, the reload fails its own verification, or the
+// entry changed underneath (deleted, or already replaced). The scrub lease
+// the caller holds keeps the entry alive throughout.
+func (c *Catalog) repair(e *entry, corrupt *core.ATMatrix) bool {
+	if c.dataDir == "" || !e.persisted {
+		return false
+	}
+	m, err := c.reload(e)
+	if err != nil {
+		return false
+	}
+	bytes := m.Bytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.gone || e.m != corrupt {
+		return false
+	}
+	c.resident += bytes - e.bytes
+	e.bytes = bytes
+	e.m = m
+	e.setMeta(m)
+	return true
+}
+
+// StartScrubber launches the background scrub loop with the given period;
+// a non-positive period disables it. Starting twice is a no-op. The loop
+// runs at whatever pace the period dictates — one full pass per tick — and
+// stops when Close is called.
+func (c *Catalog) StartScrubber(period time.Duration) {
+	if period <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.scrubStop != nil {
+		c.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.scrubStop, c.scrubDone = stop, done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.ScrubPass()
+			}
+		}
+	}()
+}
+
+// Close stops the background scrubber, if any, and waits for it to exit.
+// The catalog itself remains usable; Close exists so tests and shutdown
+// paths leave no goroutine behind.
+func (c *Catalog) Close() {
+	c.mu.Lock()
+	stop, done := c.scrubStop, c.scrubDone
+	c.scrubStop, c.scrubDone = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

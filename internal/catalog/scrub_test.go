@@ -1,0 +1,185 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/leakcheck"
+)
+
+// TestScrubDetectsBitflipAndRepairs is the core integrity loop: an armed
+// bitflip rule corrupts a resident matrix mid-pass, the checksum scan
+// catches it, the corruption hook fires (the service layer quarantines on
+// it), and the matrix is repaired from its durable copy so the next pass
+// is clean.
+func TestScrubDetectsBitflipAndRepairs(t *testing.T) {
+	c := openDurable(t, 0)
+	if err := c.Put("a", testMatrix(t, 60, 64, 900), false); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var corrupted, repaired []string
+	c.SetIntegrityHooks(
+		func(name, reason string) {
+			mu.Lock()
+			corrupted = append(corrupted, name+": "+reason)
+			mu.Unlock()
+		},
+		func(name string) {
+			mu.Lock()
+			repaired = append(repaired, name)
+			mu.Unlock()
+		},
+	)
+	defer faultinject.Enable(1, faultinject.Rule{
+		Site: "catalog.scrub", Kind: faultinject.KindBitflip, Count: 1,
+	})()
+	pass := c.ScrubPass()
+	if pass.Scanned != 1 || pass.Errors != 1 || pass.Repairs != 1 || pass.Unrepaired != 0 {
+		t.Fatalf("bitflip pass = %+v, want 1 scanned, 1 error, 1 repair", pass)
+	}
+	if len(corrupted) != 1 || len(repaired) != 1 || repaired[0] != "a" {
+		t.Fatalf("hooks: corrupted=%v repaired=%v, want one of each for %q", corrupted, repaired, "a")
+	}
+	// The repaired matrix is clean: the next pass (fault window closed)
+	// finds nothing, and an acquire hands out a verifiable matrix.
+	if pass := c.ScrubPass(); pass.Errors != 0 {
+		t.Fatalf("pass after repair = %+v, want clean", pass)
+	}
+	h, err := c.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if bad := h.Matrix().VerifyChecksums(); bad != -1 {
+		t.Fatalf("repaired matrix still corrupt at tile %d", bad)
+	}
+	st := c.Stats()
+	if st.ScrubPasses != 2 || st.ScrubErrors != 1 || st.ScrubRepairs != 1 {
+		t.Fatalf("cumulative scrub stats = %+v", st)
+	}
+}
+
+// TestScrubBitflipUnrepairedWithoutDurableCopy: a memory-only catalog can
+// detect corruption but has nothing to repair from; the pass reports the
+// matrix unrepaired and the corruption hook still fires so the service can
+// quarantine the name.
+func TestScrubBitflipUnrepairedWithoutDurableCopy(t *testing.T) {
+	c, err := New(testConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", testMatrix(t, 61, 64, 900), false); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt int
+	c.SetIntegrityHooks(func(string, string) { corrupt++ }, nil)
+	defer faultinject.Enable(1, faultinject.Rule{
+		Site: "catalog.scrub", Kind: faultinject.KindBitflip, Count: 1,
+	})()
+	pass := c.ScrubPass()
+	if pass.Errors != 1 || pass.Repairs != 0 || pass.Unrepaired != 1 {
+		t.Fatalf("memory-only bitflip pass = %+v, want 1 error, 0 repairs, 1 unrepaired", pass)
+	}
+	if corrupt != 1 {
+		t.Fatalf("corruption hook fired %d times, want 1", corrupt)
+	}
+}
+
+// TestScrubSkipsSpilledEntries: the scrubber verifies resident memory; a
+// spilled entry has no resident tiles to rot, and its disk copy is already
+// guarded by the reload checksum chain.
+func TestScrubSkipsSpilledEntries(t *testing.T) {
+	c := openDurable(t, 0)
+	if err := c.Put("a", testMatrix(t, 62, 64, 900), false); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.spillLocked(c.entries["a"])
+	c.mu.Unlock()
+	if pass := c.ScrubPass(); pass.Scanned != 0 {
+		t.Fatalf("scrub scanned %d spilled entries, want 0", pass.Scanned)
+	}
+}
+
+// TestScrubberBackgroundLoopStopsClean: the periodic scrubber makes
+// passes on its own and Close reliably tears it down (leakcheck enforces
+// the goroutine is gone).
+func TestScrubberBackgroundLoopStopsClean(t *testing.T) {
+	leakcheck.Check(t)
+	c := openDurable(t, 0)
+	if err := c.Put("a", testMatrix(t, 63, 48, 500), false); err != nil {
+		t.Fatal(err)
+	}
+	c.StartScrubber(2 * time.Millisecond)
+	c.StartScrubber(2 * time.Millisecond) // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().ScrubPasses < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background scrubber made no passes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	c.Close() // idempotent
+	passes := c.Stats().ScrubPasses
+	time.Sleep(10 * time.Millisecond)
+	if got := c.Stats().ScrubPasses; got != passes {
+		t.Fatalf("scrubber still running after Close: %d -> %d passes", passes, got)
+	}
+}
+
+// TestConcurrentScrubAcquireDelete races scrub passes against acquires,
+// deletes and re-puts of the same names. Run under -race; the invariant is
+// no panic, no deadlock, and balanced accounting afterwards.
+func TestConcurrentScrubAcquireDelete(t *testing.T) {
+	leakcheck.Check(t)
+	c := openDurable(t, 0)
+	names := []string{"x", "y"}
+	for i, name := range names {
+		if err := c.Put(name, testMatrix(t, int64(70+i), 48, 500), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	scrubDone := make(chan struct{})
+	go func() {
+		defer close(scrubDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.ScrubPass()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if h, err := c.Acquire(name); err == nil {
+					h.Release()
+				}
+				if i%5 == 4 {
+					if err := c.Delete(name); err == nil {
+						_ = c.Put(name, testMatrix(t, int64(80+i), 48, 500), false)
+					}
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(stop)
+	<-scrubDone
+	for _, name := range names {
+		_ = c.Delete(name)
+	}
+	if st := c.Stats(); st.ResidentBytes != 0 {
+		t.Fatalf("resident bytes = %d after deleting everything", st.ResidentBytes)
+	}
+}

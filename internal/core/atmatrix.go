@@ -28,6 +28,10 @@ type ATMatrix struct {
 
 	mapOnce sync.Once
 	dmap    *density.Map
+
+	// tileSums holds one CRC-32C per tile payload, set by SealChecksums at
+	// store admission and re-verified by the background scrubber.
+	tileSums []uint32
 }
 
 // newATMatrix allocates an empty AT MATRIX shell with an unpopulated

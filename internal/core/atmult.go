@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"atmatrix/internal/density"
+	"atmatrix/internal/faultinject"
 	"atmatrix/internal/kernels"
 	"atmatrix/internal/mat"
 	"atmatrix/internal/numa"
@@ -39,6 +40,12 @@ type MultOptions struct {
 	// with a *sched.WatchdogError instead of blocking forever on a hung
 	// kernel. Zero disables the watchdog.
 	Watchdog time.Duration
+	// Verify, when positive, runs that many Freivalds rounds over the
+	// assembled result and fails the multiplication with a *VerifyError
+	// (matching ErrVerifyFailed) when C ≠ A·B. Each round is three O(nnz)
+	// matrix-vector products; a wrong product escapes k rounds with
+	// probability at most 2^-k. Zero disables verification.
+	Verify int
 }
 
 // ctxErr returns the cancellation state of the options' context.
@@ -63,6 +70,7 @@ type MultStats struct {
 	ConvertTime  time.Duration // just-in-time operand conversions
 	MultiplyTime time.Duration // kernel execution
 	FinalizeTime time.Duration // sparse accumulator → CSR materialization
+	VerifyTime   time.Duration // Freivalds result verification (opts.Verify)
 	WallTime     time.Duration // end-to-end operator time
 
 	Conversions   int64 // number of operand windows converted
@@ -255,9 +263,27 @@ func MultiplyOpt(a, b *ATMatrix, cfg Config, opts MultOptions) (*ATMatrix, *Mult
 	stats.ConvertTime = time.Duration(mc.convNanos.Load())
 	stats.MultiplyTime = time.Duration(mc.mulNanos.Load())
 	stats.FinalizeTime = time.Duration(mc.finNanos.Load())
+
+	// Chaos hook: an armed bitflip rule silently corrupts one result value
+	// at the accumulation boundary, modeling a wrong product handed back by
+	// a kernel — exactly what Freivalds verification must catch.
+	if faultinject.Bitflip("core.mult.result") {
+		c.FlipOneBit()
+	}
+	if opts.Verify > 0 {
+		t0 := time.Now()
+		if err := VerifyProduct(a, b, c, opts.Verify, verifySeq.Add(1)); err != nil {
+			return nil, nil, err
+		}
+		stats.VerifyTime = time.Since(t0)
+	}
 	stats.WallTime = time.Since(wallStart)
 	return c, stats, nil
 }
+
+// verifySeq seeds successive Freivalds checks: a deterministic sequence
+// (reproducible runs) that still gives a retried job fresh probe vectors.
+var verifySeq atomic.Int64
 
 // rowSpan and colSpan are the axis accessors of groupTilesByBand.
 func rowSpan(t *Tile) (lo, hi int) { return t.Row0, t.Row0 + t.Rows }

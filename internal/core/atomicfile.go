@@ -2,19 +2,22 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"atmatrix/internal/faultinject"
 )
 
-// WriteFile serializes the AT MATRIX to path crash-safely: the stream is
-// written to a temporary file in the same directory, fsynced, and atomically
-// renamed over the destination, so a process killed mid-write never leaves
-// a torn file that would later fail its CRC-32C check — readers see either
-// the previous content or the complete new stream. The containing directory
-// is fsynced after the rename so the new name itself survives a crash.
-func (a *ATMatrix) WriteFile(path string) (n int64, err error) {
+// WriteFileAtomic writes whatever the callback produces to path
+// crash-safely: the stream goes to a temporary file in the same directory,
+// is fsynced, and atomically renamed over the destination, so a process
+// killed mid-write never leaves a torn file — readers see either the
+// previous content or the complete new stream. The containing directory is
+// fsynced after the rename so the new name itself survives a crash. It is
+// the write path for everything durable in the system: .atm streams, the
+// catalog manifest, and atgen outputs.
+func WriteFileAtomic(path string, write func(io.Writer) (int64, error)) (n int64, err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".atm-*.tmp")
 	if err != nil {
@@ -32,7 +35,7 @@ func (a *ATMatrix) WriteFile(path string) (n int64, err error) {
 		// temp file and the destination is untouched.
 		return 0, err
 	}
-	n, err = a.WriteTo(tmp)
+	n, err = write(tmp)
 	if err != nil {
 		return n, err
 	}
@@ -54,6 +57,12 @@ func (a *ATMatrix) WriteFile(path string) (n int64, err error) {
 		d.Close()
 	}
 	return n, nil
+}
+
+// WriteFile serializes the AT MATRIX to path crash-safely through
+// WriteFileAtomic.
+func (a *ATMatrix) WriteFile(path string) (int64, error) {
+	return WriteFileAtomic(path, a.WriteTo)
 }
 
 // ReadATMatrixFile reads an AT MATRIX from a file written by WriteFile (or

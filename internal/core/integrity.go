@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/crc32"
+	"math"
+
+	"atmatrix/internal/mat"
+)
+
+// In-memory integrity: a matrix admitted into a long-lived store carries a
+// CRC-32C per tile payload, computed once at admission (SealChecksums) and
+// re-verified by the catalog's background scrubber (VerifyChecksums). A
+// resident bit flip — cosmic ray, failing DIMM, stray write — is thereby
+// detected instead of silently poisoning every later multiplication, the
+// same storage-integrity concern that motivates bit-exact compressed
+// layouts in main-memory sparse engines.
+
+// SealChecksums computes and stores one CRC-32C per tile payload. Call it
+// once the matrix reaches its final, immutable form (admission into a
+// store); the sums are carried by the matrix and re-checked with
+// VerifyChecksums.
+func (a *ATMatrix) SealChecksums() {
+	sums := make([]uint32, len(a.Tiles))
+	for i, t := range a.Tiles {
+		sums[i] = t.payloadCRC()
+	}
+	a.tileSums = sums
+}
+
+// Sealed reports whether SealChecksums has run on this matrix.
+func (a *ATMatrix) Sealed() bool { return a.tileSums != nil }
+
+// VerifyChecksums recomputes every tile's payload CRC-32C and compares it
+// against the sums stored by SealChecksums. It returns the index of the
+// first mismatching tile, or -1 when every tile is intact (or the matrix
+// was never sealed — an unsealed matrix has nothing to verify against).
+func (a *ATMatrix) VerifyChecksums() int {
+	if a.tileSums == nil || len(a.tileSums) != len(a.Tiles) {
+		return -1
+	}
+	for i, t := range a.Tiles {
+		if t.payloadCRC() != a.tileSums[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// FlipOneBit corrupts the matrix in place by flipping the top mantissa
+// bit of the first nonzero stored value (falling back to the first stored
+// value when everything is zero). It is the chaos-injection primitive
+// behind faultinject's KindBitflip sites: tests and drills use it to plant
+// a deterministic silent corruption that the integrity machinery
+// (VerifyChecksums, Freivalds verification) must then catch. It reports
+// whether a value was found to corrupt.
+func (a *ATMatrix) FlipOneBit() bool {
+	var fallback []float64
+	for _, t := range a.Tiles {
+		var vals []float64
+		if t.Kind == mat.Sparse {
+			vals = t.Sp.Val
+		} else {
+			vals = t.D.Data
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		if fallback == nil {
+			fallback = vals
+		}
+		for i, v := range vals {
+			if v != 0 {
+				vals[i] = math.Float64frombits(math.Float64bits(v) ^ (1 << 51))
+				return true
+			}
+		}
+	}
+	if fallback != nil {
+		fallback[0] = math.Float64frombits(math.Float64bits(fallback[0]) ^ (1 << 51))
+		return true
+	}
+	return false
+}
+
+// payloadCRC hashes the tile's payload arrays (structure and values) with
+// CRC-32C.
+func (t *Tile) payloadCRC() uint32 {
+	h := crc32.New(castagnoli)
+	if t.Kind == mat.Sparse {
+		crcInt64s(h, t.Sp.RowPtr)
+		crcInt32s(h, t.Sp.ColIdx)
+		crcFloat64s(h, t.Sp.Val)
+	} else {
+		for r := 0; r < t.Rows; r++ {
+			crcFloat64s(h, t.D.RowSlice(r))
+		}
+	}
+	return h.Sum32()
+}
+
+// The crc*s helpers feed fixed-size little-endian encodings through a
+// bounded stack chunk, so hashing never allocates proportionally to the
+// payload.
+
+const crcChunk = 1 << 12
+
+func crcInt64s(h hash.Hash32, xs []int64) {
+	var buf [crcChunk]byte
+	n := 0
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[n:], uint64(x))
+		if n += 8; n == crcChunk {
+			h.Write(buf[:n])
+			n = 0
+		}
+	}
+	h.Write(buf[:n])
+}
+
+func crcInt32s(h hash.Hash32, xs []int32) {
+	var buf [crcChunk]byte
+	n := 0
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(buf[n:], uint32(x))
+		if n += 4; n == crcChunk {
+			h.Write(buf[:n])
+			n = 0
+		}
+	}
+	h.Write(buf[:n])
+}
+
+func crcFloat64s(h hash.Hash32, xs []float64) {
+	var buf [crcChunk]byte
+	n := 0
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[n:], math.Float64bits(x))
+		if n += 8; n == crcChunk {
+			h.Write(buf[:n])
+			n = 0
+		}
+	}
+	h.Write(buf[:n])
+}

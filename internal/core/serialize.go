@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
 
 	"atmatrix/internal/mat"
 	"atmatrix/internal/numa"
@@ -216,6 +217,30 @@ func ReadATMatrix(r io.Reader) (*ATMatrix, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// FileChecksum returns the CRC-32C footer and total size of an .atm file
+// without parsing it. The footer covers every preceding byte, so it
+// identifies the stream's exact content — the cheap fingerprint the
+// catalog manifest records and cross-checks on reload.
+func FileChecksum(path string) (crc uint32, size int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	if st.Size() < int64(len(atMagic))+4 {
+		return 0, st.Size(), fmt.Errorf("%w: %s is %d bytes, shorter than magic+footer", ErrBadMagic, path, st.Size())
+	}
+	var foot [4]byte
+	if _, err := f.ReadAt(foot[:], st.Size()-4); err != nil {
+		return 0, st.Size(), fmt.Errorf("core: reading checksum footer of %s: %w", path, err)
+	}
+	return binary.LittleEndian.Uint32(foot[:]), st.Size(), nil
 }
 
 // readSlice reads n fixed-size little-endian elements through a bounded

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"atmatrix/internal/mat"
+)
+
+// Result verification: Freivalds' algorithm checks C = A·B without
+// recomputing the product. Each round draws a random ±1 vector x and
+// compares A·(B·x) against C·x — three O(nnz) matrix-vector products
+// instead of the O(nnz·n) multiplication. A wrong product survives one
+// round with probability at most 1/2, so k rounds bound the false-negative
+// rate by 2^-k; a correct product always passes. The check guards the
+// serving stack against a silently wrong result from a miscompiled or
+// bit-flipped kernel path, at a cost that vanishes against the
+// multiplication itself.
+
+// ErrVerifyFailed reports a product that failed Freivalds verification:
+// the returned C is not A·B. errors.Is-able through the *VerifyError
+// wrapper MultiplyOpt returns.
+var ErrVerifyFailed = errors.New("core: result verification failed")
+
+// VerifyError carries the first failing probe of a Freivalds check.
+type VerifyError struct {
+	Round int     // 1-based round that failed
+	Row   int     // result row where A·(B·x) and C·x diverged
+	Got   float64 // (C·x)[Row]
+	Want  float64 // (A·(B·x))[Row]
+	Tol   float64 // tolerance the difference exceeded
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("core: result verification failed: round %d row %d: C·x = %g, A·(B·x) = %g (tolerance %g)",
+		e.Round, e.Row, e.Got, e.Want, e.Tol)
+}
+
+func (e *VerifyError) Unwrap() error { return ErrVerifyFailed }
+
+// VerifyProduct runs k Freivalds rounds over C = A·B with the given seed
+// and returns a *VerifyError (matching ErrVerifyFailed) on the first
+// failing probe. The comparison tolerance is scaled per row by |A|·|B|·1 —
+// the worst-case magnitude flowing through the probe — so legitimate
+// floating-point reassociation between the multiplication and the probe
+// never trips the check, while a flipped mantissa bit towers above it.
+func VerifyProduct(a, b, c *ATMatrix, k int, seed int64) error {
+	if k <= 0 {
+		return nil
+	}
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("core: verify shape mismatch: A %d×%d, B %d×%d, C %d×%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, b.Cols)
+	y := make([]float64, b.Rows)
+	z := make([]float64, a.Rows)
+	w := make([]float64, c.Rows)
+
+	// Magnitude reference: one abs-valued pass with x = 1 bounds every
+	// later ±1 probe row by rowBound[i] ≥ |A|·|B·x| elementwise.
+	for i := range x {
+		x[i] = 1
+	}
+	mulVec(b, x, y, true)
+	mulVec(a, y, z, true)
+	rowBound := append([]float64(nil), z...)
+
+	const relTol = 1e-9
+	for round := 1; round <= k; round++ {
+		for i := range x {
+			x[i] = float64(rng.Intn(2)*2 - 1) // ±1
+		}
+		mulVec(b, x, y, false)
+		mulVec(a, y, z, false)
+		mulVec(c, x, w, false)
+		for i := range z {
+			tol := relTol*rowBound[i] + 1e-12
+			if d := math.Abs(z[i] - w[i]); d > tol || math.IsNaN(d) {
+				return &VerifyError{Round: round, Row: i, Got: w[i], Want: z[i], Tol: tol}
+			}
+		}
+	}
+	return nil
+}
+
+// mulVec computes dst = M·x over the tiles of an AT MATRIX in O(nnz). With
+// absVal it uses |M| and assumes x ≥ 0, producing the magnitude bound the
+// tolerance scaling needs.
+func mulVec(m *ATMatrix, x, dst []float64, absVal bool) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, t := range m.Tiles {
+		if t.Kind == mat.Sparse {
+			for r := 0; r < t.Rows; r++ {
+				lo, hi := t.Sp.RowRange(r)
+				var sum float64
+				if absVal {
+					for p := lo; p < hi; p++ {
+						sum += math.Abs(t.Sp.Val[p]) * x[t.Col0+int(t.Sp.ColIdx[p])]
+					}
+				} else {
+					for p := lo; p < hi; p++ {
+						sum += t.Sp.Val[p] * x[t.Col0+int(t.Sp.ColIdx[p])]
+					}
+				}
+				dst[t.Row0+r] += sum
+			}
+			continue
+		}
+		for r := 0; r < t.Rows; r++ {
+			row := t.D.RowSlice(r)
+			var sum float64
+			if absVal {
+				for cidx, v := range row {
+					sum += math.Abs(v) * x[t.Col0+cidx]
+				}
+			} else {
+				for cidx, v := range row {
+					sum += v * x[t.Col0+cidx]
+				}
+			}
+			dst[t.Row0+r] += sum
+		}
+	}
+}

@@ -15,6 +15,12 @@
 //	transient  return ErrInjectedTransient (retryable; Transient() == true)
 //	error      return ErrInjected (permanent)
 //	alloc      return ErrInjectedAlloc (simulated allocation failure)
+//	bitflip    silently corrupt one value owned by the site (see Bitflip)
+//
+// Bitflip rules model silent data corruption rather than a failed call, so
+// they fire through the separate Bitflip(site) hook: the site asks whether
+// to corrupt and, when told yes, flips a bit in a value it owns. Do()
+// ignores them, so a bitflip site that also calls Do keeps returning nil.
 package faultinject
 
 import (
@@ -50,6 +56,10 @@ const (
 	KindError Kind = "error"
 	// KindAlloc returns ErrInjectedAlloc, a simulated allocation failure.
 	KindAlloc Kind = "alloc"
+	// KindBitflip fires through Bitflip(site) instead of Do(site): the
+	// instrumented site corrupts one value it owns, modeling a silent
+	// in-memory bit flip the integrity machinery must detect.
+	KindBitflip Kind = "bitflip"
 )
 
 var (
@@ -165,23 +175,12 @@ func Do(site string) error {
 	}
 	var err error
 	for _, r := range rules {
-		hit := r.hits.Add(1)
-		if hit < r.After {
+		if r.Kind == KindBitflip {
+			// Bitflip rules fire only through the Bitflip hook; they must
+			// not consume a Do hit, or co-armed rules would desynchronize.
 			continue
 		}
-		if r.Count > 0 && r.fired.Load() >= r.Count {
-			// Exhausted: cheap pre-check so spent rules skip the rng draw.
-			continue
-		}
-		if r.Prob > 0 && r.Prob < 1 {
-			reg.mu.Lock()
-			miss := reg.rng.Float64() >= r.Prob
-			reg.mu.Unlock()
-			if miss {
-				continue
-			}
-		}
-		if !r.reserve() {
+		if !r.fires(reg) {
 			continue
 		}
 		switch r.Kind {
@@ -204,6 +203,51 @@ func Do(site string) error {
 		}
 	}
 	return err
+}
+
+// fires runs one rule's firing decision for the current hit: the hit
+// ordinal is counted, the After window and Count budget are enforced, the
+// Prob draw (if any) is taken, and a firing slot is atomically reserved.
+func (r *ruleState) fires(reg *registry) bool {
+	hit := r.hits.Add(1)
+	if hit < r.After {
+		return false
+	}
+	if r.Count > 0 && r.fired.Load() >= r.Count {
+		// Exhausted: cheap pre-check so spent rules skip the rng draw.
+		return false
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		reg.mu.Lock()
+		miss := reg.rng.Float64() >= r.Prob
+		reg.mu.Unlock()
+		if miss {
+			return false
+		}
+	}
+	return r.reserve()
+}
+
+// Bitflip is the silent-corruption hook: a site owning mutable data calls
+// it and, on true, flips a bit in one value (the site chooses which — that
+// keeps this package free of knowledge about payload layouts). Only
+// KindBitflip rules are consulted, with the same deterministic After/Count
+// accounting as Do. With nothing armed it is one atomic load.
+func Bitflip(site string) bool {
+	reg := active.Load()
+	if reg == nil {
+		return false
+	}
+	fire := false
+	for _, r := range reg.rules[site] {
+		if r.Kind != KindBitflip {
+			continue
+		}
+		if r.fires(reg) {
+			fire = true
+		}
+	}
+	return fire
 }
 
 func injectedErr(r *ruleState, canned error) error {
@@ -277,7 +321,7 @@ func ParseSpec(spec string) ([]Rule, error) {
 			r.After = n
 		}
 		switch Kind(rest) {
-		case KindPanic, KindDelay, KindTransient, KindError, KindAlloc:
+		case KindPanic, KindDelay, KindTransient, KindError, KindAlloc, KindBitflip:
 			r.Kind = Kind(rest)
 		default:
 			return nil, fmt.Errorf("faultinject: rule %q: unknown kind %q", field, rest)

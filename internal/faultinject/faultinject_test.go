@@ -147,3 +147,59 @@ func TestParseSpec(t *testing.T) {
 		}
 	}
 }
+
+func TestBitflipRuleDeterminism(t *testing.T) {
+	defer Enable(1, Rule{Site: "s", Kind: KindBitflip, After: 3, Count: 2})()
+	var fired []bool
+	for i := 0; i < 6; i++ {
+		fired = append(fired, Bitflip("s"))
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hit %d: fired = %v, want %v (all: %v)", i+1, fired[i], want[i], fired)
+		}
+	}
+	if got := Fired("s"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestBitflipIgnoredByDoAndViceVersa(t *testing.T) {
+	// A bitflip rule and an error rule co-armed at one site stay
+	// independent: Do never fires the bitflip, Bitflip never fires the
+	// error, and neither consumes the other's hit ordinals.
+	defer Enable(1,
+		Rule{Site: "s", Kind: KindBitflip, Count: 1},
+		Rule{Site: "s", Kind: KindError, After: 2, Count: 1},
+	)()
+	if Do("s") != nil {
+		t.Fatal("Do hit 1 fired, want error rule to wait for hit 2")
+	}
+	if !Bitflip("s") {
+		t.Fatal("Bitflip hit 1 did not fire")
+	}
+	if Do("s") == nil {
+		t.Fatal("Do hit 2 did not fire the error rule")
+	}
+	if Bitflip("s") {
+		t.Fatal("exhausted bitflip rule fired again")
+	}
+}
+
+func TestBitflipDisabledIsNoOp(t *testing.T) {
+	Disable()
+	if Bitflip("anything") {
+		t.Fatal("Bitflip fired with nothing armed")
+	}
+}
+
+func TestParseSpecBitflip(t *testing.T) {
+	rules, err := ParseSpec("catalog.scrub=bitflipx*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Kind != KindBitflip || rules[0].Count != -1 {
+		t.Fatalf("rules = %+v", rules)
+	}
+}

@@ -103,6 +103,13 @@ type Options struct {
 	// kernel task running longer degrades its team and fails the attempt
 	// with a transient (hence retried) error. Zero disables the watchdog.
 	Watchdog time.Duration
+	// Verify is the number of Freivalds verification rounds run over every
+	// multiply result (see core.VerifyProduct); zero disables verification.
+	// A verification failure is treated as transient exactly once — the job
+	// is re-executed through the normal backoff in case the corruption was
+	// a one-off — and fails permanently with core.ErrVerifyFailed when the
+	// retry fails verification too.
+	Verify int
 }
 
 // Request describes one multiplication job: either a pair (A, B) or a
@@ -209,6 +216,10 @@ type metrics struct {
 	canceled  atomic.Int64
 	inflight  atomic.Int64
 	retries   atomic.Int64
+
+	// verifyFailed counts executions whose result failed Freivalds
+	// verification (each failed attempt counts, including the retried one).
+	verifyFailed atomic.Int64
 
 	// Aggregated core.MultStats across completed jobs.
 	statMu      sync.Mutex
@@ -327,11 +338,30 @@ func (m *Manager) run(job *Job) {
 	queueWait := time.Since(job.enqueued)
 
 	var (
-		res *Result
-		err error
+		res         *Result
+		err         error
+		verifyFails int
 	)
 	for attempt := 0; ; attempt++ {
 		res, err = m.execute(job)
+		if err != nil && errors.Is(err, core.ErrVerifyFailed) {
+			// A failed Freivalds check means the multiply produced a wrong
+			// product. Give the job exactly one fresh execution — a
+			// transient bit flip will not reproduce — then fail permanently:
+			// a result that is wrong twice points at the data or the
+			// kernel, and re-running forever would just serve wrong answers
+			// slowly.
+			m.m.verifyFailed.Add(1)
+			if verifyFails++; verifyFails > 1 || m.opts.MaxRetries <= 0 {
+				break
+			}
+			m.m.retries.Add(1)
+			if !m.backoff(job.ctx, attempt) {
+				err = job.ctx.Err()
+				break
+			}
+			continue
+		}
 		if err == nil || classify(err) != failTransient || attempt >= m.opts.MaxRetries {
 			break
 		}
@@ -563,6 +593,7 @@ func (m *Manager) execute(job *Job) (*Result, error) {
 	opts := core.DefaultMultOptions()
 	opts.Ctx = job.ctx
 	opts.Watchdog = m.opts.Watchdog
+	opts.Verify = m.opts.Verify
 	t0 := time.Now()
 	var (
 		out   *core.ATMatrix
@@ -634,6 +665,7 @@ func (mm *metrics) aggregate(steps []*core.MultStats) {
 		mm.mult.ConvertTime += s.ConvertTime
 		mm.mult.MultiplyTime += s.MultiplyTime
 		mm.mult.FinalizeTime += s.FinalizeTime
+		mm.mult.VerifyTime += s.VerifyTime
 		mm.mult.WallTime += s.WallTime
 		mm.mult.Conversions += s.Conversions
 		mm.mult.Contributions += s.Contributions
@@ -660,6 +692,7 @@ type Metrics struct {
 	// the process-wide scheduler fault counters (they include panics and
 	// timeouts from outside this manager, e.g. direct core callers).
 	Retries          int64 `json:"retries"`
+	VerifyFailed     int64 `json:"verify_failed"`
 	Quarantined      int64 `json:"quarantined"`
 	TaskPanics       int64 `json:"task_panics"`
 	WatchdogTimeouts int64 `json:"watchdog_timeouts"`
@@ -675,15 +708,16 @@ type Metrics struct {
 // transiently miss a job in handoff but never double-counts one.
 func (m *Manager) Metrics() Metrics {
 	out := Metrics{
-		Completed: m.m.completed.Load(),
-		Failed:    m.m.failed.Load(),
-		Canceled:  m.m.canceled.Load(),
-		Rejected:  m.m.rejected.Load(),
-		Accepted:  m.m.accepted.Load(),
-		InFlight:  m.m.inflight.Load(),
-		Queued:    int64(len(m.queue)),
-		QueueCap:  int64(cap(m.queue)),
-		Retries:   m.m.retries.Load(),
+		Completed:    m.m.completed.Load(),
+		Failed:       m.m.failed.Load(),
+		Canceled:     m.m.canceled.Load(),
+		Rejected:     m.m.rejected.Load(),
+		Accepted:     m.m.accepted.Load(),
+		InFlight:     m.m.inflight.Load(),
+		Queued:       int64(len(m.queue)),
+		QueueCap:     int64(cap(m.queue)),
+		Retries:      m.m.retries.Load(),
+		VerifyFailed: m.m.verifyFailed.Load(),
 	}
 	out.TaskPanics, out.WatchdogTimeouts = sched.Counters()
 	m.quarMu.Lock()

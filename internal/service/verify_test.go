@@ -1,0 +1,107 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
+)
+
+// TestVerifyCatchesBitflipRetriesOnceThenPermanent is the verify
+// classification contract: with every multiply's result corrupted by an
+// armed bitflip rule, a verifying manager re-executes the job exactly once
+// and then fails it permanently with core.ErrVerifyFailed — wrong answers
+// are never served and never retried forever.
+func TestVerifyCatchesBitflipRetriesOnceThenPermanent(t *testing.T) {
+	m := chaosManager(t, Options{Verify: 2, RetryBase: 1, RetryMax: 2})
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "core.mult.result", Kind: faultinject.KindBitflip, Count: 8,
+	})
+
+	job, err := m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = job.Wait()
+	if !errors.Is(err, core.ErrVerifyFailed) {
+		t.Fatalf("job error = %v, want core.ErrVerifyFailed", err)
+	}
+	mm := m.Metrics()
+	if mm.Retries != 1 {
+		t.Fatalf("retries = %d, want exactly 1 for a persistent verify failure", mm.Retries)
+	}
+	if mm.VerifyFailed != 2 {
+		t.Fatalf("verify_failed = %d, want 2 (first attempt plus the retry)", mm.VerifyFailed)
+	}
+	if mm.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", mm.Failed)
+	}
+	requireZeroRefs(t, m)
+}
+
+// TestVerifyBitflipTransientRecoversOnRetry: a one-off corruption (rule
+// fires once) fails the first attempt's verification; the retry is clean
+// and the job completes, with the failure visible only in the counters.
+func TestVerifyBitflipTransientRecoversOnRetry(t *testing.T) {
+	m := chaosManager(t, Options{Verify: 2, RetryBase: 1, RetryMax: 2})
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "core.mult.result", Kind: faultinject.KindBitflip, Count: 1,
+	})
+
+	job, err := m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatalf("job with transient corruption: %v, want recovery on retry", err)
+	}
+	mm := m.Metrics()
+	if mm.VerifyFailed != 1 || mm.Retries != 1 || mm.Completed != 1 {
+		t.Fatalf("metrics = {verify_failed:%d retries:%d completed:%d}, want 1/1/1",
+			mm.VerifyFailed, mm.Retries, mm.Completed)
+	}
+	if mm.Mult.VerifyTime <= 0 {
+		t.Fatalf("aggregated VerifyTime = %v, want > 0 with verification on", mm.Mult.VerifyTime)
+	}
+	requireZeroRefs(t, m)
+}
+
+// TestVerifyDisabledServesBitflippedResult documents the trade-off Verify
+// buys out of: without verification the corrupted product is served as a
+// success. (This is the control experiment for the two tests above.)
+func TestVerifyDisabledServesBitflippedResult(t *testing.T) {
+	m := chaosManager(t, Options{})
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "core.mult.result", Kind: faultinject.KindBitflip, Count: 1,
+	})
+	job, err := m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatalf("unverified job: %v", err)
+	}
+	if mm := m.Metrics(); mm.VerifyFailed != 0 || mm.Completed != 1 {
+		t.Fatalf("metrics = %+v, want completed=1 and no verify failures", mm)
+	}
+	requireZeroRefs(t, m)
+}
+
+// TestVerifyChainMultiplication: chain jobs verify every step — the
+// options cascade through MultiplyChainOpt — and a clean chain completes
+// with verification time accounted.
+func TestVerifyChainMultiplication(t *testing.T) {
+	m := chaosManager(t, Options{Verify: 1})
+	job, err := m.Submit(Request{Chain: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if mm := m.Metrics(); mm.Mult.VerifyTime <= 0 {
+		t.Fatalf("chain VerifyTime = %v, want > 0", mm.Mult.VerifyTime)
+	}
+	requireZeroRefs(t, m)
+}
