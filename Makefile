@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt build test vet race chaos bench serve-smoke
+.PHONY: check fmt build test vet lint race chaos bench serve-smoke
 
-## check: the pre-PR gate — formatting, vet, build, full test suite, the
-## concurrency stress tests under the race detector, and the fault-injection
-## chaos suite under the race detector.
-check: fmt vet build test race chaos
+## check: the pre-PR gate — formatting, static analysis (vet + atlint),
+## build, full test suite, the concurrency stress tests under the race
+## detector, and the fault-injection chaos suite under the race detector.
+check: fmt lint build test race chaos
 
 ## fmt: fail if any file is not gofmt-clean.
 fmt:
@@ -13,6 +13,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+## lint: the static-analysis gate — go vet plus the repo-specific atlint
+## suite (hot-path allocations, lock discipline, context threading,
+## fault-site registration, error wrapping, 64-bit atomic alignment).
+lint: vet
+	$(GO) run ./cmd/atlint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,86 @@
+// Command atlint runs the repo-specific static-analysis suite
+// (internal/lint) over the module: allocation-free hot paths, lock
+// discipline, context threading, fault-site registration, error wrapping
+// and 64-bit atomic alignment. It exits non-zero when any diagnostic
+// survives suppression, so it gates make lint / make check / CI.
+//
+// Usage:
+//
+//	atlint [-json] [-C dir] [packages...]
+//
+// Packages default to ./... relative to -C (default: the current
+// directory, which must lie inside the module). -json emits a
+// machine-readable report (one array of {file,line,col,analyzer,message})
+// on stdout for CI artifact upload; the human format matches go vet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	dir := flag.String("C", ".", "module directory to analyze from")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: atlint [-json] [-C dir] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Packages()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// The manifest the faultsite analyzer validates against is the one
+	// compiled into this binary — atlint lives in the same module, so the
+	// two cannot drift.
+	runner := lint.NewRunner(faultinject.SiteSet(), lint.All()...)
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, runner.Package(pkg)...)
+	}
+	diags = append(diags, runner.Finish()...)
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "atlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -702,6 +702,8 @@ func windowBytes(t *Tile, h, w int) int64 {
 
 // runDenseTarget executes one contribution into a dense target row slice
 // [lo, hi) of the target tile.
+//
+//atlint:hotpath
 func runDenseTarget(cw *mat.Dense, ct *contribution, lo, hi int) {
 	aSp, aD := sliceA(ct, lo, hi)
 	switch {
@@ -718,6 +720,8 @@ func runDenseTarget(cw *mat.Dense, ct *contribution, lo, hi int) {
 
 // runSparseTarget executes one contribution into the sparse accumulator
 // rows [lo, hi).
+//
+//atlint:hotpath
 func runSparseTarget(acc *kernels.SpAcc, ct *contribution, lo, hi int, spa *kernels.SPA) {
 	aSp, aD := sliceA(ct, lo, hi)
 	switch {
@@ -738,6 +742,9 @@ func cells(m, n, block int) int {
 }
 
 // sliceA narrows the A operand of a contribution to target rows [lo, hi).
+// Both narrow results are value headers: no heap allocation per task row.
+//
+//atlint:hotpath
 func sliceA(ct *contribution, lo, hi int) (kernels.CSRWin, mat.Dense) {
 	if ct.aKind == mat.Sparse {
 		w := ct.aSp

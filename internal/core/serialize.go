@@ -264,7 +264,7 @@ func readSlice[T any](r io.Reader, n int64, size int, dec func([]byte) T) ([]T, 
 			want = chunkBytes
 		}
 		if _, err := io.ReadFull(r, buf[:want]); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				err = io.ErrUnexpectedEOF
 			}
 			return nil, err

@@ -296,7 +296,7 @@ func ParseSpec(spec string) ([]Rule, error) {
 			rest = k
 			delay, err := time.ParseDuration(d)
 			if err != nil {
-				return nil, fmt.Errorf("faultinject: rule %q: bad delay: %v", field, err)
+				return nil, fmt.Errorf("faultinject: rule %q: bad delay: %w", field, err)
 			}
 			r.Delay = delay
 		}
@@ -332,11 +332,20 @@ func ParseSpec(spec string) ([]Rule, error) {
 }
 
 // EnableFromSpec parses and arms a spec with the given seed; an empty spec
-// is a no-op. It returns the armed rules for logging.
+// is a no-op. It returns the armed rules for logging. Unlike Enable (which
+// tests may point at ad-hoc sites), EnableFromSpec rejects rules naming
+// sites not in the Sites manifest: a typo'd ATSERVE_FAULTS spec used to arm
+// silently and never fire, which reads as "the fault was survived".
 func EnableFromSpec(spec string, seed int64) ([]Rule, error) {
 	rules, err := ParseSpec(spec)
 	if err != nil {
 		return nil, err
+	}
+	for _, r := range rules {
+		if !KnownSite(r.Site) {
+			return nil, fmt.Errorf("faultinject: unknown site %q (not in the sites.go manifest; known sites: %s)",
+				r.Site, strings.Join(Sites, ", "))
+		}
 	}
 	if len(rules) > 0 {
 		Enable(seed, rules...)

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -201,5 +202,40 @@ func TestParseSpecBitflip(t *testing.T) {
 	}
 	if len(rules) != 1 || rules[0].Kind != KindBitflip || rules[0].Count != -1 {
 		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+func TestEnableFromSpecRejectsUnknownSite(t *testing.T) {
+	defer Disable()
+	if _, err := EnableFromSpec("sched.tsak=panic", 1); err == nil {
+		t.Fatal("typo'd site armed silently; want an unknown-site error")
+	} else if !strings.Contains(err.Error(), "sched.tsak") {
+		t.Fatalf("error %v does not name the offending site", err)
+	}
+	if Enabled() {
+		t.Fatal("rejected spec left faults armed")
+	}
+	// A valid spec still arms: every manifest site is accepted.
+	rules, err := EnableFromSpec("sched.task=panic,catalog.scrub=bitflipx*", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || !Enabled() {
+		t.Fatalf("valid spec did not arm: rules=%v enabled=%v", rules, Enabled())
+	}
+}
+
+func TestManifestMatchesSiteSet(t *testing.T) {
+	set := SiteSet()
+	if len(set) != len(Sites) {
+		t.Fatalf("SiteSet has %d entries, manifest %d (duplicate entry?)", len(set), len(Sites))
+	}
+	for _, s := range Sites {
+		if !KnownSite(s) {
+			t.Fatalf("manifest site %q not known", s)
+		}
+	}
+	if KnownSite("no.such.site") {
+		t.Fatal("unknown site reported as known")
 	}
 }

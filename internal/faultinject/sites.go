@@ -1,0 +1,43 @@
+package faultinject
+
+// Sites is the central manifest of fault-injection site names. Every string
+// literal passed to Do or Bitflip anywhere in the repository must appear
+// here exactly once — the atlint faultsite analyzer enforces both
+// directions (an instrumented site missing from the manifest and a manifest
+// entry with no instrumented site are build-time errors), and
+// EnableFromSpec enforces it at runtime so a typo'd ATSERVE_FAULTS spec
+// fails loudly at boot instead of arming a rule that can never fire.
+//
+// To add a site: instrument the code with Do("pkg.what") or
+// Bitflip("pkg.what"), add the literal here, and keep the list sorted.
+var Sites = []string{
+	"catalog.put",
+	"catalog.reload",
+	"catalog.scrub",
+	"core.mult.result",
+	"core.writefile",
+	"sched.task",
+	"service.execute",
+}
+
+// siteSet is the manifest as a set, built once at init.
+var siteSet = func() map[string]bool {
+	s := make(map[string]bool, len(Sites))
+	for _, name := range Sites {
+		s[name] = true
+	}
+	return s
+}()
+
+// KnownSite reports whether name is a registered fault-injection site.
+func KnownSite(name string) bool { return siteSet[name] }
+
+// SiteSet returns a fresh copy of the manifest as a set, for tools (the
+// atlint faultsite analyzer) that validate instrumented call sites.
+func SiteSet() map[string]bool {
+	s := make(map[string]bool, len(Sites))
+	for _, name := range Sites {
+		s[name] = true
+	}
+	return s
+}

@@ -132,6 +132,10 @@ func (w *CSRWin) rows() rowsOf {
 	}
 }
 
+// row returns one window row through the hoisted accessor; this runs once
+// per contributing element in the Gustavson kernels.
+//
+//atlint:hotpath
 func (a *rowsOf) row(r int) ([]int32, []float64) {
 	if a.spanLo != nil {
 		lo, hi := a.spanLo[r], a.spanHi[r]
@@ -180,6 +184,8 @@ func (w CSRWin) fillDense(d *mat.Dense) {
 // DDD computes c += a·b for dense a, b (the ddd_gemm kernel). It uses the
 // i-k-j loop order so that the inner loop streams contiguously over a B row
 // and a C row.
+//
+//atlint:hotpath
 func DDD(c, a, b *mat.Dense) {
 	checkDims(c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
 	for i := 0; i < a.Rows; i++ {
@@ -196,6 +202,8 @@ func DDD(c, a, b *mat.Dense) {
 }
 
 // SpDD computes c += a·b for sparse a, dense b (spdd_gemm).
+//
+//atlint:hotpath
 func SpDD(c *mat.Dense, a CSRWin, b *mat.Dense) {
 	checkDims(c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
 	ac0 := int32(a.Col0)
@@ -214,6 +222,8 @@ func SpDD(c *mat.Dense, a CSRWin, b *mat.Dense) {
 
 // DSpD computes c += a·b for dense a, sparse b (dspd_gemm) — one of the
 // kernels the paper notes vendors offer no reference implementation for.
+//
+//atlint:hotpath
 func DSpD(c *mat.Dense, a *mat.Dense, b CSRWin) {
 	checkDims(c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
 	bc0 := int32(b.Col0)
@@ -236,6 +246,8 @@ func DSpD(c *mat.Dense, a *mat.Dense, b CSRWin) {
 // SpSpD computes c += a·b for sparse a, sparse b into a dense target
 // (spspd_gemm): Gustavson's row algorithm with the dense C row acting as
 // the accumulator.
+//
+//atlint:hotpath
 func SpSpD(c *mat.Dense, a, b CSRWin) {
 	checkDims(c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
 	ac0 := int32(a.Col0)
@@ -267,6 +279,8 @@ func SpSpD(c *mat.Dense, a, b CSRWin) {
 
 // SpSpSp computes cAcc[window] += a·b for sparse operands (spspsp_gemm,
 // the classical Gustavson algorithm and the paper's baseline).
+//
+//atlint:hotpath
 func SpSpSp(cAcc *SpAcc, cRow0, cCol0 int, a, b CSRWin, spa *SPA) {
 	checkAccDims(cAcc, cRow0, cCol0, a, b)
 	ac0 := int32(a.Col0)
@@ -291,6 +305,8 @@ func SpSpSp(cAcc *SpAcc, cRow0, cCol0 int, a, b CSRWin, spa *SPA) {
 }
 
 // SpDSp computes cAcc[window] += a·b for sparse a, dense b (spdsp_gemm).
+//
+//atlint:hotpath
 func SpDSp(cAcc *SpAcc, cRow0, cCol0 int, a CSRWin, b *mat.Dense, spa *SPA) {
 	checkAccDims(cAcc, cRow0, cCol0, a, denseShape{b.Rows, b.Cols})
 	ac0 := int32(a.Col0)
@@ -315,6 +331,8 @@ func SpDSp(cAcc *SpAcc, cRow0, cCol0 int, a CSRWin, b *mat.Dense, spa *SPA) {
 }
 
 // DSpSp computes cAcc[window] += a·b for dense a, sparse b (dspsp_gemm).
+//
+//atlint:hotpath
 func DSpSp(cAcc *SpAcc, cRow0, cCol0 int, a *mat.Dense, b CSRWin, spa *SPA) {
 	checkAccDims(cAcc, cRow0, cCol0, denseShape{a.Rows, a.Cols}, b)
 	bc0 := int32(b.Col0) - int32(cCol0)
@@ -342,6 +360,8 @@ func DSpSp(cAcc *SpAcc, cRow0, cCol0 int, a *mat.Dense, b CSRWin, spa *SPA) {
 // DDSp computes cAcc[window] += a·b for dense operands into a sparse
 // target (ddsp_gemm). It exists for completeness of the eightfold model;
 // the cost-based optimizer essentially never picks it.
+//
+//atlint:hotpath
 func DDSp(cAcc *SpAcc, cRow0, cCol0 int, a, b *mat.Dense, spa *SPA) {
 	checkAccDims(cAcc, cRow0, cCol0, denseShape{a.Rows, a.Cols}, denseShape{b.Rows, b.Cols})
 	for i := 0; i < a.Rows; i++ {
@@ -368,6 +388,8 @@ func DDSp(cAcc *SpAcc, cRow0, cCol0 int, a, b *mat.Dense, spa *SPA) {
 
 // axpy computes y += alpha·x over equal-length slices. The explicit
 // bounds hint lets the compiler elide per-element checks.
+//
+//atlint:hotpath
 func axpy(y, x []float64, alpha float64) {
 	if len(x) > len(y) {
 		x = x[:len(y)]

@@ -54,10 +54,13 @@ func (p *SPA) Reset(width int) {
 }
 
 // Add accumulates v into column col of the current row.
+//
+//atlint:hotpath
 func (p *SPA) Add(col int32, v float64) {
 	if p.gen[col] != p.cur {
 		p.gen[col] = p.cur
 		p.vals[col] = v
+		//atlint:ignore hotpath-alloc grow-only scatter list, amortized across all rows of a worker
 		p.touched = append(p.touched, col)
 		return
 	}
@@ -114,6 +117,8 @@ func (s *SpAcc) Reset(rows, cols int) {
 // and resets nothing (the caller Resets the SPA for the next row). The
 // entries land directly in the row's grow-only slice — no intermediate
 // allocation, which matters because this runs once per row per task.
+//
+//atlint:hotpath
 func (s *SpAcc) FlushRow(r int, spa *SPA) {
 	t := spa.Touched()
 	if len(t) == 0 {
@@ -121,6 +126,7 @@ func (s *SpAcc) FlushRow(r int, spa *SPA) {
 	}
 	run := s.rows[r]
 	for _, c := range t {
+		//atlint:ignore hotpath-alloc grow-only contribution run, capacity retained across tiles by Scratch
 		run = append(run, spEntry{col: c, val: spa.vals[c]})
 	}
 	s.rows[r] = run

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicAlign guards the 64-bit sync/atomic call sites (the multiply
+// statistics counters) against 32-bit misalignment. On 386/arm/mips the
+// compiler only 4-aligns int64 struct fields, while atomic.AddInt64 and
+// friends fault or silently tear on addresses that are not 8-aligned; the
+// runtime guarantees only that the *first* word of an allocation is
+// 64-bit aligned. The analyzer finds every &struct.field argument to a
+// 64-bit sync/atomic function, computes the field's offset under the
+// 32-bit (GOARCH=386) size model via go/types.Sizes, and reports fields
+// at offsets not divisible by 8 — move the field to the front of the
+// struct, pad, or switch to the self-aligning atomic.Int64 type.
+//
+// Offsets are accumulated through nested value-struct selections;
+// a pointer dereference in the chain resets the base to an aligned
+// allocation start.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit sync/atomic on struct fields misaligned for 32-bit targets",
+	Run:  runAtomicAlign,
+}
+
+// atomic64Funcs are the sync/atomic entry points operating on 64-bit
+// values through a pointer.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func runAtomicAlign(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			off, ok := fieldOffset(p, sel)
+			if ok && off%8 != 0 {
+				p.Reportf(un.Pos(), "64-bit atomic %s on field %s at 32-bit offset %d (not 8-aligned); reorder the struct or use atomic.%s",
+					fn.Name(), types.ExprString(sel), off, strong64For(fn.Name()))
+			}
+			return true
+		})
+	}
+}
+
+// fieldOffset computes the 32-bit offset of the selected field relative to
+// the nearest aligned allocation base (the outermost value struct, or the
+// target of the last pointer dereference in the selector chain).
+func fieldOffset(p *Pass, sel *ast.SelectorExpr) (int64, bool) {
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return 0, false
+	}
+	off, ok := selectionOffset(p.Sizes32, s)
+	if !ok {
+		return 0, false
+	}
+	// A value-struct receiver that is itself a field selection contributes
+	// its own offset; a pointer receiver is a fresh aligned base.
+	if _, isPtr := s.Recv().Underlying().(*types.Pointer); !isPtr {
+		if inner, ok2 := ast.Unparen(sel.X).(*ast.SelectorExpr); ok2 {
+			if is := p.Info.Selections[inner]; is != nil && is.Kind() == types.FieldVal {
+				innerOff, ok3 := fieldOffset(p, inner)
+				if !ok3 {
+					return 0, false
+				}
+				off += innerOff
+			}
+		}
+	}
+	return off, true
+}
+
+// selectionOffset walks a selection's (possibly embedded) field index path,
+// summing 32-bit field offsets. An embedded pointer resets the base: the
+// runtime aligns the start of every allocation.
+func selectionOffset(sizes types.Sizes, s *types.Selection) (int64, bool) {
+	t := s.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	var off int64
+	for _, idx := range s.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes.Offsetsof(fields)[idx]
+		t = st.Field(idx).Type()
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			off = 0
+			t = ptr.Elem()
+		}
+	}
+	return off, true
+}
+
+// strong64For suggests the self-aligning sync/atomic type for a function.
+func strong64For(fn string) string {
+	for _, suffix := range []string{"Uint64", "Int64"} {
+		if len(fn) >= len(suffix) && fn[len(fn)-len(suffix):] == suffix {
+			return suffix
+		}
+	}
+	return "Int64"
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context threading through the sched/service/catalog
+// call chain: deadlines and cancellation only work end to end if every
+// layer hands its context down instead of minting a fresh root.
+//
+//  1. context.Background() and context.TODO() are forbidden outside
+//     package main — a library function that needs a context receives
+//     one. Deliberate roots (a server's lifecycle context) carry an
+//     //atlint:ignore ctxflow annotation with the reason. Test files are
+//     not analyzed, so tests may use Background freely.
+//  2. Inside a function that receives a context.Context parameter, a call
+//     to a callee whose first parameter is a context must not be given a
+//     fresh context.Background()/TODO() — that severs the caller's
+//     deadline and cancellation; thread the parameter instead.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Background outside main; contexts not threaded to callees",
+	Run:  runCtxFlow,
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && namedFrom(t, "context", "Context")
+}
+
+// isFreshContext reports whether e is a direct context.Background() or
+// context.TODO() call.
+func isFreshContext(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return calleeIn(info, call, "context", "Background") || calleeIn(info, call, "context", "TODO")
+}
+
+func runCtxFlow(p *Pass) {
+	isMain := p.Pkg.Name() == "main"
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isMain && (calleeIn(p.Info, call, "context", "Background") || calleeIn(p.Info, call, "context", "TODO")) {
+				p.Reportf(call.Pos(), "%s outside package main; accept a context from the caller", types.ExprString(call.Fun))
+			}
+			return true
+		})
+	}
+	forEachFunc(p.Files, func(fn funcScope) {
+		if !receivesContext(p, fn) {
+			return
+		}
+		inspectShallow(fn.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sig, ok := p.Info.Types[call.Fun].Type.(*types.Signature)
+			if !ok || sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+				return true
+			}
+			if isFreshContext(p.Info, call.Args[0]) {
+				p.Reportf(call.Args[0].Pos(), "fresh context passed to %s discards the in-scope context parameter; thread it through", types.ExprString(call.Fun))
+			}
+			return true
+		})
+	})
+}
+
+// receivesContext reports whether the function has a context.Context
+// parameter (named or not).
+func receivesContext(p *Pass, fn funcScope) bool {
+	params := fn.funcType().Params
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		if isContextType(p.Info.Types[field.Type].Type) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrWrap enforces Go 1.13+ error-chain hygiene, which the service layer's
+// transient-vs-permanent retry classifier and the catalog's typed
+// ErrBadMagic/ErrChecksum handling depend on:
+//
+//  1. Sentinel errors compared with == or != instead of errors.Is: the
+//     comparison silently stops matching the moment any intermediate layer
+//     wraps the error with %w (nil comparisons are fine and excluded).
+//  2. fmt.Errorf formatting an error argument without a %w verb: the cause
+//     is flattened into text and errors.Is/As can no longer see it. The
+//     rare deliberate chain break carries an //atlint:ignore errwrap
+//     annotation with the reason.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel == comparisons instead of errors.Is; fmt.Errorf without %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(p, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(p, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkErrCompare(p *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]
+	if xt.IsNil() || yt.IsNil() {
+		return
+	}
+	if !isErrorType(xt.Type) || !isErrorType(yt.Type) {
+		return
+	}
+	p.Reportf(be.OpPos, "error compared with %s; use errors.Is so wrapped chains still match", be.Op)
+}
+
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	if !calleeIn(p.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringLiteral(p.Info, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.IsNil() {
+			continue
+		}
+		if isErrorType(tv.Type) {
+			p.Reportf(arg.Pos(), "fmt.Errorf formats an error without %%w; the cause is lost to errors.Is/As")
+			return
+		}
+	}
+}

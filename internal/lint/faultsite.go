@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// faultinjectPath is the import path of the fault-injection registry; the
+// analyzer keys its manifest handling off this path.
+const faultinjectPath = "atmatrix/internal/faultinject"
+
+// FaultSite keeps the fault-injection site namespace coherent. The site
+// strings passed to faultinject.Do and faultinject.Bitflip are stringly
+// typed and cross package boundaries (instrumented code, chaos tests,
+// ATSERVE_FAULTS specs); nothing but convention kept them aligned until
+// the central manifest (internal/faultinject/sites.go) existed. The
+// analyzer enforces:
+//
+//   - every Do/Bitflip site argument is a plain string literal (a computed
+//     site cannot be validated or grepped);
+//   - every such literal appears in the Sites manifest;
+//   - the manifest itself contains no duplicates;
+//   - every manifest entry is instrumented somewhere (checked across the
+//     whole analyzed set in the Finish pass — a stale entry would let a
+//     chaos spec arm a fault that can never fire).
+var FaultSite = &Analyzer{
+	Name:   "faultsite",
+	Doc:    "faultinject.Do/Bitflip sites must be literals registered in the sites.go manifest",
+	Run:    runFaultSite,
+	Finish: finishFaultSite,
+}
+
+func runFaultSite(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !calleeIn(p.Info, call, faultinjectPath, "Do") && !calleeIn(p.Info, call, faultinjectPath, "Bitflip") {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			site, ok := stringLiteral(p.Info, call.Args[0])
+			if !ok {
+				p.Reportf(call.Args[0].Pos(), "fault site must be a string literal so the manifest can validate it")
+				return true
+			}
+			pos := p.Fset.Position(call.Args[0].Pos())
+			p.Shared.UsedSites[site] = append(p.Shared.UsedSites[site], pos)
+			if p.Sites != nil && !p.Sites[site] {
+				p.Reportf(call.Args[0].Pos(), "unknown fault site %q: register it in internal/faultinject/sites.go", site)
+			}
+			return true
+		})
+	}
+	if p.Pkg.Path() == faultinjectPath {
+		collectManifest(p)
+	}
+}
+
+// collectManifest records the declaration positions of the Sites manifest
+// entries and reports duplicates.
+func collectManifest(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "Sites" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range lit.Elts {
+						site, ok := stringLiteral(p.Info, elt)
+						if !ok {
+							p.Reportf(elt.Pos(), "manifest entries must be string literals")
+							continue
+						}
+						if _, dup := p.Shared.ManifestPos[site]; dup {
+							p.Reportf(elt.Pos(), "duplicate fault site %q in manifest", site)
+							continue
+						}
+						p.Shared.ManifestPos[site] = p.Fset.Position(elt.Pos())
+					}
+				}
+			}
+		}
+	}
+}
+
+// finishFaultSite reports manifest entries never instrumented anywhere in
+// the analyzed packages. It only fires when the manifest package itself
+// was part of the run, so single-package invocations don't false-positive.
+func finishFaultSite(sh *Shared, report func(pos token.Position, format string, args ...any)) {
+	if len(sh.ManifestPos) == 0 {
+		return
+	}
+	for site, pos := range sh.ManifestPos {
+		if len(sh.UsedSites[site]) == 0 {
+			report(pos, "fault site %q is registered but never instrumented (no Do/Bitflip call)", site)
+		}
+	}
+}

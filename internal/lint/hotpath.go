@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotpathAlloc enforces allocation-free inner loops. A function opts in by
+// carrying an //atlint:hotpath marker in its doc comment — the annotation
+// is seeded across the tile kernels (internal/kernels) and the multiply
+// inner loops (internal/core), where the paper's cache-conscious design
+// only wins if the steady state never touches the allocator. Inside an
+// annotated function the analyzer flags every construct that allocates or
+// risks allocating:
+//
+//   - make and new calls
+//   - append calls (growth may reallocate; grow-only scratch appends are
+//     the sanctioned exception and must carry an //atlint:ignore with a
+//     reason)
+//   - composite literals that allocate: &T{...}, slice and map literals
+//   - calls into package fmt (interface boxing of every argument)
+//   - function literals (closure allocation; hot paths use the reusable
+//     pre-bound closures of the worker state instead)
+//
+// Calls to other functions are not followed: a helper invoked from a hot
+// path is annotated (and checked) itself or it is accepted as a cold-path
+// boundary — that choice stays visible in the code.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "forbid allocation in //atlint:hotpath-annotated functions",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "atlint:hotpath") {
+				continue
+			}
+			checkHotpathBody(p, fd)
+		}
+	}
+}
+
+func checkHotpathBody(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// Composite literals reached through &lit are reported once, at the
+	// address operator, as a heap allocation.
+	reported := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure literal in hot path %s allocates; use a pre-bound reusable closure", name)
+			return true // still check the closure body for allocations
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				reported[lit] = true
+				p.Reportf(n.Pos(), "&composite literal in hot path %s heap-allocates", name)
+			}
+		case *ast.CompositeLit:
+			if reported[n] {
+				return true
+			}
+			switch p.Info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal in hot path %s allocates", name)
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal in hot path %s allocates", name)
+			}
+		case *ast.CallExpr:
+			switch {
+			case isBuiltinCall(p.Info, n, "make"):
+				p.Reportf(n.Pos(), "make in hot path %s allocates", name)
+			case isBuiltinCall(p.Info, n, "new"):
+				p.Reportf(n.Pos(), "new in hot path %s allocates", name)
+			case isBuiltinCall(p.Info, n, "append"):
+				p.Reportf(n.Pos(), "append in hot path %s may grow and reallocate", name)
+			case calleeIn(p.Info, n, "fmt", ""):
+				p.Reportf(n.Pos(), "fmt call in hot path %s boxes its arguments", name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck enforces lock discipline across the scheduler, catalog and
+// service layers, which all use manual Lock/Unlock choreography on hot
+// paths where defer is too costly. Three checks:
+//
+//  1. lock-by-value: a receiver, parameter or result whose type directly
+//     contains a sync.Mutex, sync.RWMutex or sync.WaitGroup is passed by
+//     value, silently forking the lock state.
+//  2. unlock-without-lock: a function executes x.Unlock() (or RUnlock)
+//     but never acquires x in the same mode anywhere in the function.
+//     Cross-function choreography — a helper releasing a caller-held
+//     lock — is sometimes deliberate; annotate it
+//     //atlint:ignore lockcheck with the reason.
+//  3. lock-without-unlock: a function acquires x, never releases it in
+//     any form (deferred or inline), and has two or more return
+//     statements after the acquisition — the classic early-return leak;
+//     add a defer x.Unlock() or release on every path.
+//
+// Function literals are independent scopes: a goroutine body that unlocks
+// a lock its parent acquired is exactly the cross-function case and needs
+// the annotation.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "lock copied by value, unmatched Unlock, leaked Lock on multi-return paths",
+	Run:  runLockCheck,
+}
+
+// lockMethod pairs an acquire with its release for one lock mode.
+var lockPairs = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func runLockCheck(p *Pass) {
+	forEachFunc(p.Files, func(fn funcScope) {
+		if fn.decl != nil {
+			checkLockByValue(p, fn.decl)
+		}
+		checkLockPairing(p, fn)
+	})
+}
+
+// containsLockType reports whether t holds a sync lock type by value
+// (directly, through embedded structs, or through arrays).
+func containsLockType(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockType(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockType(u.Elem(), seen)
+	}
+	return false
+}
+
+func checkLockByValue(p *Pass, fd *ast.FuncDecl) {
+	check := func(field *ast.Field, what string) {
+		t := p.Info.Types[field.Type].Type
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if containsLockType(t, nil) {
+			p.Reportf(field.Type.Pos(), "%s of %s copies a lock by value; use a pointer", what, fd.Name.Name)
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			check(f, "receiver")
+		}
+	}
+	for _, f := range fd.Type.Params.List {
+		check(f, "parameter")
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			check(f, "result")
+		}
+	}
+}
+
+// lockUse records every Lock/Unlock-family call on one lock expression
+// within one function scope.
+type lockUse struct {
+	acquires map[string][]token.Pos // method name -> positions (inline only)
+	releases map[string]int         // method name -> count, deferred included
+	firstRel map[string]token.Pos
+}
+
+func checkLockPairing(p *Pass, fn funcScope) {
+	uses := make(map[string]*lockUse) // rendered lock expr -> uses
+	var returns []token.Pos
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, ret.Pos())
+			return true
+		}
+		deferred := false
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred, call = true, n.Call
+		case *ast.CallExpr:
+			call = n
+		default:
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fnObj := calleeFunc(p.Info, call)
+		if fnObj == nil || fnObj.Pkg() == nil || fnObj.Pkg().Path() != "sync" {
+			return true
+		}
+		method := fnObj.Name()
+		switch method {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return true
+		}
+		key := types.ExprString(sel.X)
+		u := uses[key]
+		if u == nil {
+			u = &lockUse{
+				acquires: make(map[string][]token.Pos),
+				releases: make(map[string]int),
+				firstRel: make(map[string]token.Pos),
+			}
+			uses[key] = u
+		}
+		switch method {
+		case "Lock", "RLock":
+			if !deferred { // defer x.Lock() is its own bug; vet flags it
+				u.acquires[method] = append(u.acquires[method], call.Pos())
+			}
+		case "Unlock", "RUnlock":
+			u.releases[method]++
+			if _, ok := u.firstRel[method]; !ok && !deferred {
+				u.firstRel[method] = call.Pos()
+			}
+		}
+		return true
+	})
+
+	for key, u := range uses {
+		for acq, rel := range lockPairs {
+			// Unlock with no matching Lock in this function.
+			if pos, ok := u.firstRel[rel]; ok && len(u.acquires[acq]) == 0 {
+				p.Reportf(pos, "%s.%s without a matching %s in this function (caller-held lock?)", key, rel, acq)
+			}
+			// Lock never released, with multiple returns after it.
+			if len(u.acquires[acq]) > 0 && u.releases[rel] == 0 {
+				lockPos := u.acquires[acq][0]
+				after := 0
+				for _, r := range returns {
+					if r > lockPos {
+						after++
+					}
+				}
+				if after >= 2 {
+					p.Reportf(lockPos, "%s.%s is never released in this multi-return function; defer %s.%s", key, acq, key, lockPairs[acq])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package atomicalign seeds 64-bit atomic operations on struct fields
+// whose 32-bit (GOARCH=386) offsets are not 8-aligned: a directly
+// misaligned field, a misaligned uint64, a nested value struct placing an
+// aligned inner field at a misaligned outer offset, plus aligned accesses
+// and a suppressed line (no findings for those).
+package atomicalign
+
+import "sync/atomic"
+
+// counters puts n64 at 32-bit offset 4 and u64 at offset 12.
+type counters struct {
+	flag bool
+	n64  int64
+	u64  uint64
+}
+
+// aligned puts n64 at offset 0.
+type aligned struct {
+	n64  int64
+	flag bool
+}
+
+// outer places the (internally aligned) inner struct at offset 4, so
+// inner.n64 lands at 4 overall.
+type outer struct {
+	flag  bool
+	inner aligned
+}
+
+func bump(c *counters, a *aligned, o *outer) {
+	atomic.AddInt64(&c.n64, 1)
+	atomic.StoreUint64(&c.u64, 2)
+	atomic.AddInt64(&a.n64, 3)
+	atomic.AddInt64(&o.inner.n64, 4)
+	//atlint:ignore atomicalign fixture exercising suppression
+	atomic.LoadInt64(&c.n64)
+}
+
+var _ = bump

@@ -1,0 +1,36 @@
+// Package ctxflow seeds fresh-context roots outside main and a call that
+// discards its in-scope context, plus correct threading (no findings) and
+// a suppressed deliberate root.
+package ctxflow
+
+import "context"
+
+func callee(ctx context.Context) int { return 0 }
+
+func fresh() context.Context {
+	return context.Background()
+}
+
+func todo() context.Context {
+	return context.TODO()
+}
+
+func threaded(ctx context.Context) int {
+	return callee(ctx)
+}
+
+func severed(ctx context.Context) int {
+	return callee(context.Background())
+}
+
+func sanctionedRoot() context.Context {
+	//atlint:ignore ctxflow deliberate lifecycle root for the fixture
+	return context.Background()
+}
+
+var _ = callee
+var _ = fresh
+var _ = todo
+var _ = threaded
+var _ = severed
+var _ = sanctionedRoot

@@ -1,0 +1,51 @@
+// Package errwrap seeds sentinel ==/!= comparisons, an unwrapped
+// fmt.Errorf, correct errors.Is/%w usage (no findings), and a suppressed
+// deliberate chain break.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrLocal is a package-local sentinel.
+var ErrLocal = errors.New("local")
+
+func compare(err error) bool {
+	if err == io.EOF {
+		return true
+	}
+	if err != ErrLocal {
+		return false
+	}
+	return err == nil // nil comparisons are fine
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, io.EOF)
+}
+
+func wrapBad(err error) error {
+	return fmt.Errorf("op failed: %v", err)
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+func nonError(n int) error {
+	return fmt.Errorf("bad n: %d", n)
+}
+
+func sanctioned(err error) error {
+	//atlint:ignore errwrap deliberate chain break for the fixture
+	return fmt.Errorf("terminal: %v", err)
+}
+
+var _ = compare
+var _ = compareIs
+var _ = wrapBad
+var _ = wrapGood
+var _ = nonError
+var _ = sanctioned

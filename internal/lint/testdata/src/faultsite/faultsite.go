@@ -1,0 +1,19 @@
+// Package faultsite seeds Do/Bitflip calls against an injected manifest
+// containing only "known.site": an unknown Do site, an unknown Bitflip
+// site, a computed (non-literal) site, and a suppressed line.
+package faultsite
+
+import "atmatrix/internal/faultinject"
+
+func sites(name string) {
+	_ = faultinject.Do("known.site")
+	_ = faultinject.Do("unknown.site")
+	if faultinject.Bitflip("also.unknown") {
+		return
+	}
+	_ = faultinject.Do(name)
+	//atlint:ignore faultsite fixture exercising suppression
+	_ = faultinject.Do("suppressed.site")
+}
+
+var _ = sites

@@ -1,0 +1,34 @@
+// Package hotpath seeds one violation of every construct the
+// hotpath-alloc analyzer forbids, one sanctioned suppressed line, and an
+// unannotated twin that must produce no findings.
+package hotpath
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// hot is annotated and violates every rule.
+//
+//atlint:hotpath
+func hot(xs []int) int {
+	buf := make([]int, 8)
+	p := new(point)
+	xs = append(xs, 1)
+	s := []int{1, 2}
+	m := map[int]int{1: 2}
+	q := &point{x: 1, y: 2}
+	fmt.Println(len(xs))
+	f := func() int { return 1 }
+	v := point{x: 3, y: 4} // value struct literal: allowed
+	//atlint:ignore hotpath-alloc sanctioned grow-only append for the fixture
+	xs = append(xs, 2)
+	return buf[0] + p.x + s[0] + m[1] + q.y + f() + v.x + len(xs)
+}
+
+// cold has an allocating body but no annotation: no findings.
+func cold(xs []int) []int {
+	return append(xs, 1)
+}
+
+var _ = hot
+var _ = cold

@@ -1,0 +1,73 @@
+// Package lockcheck seeds lock-by-value signatures, an orphan Unlock, a
+// leaked Lock on a multi-return path, correct manual and deferred
+// choreography (no findings), and a suppressed caller-held release.
+package lockcheck
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// byValue copies the receiver's locks.
+func (g guarded) byValue() int { return g.n }
+
+func takesLock(mu sync.Mutex) int { return 0 }
+
+func takesWaitGroup(wg sync.WaitGroup) int { return 0 }
+
+func orphanUnlock(g *guarded) {
+	g.mu.Unlock()
+}
+
+func orphanRUnlock(g *guarded) {
+	g.rw.RUnlock()
+}
+
+func leakyLock(g *guarded, a bool) int {
+	g.mu.Lock()
+	if a {
+		return 1
+	}
+	return 2
+}
+
+func deferred(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func manual(g *guarded, a bool) int {
+	g.mu.Lock()
+	if a {
+		g.mu.Unlock()
+		return 1
+	}
+	g.mu.Unlock()
+	return 2
+}
+
+func readSide(g *guarded) int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.n
+}
+
+func sanctioned(g *guarded) {
+	//atlint:ignore lockcheck caller-held lock deliberately released by this helper
+	g.mu.Unlock()
+}
+
+var _ = guarded.byValue
+var _ = takesLock
+var _ = takesWaitGroup
+var _ = orphanUnlock
+var _ = orphanRUnlock
+var _ = leakyLock
+var _ = deferred
+var _ = manual
+var _ = readSide
+var _ = sanctioned

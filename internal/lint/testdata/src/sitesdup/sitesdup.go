@@ -1,0 +1,20 @@
+// Package faultinject impersonates the real manifest package (the test
+// loads it under the import path atmatrix/internal/faultinject) to
+// exercise manifest handling: a duplicate Sites entry and an entry that is
+// registered but never instrumented (reported by the Finish pass).
+package faultinject
+
+var Sites = []string{
+	"a.site",
+	"b.site",
+	"a.site",
+}
+
+// Do mimics the real hook; the analyzer resolves it by package path.
+func Do(site string) error { return nil }
+
+func use() {
+	_ = Do("a.site")
+}
+
+var _ = use

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// funcScope is one function-shaped body: a FuncDecl or a FuncLit. Analyzers
+// that reason about per-function state (lock pairing, context threading)
+// treat nested function literals as independent scopes.
+type funcScope struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+}
+
+func (f funcScope) funcType() *ast.FuncType {
+	if f.decl != nil {
+		return f.decl.Type
+	}
+	return f.lit.Type
+}
+
+// forEachFunc visits every function body in the file set, including nested
+// literals, each as its own scope.
+func forEachFunc(files []*ast.File, visit func(funcScope)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					visit(funcScope{decl: n, body: n.Body})
+				}
+			case *ast.FuncLit:
+				visit(funcScope{lit: n, body: n.Body})
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks a function body without descending into nested
+// function literals (which form their own scopes).
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeIn reports whether the call invokes a function from the package
+// with the given import path and (if name != "") that exact name.
+func calleeIn(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	return name == "" || fn.Name() == name
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// stringLiteral returns the constant string value of an expression, if any.
+func stringLiteral(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// namedFrom reports whether t (after stripping pointers and aliases) is the
+// named type pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isErrorType reports whether t is the error interface or a type
+// implementing it (directly or through a pointer receiver).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if types.Implements(t, errIface) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		if types.Implements(types.NewPointer(t), errIface) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether a comment group contains the given
+// //atlint:<directive> marker.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -12,6 +12,7 @@ package mmio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -244,7 +245,7 @@ func ReadBinary(r io.Reader) (*mat.COO, error) {
 
 func readLine(br *bufio.Reader) (string, error) {
 	line, err := br.ReadString('\n')
-	if err == io.EOF && line != "" {
+	if errors.Is(err, io.EOF) && line != "" {
 		return line, nil
 	}
 	if err != nil {
@@ -259,7 +260,7 @@ func nextToken(br *bufio.Reader) (string, error) {
 	for {
 		b, err := br.ReadByte()
 		if err != nil {
-			if sb.Len() > 0 && err == io.EOF {
+			if sb.Len() > 0 && errors.Is(err, io.EOF) {
 				return sb.String(), nil
 			}
 			return "", err

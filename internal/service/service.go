@@ -252,6 +252,9 @@ func New(cat *catalog.Catalog, opts Options) *Manager {
 	if opts.RetryMax <= 0 {
 		opts.RetryMax = 2 * time.Second
 	}
+	// The manager owns its lifecycle: this is the process-internal root
+	// that Stop cancels; per-job deadlines nest under it.
+	//atlint:ignore ctxflow deliberate lifecycle root, cancelled by Stop
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cat:         cat,
