@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt build test vet lint race chaos bench serve-smoke
+# bench-kernels iteration budget. The default gives stable medians; CI's
+# bench-smoke job overrides with BENCHTIME=1x for a single-iteration sweep
+# that still proves every kernel runs and stays allocation-free.
+BENCHTIME ?= 1s
+
+.PHONY: check fmt build test vet lint race chaos bench bench-kernels serve-smoke
 
 ## check: the pre-PR gate — formatting, static analysis (vet + atlint),
 ## build, full test suite, the concurrency stress tests under the race
@@ -38,6 +43,14 @@ chaos:
 ## bench: the per-figure benchmarks with allocation counts.
 bench:
 	$(GO) test -bench=. -benchmem
+
+## bench-kernels: run the nine tile kernels across the hyper/sparse/dense
+## operand classes and serialize the results (name, ns/op, B/op, allocs/op)
+## to BENCH_kernels.json via cmd/benchjson. BENCHTIME=1x for a quick smoke.
+bench-kernels:
+	$(GO) test -run '^$$' -bench '^BenchmarkKernel_' -benchmem -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernels.json
+	@echo "wrote BENCH_kernels.json"
 
 ## serve-smoke: build the real atserve binary and drive it over HTTP — one
 ## multiply + clean SIGTERM shutdown, then the kill -9 crash-recovery drill

@@ -258,54 +258,16 @@ func BenchmarkFig10_Ablation(b *testing.B) {
 	}
 }
 
-// --- Kernel microbenchmarks -------------------------------------------------
+// --- Kernel microbenchmarks: see bench_kernels_test.go ------------------------
 
+// kernelOperands builds the mid-sparse operand pair the ablation benches
+// below share with the (now separate) kernel microbenchmark suite.
 func kernelOperands(rho float64) (*mat.Dense, *mat.Dense, *mat.CSR, *mat.CSR) {
 	rng := rand.New(rand.NewSource(9))
 	const n = 256
 	ac := mat.RandomCOO(rng, n, n, int(rho*n*n))
 	bc := mat.RandomCOO(rng, n, n, int(rho*n*n))
 	return ac.ToDense(), bc.ToDense(), ac.ToCSR(), bc.ToCSR()
-}
-
-func BenchmarkKernel_DDD(b *testing.B) {
-	ad, bd, _, _ := kernelOperands(0.05)
-	c := mat.NewDense(ad.Rows, bd.Cols)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		kernels.DDD(c, ad, bd)
-	}
-}
-
-func BenchmarkKernel_SpDD(b *testing.B) {
-	_, bd, as, _ := kernelOperands(0.05)
-	c := mat.NewDense(as.Rows, bd.Cols)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		kernels.SpDD(c, kernels.FullCSR(as), bd)
-	}
-}
-
-func BenchmarkKernel_SpSpD(b *testing.B) {
-	_, _, as, bs := kernelOperands(0.05)
-	c := mat.NewDense(as.Rows, bs.Cols)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		kernels.SpSpD(c, kernels.FullCSR(as), kernels.FullCSR(bs))
-	}
-}
-
-func BenchmarkKernel_SpSpSp(b *testing.B) {
-	_, _, as, bs := kernelOperands(0.05)
-	spa := kernels.NewSPA(bs.Cols)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		acc := kernels.NewSpAcc(as.Rows, bs.Cols)
-		kernels.SpSpSp(acc, 0, 0, kernels.FullCSR(as), kernels.FullCSR(bs), spa)
-		if acc.ToCSR().NNZ() == 0 {
-			b.Fatal("empty result")
-		}
-	}
 }
 
 // --- DESIGN.md ablations ------------------------------------------------------

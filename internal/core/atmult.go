@@ -46,7 +46,29 @@ type MultOptions struct {
 	// matrix-vector products; a wrong product escapes k rounds with
 	// probability at most 2^-k. Zero disables verification.
 	Verify int
+	// SpGEMM selects the sparse×sparse→sparse algorithm. The default
+	// (SpGEMMAuto) asks the cost model per contribution: hypersparse
+	// operand windows (expected partial-product runs per output row ≤ the
+	// calibrated crossover) go to the outer-product multiway-merge kernel,
+	// everything else to Gustavson. The forced settings exist for
+	// benchmarks and ablations.
+	SpGEMM SpGEMMPolicy
 }
+
+// SpGEMMPolicy selects the algorithm used for sparse×sparse→sparse tile
+// contributions.
+type SpGEMMPolicy int
+
+const (
+	// SpGEMMAuto routes each contribution by the cost model's
+	// outer-product crossover (costmodel.PreferOuter).
+	SpGEMMAuto SpGEMMPolicy = iota
+	// SpGEMMGustavson forces the row-form SPA kernel (SpSpSp).
+	SpGEMMGustavson
+	// SpGEMMOuter forces the outer-product multiway-merge kernel
+	// (OuterSpSp).
+	SpGEMMOuter
+)
 
 // ctxErr returns the cancellation state of the options' context.
 func (o MultOptions) ctxErr() error {
@@ -78,6 +100,12 @@ type MultStats struct {
 	TargetTiles   int64 // result tiles produced (before dropping empties)
 	TasksStolen   int64 // tasks executed by a team other than their home socket's
 	ScratchBytes  int64 // process-wide persistent worker-scratch high-water mark
+
+	// Kernel-choice counts for sparse×sparse→sparse contributions: how
+	// many were routed to the outer-product merge kernel vs. Gustavson
+	// (by the cost model under SpGEMMAuto, or by the forced policy).
+	OuterKernelCalls     int64
+	GustavsonKernelCalls int64
 
 	WriteThreshold float64 // effective ρ_D^W after the water level
 	Numa           *numa.Stats
@@ -423,6 +451,12 @@ type contribution struct {
 	aD, bD   mat.Dense
 	aKind    mat.Kind
 	bKind    mat.Kind
+
+	// outer routes this contribution (sparse×sparse into a sparse target
+	// only) to the outer-product multiway-merge kernel instead of
+	// Gustavson — decided once per contribution by the cost model or the
+	// SpGEMM policy override.
+	outer bool
 }
 
 // multiplyPair computes one target tile C_{ti,tj} (Alg. 2 lines 6–10) into
@@ -485,11 +519,30 @@ func (mc *mulCtx) multiplyPair(team *sched.Team, rb, cb Band, aTiles, bTiles []*
 		ct := &contribs[i]
 		t0 := time.Now()
 		kindA, kindB := ct.aTile.Kind, ct.bTile.Kind
+		rhoA := windowDensityApprox(ct.aTile)
+		rhoB := windowDensityApprox(ct.bTile)
 		if opts.DynOpt {
-			rhoA := windowDensityApprox(ct.aTile)
-			rhoB := windowDensityApprox(ct.bTile)
 			plan := cfg.Cost.ChooseKernel(kindA, kindB, targetKind, m, ct.k, n, rhoA, rhoB, estRho)
 			kindA, kindB = plan.KindA, plan.KindB
+		}
+		// Algorithm choice for sparse×sparse→sparse: outer-product merge
+		// vs. Gustavson, per the cost model's crossover (or the forced
+		// policy). Decided here, once per contribution, so every row slice
+		// of the fan-out runs the same kernel.
+		if targetKind == mat.Sparse && kindA == mat.Sparse && kindB == mat.Sparse {
+			switch opts.SpGEMM {
+			case SpGEMMOuter:
+				ct.outer = true
+			case SpGEMMGustavson:
+				ct.outer = false
+			default:
+				ct.outer = cfg.Cost.PreferOuter(m, ct.k, n, rhoA, rhoB)
+			}
+			if ct.outer {
+				atomic.AddInt64(&stats.OuterKernelCalls, 1)
+			} else {
+				atomic.AddInt64(&stats.GustavsonKernelCalls, 1)
+			}
 		}
 		mc.optNanos.Add(time.Since(t0).Nanoseconds())
 		ct.aKind, ct.bKind = kindA, kindB
@@ -719,20 +772,25 @@ func runDenseTarget(cw *mat.Dense, ct *contribution, lo, hi int) {
 }
 
 // runSparseTarget executes one contribution into the sparse accumulator
-// rows [lo, hi).
+// rows [lo, hi). It draws the SPA or the merge arena from the executing
+// worker's scratch, depending on the contribution's algorithm choice.
 //
 //atlint:hotpath
-func runSparseTarget(acc *kernels.SpAcc, ct *contribution, lo, hi int, spa *kernels.SPA) {
+func runSparseTarget(acc *kernels.SpAcc, ct *contribution, lo, hi int, scr *kernels.Scratch) {
 	aSp, aD := sliceA(ct, lo, hi)
 	switch {
 	case ct.aKind == mat.Sparse && ct.bKind == mat.Sparse:
-		kernels.SpSpSp(acc, lo, 0, aSp, ct.bSp, spa)
+		if ct.outer {
+			kernels.OuterSpSp(acc, lo, 0, aSp, ct.bSp, scr.Merge())
+		} else {
+			kernels.SpSpSp(acc, lo, 0, aSp, ct.bSp, scr.SPA())
+		}
 	case ct.aKind == mat.Sparse && ct.bKind == mat.DenseKind:
-		kernels.SpDSp(acc, lo, 0, aSp, &ct.bD, spa)
+		kernels.SpDSp(acc, lo, 0, aSp, &ct.bD, scr.SPA())
 	case ct.aKind == mat.DenseKind && ct.bKind == mat.Sparse:
-		kernels.DSpSp(acc, lo, 0, &aD, ct.bSp, spa)
+		kernels.DSpSp(acc, lo, 0, &aD, ct.bSp, scr.SPA())
 	default:
-		kernels.DDSp(acc, lo, 0, &aD, &ct.bD, spa)
+		kernels.DDSp(acc, lo, 0, &aD, &ct.bD, scr.SPA())
 	}
 }
 

@@ -70,6 +70,48 @@ func CalibrateCostModel() costmodel.Params {
 	if p.FlopMixed < p.FlopSp {
 		p.FlopMixed = p.FlopSp * 1.25
 	}
+
+	// Outer-product crossover: time OuterSpSp against SpSpSp at two
+	// operating points — hypersparse (runs = ρA·k ≈ 0.5, where the merge
+	// kernel's tree-free fast paths should win) and mid-sparse (runs ≈ 4,
+	// where the loser-tree replay dominates) — and refit the outer cost
+	// curve from the measured ratios, expressed against the model's own
+	// Gustavson per-flop cost so only ratios matter. Clamps keep a
+	// degenerate measurement from inverting the curve (OuterAppend must
+	// stay below the Gustavson cost for the hypersparse class to ever be
+	// routed to the merge kernel, and MergeStep must stay positive so
+	// dense-ish tiles never are).
+	{
+		const hn = 512
+		scr := kernels.NewScratch()
+		gustAt := func(as2, bs2 *mat.CSR) float64 {
+			return timePerUnit(func() {
+				acc := scr.Acc(hn, hn)
+				kernels.SpSpSp(acc, 0, 0, kernels.FullCSR(as2), kernels.FullCSR(bs2), scr.SPA())
+			}, 1)
+		}
+		outerAt := func(as2, bs2 *mat.CSR) float64 {
+			return timePerUnit(func() {
+				acc := scr.Acc(hn, hn)
+				kernels.OuterSpSp(acc, 0, 0, kernels.FullCSR(as2), kernels.FullCSR(bs2), scr.Merge())
+			}, 1)
+		}
+		mk := func(rho float64) (*mat.CSR, *mat.CSR) {
+			hnnz := int(rho * hn * hn)
+			return mat.RandomCOO(rng, hn, hn, hnnz).ToCSR(),
+				mat.RandomCOO(rng, hn, hn, hnnz).ToCSR()
+		}
+		gustCost := p.GustavsonPerFlop()
+		hA, hB := mk(0.5 / hn) // runs ≈ 0.5/row
+		if g := gustAt(hA, hB); g > 0 {
+			p.OuterAppend = clampRatio(outerAt(hA, hB)/g*gustCost, 0.5, gustCost-0.25)
+		}
+		mA, mB := mk(4.0 / hn) // runs ≈ 4/row
+		if g := gustAt(mA, mB); g > 0 {
+			// OuterPerFlop(4) = OuterAppend + 2·MergeStep.
+			p.MergeStep = clampRatio((outerAt(mA, mB)/g*gustCost-p.OuterAppend)/2, 1, 32)
+		}
+	}
 	return p
 }
 

@@ -84,11 +84,10 @@ func (ws *workerState) rowFns() (dense, sparse func(lo, hi, worker int)) {
 		}
 		ws.sparseFn = func(lo, hi, worker int) {
 			wst := stateFor(ws.curTeam, worker, ws.curEph)
-			spa := wst.scratch.SPA()
 			acc := ws.curAcc
 			cts := ws.contribs
 			for i := range cts {
-				runSparseTarget(acc, &cts[i], lo, hi, spa)
+				runSparseTarget(acc, &cts[i], lo, hi, wst.scratch)
 			}
 			// Worker 0 is the leader, whose scratch holds the shared
 			// accumulator: measuring it here would race with the other

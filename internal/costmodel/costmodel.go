@@ -18,7 +18,11 @@
 // re-fitted to a concrete machine with core.CalibrateCostModel.
 package costmodel
 
-import "atmatrix/internal/mat"
+import (
+	"math"
+
+	"atmatrix/internal/mat"
+)
 
 // Params holds the per-operation cost constants of the model.
 type Params struct {
@@ -53,6 +57,18 @@ type Params struct {
 	// ConvCell is the per-cell scan/initialization cost of a tile
 	// conversion in either direction.
 	ConvCell float64
+	// OuterAppend is the per-flop cost of the outer-product SpGEMM's
+	// fast paths (≤2 live runs per output row: scaled copy or two-pointer
+	// merge, a straight sorted append with no accumulator scatter). It is
+	// the floor of the outer-product cost curve.
+	OuterAppend float64
+	// MergeStep is the per-flop, per-tree-level cost of the outer-product
+	// kernel's loser-tree merge: each emitted element pays ~log2(R)
+	// replay comparisons for R partial-product runs per output row. The
+	// intersection of OuterAppend + MergeStep·log2(R) with the Gustavson
+	// curve FlopSp + ScatterSp defines the outer-product crossover RunsOuter
+	// (≈1 stored element per A row with the default constants).
+	MergeStep float64
 }
 
 // Default returns constants fitted to the relative costs observed with the
@@ -60,14 +76,16 @@ type Params struct {
 // the paper uses for its test system — and ρ0^W = 0.0625.
 func Default() Params {
 	return Params{
-		FlopDD:    1.0,
-		FlopSp:    4.0,
-		FlopMixed: 5.0,
-		ReadSp:    2.0,
-		WriteD:    1.0,
-		WriteSp:   16.0,
-		ScatterSp: 2.0,
-		ConvCell:  1.0,
+		FlopDD:      1.0,
+		FlopSp:      4.0,
+		FlopMixed:   5.0,
+		ReadSp:      2.0,
+		WriteD:      1.0,
+		WriteSp:     16.0,
+		ScatterSp:   2.0,
+		ConvCell:    1.0,
+		OuterAppend: 5.0,
+		MergeStep:   11.0,
 	}
 }
 
@@ -120,6 +138,50 @@ func (p Params) Mult(kindA, kindB, kindC mat.Kind, m, k, n int, rhoA, rhoB, rhoC
 		cost += float64(m) * float64(n) * p.WriteD
 	}
 	return cost
+}
+
+// GustavsonPerFlop is the modelled per-flop cost of the row-form SpGEMM
+// (SpSpSp): the sparse multiply-add plus the SPA scatter into the sparse
+// target.
+func (p Params) GustavsonPerFlop() float64 { return p.FlopSp + p.ScatterSp }
+
+// OuterPerFlop is the modelled per-flop cost of the outer-product
+// multiway-merge SpGEMM (OuterSpSp) when A rows select `runs` sorted
+// partial-product runs on average (runs = ρA·k): the sorted append plus
+// ~log2(runs) loser-tree comparisons per emitted element. At runs ≤ 1
+// almost every output row takes a tree-free fast path (scaled copy or
+// two-pointer merge), so only the append floor remains; above 1 the
+// Poisson tail of run counts engages the tree and the log term applies.
+func (p Params) OuterPerFlop(runs float64) float64 {
+	c := p.OuterAppend
+	if runs > 1 {
+		c += p.MergeStep * math.Log2(runs)
+	}
+	return c
+}
+
+// RunsOuter returns the outer-product crossover in expected runs per
+// output row: below it the merge kernel is modelled cheaper than
+// Gustavson. It is the runs value where OuterPerFlop meets
+// GustavsonPerFlop (2^((FlopSp+ScatterSp−OuterAppend)/MergeStep)).
+func (p Params) RunsOuter() float64 {
+	return math.Exp2((p.GustavsonPerFlop() - p.OuterAppend) / p.MergeStep)
+}
+
+// PreferOuter reports whether the outer-product merge kernel is modelled
+// faster than Gustavson for a sparse×sparse→sparse tile multiplication
+// C[m×n] += A[m×k]·B[k×n]. The decision depends on the expected number of
+// partial-product runs per output row, ρA·k: at or below ~1 almost every
+// output row is a single scaled B row (or a cheap two-run merge), and the
+// kernel wins by never touching the SPA; above it the per-element
+// loser-tree replay loses to the SPA scatter. Empty operands fall back to
+// Gustavson (both kernels are trivially cheap there).
+func (p Params) PreferOuter(m, k, n int, rhoA, rhoB float64) bool {
+	if rhoA <= 0 || rhoB <= 0 {
+		return false
+	}
+	runs := rhoA * float64(k)
+	return p.OuterPerFlop(runs) < p.GustavsonPerFlop()
 }
 
 // Convert estimates the cost of converting an m×n tile of density rho from

@@ -161,3 +161,40 @@ func TestChooseKernelNeverWorseThanNoConversion(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestOuterCrossover pins the structure of the outer-product SpGEMM cost
+// curve: the merge kernel is modelled cheaper exactly on the hypersparse
+// side of RunsOuter, the crossover sits near one run per output row (the
+// measured software crossover), and the curve is monotone in the run
+// count.
+func TestOuterCrossover(t *testing.T) {
+	p := Default()
+	x := p.RunsOuter()
+	if x < 0.5 || x > 2 {
+		t.Fatalf("RunsOuter = %g, want within [0.5, 2] (measured crossover ≈1 run/row)", x)
+	}
+	n := 4096
+	// Below the crossover: ρA·k = x/2 runs per row.
+	if !p.PreferOuter(n, n, n, x/2/float64(n), 0.001) {
+		t.Fatal("outer not preferred below the crossover")
+	}
+	// Above: 4·x runs per row.
+	if p.PreferOuter(n, n, n, 4*x/float64(n), 0.001) {
+		t.Fatal("outer preferred above the crossover")
+	}
+	// Degenerate densities never select the merge kernel.
+	if p.PreferOuter(n, n, n, 0, 0.5) || p.PreferOuter(n, n, n, 0.5, 0) {
+		t.Fatal("outer preferred for an empty operand")
+	}
+	prev := 0.0
+	for _, runs := range []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32} {
+		c := p.OuterPerFlop(runs)
+		if c < prev {
+			t.Fatalf("OuterPerFlop not monotone at runs=%g", runs)
+		}
+		prev = c
+	}
+	if p.OuterPerFlop(0.5) >= p.GustavsonPerFlop() {
+		t.Fatal("outer append floor should undercut the Gustavson scatter")
+	}
+}

@@ -14,8 +14,9 @@ import "atmatrix/internal/mat"
 // A Scratch is not safe for concurrent use; the scheduler guarantees each
 // worker slot is held by exactly one goroutine at a time.
 type Scratch struct {
-	spa SPA
-	acc SpAcc
+	spa   SPA
+	acc   SpAcc
+	merge MergeScratch
 
 	panels    []*mat.Dense
 	panelUsed int
@@ -32,11 +33,16 @@ func NewScratch() *Scratch { return &Scratch{} }
 func (s *Scratch) BeginTask() {
 	s.panelUsed = 0
 	s.csrUsed = 0
+	s.merge.release()
 }
 
 // SPA returns the worker's reusable sparse accumulator. Kernels Reset it
 // per row, growing it to the current target width as needed.
 func (s *Scratch) SPA() *SPA { return &s.spa }
+
+// Merge returns the worker's reusable loser-tree merge arena for the
+// outer-product SpGEMM kernel. Grow-only, like every other arena here.
+func (s *Scratch) Merge() *MergeScratch { return &s.merge }
 
 // Acc returns the worker's reusable sparse accumulation target, resized to
 // rows×cols with all pending entries cleared (entry capacity retained).
@@ -92,6 +98,7 @@ func (s *Scratch) CSR(rows, cols int) *mat.CSR {
 func (s *Scratch) Bytes() int64 {
 	b := int64(cap(s.spa.vals))*8 + int64(cap(s.spa.gen))*4 + int64(cap(s.spa.touched))*4
 	b += s.acc.scratchBytes()
+	b += s.merge.bytes()
 	for _, p := range s.panels {
 		b += int64(cap(p.Data)) * 8
 	}
