@@ -5,7 +5,7 @@ GO ?= go
 # that still proves every kernel runs and stays allocation-free.
 BENCHTIME ?= 1s
 
-.PHONY: check fmt build test vet lint race chaos bench bench-kernels serve-smoke
+.PHONY: check fmt build test vet lint race chaos bench bench-kernels bench-eval serve-smoke
 
 ## check: the pre-PR gate — formatting, static analysis (vet + atlint),
 ## build, full test suite, the concurrency stress tests under the race
@@ -51,6 +51,15 @@ bench-kernels:
 	$(GO) test -run '^$$' -bench '^BenchmarkKernel_' -benchmem -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernels.json
 	@echo "wrote BENCH_kernels.json"
+
+## bench-eval: the expression-engine acceptance numbers — fused vs
+## materialized on the 3-term sparse chain and on pow(A,10)*x — written to
+## BENCH_eval.json. Each record carries peak intermediate bytes as a
+## peakB/op entry under "extra". BENCHTIME=1x for a quick smoke.
+bench-eval:
+	$(GO) test -run '^$$' -bench '^BenchmarkEval_' -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -o BENCH_eval.json
+	@echo "wrote BENCH_eval.json"
 
 ## serve-smoke: build the real atserve binary and drive it over HTTP — one
 ## multiply + clean SIGTERM shutdown, then the kill -9 crash-recovery drill

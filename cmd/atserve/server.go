@@ -98,6 +98,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/matrices/{name}", s.handleDelete)
 	mux.HandleFunc("POST /v1/matrices/{name}/save", s.handleSave)
 	mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
+	mux.HandleFunc("POST /v1/eval", s.handleEval)
 	mux.HandleFunc("POST /v1/admin/scrub", s.handleScrub)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -297,17 +298,70 @@ func (s *server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	if req.Priority == "low" && s.brk.open(time.Now()) {
-		s.brk.shed.Add(1)
-		w.Header().Set("Retry-After", retryAfter())
-		jsonError(w, http.StatusServiceUnavailable, "brownout: low-priority multiplies shed, retry later")
+	if s.shedLowPriority(w, req.Priority) {
 		return
 	}
-	job, err := s.mgr.Submit(service.Request{
+	s.submitAndReply(w, r, service.Request{
 		A: req.A, B: req.B, Chain: req.Chain,
 		Store: req.Store, Pin: req.Pin,
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
+}
+
+// evalRequest is the JSON body of POST /v1/eval: an expression over
+// catalog names ("A*B*C", "pow(P,20)*x"), optional identifier→catalog-name
+// bindings, an iteration-count override for pow(), and the same store/pin/
+// timeout/priority options multiply takes.
+type evalRequest struct {
+	Expr       string            `json:"expr"`
+	Bindings   map[string]string `json:"bindings"`
+	Iterations int               `json:"iterations"`
+	Store      string            `json:"store"`
+	Pin        bool              `json:"pin"`
+	TimeoutMS  int64             `json:"timeout_ms"`
+	Priority   string            `json:"priority"`
+}
+
+// handleEval plans and evaluates an expression over cataloged matrices.
+// The response echoes the plan the optimizer chose — association order,
+// fusion strategy, estimated cost — next to the executed stages.
+func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req evalRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Expr == "" {
+		jsonError(w, http.StatusBadRequest, "missing expr")
+		return
+	}
+	if s.shedLowPriority(w, req.Priority) {
+		return
+	}
+	s.submitAndReply(w, r, service.Request{
+		Expr: req.Expr, Bindings: req.Bindings, Iterations: req.Iterations,
+		Store: req.Store, Pin: req.Pin,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+}
+
+// shedLowPriority rejects sheddable work during a brownout; reports
+// whether the request was shed (and answered).
+func (s *server) shedLowPriority(w http.ResponseWriter, priority string) bool {
+	if priority == "low" && s.brk.open(time.Now()) {
+		s.brk.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfter())
+		jsonError(w, http.StatusServiceUnavailable, "brownout: low-priority jobs shed, retry later")
+		return true
+	}
+	return false
+}
+
+// submitAndReply runs the shared job lifecycle of /v1/multiply and
+// /v1/eval: admission (backpressure and quarantine mapped to typed HTTP
+// errors), waiting out the job, and rendering its result or failure.
+func (s *server) submitAndReply(w http.ResponseWriter, r *http.Request, sreq service.Request) {
+	job, err := s.mgr.Submit(sreq)
 	switch {
 	case err == nil:
 	case errors.Is(err, service.ErrQueueFull):
@@ -343,6 +397,8 @@ func (s *server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusGatewayTimeout, "job deadline exceeded")
 	case errors.Is(err, context.Canceled):
 		jsonError(w, http.StatusServiceUnavailable, "job cancelled by shutdown")
+	case errors.Is(err, service.ErrBadRequest):
+		jsonError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, catalog.ErrNotFound):
 		jsonError(w, http.StatusNotFound, "%v", err)
 	case errors.Is(err, catalog.ErrExists):
@@ -417,6 +473,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("atserve_queue_capacity", m.QueueCap)
 	p("atserve_retries_total", m.Retries)
 	p("atserve_verify_failed_total", m.VerifyFailed)
+	p("atserve_eval_jobs_total", m.EvalJobs)
+	p("atserve_eval_fused_stages_total", m.FusedStages)
+	p("atserve_eval_plan_seconds_total", secs(m.PlanTime))
 	p("atserve_task_panics_total", m.TaskPanics)
 	p("atserve_watchdog_timeouts_total", m.WatchdogTimeouts)
 	p("atserve_quarantined_matrices", m.Quarantined)

@@ -171,6 +171,18 @@ func TestServeE2E(t *testing.T) {
 	if cout["chain_expr"] == "" {
 		t.Fatalf("chain result missing plan: %v", cout)
 	}
+	// Executed stages: two materialized steps, or one fused pass over the
+	// whole chain when the planner's cost gate picks row-streaming.
+	steps, ok := cout["steps"].([]any)
+	if !ok || len(steps) == 0 {
+		t.Fatalf("chain result steps = %v, want executed steps", cout["steps"])
+	}
+	for _, s := range steps {
+		step := s.(map[string]any)
+		if step["expr"] == "" || step["density"] == nil {
+			t.Fatalf("chain step missing expr/fill: %v", step)
+		}
+	}
 
 	// Multiply against a missing operand → 404.
 	nresp, _ := multiply(t, ts.URL, map[string]any{"a": "A", "b": "nosuch"})

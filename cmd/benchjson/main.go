@@ -22,12 +22,15 @@ import (
 
 // result is one benchmark line. With -benchtime=1x the ns/op column is a
 // single-iteration sample, which is exactly what the CI smoke run wants.
+// Custom b.ReportMetric units (e.g. the eval benches' peakB/op) land in
+// Extra keyed by their unit string.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  int64              `json:"bytesPerOp"`
+	AllocsPerOp int64              `json:"allocsPerOp"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -88,7 +91,7 @@ func parseLine(line string) (result, bool) {
 		if err != nil {
 			return result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 			seen = true
@@ -96,6 +99,13 @@ func parseLine(line string) (result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if strings.HasSuffix(unit, "/op") {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
+			}
 		}
 	}
 	return r, seen

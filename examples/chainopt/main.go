@@ -2,10 +2,12 @@
 // SpMacho [9] and, through it, the AT MATRIX cost model — the best
 // multiplication order of a sparse matrix chain depends on the operand
 // densities and shapes, which must be estimated and propagated through
-// the intermediate results. A classic instance is the PageRank-style
-// three-term product Aᵀ·A·v-ish pattern, or a feature projection
-// S·W·P with a huge sparse S and a skinny projection P: evaluating
-// right-to-left collapses the chain into the skinny dimension first.
+// the intermediate results. The expression engine subsumes it: the
+// planner picks the association order from the propagated density
+// estimates AND decides whether the chain runs fused (here the skinny
+// 16-column projection P triggers the panel strategy — the chain
+// collapses right-to-left through an LLC-resident dense panel, and no
+// intermediate AT MATRIX is ever built) or materialized per step.
 //
 // Run with:
 //
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"atmatrix/internal/core"
+	"atmatrix/internal/expr"
 	"atmatrix/internal/mat"
 )
 
@@ -33,36 +36,42 @@ func main() {
 	w := mat.RandomCOO(rng, 3000, 3000, 150_000)
 	p := mat.RandomCOO(rng, 3000, 16, 24_000)
 
-	var chain []*core.ATMatrix
-	for _, src := range []*mat.COO{s, w, p} {
+	bind := map[string]*core.ATMatrix{}
+	for name, src := range map[string]*mat.COO{"S": s, "W": w, "P": p} {
 		am, _, err := core.Partition(src, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		chain = append(chain, am)
+		bind[name] = am
 	}
 	fmt.Printf("chain: S %d×%d (ρ=%.3f%%) · W %d×%d · P %d×%d\n",
 		s.Rows, s.Cols, 100*s.Density(), w.Rows, w.Cols, p.Rows, p.Cols)
 
-	plan, err := core.OptimizeChain(chain, cfg)
+	fused, plan, stats, err := expr.Eval("S*W*P", bind, cfg, expr.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("optimizer chose %s (estimated cost %.3g units)\n", plan.Expression, plan.Cost)
+	sum := plan.Summary()
+	fmt.Printf("planner chose order %s, %s strategy (estimated cost %.3g units, planned in %v)\n",
+		sum.Order, sum.Fusion, sum.EstimatedCost, time.Duration(sum.PlanTime))
+	fmt.Printf("fused execution: %v, %d fused stage(s), peak intermediates %d B\n",
+		stats.Wall, stats.FusedStages, stats.PeakIntermediateBytes)
 
+	// The same plan order, but materializing (and re-partitioning) a full
+	// AT MATRIX between steps — the pre-fusion execution model.
+	matl, _, mstats, err := expr.Eval("S*W*P", bind, cfg, expr.Options{Materialize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("materialized execution: %v, peak intermediates %d B\n",
+		mstats.Wall, mstats.PeakIntermediateBytes)
+
+	// And the naive left-to-right order with no optimizer at all: the huge
+	// 3000×3000 intermediate S·W is built first, the SpMacho worst case.
 	t0 := time.Now()
-	opt, stats, err := core.MultiplyChain(chain, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	optTime := time.Since(t0)
-	fmt.Printf("optimized execution: %v over %d steps\n", optTime, stats.Steps)
-
-	// Compare with the naive left-to-right order.
-	t0 = time.Now()
-	acc := chain[0]
-	for _, m := range chain[1:] {
-		next, _, err := core.Multiply(acc, m, cfg)
+	acc := bind["S"]
+	for _, name := range []string{"W", "P"} {
+		next, _, err := core.Multiply(acc, bind[name], cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,9 +84,12 @@ func main() {
 	naiveTime := time.Since(t0)
 	fmt.Printf("left-to-right execution: %v\n", naiveTime)
 
-	if !acc.ToDense().EqualApprox(opt.ToDense(), 1e-7) {
+	if !fused.ToDense().EqualApprox(matl.ToDense(), 1e-7) {
+		log.Fatal("fused and materialized disagree numerically!")
+	}
+	if !fused.ToDense().EqualApprox(acc.ToDense(), 1e-7) {
 		log.Fatal("orders disagree numerically!")
 	}
-	fmt.Printf("results identical; speedup of the optimized order: %.1fx ✓\n",
-		float64(naiveTime)/float64(optTime))
+	fmt.Printf("results identical; fused vs materialized %.1fx, vs left-to-right %.1fx ✓\n",
+		float64(mstats.Wall)/float64(stats.Wall), float64(naiveTime)/float64(stats.Wall))
 }

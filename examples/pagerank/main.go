@@ -1,8 +1,13 @@
-// PageRank: the classic iterated sparse matrix-vector workload, using the
-// AT MATRIX tiled MatVec. Power-law web-style graphs are exactly the
-// skewed RMAT topology of the paper's G-series: a few hub columns are
-// orders of magnitude denser than the tail, so the adaptive tiling stores
-// the hub region differently from the hypersparse remainder.
+// PageRank: the classic iterated sparse matrix-vector workload, driven
+// through the expression engine. Each power-iteration step is the
+// expression d·M·r + c·u — a scaled transition-matrix product plus the
+// teleportation/dangling mass — which the planner fuses into a panel
+// application (the rank vector never materializes as an intermediate
+// AT MATRIX between the product and the sum). Power-law web-style graphs
+// are exactly the skewed RMAT topology of the paper's G-series: a few
+// hub columns are orders of magnitude denser than the tail, so the
+// adaptive tiling stores the hub region differently from the hypersparse
+// remainder.
 //
 // Run with:
 //
@@ -16,6 +21,7 @@ import (
 	"sort"
 
 	"atmatrix/internal/core"
+	"atmatrix/internal/expr"
 	"atmatrix/internal/mat"
 	"atmatrix/internal/rmat"
 )
@@ -37,7 +43,7 @@ func main() {
 	fmt.Printf("link graph: %d pages, %d links\n", nPages, g.NNZ())
 
 	// Column-stochastic transition matrix M: M[v][u] = 1/outdeg(u) for
-	// each link u→v; iterate r ← d·M·r + (1−d)/n.
+	// each link u→v; iterate r ← d·M·r + (teleport + dangling mass)·u.
 	outdeg := make([]float64, nPages)
 	for _, e := range g.Ent {
 		outdeg[e.Row]++
@@ -58,46 +64,75 @@ func main() {
 	fmt.Printf("transition AT MATRIX: %d tiles (%d sparse, %d dense), partitioned in %v\n",
 		len(am.Tiles), sp, d, pstats.Total())
 
-	r := make([]float64, nPages)
-	for i := range r {
-		r[i] = 1.0 / nPages
+	// The uniform teleport vector u = 𝟙/n, bound once; the rank vector is
+	// re-bound each iteration.
+	ud := mat.NewDense(nPages, 1)
+	ud.Fill(1.0 / nPages)
+	bind := map[string]*core.ATMatrix{
+		"M": am,
+		"u": core.FromDense(ud, cfg.BAtomic),
 	}
+
+	r := mat.NewDense(nPages, 1)
+	r.Fill(1.0 / nPages)
 	var iters int
 	for iters = 1; iters <= maxIter; iters++ {
-		mr, err := am.MatVec(r, cfg)
+		// Dangling mass (pages without outlinks) plus teleportation, folded
+		// into the scalar coefficient of u: the expression is rebuilt each
+		// iteration with the freshly computed constant.
+		var dangling float64
+		for i := 0; i < nPages; i++ {
+			if outdeg[i] == 0 {
+				dangling += r.At(i, 0)
+			}
+		}
+		c := (1 - damping) + damping*dangling
+		src := fmt.Sprintf("%.17g*M*r + %.17g*u", damping, c)
+
+		bind["r"] = core.FromDense(r, cfg.BAtomic)
+		out, plan, stats, err := expr.Eval(src, bind, cfg, expr.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Dangling mass (pages without outlinks) plus teleportation.
-		var dangling float64
-		for i := range r {
-			if outdeg[i] == 0 {
-				dangling += r[i]
-			}
+		if iters == 1 {
+			s := plan.Summary()
+			fmt.Printf("per-step expression %q plans as %s fusion (%d fused stage(s)/step)\n",
+				s.Expression, s.Fusion, stats.FusedStages)
 		}
-		base := (1-damping)/float64(nPages) + damping*dangling/float64(nPages)
+		next := out.ToDense()
 		var delta float64
-		for i := range mr {
-			next := damping*mr[i] + base
-			delta += math.Abs(next - r[i])
-			r[i] = next
+		for i := 0; i < nPages; i++ {
+			delta += math.Abs(next.At(i, 0) - r.At(i, 0))
 		}
+		r = next
 		if delta < epsTol {
 			break
 		}
 	}
 	fmt.Printf("converged after %d iterations (L1 delta < %g)\n", iters, epsTol)
 
-	// Cross-check against the plain CSR MatVec.
+	// Cross-check against a plain CSR MatVec power iteration.
 	csr := m.ToCSR()
-	check := csr.MatVec(r)
-	atv, err := am.MatVec(r, cfg)
-	if err != nil {
-		log.Fatal(err)
+	ref := make([]float64, nPages)
+	for i := range ref {
+		ref[i] = 1.0 / nPages
 	}
-	for i := range check {
-		if math.Abs(check[i]-atv[i]) > 1e-12 {
-			log.Fatal("tiled MatVec disagrees with CSR MatVec!")
+	for it := 0; it < iters; it++ {
+		var dangling float64
+		for i := range ref {
+			if outdeg[i] == 0 {
+				dangling += ref[i]
+			}
+		}
+		base := ((1 - damping) + damping*dangling) / float64(nPages)
+		mr := csr.MatVec(ref)
+		for i := range ref {
+			ref[i] = damping*mr[i] + base
+		}
+	}
+	for i := range ref {
+		if math.Abs(ref[i]-r.At(i, 0)) > 1e-10 {
+			log.Fatal("expression engine disagrees with the CSR power iteration!")
 		}
 	}
 
@@ -107,7 +142,8 @@ func main() {
 	}
 	top := make([]ranked, nPages)
 	var sum float64
-	for i, v := range r {
+	for i := range top {
+		v := r.At(i, 0)
 		top[i] = ranked{i, v}
 		sum += v
 	}
@@ -117,5 +153,5 @@ func main() {
 	for _, t := range top[:5] {
 		fmt.Printf("  page %5d  rank %.5f\n", t.page, t.rank)
 	}
-	fmt.Println("tiled MatVec matches plain CSR MatVec ✓")
+	fmt.Println("fused expression iteration matches plain CSR power iteration ✓")
 }

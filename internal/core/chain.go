@@ -34,7 +34,60 @@ type ChainPlan struct {
 	Cost       float64
 	// splits[i][j] is the optimal split point for the subchain [i, j].
 	splits [][]int
-	n      int
+	// maps[i][j] is the estimated density map of the subchain product
+	// [i, j]; maps[i][i] is the leaf map the DP ran over.
+	maps [][]*density.Map
+	n    int
+}
+
+// Len returns the number of leaf operands the plan covers.
+func (p *ChainPlan) Len() int { return p.n }
+
+// Steps returns the multiplication steps of the plan in execution
+// (post-) order as (i, k, j) triples: step t multiplies the subchain
+// products [i, k] and [k+1, j]. A single-operand plan has no steps.
+func (p *ChainPlan) Steps() [][3]int {
+	var out [][3]int
+	var rec func(i, j int)
+	rec = func(i, j int) {
+		if i == j {
+			return
+		}
+		k := p.splits[i][j]
+		rec(i, k)
+		rec(k+1, j)
+		out = append(out, [3]int{i, k, j})
+	}
+	if p.n > 1 {
+		rec(0, p.n-1)
+	}
+	return out
+}
+
+// EstMap returns the estimated density map of the subchain product [i, j]
+// (nil when the plan was built without maps, i.e. a single operand).
+func (p *ChainPlan) EstMap(i, j int) *density.Map {
+	if p.maps == nil {
+		return nil
+	}
+	return p.maps[i][j]
+}
+
+// ChainStep summarizes one executed multiplication step of a chain: the
+// sub-expression it computed, the shape and fill of its (intermediate or
+// final) result, and its wall time. It is what the serving layer exposes
+// to clients, so the fields marshal to JSON.
+type ChainStep struct {
+	Expr    string        `json:"expr"`
+	Rows    int           `json:"rows"`
+	Cols    int           `json:"cols"`
+	NNZ     int64         `json:"nnz"`
+	Bytes   int64         `json:"bytes"`
+	Density float64       `json:"density"`
+	Wall    time.Duration `json:"wall_ns"`
+	// Kernels summarizes the sparse×sparse kernel routing of the step
+	// ("gustavson×12 outer×3"), empty for steps without such contributions.
+	Kernels string `json:"kernels,omitempty"`
 }
 
 // ChainStats aggregates the execution of a chain plan.
@@ -43,7 +96,13 @@ type ChainStats struct {
 	Steps      int
 	TotalWall  time.Duration
 	StepStats  []*MultStats
+	StepInfos  []ChainStep
 	Partitions int
+	// PeakIntermediateBytes is the high-water mark of intermediate result
+	// bytes alive at once during execution (the final result and the
+	// operands themselves excluded) — the quantity fused execution in
+	// internal/expr competes against.
+	PeakIntermediateBytes int64
 }
 
 // OptimizeChain computes the cost-optimal multiplication order for the
@@ -63,14 +122,35 @@ func OptimizeChain(chain []*ATMatrix, cfg Config) (*ChainPlan, error) {
 			return nil, fmt.Errorf("core: chain operand %d has block size %d, want %d", i, chain[i].BAtomic, chain[0].BAtomic)
 		}
 	}
-	if n == 1 {
-		return &ChainPlan{Expression: "A0", n: 1}, nil
-	}
-
-	// Propagated density maps of subchain products, estimated pairwise:
-	// maps[i][j] estimates the product of operands i..j. Estimation uses
-	// a coarse shared grid so the DP stays cheap for long chains.
+	// Leaf density maps on a coarse shared grid so the DP stays cheap for
+	// long chains.
 	block := chainEstBlock(chain, cfg)
+	leaves := make([]*density.Map, n)
+	for i := range chain {
+		leaves[i] = chain[i].DensityMapAt(block)
+	}
+	return OptimizeChainMaps(leaves, cfg)
+}
+
+// OptimizeChainMaps runs the association-order dynamic program directly
+// over leaf density maps, without needing the operand matrices. This is
+// the planning core shared with internal/expr, where chain leaves may be
+// synthetic (transposed or summed maps of sub-expressions) rather than
+// catalog matrices.
+func OptimizeChainMaps(leaves []*density.Map, cfg Config) (*ChainPlan, error) {
+	n := len(leaves)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty chain")
+	}
+	for i := 1; i < n; i++ {
+		if leaves[i-1].Cols != leaves[i].Rows {
+			return nil, fmt.Errorf("core: chain dimension mismatch between operand %d (%d×%d) and %d (%d×%d)",
+				i-1, leaves[i-1].Rows, leaves[i-1].Cols, i, leaves[i].Rows, leaves[i].Cols)
+		}
+		if leaves[i].Block != leaves[0].Block {
+			return nil, fmt.Errorf("core: chain operand %d has estimation block %d, want %d", i, leaves[i].Block, leaves[0].Block)
+		}
+	}
 	maps := make([][]*density.Map, n)
 	cost := make([][]float64, n)
 	splits := make([][]int, n)
@@ -78,7 +158,10 @@ func OptimizeChain(chain []*ATMatrix, cfg Config) (*ChainPlan, error) {
 		maps[i] = make([]*density.Map, n)
 		cost[i] = make([]float64, n)
 		splits[i] = make([]int, n)
-		maps[i][i] = chain[i].DensityMapAt(block)
+		maps[i][i] = leaves[i]
+	}
+	if n == 1 {
+		return &ChainPlan{Expression: "A0", maps: maps, n: 1}, nil
 	}
 	for length := 2; length <= n; length++ {
 		for i := 0; i+length-1 < n; i++ {
@@ -101,7 +184,7 @@ func OptimizeChain(chain []*ATMatrix, cfg Config) (*ChainPlan, error) {
 			maps[i][j] = bestMap
 		}
 	}
-	plan := &ChainPlan{Cost: cost[0][n-1], splits: splits, n: n}
+	plan := &ChainPlan{Cost: cost[0][n-1], splits: splits, maps: maps, n: n}
 	plan.Expression = plan.render(0, n-1)
 	return plan, nil
 }
@@ -124,6 +207,14 @@ func chainEstBlock(chain []*ATMatrix, cfg Config) int {
 		}
 		block *= 2
 	}
+}
+
+// EstimatedMultCost exposes the DP's per-product cost evaluation so
+// internal/expr can compare alternative association orders (e.g. the
+// left-associated order its row-streaming fusion requires) against the
+// DP optimum before committing to a fused execution.
+func EstimatedMultCost(a, b *density.Map, cfg Config) float64 {
+	return estimatedMultCost(a, b, cfg)
 }
 
 // estimatedMultCost evaluates the cost model for one candidate product at
@@ -187,7 +278,8 @@ func MultiplyChainOpt(chain []*ATMatrix, cfg Config, opts MultOptions) (*ATMatri
 	}
 	stats := &ChainStats{Plan: plan}
 	t0 := time.Now()
-	result, err := executeChain(chain, plan, cfg, opts, 0, len(chain)-1, stats)
+	var live int64
+	result, err := executeChain(chain, plan, cfg, opts, 0, len(chain)-1, stats, &live)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -195,19 +287,23 @@ func MultiplyChainOpt(chain []*ATMatrix, cfg Config, opts MultOptions) (*ATMatri
 	return result, stats, nil
 }
 
-func executeChain(chain []*ATMatrix, plan *ChainPlan, cfg Config, opts MultOptions, i, j int, stats *ChainStats) (*ATMatrix, error) {
+// executeChain evaluates the subchain [i, j]. live tracks the bytes of
+// intermediate results currently alive, so stats can record the high-water
+// mark fused execution competes against.
+func executeChain(chain []*ATMatrix, plan *ChainPlan, cfg Config, opts MultOptions, i, j int, stats *ChainStats, live *int64) (*ATMatrix, error) {
 	if i == j {
 		return chain[i], nil
 	}
 	k := plan.splits[i][j]
-	left, err := executeChain(chain, plan, cfg, opts, i, k, stats)
+	left, err := executeChain(chain, plan, cfg, opts, i, k, stats, live)
 	if err != nil {
 		return nil, err
 	}
-	right, err := executeChain(chain, plan, cfg, opts, k+1, j, stats)
+	right, err := executeChain(chain, plan, cfg, opts, k+1, j, stats, live)
 	if err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	out, mstats, err := MultiplyOpt(left, right, cfg, opts)
 	if err != nil {
 		return nil, err
@@ -218,13 +314,55 @@ func executeChain(chain []*ATMatrix, plan *ChainPlan, cfg Config, opts MultOptio
 	// grid tiling of a result is legal input but the adaptive layout
 	// multiplies better (and this is exactly the "dynamic rewrite"
 	// database analogy of the paper's intro).
-	if i != 0 || j != plan.n-1 {
+	isRoot := i == 0 && j == plan.n-1
+	if !isRoot {
+		band := out.Bytes()
+		cooBytes := out.NNZ() * 16 // mat.Entry: two int32 + one float64
 		re, _, err := out.Repartition(cfg)
 		if err != nil {
 			return nil, err
 		}
 		stats.Partitions++
-		return re, nil
+		// The compaction transiently holds both layouts plus the COO
+		// staging table on top of whatever inputs are still live — that
+		// allocation spike is part of the materializing executor's real
+		// footprint, so it counts toward the high-water mark.
+		if spike := *live + band + cooBytes + re.Bytes(); spike > stats.PeakIntermediateBytes {
+			stats.PeakIntermediateBytes = spike
+		}
+		out = re
 	}
+	// Intermediate-byte accounting: this step's result goes live (unless it
+	// is the final product), while consumed intermediate inputs die. The
+	// high-water mark is sampled while the new result and any still-live
+	// inputs coexist — exactly the allocation pressure a materializing
+	// executor pays.
+	if !isRoot {
+		*live += out.Bytes()
+	}
+	if *live > stats.PeakIntermediateBytes {
+		stats.PeakIntermediateBytes = *live
+	}
+	if i != k { // left input was an intermediate, now dead
+		*live -= left.Bytes()
+	}
+	if k+1 != j { // right input was an intermediate, now dead
+		*live -= right.Bytes()
+	}
+	nnz := out.NNZ()
+	kernels := ""
+	if mstats.GustavsonKernelCalls > 0 || mstats.OuterKernelCalls > 0 {
+		kernels = fmt.Sprintf("gustavson×%d outer×%d", mstats.GustavsonKernelCalls, mstats.OuterKernelCalls)
+	}
+	stats.StepInfos = append(stats.StepInfos, ChainStep{
+		Expr:    plan.render(i, j),
+		Rows:    out.Rows,
+		Cols:    out.Cols,
+		NNZ:     nnz,
+		Bytes:   out.Bytes(),
+		Density: float64(nnz) / (float64(out.Rows) * float64(out.Cols)),
+		Wall:    time.Since(t0),
+		Kernels: kernels,
+	})
 	return out, nil
 }

@@ -87,6 +87,60 @@ func VerifyProduct(a, b, c *ATMatrix, k int, seed int64) error {
 	return nil
 }
 
+// MulVecSeq computes dst = M·x (or |M|·x with absVal, for magnitude
+// bounds) serially over the tiles of an AT MATRIX in O(nnz). internal/expr
+// uses it for expression-level Freivalds probes, where the verification
+// vectors must flow through operands the final product never materializes.
+func (m *ATMatrix) MulVecSeq(x, dst []float64, absVal bool) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("core: MulVecSeq shape mismatch: matrix %d×%d, x %d, dst %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	mulVec(m, x, dst, absVal)
+}
+
+// MulVecTransSeq computes dst = Mᵀ·x (or |M|ᵀ·x with absVal) serially in
+// O(nnz), letting probe vectors pass through transposed leaves without
+// materializing the transpose.
+func (m *ATMatrix) MulVecTransSeq(x, dst []float64, absVal bool) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("core: MulVecTransSeq shape mismatch: matrix %d×%d, x %d, dst %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, t := range m.Tiles {
+		if t.Kind == mat.Sparse {
+			for r := 0; r < t.Rows; r++ {
+				lo, hi := t.Sp.RowRange(r)
+				xr := x[t.Row0+r]
+				if absVal {
+					for p := lo; p < hi; p++ {
+						dst[t.Col0+int(t.Sp.ColIdx[p])] += math.Abs(t.Sp.Val[p]) * xr
+					}
+				} else {
+					for p := lo; p < hi; p++ {
+						dst[t.Col0+int(t.Sp.ColIdx[p])] += t.Sp.Val[p] * xr
+					}
+				}
+			}
+			continue
+		}
+		for r := 0; r < t.Rows; r++ {
+			row := t.D.RowSlice(r)
+			xr := x[t.Row0+r]
+			if absVal {
+				for cidx, v := range row {
+					dst[t.Col0+cidx] += math.Abs(v) * xr
+				}
+			} else {
+				for cidx, v := range row {
+					dst[t.Col0+cidx] += v * xr
+				}
+			}
+		}
+	}
+}
+
 // mulVec computes dst = M·x over the tiles of an AT MATRIX in O(nnz). With
 // absVal it uses |M| and assumes x ≥ 0, producing the magnitude bound the
 // tolerance scaling needs.

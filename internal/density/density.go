@@ -204,6 +204,40 @@ func EstimateProduct(a, b *Map) *Map {
 	return c
 }
 
+// Transpose returns the density map of the transposed matrix: cell (i,j)
+// of the result carries the density of cell (j,i). Density is invariant
+// under transposition, so the expression planner uses this to propagate
+// estimated fill through A' leaves without touching the matrix itself.
+func (m *Map) Transpose() *Map {
+	out := NewMap(m.Cols, m.Rows, m.Block)
+	for i := 0; i < m.BR; i++ {
+		for j := 0; j < m.BC; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// EstimateSum estimates the density map of A + B under the same
+// independence assumption as EstimateProduct: a cell element of the sum is
+// zero only when it is zero in both operands (exact cancellation is
+// ignored, making the estimate an upper bound), so
+//
+//	ρ̂_ij = 1 − (1 − ρ^A_ij)·(1 − ρ^B_ij).
+func EstimateSum(a, b *Map) *Map {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("density: sum shape mismatch %d×%d vs %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if a.Block != b.Block {
+		panic(fmt.Sprintf("density: block size mismatch %d vs %d", a.Block, b.Block))
+	}
+	c := NewMap(a.Rows, a.Cols, a.Block)
+	for i := range c.Rho {
+		c.Rho[i] = 1 - (1-a.Rho[i])*(1-b.Rho[i])
+	}
+	return c
+}
+
 // MaxAbsDiff returns the largest absolute per-cell difference between two
 // maps of identical grid shape.
 func MaxAbsDiff(a, b *Map) float64 {

@@ -1,0 +1,223 @@
+// Package expr implements the expression engine over named catalog
+// matrices: a small language (products, sums, scalar scaling, transpose,
+// and pow(A,k) power iteration), a recursive-descent parser producing a
+// typed AST, a cost-based planner that reuses the density estimator and
+// the kernel cost model to propagate estimated fill through intermediates
+// and pick association orders, and a fused executor that evaluates plan
+// stages row-band by row-band so intermediate tiles stay LLC-resident
+// instead of being materialized as full AT MATRICES between stages.
+//
+// The engine generalizes the chain-multiplication setting of SpMacho
+// (Kernert et al., EDBT 2015) — the paper's prior work that motivates the
+// AT MATRIX cost model — to arbitrary expressions, and opens the iterated
+// SpMV/SpMM scenario class (PageRank, Markov power iterations, GNN layers)
+// behind a single front door: POST /v1/eval on the serving stack.
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Node is one expression-tree node. Nodes are immutable after parsing.
+type Node interface {
+	// String renders the node back into parseable expression syntax.
+	// Parsing the rendered string yields a structurally identical tree
+	// (the round-trip property FuzzParseExpr checks).
+	String() string
+	// precedence orders nodes for parenthesization during rendering.
+	precedence() int
+}
+
+// Rendering precedence levels, loosest to tightest.
+const (
+	precAdd = iota + 1
+	precMul
+	precUnary // transpose postfix
+	precAtom
+)
+
+// Ident references a bound matrix by name.
+type Ident struct{ Name string }
+
+// Scale multiplies the sub-expression by a scalar coefficient.
+type Scale struct {
+	S float64
+	X Node
+}
+
+// Mul is an n-ary matrix product of two or more factors, kept flat so the
+// planner can optimize the association order over the whole chain.
+type Mul struct{ Factors []Node }
+
+// Add is a binary sum; Sub renders and evaluates it as L - R.
+type Add struct {
+	L, R Node
+	Sub  bool
+}
+
+// Transpose is the postfix ' operator.
+type Transpose struct{ X Node }
+
+// Pow is the pow(X, k) power operator, k ≥ 1. pow(A,k)·x is the idiomatic
+// power-iteration form the fused executor double-buffers.
+type Pow struct {
+	X Node
+	K int
+}
+
+func (n *Ident) precedence() int     { return precAtom }
+func (n *Scale) precedence() int     { return precMul }
+func (n *Mul) precedence() int       { return precMul }
+func (n *Add) precedence() int       { return precAdd }
+func (n *Transpose) precedence() int { return precUnary }
+func (n *Pow) precedence() int       { return precAtom }
+
+// render wraps the child in parentheses when its precedence is looser than
+// the context requires.
+func render(child Node, min int) string {
+	s := child.String()
+	if child.precedence() < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (n *Ident) String() string { return n.Name }
+
+func formatScalar(s float64) string { return strconv.FormatFloat(s, 'g', -1, 64) }
+
+func (n *Scale) String() string {
+	// A Mul child needs no parentheses: the parser folds the leading
+	// scalar of a product back into a Scale of the same Mul.
+	return formatScalar(n.S) + "*" + render(n.X, precMul)
+}
+
+func (n *Mul) String() string {
+	parts := make([]string, len(n.Factors))
+	for i, f := range n.Factors {
+		parts[i] = render(f, precUnary)
+	}
+	return strings.Join(parts, "*")
+}
+
+func (n *Add) String() string {
+	op := " + "
+	if n.Sub {
+		op = " - "
+	}
+	// The right child of a subtraction needs parentheses when it is itself
+	// an addition: A - (B + C) must not render as A - B + C.
+	rmin := precMul
+	if !n.Sub {
+		rmin = precAdd
+	}
+	return render(n.L, precAdd) + op + render(n.R, rmin)
+}
+
+func (n *Transpose) String() string { return render(n.X, precAtom) + "'" }
+
+func (n *Pow) String() string {
+	return "pow(" + n.X.String() + "," + strconv.Itoa(n.K) + ")"
+}
+
+// Vars returns the distinct identifier names referenced by the expression,
+// in first-appearance order.
+func Vars(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	walk(n, func(m Node) {
+		if id, ok := m.(*Ident); ok && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+	})
+	return out
+}
+
+// walk visits the tree pre-order.
+func walk(n Node, f func(Node)) {
+	f(n)
+	switch v := n.(type) {
+	case *Scale:
+		walk(v.X, f)
+	case *Mul:
+		for _, c := range v.Factors {
+			walk(c, f)
+		}
+	case *Add:
+		walk(v.L, f)
+		walk(v.R, f)
+	case *Transpose:
+		walk(v.X, f)
+	case *Pow:
+		walk(v.X, f)
+	}
+}
+
+// ErrInvalid marks semantic validation failures — unbound identifiers,
+// non-conforming shapes, mismatched block sizes. A well-formed expression
+// (Parse succeeded) can still be invalid against a concrete set of
+// bindings; callers map ErrInvalid to "bad request" like ErrParse.
+var ErrInvalid = errors.New("expr: invalid expression")
+
+// Dims computes the (rows, cols) shape of the expression given the shapes
+// of its identifiers, validating conformance of every operator. All
+// validation failures wrap ErrInvalid.
+func Dims(n Node, shape func(name string) (rows, cols int, ok bool)) (rows, cols int, err error) {
+	switch v := n.(type) {
+	case *Ident:
+		r, c, ok := shape(v.Name)
+		if !ok {
+			return 0, 0, fmt.Errorf("%w: unbound matrix %q", ErrInvalid, v.Name)
+		}
+		return r, c, nil
+	case *Scale:
+		return Dims(v.X, shape)
+	case *Mul:
+		r0, c0, err := Dims(v.Factors[0], shape)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, f := range v.Factors[1:] {
+			r1, c1, err := Dims(f, shape)
+			if err != nil {
+				return 0, 0, err
+			}
+			if c0 != r1 {
+				return 0, 0, fmt.Errorf("%w: product dimension mismatch: %s is %d×%d but %s has %d rows",
+					ErrInvalid, render(v.Factors[0], precUnary), r0, c0, f.String(), r1)
+			}
+			c0 = c1
+		}
+		return r0, c0, nil
+	case *Add:
+		rl, cl, err := Dims(v.L, shape)
+		if err != nil {
+			return 0, 0, err
+		}
+		rr, cr, err := Dims(v.R, shape)
+		if err != nil {
+			return 0, 0, err
+		}
+		if rl != rr || cl != cr {
+			return 0, 0, fmt.Errorf("%w: sum shape mismatch: %d×%d vs %d×%d", ErrInvalid, rl, cl, rr, cr)
+		}
+		return rl, cl, nil
+	case *Transpose:
+		r, c, err := Dims(v.X, shape)
+		return c, r, err
+	case *Pow:
+		r, c, err := Dims(v.X, shape)
+		if err != nil {
+			return 0, 0, err
+		}
+		if r != c {
+			return 0, 0, fmt.Errorf("%w: pow of non-square %d×%d matrix", ErrInvalid, r, c)
+		}
+		return r, c, nil
+	}
+	return 0, 0, fmt.Errorf("%w: unknown node %T", ErrInvalid, n)
+}

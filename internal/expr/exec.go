@@ -1,0 +1,809 @@
+package expr
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/kernels"
+	"atmatrix/internal/mat"
+	"atmatrix/internal/sched"
+)
+
+// The executor walks the plan tree. Sub-expressions outside chains
+// (sums, scales, transposes, wide pow) materialize AT MATRICES like any
+// operator pipeline would; multiplication chains run one of the fused
+// strategies chosen at plan time (see plan.go). Every stage is guarded:
+// a panic inside a stage — injected or real — surfaces as a typed
+// *StagePanicError that the serving layer quarantines instead of retrying.
+
+// StagePanicError reports a panic recovered while executing one plan
+// stage. It is deliberately not Transient(): a panicking stage indicates
+// a broken kernel combination, so the service quarantines it rather than
+// retrying into the same crash.
+type StagePanicError struct {
+	Stage string
+	Val   any
+}
+
+func (e *StagePanicError) Error() string {
+	return fmt.Sprintf("expr: stage %q panicked: %v", e.Stage, e.Val)
+}
+
+// ExecStats aggregates one plan execution.
+type ExecStats struct {
+	Wall time.Duration
+	// Stages counts every executed plan stage (materialized steps and
+	// fused applications alike).
+	Stages int
+	// FusedStages counts the stage applications that ran fused (panel
+	// applications and row-stream passes) instead of materializing an
+	// intermediate AT MATRIX.
+	FusedStages int
+	// PeakIntermediateBytes is the high-water mark of intermediate bytes
+	// alive at once (operands and the final result excluded; fused
+	// scratch buffers included).
+	PeakIntermediateBytes int64
+	// Steps describes the executed stages for response echoing.
+	Steps []core.ChainStep
+}
+
+// Execute runs the plan and returns the result matrix. The result is
+// always freshly allocated — callers may store or mutate it freely.
+func (p *Plan) Execute() (*core.ATMatrix, *ExecStats, error) {
+	t0 := time.Now()
+	st := &ExecStats{}
+	e := &exec{cfg: p.cfg, opts: p.opts, stats: st}
+	m, owned, err := e.eval(p.root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !owned {
+		// A bare identifier (or scale-free alias): copy before returning.
+		m, _, err = m.Repartition(p.cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	st.Wall = time.Since(t0)
+	return m, st, nil
+}
+
+// Eval parses, plans, and executes src against the bindings in one call —
+// the convenience entry the examples and benchmarks use; the service
+// drives the phases separately for metrics.
+func Eval(src string, bind map[string]*core.ATMatrix, cfg core.Config, opts Options) (*core.ATMatrix, *Plan, *ExecStats, error) {
+	node, err := Parse(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan, err := PlanExpr(node, bind, cfg, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m, st, err := plan.Execute()
+	if err != nil {
+		return nil, plan, nil, err
+	}
+	return m, plan, st, nil
+}
+
+type exec struct {
+	cfg   core.Config
+	opts  Options
+	stats *ExecStats
+	live  int64
+}
+
+// alloc records b bytes of intermediate state going live.
+func (e *exec) alloc(b int64) {
+	e.live += b
+	if e.live > e.stats.PeakIntermediateBytes {
+		e.stats.PeakIntermediateBytes = e.live
+	}
+}
+
+func (e *exec) release(b int64) { e.live -= b }
+
+// freeIf releases a sub-result the executor owned.
+func (e *exec) freeIf(m *core.ATMatrix, owned bool) {
+	if owned {
+		e.release(m.Bytes())
+	}
+}
+
+func (e *exec) ctxErr() error {
+	if e.opts.Mult.Ctx == nil {
+		return nil
+	}
+	return e.opts.Mult.Ctx.Err()
+}
+
+// stage guards one plan stage: the single expr.stage fault-injection
+// site, plus panic recovery into *StagePanicError.
+func (e *exec) stage(label string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StagePanicError{Stage: label, Val: r}
+		}
+	}()
+	if ferr := faultinject.Do("expr.stage"); ferr != nil {
+		return fmt.Errorf("expr: stage %q: %w", label, ferr)
+	}
+	e.stats.Stages++
+	return f()
+}
+
+// step records an executed stage producing matrix m.
+func (e *exec) step(label string, m *core.ATMatrix, wall time.Duration) {
+	nnz := m.NNZ()
+	e.stats.Steps = append(e.stats.Steps, core.ChainStep{
+		Expr: label, Rows: m.Rows, Cols: m.Cols,
+		NNZ: nnz, Bytes: m.Bytes(),
+		Density: float64(nnz) / (float64(m.Rows) * float64(m.Cols)),
+		Wall:    wall,
+	})
+}
+
+func (e *exec) eval(n planNode) (*core.ATMatrix, bool, error) {
+	if err := e.ctxErr(); err != nil {
+		return nil, false, err
+	}
+	switch v := n.(type) {
+	case *leafNode:
+		return v.m, false, nil
+	case *transNode:
+		return e.evalTranspose(v)
+	case *scaleNode:
+		return e.evalScale(v)
+	case *addNode:
+		return e.evalAdd(v)
+	case *powNode:
+		return e.evalPow(v)
+	case *chainNode:
+		return e.evalChain(v)
+	}
+	return nil, false, fmt.Errorf("expr: cannot execute node %T", n)
+}
+
+func (e *exec) evalTranspose(v *transNode) (*core.ATMatrix, bool, error) {
+	x, owned, err := e.eval(v.x)
+	if err != nil {
+		return nil, false, err
+	}
+	var out *core.ATMatrix
+	t0 := time.Now()
+	err = e.stage(v.label(), func() error {
+		out = x.Transpose()
+		return nil
+	})
+	if err != nil {
+		e.freeIf(x, owned)
+		return nil, false, err
+	}
+	e.alloc(out.Bytes())
+	e.freeIf(x, owned)
+	e.step(v.label(), out, time.Since(t0))
+	return out, true, nil
+}
+
+func (e *exec) evalScale(v *scaleNode) (*core.ATMatrix, bool, error) {
+	x, owned, err := e.eval(v.x)
+	if err != nil {
+		return nil, false, err
+	}
+	var out *core.ATMatrix
+	t0 := time.Now()
+	err = e.stage(v.label(), func() error {
+		if !owned {
+			// Operands are immutable: scale a copy.
+			var cerr error
+			out, _, cerr = x.Repartition(e.cfg)
+			if cerr != nil {
+				return cerr
+			}
+		} else {
+			out = x
+		}
+		out.Scale(v.s)
+		return nil
+	})
+	if err != nil {
+		e.freeIf(x, owned)
+		return nil, false, err
+	}
+	if !owned {
+		e.alloc(out.Bytes())
+	}
+	e.step(v.label(), out, time.Since(t0))
+	return out, true, nil
+}
+
+func (e *exec) evalAdd(v *addNode) (*core.ATMatrix, bool, error) {
+	l, lOwned, err := e.eval(v.l)
+	if err != nil {
+		return nil, false, err
+	}
+	r, rOwned, err := e.eval(v.r)
+	if err != nil {
+		e.freeIf(l, lOwned)
+		return nil, false, err
+	}
+	beta := 1.0
+	if v.sub {
+		beta = -1
+	}
+	var out *core.ATMatrix
+	t0 := time.Now()
+	err = e.stage(v.label(), func() error {
+		var aerr error
+		out, aerr = core.Add(l, r, 1, beta, e.cfg)
+		return aerr
+	})
+	if err != nil {
+		e.freeIf(l, lOwned)
+		e.freeIf(r, rOwned)
+		return nil, false, err
+	}
+	e.alloc(out.Bytes())
+	e.freeIf(l, lOwned)
+	e.freeIf(r, rOwned)
+	e.step(v.label(), out, time.Since(t0))
+	return out, true, nil
+}
+
+func (e *exec) evalPow(v *powNode) (*core.ATMatrix, bool, error) {
+	base, owned, err := e.eval(v.x)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := e.matPow(v.label(), base, owned, v.k)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// matPow materializes base^k by k−1 sequential multiplications. The two
+// live matrices (current power and its successor) are the whole
+// intermediate footprint — the "double buffer" of materialized power
+// iteration; everything older is released as soon as it is consumed.
+func (e *exec) matPow(label string, base *core.ATMatrix, baseOwned bool, k int) (*core.ATMatrix, error) {
+	cur, curOwned := base, false
+	t0 := time.Now()
+	for i := 2; i <= k; i++ {
+		if err := e.ctxErr(); err != nil {
+			e.freeIf(cur, curOwned)
+			e.freeIf(base, baseOwned)
+			return nil, err
+		}
+		var next *core.ATMatrix
+		err := e.stage(label, func() error {
+			out, _, merr := core.MultiplyOpt(cur, base, e.cfg, e.opts.Mult)
+			if merr != nil {
+				return merr
+			}
+			if i < k {
+				// Intermediate powers feed further multiplies: compact
+				// them to the adaptive layout.
+				out, _, merr = out.Repartition(e.cfg)
+				if merr != nil {
+					return merr
+				}
+			}
+			next = out
+			return nil
+		})
+		if err != nil {
+			e.freeIf(cur, curOwned)
+			e.freeIf(base, baseOwned)
+			return nil, err
+		}
+		e.alloc(next.Bytes())
+		e.freeIf(cur, curOwned)
+		cur, curOwned = next, true
+	}
+	e.freeIf(base, baseOwned)
+	if !curOwned {
+		// k == 1 with an unowned base: copy out.
+		out, _, err := cur.Repartition(e.cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.alloc(out.Bytes())
+		cur = out
+	}
+	e.step(label, cur, time.Since(t0))
+	return cur, nil
+}
+
+func (e *exec) evalChain(v *chainNode) (*core.ATMatrix, bool, error) {
+	// Materialize the factors (transposed leaves, nested sums, …); pow
+	// factors stay symbolic for the panel strategy and are only
+	// materialized here on the non-panel paths with huge exponents.
+	mats := make([]*core.ATMatrix, len(v.factors))
+	ownedF := make([]bool, len(v.factors))
+	freeAll := func() {
+		for i, m := range mats {
+			if m != nil {
+				e.freeIf(m, ownedF[i])
+			}
+		}
+	}
+	for i, f := range v.factors {
+		m, owned, err := e.eval(f.node)
+		if err != nil {
+			freeAll()
+			return nil, false, err
+		}
+		if f.pow > 1 && v.fusion != FusionPanel {
+			m, err = e.matPow(f.label(), m, owned, f.pow)
+			if err != nil {
+				freeAll()
+				return nil, false, err
+			}
+			owned = true
+		}
+		mats[i], ownedF[i] = m, owned
+	}
+
+	var out *core.ATMatrix
+	var err error
+	switch v.fusion {
+	case FusionPanel:
+		out, err = e.runPanel(v, mats)
+	case FusionRowStream:
+		out, err = e.runRowStream(v, mats)
+	default:
+		out, err = e.runMaterialized(v, mats)
+	}
+	freeAll()
+	if err != nil {
+		return nil, false, err
+	}
+	e.alloc(out.Bytes())
+	return out, true, nil
+}
+
+// runMaterialized executes the chain per-step in DP order through
+// core.MultiplyChainOpt — the unfused baseline and the fallback when the
+// planner rejects fusion.
+func (e *exec) runMaterialized(v *chainNode, mats []*core.ATMatrix) (*core.ATMatrix, error) {
+	var out *core.ATMatrix
+	err := e.stage(v.label(), func() error {
+		result, cstats, merr := core.MultiplyChainOpt(mats, e.cfg, e.opts.Mult)
+		if merr != nil {
+			return merr
+		}
+		// The chain's internal peak stacks on whatever else is live.
+		e.alloc(cstats.PeakIntermediateBytes)
+		e.release(cstats.PeakIntermediateBytes)
+		e.stats.Stages += cstats.Steps - 1 // the surrounding stage counted one
+		e.stats.Steps = append(e.stats.Steps, cstats.StepInfos...)
+		out = result
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if v.coef != 1 {
+		out.Scale(v.coef)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Panel fusion: right-to-left dense-panel streaming.
+
+// runPanel evaluates the chain right-to-left as a dense rows×w panel. The
+// two flat buffers are reused (double-buffered) across every application —
+// including all k applications of a pow factor — so the intermediate
+// footprint is two panels regardless of chain length or exponent.
+func (e *exec) runPanel(v *chainNode, mats []*core.ATMatrix) (*core.ATMatrix, error) {
+	m := len(mats)
+	w := mats[m-1].Cols
+	maxRows := mats[m-1].Rows
+	for i := 0; i < m-1; i++ {
+		if mats[i].Rows > maxRows {
+			maxRows = mats[i].Rows
+		}
+	}
+	bufBytes := 2 * int64(maxRows) * int64(w) * 8
+	e.alloc(bufBytes)
+	defer e.release(bufBytes)
+	cur := make([]float64, maxRows*w)
+	nxt := make([]float64, maxRows*w)
+
+	err := e.stage("panel:seed:"+v.factors[m-1].label(), func() error {
+		seedPanel(mats[m-1], cur, w, v.coef)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	curRows := mats[m-1].Rows
+
+	for i := m - 2; i >= 0; i-- {
+		reps := v.factors[i].pow
+		if reps < 1 {
+			reps = 1
+		}
+		label := "panel:" + v.factors[i].label()
+		stepStart := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			if err := e.ctxErr(); err != nil {
+				return nil, err
+			}
+			err := e.stage(label, func() error {
+				if aerr := e.applyPanel(mats[i], cur, nxt, w); aerr != nil {
+					return aerr
+				}
+				cur, nxt = nxt, cur
+				curRows = mats[i].Rows
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			e.stats.FusedStages++
+		}
+		e.stats.Steps = append(e.stats.Steps, core.ChainStep{
+			Expr: label, Rows: mats[i].Rows, Cols: w,
+			Bytes: int64(mats[i].Rows) * int64(w) * 8,
+			Wall:  time.Since(stepStart),
+		})
+	}
+	return panelToMatrix(cur, curRows, w, e.cfg)
+}
+
+// seedPanel scatters the rightmost factor into the dense panel buffer,
+// folding in the chain's scalar coefficient.
+//
+//atlint:hotpath
+func seedPanel(m *core.ATMatrix, dst []float64, w int, coef float64) {
+	for i := 0; i < m.Rows*w; i++ {
+		dst[i] = 0
+	}
+	for _, t := range m.Tiles {
+		if t.Kind == mat.Sparse {
+			for r := 0; r < t.Rows; r++ {
+				lo, hi := t.Sp.RowRange(r)
+				base := (t.Row0 + r) * w
+				for p := lo; p < hi; p++ {
+					dst[base+t.Col0+int(t.Sp.ColIdx[p])] += coef * t.Sp.Val[p]
+				}
+			}
+			continue
+		}
+		for r := 0; r < t.Rows; r++ {
+			row := t.D.RowSlice(r)
+			base := (t.Row0 + r) * w
+			for c, val := range row {
+				dst[base+t.Col0+c] += coef * val
+			}
+		}
+	}
+}
+
+// applyPanel computes dst = m · src over the panel, parallelized across
+// block-rows of m with node-affine task queues, mirroring MatVec.
+func (e *exec) applyPanel(m *core.ATMatrix, src, dst []float64, w int) error {
+	byBand := tilesByBlockRow(m)
+	b := m.BAtomic
+	queues := make([][]sched.Task, e.cfg.Topology.Sockets)
+	for br := 0; br < len(byBand); br++ {
+		br := br
+		tiles := byBand[br]
+		lo := br * b
+		hi := lo + b
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		home := int(e.cfg.Topology.HomeOfTileRow(br))
+		queues[home] = append(queues[home], func(team *sched.Team) {
+			team.ParallelRows(hi-lo, func(rlo, rhi, _ int) {
+				zeroRows(dst, w, lo+rlo, lo+rhi)
+				for _, t := range tiles {
+					tilePanelRows(t, src, dst, w, lo+rlo, lo+rhi)
+				}
+			})
+		})
+	}
+	pool := sched.NewPool(e.cfg.Topology)
+	pool.RowGrain = e.cfg.RowGrain
+	pool.Ephemeral = e.cfg.EphemeralWorkers
+	pool.Stealing = e.cfg.Stealing
+	pool.Watchdog = e.opts.Mult.Watchdog
+	if _, err := pool.RunCtx(e.opts.Mult.Ctx, queues); err != nil {
+		return err
+	}
+	return e.ctxErr()
+}
+
+// zeroRows clears panel rows [r0, r1).
+//
+//atlint:hotpath
+func zeroRows(dst []float64, w, r0, r1 int) {
+	for i := r0 * w; i < r1*w; i++ {
+		dst[i] = 0
+	}
+}
+
+// tilePanelRows accumulates rows [r0, r1) (matrix coordinates) of one
+// tile's contribution to dst = A·src. This is the panel-fused inner loop:
+// each source row slice is streamed through the LLC-resident panel band.
+//
+//atlint:hotpath
+func tilePanelRows(t *core.Tile, src, dst []float64, w, r0, r1 int) {
+	lo, hi := r0-t.Row0, r1-t.Row0
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.Rows {
+		hi = t.Rows
+	}
+	if t.Kind == mat.DenseKind {
+		for r := lo; r < hi; r++ {
+			row := t.D.RowSlice(r)
+			out := dst[(t.Row0+r)*w : (t.Row0+r+1)*w]
+			for c, v := range row {
+				if v == 0 {
+					continue
+				}
+				in := src[(t.Col0+c)*w : (t.Col0+c+1)*w]
+				for j := range out {
+					out[j] += v * in[j]
+				}
+			}
+		}
+		return
+	}
+	for r := lo; r < hi; r++ {
+		plo, phi := t.Sp.RowRange(r)
+		out := dst[(t.Row0+r)*w : (t.Row0+r+1)*w]
+		for p := plo; p < phi; p++ {
+			v := t.Sp.Val[p]
+			c := t.Col0 + int(t.Sp.ColIdx[p])
+			in := src[c*w : (c+1)*w]
+			for j := range out {
+				out[j] += v * in[j]
+			}
+		}
+	}
+}
+
+// panelToMatrix partitions the final panel into an adaptive AT MATRIX.
+func panelToMatrix(buf []float64, rows, w int, cfg core.Config) (*core.ATMatrix, error) {
+	coo := mat.NewCOO(rows, w)
+	for r := 0; r < rows; r++ {
+		base := r * w
+		for c := 0; c < w; c++ {
+			if v := buf[base+c]; v != 0 {
+				coo.Append(r, c, v)
+			}
+		}
+	}
+	out, _, err := core.Partition(coo, cfg)
+	return out, err
+}
+
+// ---------------------------------------------------------------------
+// Row-stream fusion: left-to-right chained Gustavson passes.
+
+// streamScratch is the per-task scratch of row streaming: two ping-pong
+// sparse accumulators.
+type streamScratch struct {
+	a, b *kernels.SPA
+}
+
+// bandPiece collects the final CSR rows of one block-row band; bands are
+// written by exactly one task each, so assembly needs no locking.
+type bandPiece struct {
+	rowNNZ []int32
+	cols   []int32
+	vals   []float64
+}
+
+// runRowStream evaluates a wide chain row by row: each result row is the
+// left-to-right product of the row of the first factor with the remaining
+// factors, computed by chained SPA passes. No intermediate matrix is ever
+// materialized; the per-worker footprint is two accumulators of the widest
+// stage.
+func (e *exec) runRowStream(v *chainNode, mats []*core.ATMatrix) (*core.ATMatrix, error) {
+	n := mats[0].Rows
+	b := e.cfg.BAtomic
+	nb := (n + b - 1) / b
+	infos := make([]*matRows, len(mats))
+	maxW := 0
+	for i, m := range mats {
+		infos[i] = indexRows(m)
+		if m.Cols > maxW {
+			maxW = m.Cols
+		}
+	}
+	// Scratch accounting: one pair of accumulators per concurrently
+	// running task, bounded by the core count.
+	workers := e.cfg.Topology.TotalCores()
+	if workers > nb {
+		workers = nb
+	}
+	scratchBytes := int64(workers) * 2 * int64(maxW) * 12 // vals + gen per SPA
+	e.alloc(scratchBytes)
+	defer e.release(scratchBytes)
+
+	scratch := sync.Pool{New: func() any {
+		return &streamScratch{a: kernels.NewSPA(maxW), b: kernels.NewSPA(maxW)}
+	}}
+	pieces := make([]bandPiece, nb)
+	coef := v.coef
+
+	t0 := time.Now()
+	err := e.stage(v.label(), func() error {
+		queues := make([][]sched.Task, e.cfg.Topology.Sockets)
+		for br := 0; br < nb; br++ {
+			br := br
+			lo := br * b
+			hi := lo + b
+			if hi > n {
+				hi = n
+			}
+			home := int(e.cfg.Topology.HomeOfTileRow(br))
+			queues[home] = append(queues[home], func(team *sched.Team) {
+				sc := scratch.Get().(*streamScratch)
+				defer scratch.Put(sc)
+				piece := &pieces[br]
+				piece.rowNNZ = make([]int32, hi-lo)
+				for i := lo; i < hi; i++ {
+					streamRow(sc, infos, mats, i, coef)
+					flushStreamRow(piece, i-lo, sc.a)
+				}
+			})
+		}
+		pool := sched.NewPool(e.cfg.Topology)
+		pool.RowGrain = e.cfg.RowGrain
+		pool.Ephemeral = e.cfg.EphemeralWorkers
+		pool.Stealing = e.cfg.Stealing
+		pool.Watchdog = e.opts.Mult.Watchdog
+		if _, rerr := pool.RunCtx(e.opts.Mult.Ctx, queues); rerr != nil {
+			return rerr
+		}
+		return e.ctxErr()
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.stats.FusedStages += len(mats) - 1
+
+	out, err := assemblePieces(pieces, n, mats[len(mats)-1].Cols, b, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.step(v.label(), out, time.Since(t0))
+	return out, nil
+}
+
+// streamRow computes result row i into sc.a: seed with row i of the first
+// factor (scaled by the chain coefficient), then one Gustavson pass per
+// remaining factor, ping-ponging between the two accumulators.
+//
+//atlint:hotpath
+func streamRow(sc *streamScratch, infos []*matRows, mats []*core.ATMatrix, i int, coef float64) {
+	cur, nxt := sc.a, sc.b
+	cur.Reset(mats[0].Cols)
+	spreadRow(cur, infos[0], i, coef)
+	for s := 1; s < len(mats); s++ {
+		nxt.Reset(mats[s].Cols)
+		for _, c := range cur.Touched() {
+			spreadRow(nxt, infos[s], int(c), cur.Value(c))
+		}
+		cur, nxt = nxt, cur
+	}
+	sc.a, sc.b = cur, nxt
+}
+
+// spreadRow accumulates w · M[r, :] into the SPA, streaming the row
+// straight out of the operand's tiles.
+//
+//atlint:hotpath
+func spreadRow(spa *kernels.SPA, ri *matRows, r int, w float64) {
+	for _, t := range ri.byBlockRow[r/ri.b] {
+		lr := r - t.Row0
+		if lr < 0 || lr >= t.Rows {
+			continue
+		}
+		if t.Kind == mat.Sparse {
+			lo, hi := t.Sp.RowRange(lr)
+			for p := lo; p < hi; p++ {
+				spa.Add(int32(t.Col0)+t.Sp.ColIdx[p], w*t.Sp.Val[p])
+			}
+			continue
+		}
+		row := t.D.RowSlice(lr)
+		for c, v := range row {
+			if v != 0 {
+				spa.Add(int32(t.Col0+c), w*v)
+			}
+		}
+	}
+}
+
+// flushStreamRow sorts the accumulated row and appends it to the band's
+// output piece.
+//
+//atlint:hotpath
+func flushStreamRow(piece *bandPiece, r int, spa *kernels.SPA) {
+	touched := spa.Touched()
+	slices.Sort(touched)
+	kept := int32(0)
+	for _, c := range touched {
+		v := spa.Value(c)
+		if v == 0 {
+			continue
+		}
+		//atlint:ignore hotpath-alloc grow-only band output, amortized across all rows of the band
+		piece.cols = append(piece.cols, c)
+		//atlint:ignore hotpath-alloc grow-only band output, amortized across all rows of the band
+		piece.vals = append(piece.vals, v)
+		kept++
+	}
+	piece.rowNNZ[r] = kept
+}
+
+// assemblePieces concatenates the band outputs into the final adaptive
+// AT MATRIX.
+func assemblePieces(pieces []bandPiece, rows, cols, b int, cfg core.Config) (*core.ATMatrix, error) {
+	var nnz int64
+	for i := range pieces {
+		nnz += int64(len(pieces[i].cols))
+	}
+	coo := mat.NewCOO(rows, cols)
+	coo.Ent = make([]mat.Entry, 0, nnz)
+	for bi := range pieces {
+		p := &pieces[bi]
+		base := bi * b
+		q := 0
+		for r, cnt := range p.rowNNZ {
+			for k := 0; k < int(cnt); k++ {
+				coo.Append(base+r, int(p.cols[q]), p.vals[q])
+				q++
+			}
+		}
+	}
+	out, _, err := core.Partition(coo, cfg)
+	return out, err
+}
+
+// matRows indexes a matrix's tiles by atomic block-row for O(1) row scans.
+type matRows struct {
+	b          int
+	byBlockRow [][]*core.Tile
+}
+
+// indexRows builds the block-row tile index of a matrix.
+func indexRows(m *core.ATMatrix) *matRows {
+	nb := (m.Rows + m.BAtomic - 1) / m.BAtomic
+	if nb == 0 {
+		nb = 1
+	}
+	ri := &matRows{b: m.BAtomic, byBlockRow: make([][]*core.Tile, nb)}
+	for _, t := range m.Tiles {
+		br0 := t.Row0 / m.BAtomic
+		br1 := (t.Row0 + t.Rows - 1) / m.BAtomic
+		for br := br0; br <= br1 && br < nb; br++ {
+			ri.byBlockRow[br] = append(ri.byBlockRow[br], t)
+		}
+	}
+	return ri
+}
+
+// tilesByBlockRow is indexRows for the panel path, returning the raw
+// index.
+func tilesByBlockRow(m *core.ATMatrix) [][]*core.Tile {
+	return indexRows(m).byBlockRow
+}

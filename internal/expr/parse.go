@@ -1,0 +1,327 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ErrParse is the sentinel all parse failures wrap; the service layer maps
+// it to a 400.
+var ErrParse = errors.New("expr: parse error")
+
+// The grammar, in EBNF (whitespace insignificant):
+//
+//	expr   := term { ('+' | '-') term }
+//	term   := factor { '*' factor }
+//	factor := atom { "'" }
+//	atom   := ident | number | '(' expr ')' | 'pow' '(' expr ',' integer ')'
+//	ident  := letter | '_' , { letter | digit | '_' | '.' }
+//
+// Numeric factors inside a term fold into a single scalar coefficient
+// (2*A*3 parses as 6·(A)); a term of only numbers is rejected, since every
+// expression must denote a matrix. Unary minus is accepted before a term
+// and folds into the coefficient.
+
+// MaxExprLen bounds accepted expression strings; the HTTP layer relies on
+// this to keep hostile inputs from building huge ASTs.
+const MaxExprLen = 4096
+
+// MaxPowExponent bounds pow() exponents: an A^k chain is executed k times,
+// so k is admission-controlled like any other work amount.
+const MaxPowExponent = 1_000_000
+
+// Parse parses an expression. All errors wrap ErrParse.
+func Parse(s string) (Node, error) {
+	if len(s) > MaxExprLen {
+		return nil, fmt.Errorf("%w: expression longer than %d bytes", ErrParse, MaxExprLen)
+	}
+	p := &parser{src: s}
+	p.next()
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s after expression", p.tok)
+	}
+	return n, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokStar
+	tokPlus
+	tokMinus
+	tokTick
+	tokLParen
+	tokRParen
+	tokComma
+	tokInvalid
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type parser struct {
+	src string
+	off int
+	tok token
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("%w: at offset %d: %s", ErrParse, p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c == '.' || (c >= '0' && c <= '9')
+}
+
+func isNumberPart(c byte) bool {
+	return c == '.' || (c >= '0' && c <= '9')
+}
+
+// next advances to the following token.
+func (p *parser) next() {
+	for p.off < len(p.src) {
+		if c := p.src[p.off]; c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.off++
+			continue
+		}
+		break
+	}
+	start := p.off
+	if p.off >= len(p.src) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.src[p.off]
+	switch {
+	case c == '*':
+		p.off++
+		p.tok = token{tokStar, "*", start}
+	case c == '+':
+		p.off++
+		p.tok = token{tokPlus, "+", start}
+	case c == '-':
+		p.off++
+		p.tok = token{tokMinus, "-", start}
+	case c == '\'':
+		p.off++
+		p.tok = token{tokTick, "'", start}
+	case c == '(':
+		p.off++
+		p.tok = token{tokLParen, "(", start}
+	case c == ')':
+		p.off++
+		p.tok = token{tokRParen, ")", start}
+	case c == ',':
+		p.off++
+		p.tok = token{tokComma, ",", start}
+	case isIdentStart(c):
+		for p.off < len(p.src) && isIdentPart(p.src[p.off]) {
+			p.off++
+		}
+		p.tok = token{tokIdent, p.src[start:p.off], start}
+	case isNumberPart(c):
+		for p.off < len(p.src) && isNumberPart(p.src[p.off]) {
+			p.off++
+		}
+		// Exponent suffix: 1e-3, 2.5E+7.
+		if p.off < len(p.src) && (p.src[p.off] == 'e' || p.src[p.off] == 'E') {
+			mark := p.off
+			p.off++
+			if p.off < len(p.src) && (p.src[p.off] == '+' || p.src[p.off] == '-') {
+				p.off++
+			}
+			digits := false
+			for p.off < len(p.src) && p.src[p.off] >= '0' && p.src[p.off] <= '9' {
+				p.off++
+				digits = true
+			}
+			if !digits {
+				p.off = mark // 'e' belongs to a following identifier
+			}
+		}
+		p.tok = token{tokNumber, p.src[start:p.off], start}
+	default:
+		p.tok = token{tokInvalid, string(c), start}
+		p.off++
+	}
+}
+
+func (p *parser) parseExpr() (Node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		sub := p.tok.kind == tokMinus
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &Add{L: left, R: right, Sub: sub}
+	}
+	return left, nil
+}
+
+// parseTerm parses a product, folding numeric factors into one scalar
+// coefficient.
+func (p *parser) parseTerm() (Node, error) {
+	coef := 1.0
+	haveCoef := false
+	if p.tok.kind == tokMinus { // unary minus
+		coef = -1
+		haveCoef = true
+		p.next()
+	}
+	var factors []Node
+	for {
+		if p.tok.kind == tokNumber {
+			v, err := strconv.ParseFloat(p.tok.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", p.tok.text)
+			}
+			coef *= v
+			haveCoef = true
+			p.next()
+		} else {
+			f, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			factors = append(factors, f)
+		}
+		if p.tok.kind != tokStar {
+			break
+		}
+		p.next()
+	}
+	if len(factors) == 0 {
+		return nil, p.errorf("expression must contain a matrix, not only scalars")
+	}
+	if haveCoef && (math.IsInf(coef, 0) || math.IsNaN(coef)) {
+		return nil, p.errorf("scalar coefficient overflows to %g", coef)
+	}
+	var n Node
+	if len(factors) == 1 {
+		n = factors[0]
+	} else {
+		n = &Mul{Factors: factors}
+	}
+	if haveCoef && coef != 1 {
+		// Fold into an existing scale so -2*(3*A) stays one node.
+		if sc, ok := n.(*Scale); ok {
+			folded := coef * sc.S
+			if math.IsInf(folded, 0) || math.IsNaN(folded) {
+				return nil, p.errorf("scalar coefficient overflows to %g", folded)
+			}
+			return &Scale{S: folded, X: sc.X}, nil
+		}
+		return &Scale{S: coef, X: n}, nil
+	}
+	return n, nil
+}
+
+func (p *parser) parseFactor() (Node, error) {
+	n, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokTick {
+		p.next()
+		// A'' collapses back to A.
+		if t, ok := n.(*Transpose); ok {
+			n = t.X
+		} else {
+			n = &Transpose{X: n}
+		}
+	}
+	return n, nil
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		name := p.tok.text
+		if name == "pow" && strings.HasPrefix(strings.TrimLeft(p.src[p.off:], " \t\n\r"), "(") {
+			p.next() // consume 'pow'
+			return p.parsePow()
+		}
+		p.next()
+		return &Ident{Name: name}, nil
+	case tokLParen:
+		p.next()
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')', found %s", p.tok)
+		}
+		p.next()
+		return n, nil
+	default:
+		return nil, p.errorf("expected matrix name, number, or '(', found %s", p.tok)
+	}
+}
+
+// parsePow parses the (expr, integer) suffix of pow.
+func (p *parser) parsePow() (Node, error) {
+	if p.tok.kind != tokLParen {
+		return nil, p.errorf("expected '(' after pow, found %s", p.tok)
+	}
+	p.next()
+	base, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokComma {
+		return nil, p.errorf("expected ',' in pow(), found %s", p.tok)
+	}
+	p.next()
+	if p.tok.kind != tokNumber {
+		return nil, p.errorf("expected integer exponent in pow(), found %s", p.tok)
+	}
+	k, err := strconv.Atoi(p.tok.text)
+	if err != nil || k < 1 {
+		return nil, p.errorf("pow exponent %q must be a positive integer", p.tok.text)
+	}
+	if k > MaxPowExponent {
+		return nil, p.errorf("pow exponent %d exceeds limit %d", k, MaxPowExponent)
+	}
+	p.next()
+	if p.tok.kind != tokRParen {
+		return nil, p.errorf("expected ')' closing pow(), found %s", p.tok)
+	}
+	p.next()
+	// pow(X,1) is X.
+	if k == 1 {
+		return base, nil
+	}
+	return &Pow{X: base, K: k}, nil
+}

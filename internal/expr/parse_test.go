@@ -1,0 +1,201 @@
+package expr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip: String() of a parsed tree re-parses to the same
+// tree (witnessed by an identical second String()). The table also pins
+// the canonical rendering: precedence-minimal parentheses, normalized
+// scalars, collapsed double transposes.
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a", "a"},
+		{"a*b", "a*b"},
+		{"a * b * c", "a*b*c"},
+		{"a+b", "a + b"},
+		{"a-b", "a - b"},
+		{"a+b*c", "a + b*c"},
+		{"(a+b)*c", "(a + b)*c"},
+		{"a'", "a'"},
+		{"a''", "a"},
+		{"(a*b)'", "(a*b)'"},
+		{"2*a", "2*a"},
+		{"a*2", "2*a"},
+		{"2*a*3*b", "6*a*b"},
+		{"-a", "-1*a"},
+		{"0.85*m*r + 0.15*v", "0.85*m*r + 0.15*v"},
+		{"pow(a,3)", "pow(a,3)"},
+		{"pow(a,1)", "a"},
+		{"pow(a*b,2)*x", "pow(a*b,2)*x"},
+		{"pow( a , 10 ) * x", "pow(a,10)*x"},
+		{"a'*(b+c)", "a'*(b + c)"},
+		{"p_0*Q2", "p_0*Q2"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		got := n.String()
+		if got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		n2, err := Parse(got)
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", got, err)
+			continue
+		}
+		if got2 := n2.String(); got2 != got {
+			t.Errorf("round trip diverged: %q → %q → %q", c.in, got, got2)
+		}
+	}
+}
+
+// TestParseErrors: malformed inputs fail with ErrParse and never panic.
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"a*",
+		"*a",
+		"a+",
+		"(a",
+		"a)",
+		"a b",
+		"2.5",
+		"2*3",
+		"-2",
+		"a §$ b",
+		"pow(a)",
+		"pow(a,)",
+		"pow(a,0)",
+		"pow(a,-3)",
+		"pow(a,2.5)",
+		"pow(a,9999999999)",
+		"pow(,2)",
+		"a+'",
+		"1e999*a", // overflows to +Inf
+		strings.Repeat("a*", MaxExprLen) + "a",
+	}
+	for _, c := range cases {
+		n, err := Parse(c)
+		if err == nil {
+			t.Errorf("Parse(%q) = %v, want error", c, n)
+			continue
+		}
+		if !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrParse", c, err)
+		}
+	}
+}
+
+// TestParsePowLookahead: an identifier named "pow" without a call is an
+// ordinary matrix name.
+func TestParsePowLookahead(t *testing.T) {
+	n, err := Parse("pow*a")
+	if err != nil {
+		t.Fatalf("Parse(pow*a): %v", err)
+	}
+	if got := n.String(); got != "pow*a" {
+		t.Fatalf("String = %q, want pow*a", got)
+	}
+	if vars := Vars(n); len(vars) != 2 || vars[0] != "pow" || vars[1] != "a" {
+		t.Fatalf("Vars = %v, want [pow a]", vars)
+	}
+}
+
+// TestVarsOrder: identifiers come back in first-appearance order, deduped.
+func TestVarsOrder(t *testing.T) {
+	n, err := Parse("c*a + a*b + c'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := Vars(n)
+	want := []string{"c", "a", "b"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+// TestDimsValidation: shape checking catches non-conforming operators with
+// ErrInvalid.
+func TestDimsValidation(t *testing.T) {
+	shapes := map[string][2]int{
+		"a": {4, 4}, "b": {4, 4}, "r": {4, 2}, "x": {2, 4},
+	}
+	shape := func(name string) (int, int, bool) {
+		s, ok := shapes[name]
+		return s[0], s[1], ok
+	}
+	good := []struct {
+		src  string
+		r, c int
+	}{
+		{"a*b", 4, 4},
+		{"r'*a", 2, 4},
+		{"a*r", 4, 2},
+		{"x*r", 2, 2},
+		{"pow(a,5)*r", 4, 2},
+		{"a + b", 4, 4},
+		{"r - x'", 4, 2},
+	}
+	for _, g := range good {
+		n, err := Parse(g.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, c, err := Dims(n, shape)
+		if err != nil || r != g.r || c != g.c {
+			t.Errorf("Dims(%q) = %d×%d, %v; want %d×%d", g.src, r, c, err, g.r, g.c)
+		}
+	}
+	bad := []string{"r*a", "a*unknown", "a + r", "pow(r,2)", "r*r"}
+	for _, src := range bad {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Dims(n, shape); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Dims(%q) error = %v, want ErrInvalid", src, err)
+		}
+	}
+}
+
+// FuzzParseExpr: the parser never panics, and every accepted input
+// round-trips — String() re-parses to an identical String().
+func FuzzParseExpr(f *testing.F) {
+	seeds := []string{
+		"a*b*c", "a+b-c", "(a+b)*c'", "pow(a,10)*x", "0.85*m*r + 0.15*v",
+		"-a*b", "a''", "2*(a - 3*b)", "pow(a*b',3)", "p_0*Q2 - x",
+		"((((a))))", "pow(pow(a,2),3)", "1e3*a", "a *\tb\n+ c",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("Parse(%q) error %v does not wrap ErrParse", src, err)
+			}
+			return
+		}
+		s1 := n.String()
+		n2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but re-Parse(%q) failed: %v", src, s1, err)
+		}
+		if s2 := n2.String(); s2 != s1 {
+			t.Fatalf("round trip diverged: %q → %q → %q", src, s1, s2)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+
+	"atmatrix/internal/core"
+)
+
+// Expression-level Freivalds verification. The classical check compares
+// C·x against A·(B·x) for random ±1 probes x; here the right-hand side
+// generalizes to *applying the expression tree* to x — products apply
+// right-to-left, transposes flip the application direction ((E)ᵀ·x pushes
+// a transposed application into E), sums add the branch applications, and
+// pow applies its base k times. Every application is O(nnz) in the
+// operands, so verification never materializes anything the fused
+// executor avoided materializing — which is the point: it independently
+// checks the fused result against the *operands*, not against another
+// execution of the same plan.
+
+// Verify runs k Freivalds rounds of result against the expression over
+// the bindings. On failure it returns a *core.VerifyError (matching
+// core.ErrVerifyFailed), so callers classify it exactly like a failed
+// product verification.
+func Verify(n Node, bind map[string]*core.ATMatrix, result *core.ATMatrix, k int, seed int64) error {
+	if k <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, result.Cols)
+	w := make([]float64, result.Rows)
+
+	// Magnitude reference: |expr|·1 bounds every ±1 probe row, scaling
+	// the comparison tolerance like core.VerifyProduct does. The error of
+	// a deep expression accumulates over its stages, so the relative
+	// tolerance additionally grows with the probe depth.
+	for i := range x {
+		x[i] = 1
+	}
+	rowBound := applyVec(n, bind, x, false, true)
+	depth := nodeDepth(n)
+	relTol := 1e-9 * float64(depth)
+
+	for round := 1; round <= k; round++ {
+		for i := range x {
+			x[i] = float64(rng.Intn(2)*2 - 1) // ±1
+		}
+		z := applyVec(n, bind, x, false, false)
+		result.MulVecSeq(x, w, false)
+		for i := range z {
+			tol := relTol*rowBound[i] + 1e-12
+			if d := math.Abs(z[i] - w[i]); d > tol || math.IsNaN(d) {
+				return &core.VerifyError{Round: round, Row: i, Got: w[i], Want: z[i], Tol: tol}
+			}
+		}
+	}
+	return nil
+}
+
+// applyVec applies the expression (or its transpose, with trans) to x in
+// O(total nnz) per stage. With absVal every operand entry and scalar
+// enters by magnitude, producing the row-bound vector.
+func applyVec(n Node, bind map[string]*core.ATMatrix, x []float64, trans, absVal bool) []float64 {
+	switch v := n.(type) {
+	case *Ident:
+		m := bind[v.Name]
+		if trans {
+			dst := make([]float64, m.Cols)
+			m.MulVecTransSeq(x, dst, absVal)
+			return dst
+		}
+		dst := make([]float64, m.Rows)
+		m.MulVecSeq(x, dst, absVal)
+		return dst
+	case *Scale:
+		out := applyVec(v.X, bind, x, trans, absVal)
+		s := v.S
+		if absVal {
+			s = math.Abs(s)
+		}
+		for i := range out {
+			out[i] *= s
+		}
+		return out
+	case *Mul:
+		if !trans {
+			// (F1·…·Fm)·x applies right-to-left.
+			cur := x
+			for i := len(v.Factors) - 1; i >= 0; i-- {
+				cur = applyVec(v.Factors[i], bind, cur, false, absVal)
+			}
+			return cur
+		}
+		// (F1·…·Fm)ᵀ·x = Fmᵀ·…·F1ᵀ·x applies left-to-right transposed.
+		cur := x
+		for i := 0; i < len(v.Factors); i++ {
+			cur = applyVec(v.Factors[i], bind, cur, true, absVal)
+		}
+		return cur
+	case *Add:
+		l := applyVec(v.L, bind, x, trans, absVal)
+		r := applyVec(v.R, bind, x, trans, absVal)
+		sign := 1.0
+		if v.Sub && !absVal {
+			sign = -1
+		}
+		for i := range l {
+			l[i] += sign * r[i]
+		}
+		return l
+	case *Transpose:
+		return applyVec(v.X, bind, x, !trans, absVal)
+	case *Pow:
+		cur := x
+		for i := 0; i < v.K; i++ {
+			cur = applyVec(v.X, bind, cur, trans, absVal)
+		}
+		return cur
+	}
+	panic("expr: applyVec: unknown node")
+}
+
+// nodeDepth counts the longest multiplication path through the tree (a
+// pow node contributes its full exponent), the factor by which rounding
+// error can stack.
+func nodeDepth(n Node) int {
+	switch v := n.(type) {
+	case *Ident:
+		return 1
+	case *Scale:
+		return nodeDepth(v.X)
+	case *Mul:
+		d := 0
+		for _, f := range v.Factors {
+			d += nodeDepth(f)
+		}
+		return d
+	case *Add:
+		l, r := nodeDepth(v.L), nodeDepth(v.R)
+		if r > l {
+			return r
+		}
+		return l
+	case *Transpose:
+		return nodeDepth(v.X)
+	case *Pow:
+		return v.K * nodeDepth(v.X)
+	}
+	return 1
+}

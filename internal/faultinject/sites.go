@@ -16,6 +16,8 @@ var Sites = []string{
 	"catalog.scrub",
 	"core.mult.result",
 	"core.writefile",
+	"expr.plan",
+	"expr.stage",
 	"sched.task",
 	"service.execute",
 }

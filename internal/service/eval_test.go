@@ -1,0 +1,159 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/expr"
+	"atmatrix/internal/faultinject"
+)
+
+// TestEvalExpressionJob: the Eval job kind end to end — admission, fused
+// execution, Freivalds verification, plan echo, store, and the
+// eval/fused_stages/plan_time metrics.
+func TestEvalExpressionJob(t *testing.T) {
+	m := chaosManager(t, Options{Verify: 1})
+	job, err := m.Submit(Request{Expr: "a*b*c", Store: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 64 || res.Cols != 64 {
+		t.Fatalf("result shape %d×%d, want 64×64", res.Rows, res.Cols)
+	}
+	if res.Plan == nil || res.Plan.Fusion == "" {
+		t.Fatalf("result missing plan echo: %+v", res)
+	}
+	if res.FusedStages == 0 {
+		t.Fatalf("a*b*c over square operands should fuse; result: %+v", res.Plan)
+	}
+	if res.Stored != "abc" {
+		t.Fatalf("stored = %q, want abc", res.Stored)
+	}
+	// The stored product is a first-class operand of later jobs.
+	job2, err := m.Submit(Request{A: "abc", B: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job2.Wait(); err != nil {
+		t.Fatalf("multiplying stored eval result: %v", err)
+	}
+	mm := m.Metrics()
+	if mm.EvalJobs != 1 {
+		t.Fatalf("eval_jobs = %d, want 1", mm.EvalJobs)
+	}
+	if mm.FusedStages < int64(res.FusedStages) {
+		t.Fatalf("fused_stages = %d, want ≥ %d", mm.FusedStages, res.FusedStages)
+	}
+	if mm.PlanTime <= 0 {
+		t.Fatalf("plan_time = %v, want > 0", mm.PlanTime)
+	}
+	requireZeroRefs(t, m)
+}
+
+// TestEvalBindings: bindings rename expression identifiers to catalog
+// entries; a binding naming no identifier is rejected at admission.
+func TestEvalBindings(t *testing.T) {
+	m := chaosManager(t, Options{})
+	job, err := m.Submit(Request{Expr: "X*Y", Bindings: map[string]string{"X": "a", "Y": "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 64 || res.Cols != 64 {
+		t.Fatalf("bound eval shape %d×%d, want 64×64", res.Rows, res.Cols)
+	}
+	if _, err := m.Submit(Request{Expr: "X*Y", Bindings: map[string]string{"Z": "a"}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("stray binding: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := m.Submit(Request{A: "a", Bindings: map[string]string{"X": "a"}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bindings without expr: err = %v, want ErrBadRequest", err)
+	}
+	requireZeroRefs(t, m)
+}
+
+// TestEvalRequestValidation: malformed eval requests fail typed at Submit.
+func TestEvalRequestValidation(t *testing.T) {
+	m := chaosManager(t, Options{})
+	bad := []Request{
+		{Expr: "a*"},                        // parse error
+		{Expr: "a*b", A: "a", B: "b"},       // two forms at once
+		{Expr: "a*b", Chain: []string{"a"}}, // two forms at once
+		{Expr: "a*b", Iterations: -1},
+	}
+	for _, req := range bad {
+		if _, err := m.Submit(req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("Submit(%+v) err = %v, want ErrBadRequest", req, err)
+		}
+	}
+	// Parse errors keep their expr identity through the wrap.
+	_, err := m.Submit(Request{Expr: "a*"})
+	if !errors.Is(err, expr.ErrParse) {
+		t.Fatalf("parse failure err = %v, want to wrap expr.ErrParse", err)
+	}
+	requireZeroRefs(t, m)
+}
+
+// TestEvalShapeMismatchIsBadRequest: semantic validation against the real
+// operands (here 64×64 times 512×512) classifies as a bad request, not an
+// internal error.
+func TestEvalShapeMismatchIsBadRequest(t *testing.T) {
+	m := chaosManager(t, Options{})
+	job, err := m.Submit(Request{Expr: "a*big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = job.Wait()
+	if !errors.Is(err, ErrBadRequest) || !errors.Is(err, expr.ErrInvalid) {
+		t.Fatalf("shape mismatch err = %v, want ErrBadRequest wrapping expr.ErrInvalid", err)
+	}
+	requireZeroRefs(t, m)
+}
+
+// TestEvalQuarantineBlocksExpression: an expression naming a quarantined
+// matrix fails fast at admission like any multiply.
+func TestEvalQuarantineBlocksExpression(t *testing.T) {
+	m := chaosManager(t, Options{})
+	m.Quarantine("b", "test poisoning")
+	if _, err := m.Submit(Request{Expr: "a*b*c"}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("expression over quarantined operand: err = %v, want ErrQuarantined", err)
+	}
+	// Bindings are resolved before the quarantine check.
+	if _, err := m.Submit(Request{Expr: "X*Y", Bindings: map[string]string{"X": "a", "Y": "b"}}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("bound expression over quarantined operand: err = %v, want ErrQuarantined", err)
+	}
+	requireZeroRefs(t, m)
+}
+
+// TestEvalVerifyCatchesBitflip: inner stages of an eval job run
+// unverified (the expression-level check covers the whole product), so a
+// bitflip in a materialized stage must be caught by the final Freivalds
+// probes — one retry, then permanent failure, same contract as pair jobs.
+func TestEvalVerifyCatchesBitflip(t *testing.T) {
+	m := chaosManager(t, Options{Verify: 2, RetryBase: 1, RetryMax: 2})
+	faultinject.Enable(1, faultinject.Rule{
+		Site: "core.mult.result", Kind: faultinject.KindBitflip, Count: 8,
+	})
+	// pow(a,3) materializes through MultiplyOpt, where the bitflip site
+	// lives; the corruption happens two stages before the final product.
+	job, err := m.Submit(Request{Expr: "pow(a,3)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = job.Wait()
+	if !errors.Is(err, core.ErrVerifyFailed) {
+		t.Fatalf("job error = %v, want core.ErrVerifyFailed", err)
+	}
+	mm := m.Metrics()
+	if mm.Retries != 1 || mm.VerifyFailed != 2 {
+		t.Fatalf("metrics = {retries:%d verify_failed:%d}, want 1/2", mm.Retries, mm.VerifyFailed)
+	}
+	requireZeroRefs(t, m)
+}

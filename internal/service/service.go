@@ -1,12 +1,15 @@
 // Package service implements the job layer of the serving stack: an
-// admission-controlled queue in front of core.MultiplyOpt and
-// core.MultiplyChainOpt. Requests against cataloged matrices are admitted
-// into a bounded queue (rejected with backpressure when full), executed
-// under per-job deadlines by a fixed worker pool — at most one in-flight
-// multiplication per simulated socket team, since every ATMULT fans out
-// across all teams and the persistent runtime serializes excess requests
-// per leader anyway — and accounted in aggregate metrics the HTTP
-// front-end exposes.
+// admission-controlled queue in front of core.MultiplyOpt and the
+// expression engine (internal/expr). Requests against cataloged matrices
+// are admitted into a bounded queue (rejected with backpressure when
+// full), executed under per-job deadlines by a fixed worker pool — at
+// most one in-flight multiplication per simulated socket team, since
+// every ATMULT fans out across all teams and the persistent runtime
+// serializes excess requests per leader anyway — and accounted in
+// aggregate metrics the HTTP front-end exposes. Multi-operand chains and
+// expressions share one planning code path: both lower to an expression
+// plan whose chains are association-ordered by the density DP and
+// executed fused where the planner accepts it.
 package service
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"atmatrix/internal/catalog"
 	"atmatrix/internal/core"
+	"atmatrix/internal/expr"
 	"atmatrix/internal/faultinject"
 	"atmatrix/internal/sched"
 )
@@ -112,11 +116,23 @@ type Options struct {
 	Verify int
 }
 
-// Request describes one multiplication job: either a pair (A, B) or a
-// chain of three or more operands, by catalog name.
+// Request describes one job: a pair multiplication (A, B), a chain of
+// three or more operands, or an expression over catalog names — exactly
+// one of the three forms.
 type Request struct {
 	A, B  string
 	Chain []string
+	// Expr is an expression over catalog matrix names ("A*B*C",
+	// "pow(P,20)*x", "0.85*M*r + v") evaluated by internal/expr.
+	Expr string
+	// Bindings maps expression identifiers to catalog names, for catalog
+	// entries whose names are not valid identifiers (or to reuse one
+	// expression against different operands). Unbound identifiers resolve
+	// to the catalog name equal to the identifier itself.
+	Bindings map[string]string
+	// Iterations, when positive, overrides every pow() exponent in Expr —
+	// the power-iteration count knob.
+	Iterations int
 	// Store, when non-empty, repartitions the result adaptively and
 	// admits it into the catalog under this name.
 	Store string
@@ -126,7 +142,8 @@ type Request struct {
 	Timeout time.Duration
 }
 
-// names returns the operand list of the request.
+// names returns the operand list of a pair or chain request (expression
+// requests derive theirs from the parsed tree at admission).
 func (r *Request) names() []string {
 	if len(r.Chain) > 0 {
 		return r.Chain
@@ -135,19 +152,39 @@ func (r *Request) names() []string {
 }
 
 func (r *Request) validate() error {
+	forms := 0
+	if r.Expr != "" {
+		forms++
+	}
 	if len(r.Chain) > 0 {
-		if r.A != "" || r.B != "" {
-			return fmt.Errorf("%w: give either a/b or chain, not both", ErrBadRequest)
+		forms++
+	}
+	if r.A != "" || r.B != "" {
+		forms++
+	}
+	if forms > 1 {
+		return fmt.Errorf("%w: give exactly one of a/b, chain, or expr", ErrBadRequest)
+	}
+	if len(r.Bindings) > 0 && r.Expr == "" {
+		return fmt.Errorf("%w: bindings require an expression", ErrBadRequest)
+	}
+	switch {
+	case r.Expr != "":
+		if r.Iterations < 0 {
+			return fmt.Errorf("%w: negative iterations", ErrBadRequest)
 		}
+		return nil
+	case len(r.Chain) > 0:
 		if len(r.Chain) < 2 {
 			return fmt.Errorf("%w: chain needs at least two operands", ErrBadRequest)
 		}
 		return nil
+	default:
+		if r.A == "" || r.B == "" {
+			return fmt.Errorf("%w: both operand names required", ErrBadRequest)
+		}
+		return nil
 	}
-	if r.A == "" || r.B == "" {
-		return fmt.Errorf("%w: both operand names required", ErrBadRequest)
-	}
-	return nil
 }
 
 // Result summarizes a completed job.
@@ -162,12 +199,24 @@ type Result struct {
 	ChainExpr   string        `json:"chain_expr,omitempty"`
 	Wall        time.Duration `json:"wall_ns"`
 	Queue       time.Duration `json:"queue_ns"`
+
+	// Expression/chain observability: the plan echo (association order,
+	// fusion strategy, estimated cost/fill) and the executed stages with
+	// their per-step shapes, fill, and kernel routing.
+	Plan                  *expr.Summary    `json:"plan,omitempty"`
+	Steps                 []core.ChainStep `json:"steps,omitempty"`
+	FusedStages           int              `json:"fused_stages,omitempty"`
+	PlanTime              time.Duration    `json:"plan_time_ns,omitempty"`
+	PeakIntermediateBytes int64            `json:"peak_intermediate_bytes,omitempty"`
 }
 
 // Job is one admitted request. Done is closed when the job finishes;
 // Result/Err are valid after that.
 type Job struct {
 	req      Request
+	ast      expr.Node // non-nil for expression and chain jobs
+	names    []string  // catalog names of the operands
+	vars     []string  // expression identifiers, aligned with names
 	ctx      context.Context
 	cancel   context.CancelFunc
 	enqueued time.Time
@@ -220,6 +269,14 @@ type metrics struct {
 	// verifyFailed counts executions whose result failed Freivalds
 	// verification (each failed attempt counts, including the retried one).
 	verifyFailed atomic.Int64
+
+	// Expression-engine counters: evalJobs counts jobs executed through the
+	// expression planner (expression and chain requests), fusedStages the
+	// fused stage applications that never materialized an intermediate, and
+	// planTimeNS the cumulative planning time.
+	evalJobs    atomic.Int64
+	fusedStages atomic.Int64
+	planTimeNS  atomic.Int64
 
 	// Aggregated core.MultStats across completed jobs.
 	statMu      sync.Mutex
@@ -282,7 +339,47 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
-	if name, reason, ok := m.quarantinedOperand(req.names()); ok {
+	names := req.names()
+	vars := names
+	var ast expr.Node
+	switch {
+	case req.Expr != "":
+		node, err := expr.Parse(req.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		ast = node
+		vars = expr.Vars(node)
+		names = make([]string, len(vars))
+		for i, v := range vars {
+			names[i] = v
+			if cn, ok := req.Bindings[v]; ok && cn != "" {
+				names[i] = cn
+			}
+		}
+		for k := range req.Bindings {
+			bound := false
+			for _, v := range vars {
+				if v == k {
+					bound = true
+					break
+				}
+			}
+			if !bound {
+				return nil, fmt.Errorf("%w: binding %q names no identifier of the expression", ErrBadRequest, k)
+			}
+		}
+	case len(req.Chain) > 0:
+		// A chain is sugar for the product expression over its operands;
+		// lowering it here keeps a single planning code path for every
+		// multi-operand multiplication.
+		factors := make([]expr.Node, len(req.Chain))
+		for i, n := range req.Chain {
+			factors[i] = &expr.Ident{Name: n}
+		}
+		ast = &expr.Mul{Factors: factors}
+	}
+	if name, reason, ok := m.quarantinedOperand(names); ok {
 		m.m.rejected.Add(1)
 		return nil, fmt.Errorf("%w: %q (%s)", ErrQuarantined, name, reason)
 	}
@@ -301,7 +398,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
-	job := &Job{req: req, ctx: ctx, cancel: cancel, enqueued: time.Now(), Done: make(chan struct{})}
+	job := &Job{req: req, ast: ast, names: names, vars: vars, ctx: ctx, cancel: cancel, enqueued: time.Now(), Done: make(chan struct{})}
 	select {
 	case m.queue <- job:
 		m.m.accepted.Add(1)
@@ -386,8 +483,14 @@ func (m *Manager) run(job *Job) {
 		} else {
 			m.m.failed.Add(1)
 			var tpe *sched.TaskPanicError
-			if errors.As(err, &tpe) {
-				m.QuarantinePanic(job.req.names(), fmt.Sprintf("kernel panic during multiply: %v", tpe.Value))
+			var spe *expr.StagePanicError
+			switch {
+			case errors.As(err, &tpe):
+				m.QuarantinePanic(job.names, fmt.Sprintf("kernel panic during multiply: %v", tpe.Value))
+			case errors.As(err, &spe):
+				// A panicking executor stage is as damning as a panicking
+				// kernel: block the operand combination that triggered it.
+				m.QuarantinePanic(job.names, fmt.Sprintf("expression stage panic in %s: %v", spe.Stage, spe.Val))
 			}
 		}
 	}
@@ -576,15 +679,14 @@ func (m *Manager) execute(job *Job) (*Result, error) {
 	if err := faultinject.Do("service.execute"); err != nil {
 		return nil, fmt.Errorf("service: executing job: %w", err)
 	}
-	names := job.req.names()
-	handles := make([]*catalog.Handle, 0, len(names))
+	handles := make([]*catalog.Handle, 0, len(job.names))
 	defer func() {
 		for _, h := range handles {
 			h.Release()
 		}
 	}()
-	operands := make([]*core.ATMatrix, 0, len(names))
-	for _, name := range names {
+	operands := make([]*core.ATMatrix, 0, len(job.names))
+	for _, name := range job.names {
 		h, err := m.cat.Acquire(name)
 		if err != nil {
 			return nil, err
@@ -596,38 +698,68 @@ func (m *Manager) execute(job *Job) (*Result, error) {
 	opts := core.DefaultMultOptions()
 	opts.Ctx = job.ctx
 	opts.Watchdog = m.opts.Watchdog
-	opts.Verify = m.opts.Verify
 	t0 := time.Now()
-	var (
-		out   *core.ATMatrix
-		err   error
-		expr  string
-		stats []*core.MultStats
-	)
-	if len(job.req.Chain) > 0 {
-		var cst *core.ChainStats
-		out, cst, err = core.MultiplyChainOpt(operands, m.cfg, opts)
-		if err == nil {
-			expr = cst.Plan.Expression
-			stats = cst.StepStats
-		}
-	} else {
-		var mst *core.MultStats
-		out, mst, err = core.MultiplyOpt(operands[0], operands[1], m.cfg, opts)
-		if err == nil {
-			stats = []*core.MultStats{mst}
-		}
+	if job.ast != nil {
+		return m.executeEval(job, operands, opts, t0)
 	}
+	opts.Verify = m.opts.Verify
+	out, mst, err := core.MultiplyOpt(operands[0], operands[1], m.cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.m.aggregate([]*core.MultStats{mst})
+	return m.finish(job, out, &Result{Wall: time.Since(t0)})
+}
+
+// executeEval runs an expression or chain job through the expression
+// engine: plan (association order and fusion strategy chosen by the
+// density DP), execute with tile-reuse fusion, then check the final
+// product against the raw operands with expression-level Freivalds probes
+// — the verification never trusts any intermediate the executor produced.
+func (m *Manager) executeEval(job *Job, operands []*core.ATMatrix, opts core.MultOptions, t0 time.Time) (*Result, error) {
+	bind := make(map[string]*core.ATMatrix, len(job.vars))
+	for i, v := range job.vars {
+		bind[v] = operands[i]
+	}
+	eopts := expr.Options{Iterations: job.req.Iterations, Mult: opts}
+	plan, err := expr.PlanExpr(job.ast, bind, m.cfg, eopts)
+	if err != nil {
+		if errors.Is(err, expr.ErrInvalid) {
+			return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		return nil, err
+	}
+	m.m.planTimeNS.Add(plan.PlanTime.Nanoseconds())
+	out, est, err := plan.Execute()
 	if err != nil {
 		return nil, err
 	}
 	wall := time.Since(t0)
-	m.m.aggregate(stats)
-
-	res := &Result{
-		Rows: out.Rows, Cols: out.Cols, NNZ: out.NNZ(), Bytes: out.Bytes(),
-		ChainExpr: expr, Wall: wall,
+	m.m.evalJobs.Add(1)
+	m.m.fusedStages.Add(int64(est.FusedStages))
+	if m.opts.Verify > 0 {
+		if err := expr.Verify(plan.Expr, bind, out, m.opts.Verify, rand.Int63()); err != nil {
+			return nil, err
+		}
 	}
+	summary := plan.Summary()
+	res := &Result{
+		ChainExpr:             summary.Order,
+		Wall:                  wall,
+		Plan:                  &summary,
+		Steps:                 est.Steps,
+		FusedStages:           est.FusedStages,
+		PlanTime:              plan.PlanTime,
+		PeakIntermediateBytes: est.PeakIntermediateBytes,
+	}
+	return m.finish(job, out, res)
+}
+
+// finish fills the shape fields of the result and stores the product in
+// the catalog when the request asked for it.
+func (m *Manager) finish(job *Job, out *core.ATMatrix, res *Result) (*Result, error) {
+	res.Rows, res.Cols = out.Rows, out.Cols
+	res.NNZ, res.Bytes = out.NNZ(), out.Bytes()
 	res.TilesSparse, res.TilesDense = out.TileCount()
 	if job.req.Store != "" {
 		// Stored results become first-class operands of later jobs, so
@@ -700,6 +832,12 @@ type Metrics struct {
 	TaskPanics       int64 `json:"task_panics"`
 	WatchdogTimeouts int64 `json:"watchdog_timeouts"`
 
+	// Expression-engine counters: jobs executed through the planner,
+	// fused stage applications, cumulative planning time.
+	EvalJobs    int64         `json:"eval_jobs"`
+	FusedStages int64         `json:"fused_stages"`
+	PlanTime    time.Duration `json:"plan_time_ns"`
+
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
 
@@ -721,6 +859,9 @@ func (m *Manager) Metrics() Metrics {
 		QueueCap:     int64(cap(m.queue)),
 		Retries:      m.m.retries.Load(),
 		VerifyFailed: m.m.verifyFailed.Load(),
+		EvalJobs:     m.m.evalJobs.Load(),
+		FusedStages:  m.m.fusedStages.Load(),
+		PlanTime:     time.Duration(m.m.planTimeNS.Load()),
 	}
 	out.TaskPanics, out.WatchdogTimeouts = sched.Counters()
 	m.quarMu.Lock()

@@ -88,20 +88,30 @@ func TestVerifyDisabledServesBitflippedResult(t *testing.T) {
 	requireZeroRefs(t, m)
 }
 
-// TestVerifyChainMultiplication: chain jobs verify every step — the
-// options cascade through MultiplyChainOpt — and a clean chain completes
-// with verification time accounted.
+// TestVerifyChainMultiplication: chain jobs route through the expression
+// engine, whose verification probes the final product against the raw
+// operands with expression-level Freivalds rounds — fused chains have no
+// per-step products to verify, so the check works end to end instead. A
+// clean chain passes it and reports the plan it executed.
 func TestVerifyChainMultiplication(t *testing.T) {
 	m := chaosManager(t, Options{Verify: 1})
 	job, err := m.Submit(Request{Chain: []string{"a", "b", "c"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := job.Wait(); err != nil {
+	res, err := job.Wait()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if mm := m.Metrics(); mm.Mult.VerifyTime <= 0 {
-		t.Fatalf("chain VerifyTime = %v, want > 0", mm.Mult.VerifyTime)
+	if res.Plan == nil || res.ChainExpr == "" {
+		t.Fatalf("chain result missing plan echo: %+v", res)
+	}
+	mm := m.Metrics()
+	if mm.EvalJobs != 1 {
+		t.Fatalf("eval_jobs = %d, want 1 (chains execute through the planner)", mm.EvalJobs)
+	}
+	if mm.VerifyFailed != 0 || mm.Completed != 1 {
+		t.Fatalf("metrics = {verify_failed:%d completed:%d}, want 0/1", mm.VerifyFailed, mm.Completed)
 	}
 	requireZeroRefs(t, m)
 }
