@@ -5,12 +5,13 @@ GO ?= go
 # that still proves every kernel runs and stays allocation-free.
 BENCHTIME ?= 1s
 
-.PHONY: check fmt build test vet lint race chaos bench bench-kernels bench-eval serve-smoke
+.PHONY: check fmt build test vet lint race chaos bench bench-kernels bench-eval serve-smoke cluster-smoke
 
 ## check: the pre-PR gate — formatting, static analysis (vet + atlint),
 ## build, full test suite, the concurrency stress tests under the race
-## detector, and the fault-injection chaos suite under the race detector.
-check: fmt lint build test race chaos
+## detector, the fault-injection chaos suite under the race detector, and
+## the multi-process cluster smoke.
+check: fmt lint build test race chaos cluster-smoke
 
 ## fmt: fail if any file is not gofmt-clean.
 fmt:
@@ -32,13 +33,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched ./internal/core ./internal/catalog ./internal/service ./cmd/atserve -run 'Concurrent|Cancel|Scrub|Recover|Spill|Verify|Bitflip'
+	$(GO) test -race ./internal/sched ./internal/core ./internal/catalog ./internal/service ./internal/cluster ./cmd/atserve -run 'Concurrent|Cancel|Scrub|Recover|Spill|Verify|Bitflip|Distributed'
 
 ## chaos: the fault-injection suite — injected kernel panics, hung tasks,
 ## transient failures, corrupt streams, double releases, bit flips, crash
-## recovery — with the race detector and the goroutine leak checks armed.
+## recovery, killed cluster workers and injected RPC faults — with the race
+## detector and the goroutine leak checks armed. The second pass arms the
+## rpc.* wire fault sites through the production ATSERVE_FAULTS path.
 chaos:
-	$(GO) test -race ./internal/faultinject ./internal/sched ./internal/catalog ./internal/service ./cmd/atserve -run 'Chaos|Fault|Panic|Watchdog|Release|WriteFile|Scrub|Recover|Spill|Verify|Bitflip' -count=1
+	$(GO) test -race ./internal/faultinject ./internal/sched ./internal/catalog ./internal/service ./internal/cluster ./cmd/atserve -run 'Chaos|Fault|Panic|Watchdog|Release|WriteFile|Scrub|Recover|Spill|Verify|Bitflip' -count=1
+	ATSERVE_FAULTS='rpc.send=transientx2' $(GO) test -race ./internal/cluster -run 'ChaosEnvArmed' -count=1
 
 ## bench: the per-figure benchmarks with allocation counts.
 bench:
@@ -66,3 +70,9 @@ bench-eval:
 ## against a durable data dir.
 serve-smoke:
 	ATSERVE_SMOKE=1 $(GO) test ./cmd/atserve -run 'TestServeSmoke|TestRecoverSmoke' -count=1 -v
+
+## cluster-smoke: build the real binary and stand up a coordinator plus two
+## workers on loopback, then run a sharded multiply through the normal HTTP
+## API and assert the remote-execution metrics and per-worker health.
+cluster-smoke:
+	ATSERVE_SMOKE=1 $(GO) test ./cmd/atserve -run 'TestClusterSmoke' -count=1 -v

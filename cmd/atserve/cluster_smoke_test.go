@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClusterSmoke builds the real binary and stands up a three-process
+// cluster on loopback: one coordinator plus two self-registering workers.
+// It uploads two matrices, runs a sharded multiply through the
+// coordinator's normal /v1/multiply API, and checks that the cluster
+// metrics account for the remote execution and that /healthz sees both
+// workers healthy. Gated behind ATSERVE_SMOKE=1 (run via
+// `make cluster-smoke`).
+func TestClusterSmoke(t *testing.T) {
+	if os.Getenv("ATSERVE_SMOKE") != "1" {
+		t.Skip("set ATSERVE_SMOKE=1 to run the cluster smoke test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "atserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	start := func(name string, extra ...string) (*exec.Cmd, *bytes.Buffer, string) {
+		t.Helper()
+		addrFile := filepath.Join(dir, name+".addr")
+		args := append([]string{
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-b-atomic", "8", "-sockets", "2", "-cores", "2", "-drain", "10s",
+		}, extra...)
+		cmd := exec.Command(bin, args...)
+		var logs bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &logs, &logs
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill() })
+		for deadline := time.Now().Add(15 * time.Second); ; {
+			if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+				return cmd, &logs, strings.TrimSpace(string(data))
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never wrote addr file; logs:\n%s", name, logs.String())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Both registration paths get exercised: worker1 is named on the
+	// coordinator's -peers list, worker2 self-registers against the running
+	// coordinator with -coordinator.
+	_, w1logs, w1addr := start("worker1", "-role", "worker")
+	coordCmd, clogs, caddr := start("coord",
+		"-role", "coordinator", "-peers", w1addr, "-verify", "2")
+	base := "http://" + caddr
+	_, w2logs, _ := start("worker2", "-role", "worker", "-coordinator", base)
+
+	// Both workers must turn healthy once heartbeats reach them.
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if metricValue(t, base, "atserve_cluster_workers_healthy") == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never became healthy; coordinator logs:\n%s\nworker1:\n%s\nworker2:\n%s",
+				clogs.String(), w1logs.String(), w2logs.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	for i, name := range []string{"A", "B"} {
+		resp := upload(t, base, name, rmatStream(t, 96, 1400, int64(700+i)))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %s: status %d", name, resp.StatusCode)
+		}
+	}
+	mresp, out := multiply(t, base, map[string]any{"a": "A", "b": "B", "store": "AB"})
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply: status %d (%v); coordinator logs:\n%s", mresp.StatusCode, out, clogs.String())
+	}
+	if out["rows"].(float64) != 96 {
+		t.Fatalf("multiply result %v", out)
+	}
+
+	// The multiply must have executed remotely — the checksum of the drill:
+	// sharded execution, not a silent local fallback.
+	if got := metricValue(t, base, "atserve_cluster_remote_multiplies_total"); got != 1 {
+		t.Fatalf("remote multiplies = %v, want 1; coordinator logs:\n%s", got, clogs.String())
+	}
+	if got := metricValue(t, base, "atserve_cluster_local_fallbacks_total"); got != 0 {
+		t.Fatalf("local fallbacks = %v, want 0", got)
+	}
+
+	// /healthz on the coordinator reports the per-worker table and no
+	// degradation.
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(buf.String(), `"status":"ok"`) {
+		t.Fatalf("healthz: status %d body %s", hresp.StatusCode, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"workers"`) {
+		t.Fatalf("healthz missing cluster worker table: %s", buf.String())
+	}
+
+	if err := coordCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- coordCmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("coordinator exited with %v; logs:\n%s", err, clogs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("coordinator did not exit after SIGTERM; logs:\n%s", clogs.String())
+	}
+	if !strings.Contains(clogs.String(), "clean shutdown") {
+		t.Fatalf("no clean shutdown in coordinator logs:\n%s", clogs.String())
+	}
+	fmt.Println("cluster smoke ok:", out)
+}

@@ -12,6 +12,11 @@
 //	GET    /healthz                liveness (503 while draining)
 //	GET    /metrics                Prometheus text-format counters
 //
+// Cluster roles (-role coordinator|worker) add the /cluster/v1/* RPC
+// endpoints: a coordinator shards multiplies over registered workers
+// (boot-time -peers, or workers self-register with -coordinator) and
+// degrades to local execution when none are healthy.
+//
 // Example:
 //
 //	atserve -addr :8080 -budget 1073741824 &
@@ -30,9 +35,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"atmatrix/internal/cluster"
 	"atmatrix/internal/core"
 	"atmatrix/internal/faultinject"
 	"atmatrix/internal/numa"
@@ -59,6 +66,10 @@ func main() {
 		bAtomic    = flag.Int("b-atomic", 0, "override b_atomic (power of two; 0 = derive from LLC)")
 		sockets    = flag.Int("sockets", 0, "simulated sockets (0 = detect)")
 		cores      = flag.Int("cores", 0, "simulated cores per socket (0 = detect)")
+		role       = flag.String("role", "", "cluster role: empty = standalone, 'coordinator' shards multiplies over workers, 'worker' executes shards for a coordinator")
+		peers      = flag.String("peers", "", "coordinator only: comma-separated worker addresses to register at boot (workers can also self-register)")
+		coordURL   = flag.String("coordinator", "", "worker only: coordinator base URL to self-register with (retried until it answers)")
+		advertise  = flag.String("advertise", "", "worker only: address to advertise to the coordinator (default: the bound listen address)")
 	)
 	flag.Parse()
 
@@ -90,6 +101,28 @@ func main() {
 		log.Printf("atserve: FAULT INJECTION ARMED (%s=%q, seed %d): %d rule(s)", faultinject.EnvVar, spec, seed, len(rules))
 	}
 
+	// Cluster roles: a coordinator shards pair multiplies over its workers
+	// and degrades to local execution when none are healthy; a worker
+	// additionally mounts the shard-execution RPC endpoints. Either role
+	// keeps the full catalog API — a worker is a complete atserve node.
+	var coord *cluster.Coordinator
+	var worker *cluster.Worker
+	switch *role {
+	case "":
+	case "coordinator":
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		coord = cluster.NewCoordinator(cfg, cluster.Options{}, peerList)
+	case "worker":
+		worker = cluster.NewWorker(cfg)
+	default:
+		log.Fatalf("atserve: unknown -role %q (want coordinator or worker)", *role)
+	}
+
 	s, err := newServer(serverConfig{
 		cfg:    cfg,
 		budget: *budget,
@@ -105,6 +138,8 @@ func main() {
 		maxUpload:   *maxUpload,
 		dataDir:     *dataDir,
 		scrubPeriod: *scrub,
+		coord:       coord,
+		worker:      worker,
 	})
 	if err != nil {
 		log.Fatalf("atserve: %v", err)
@@ -140,6 +175,17 @@ func main() {
 			log.Fatalf("atserve: writing addr file: %v", err)
 		}
 	}
+	// Worker self-registration: announce the bound (or advertised) address
+	// to the coordinator, retrying until it answers — boot order between
+	// coordinator and workers does not matter. Registration is idempotent,
+	// so a restarting worker simply re-announces itself.
+	if worker != nil && *coordURL != "" {
+		self := *advertise
+		if self == "" {
+			self = bound
+		}
+		go registerWithCoordinator(*coordURL, self)
+	}
 
 	srv := &http.Server{
 		Handler:           s.handler(),
@@ -172,4 +218,30 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("atserve: clean shutdown")
+}
+
+// registerWithCoordinator posts this worker's address to the coordinator's
+// registration endpoint until one attempt succeeds. The loop runs for the
+// process lifetime at most a few rounds; it dies with the process on
+// shutdown.
+func registerWithCoordinator(coordURL, self string) {
+	base := strings.TrimSuffix(coordURL, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	body := fmt.Sprintf(`{"addr":%q}`, self)
+	for {
+		resp, err := client.Post(base+"/cluster/v1/register", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				log.Printf("atserve: registered with coordinator %s as %s", base, self)
+				return
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		log.Printf("atserve: coordinator registration (%s): %v; retrying", base, err)
+		time.Sleep(2 * time.Second)
+	}
 }

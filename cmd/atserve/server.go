@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"atmatrix/internal/catalog"
+	"atmatrix/internal/cluster"
 	"atmatrix/internal/core"
 	"atmatrix/internal/numa"
 	"atmatrix/internal/sched"
@@ -30,6 +31,13 @@ type serverConfig struct {
 	maxUpload   int64         // request body cap for uploads
 	dataDir     string        // durable catalog backing store ("" = memory-only)
 	scrubPeriod time.Duration // background integrity scrub period (0 = off)
+
+	// coord makes this process a cluster coordinator: pair multiplies are
+	// sharded across its registered workers (service.Options.Distribute)
+	// and POST /cluster/v1/register admits new workers. worker mounts the
+	// shard-execution endpoints instead. Both nil = standalone node.
+	coord  *cluster.Coordinator
+	worker *cluster.Worker
 }
 
 // server wires the catalog and the job manager to the HTTP surface. It is
@@ -45,6 +53,8 @@ type server struct {
 	recovering atomic.Bool
 	allowPath  bool
 	maxUpload  int64
+	coord      *cluster.Coordinator
+	worker     *cluster.Worker
 }
 
 func newServer(sc serverConfig) (*server, error) {
@@ -55,6 +65,12 @@ func newServer(sc serverConfig) (*server, error) {
 	if sc.maxUpload <= 0 {
 		sc.maxUpload = 1 << 30
 	}
+	if sc.coord != nil {
+		// The coordinator executes pair multiplies by sharding them over
+		// its workers; it owns the fallback to local execution, so the
+		// manager's queueing, retries and quarantine apply unchanged.
+		sc.opts.Distribute = sc.coord.Multiply
+	}
 	s := &server{
 		cat:       cat,
 		mgr:       service.New(cat, sc.opts),
@@ -63,6 +79,8 @@ func newServer(sc serverConfig) (*server, error) {
 		started:   time.Now(),
 		allowPath: sc.allowPath,
 		maxUpload: sc.maxUpload,
+		coord:     sc.coord,
+		worker:    sc.worker,
 	}
 	// The scrubber's findings route into the service quarantine: a matrix
 	// that fails its checksum scan is blocked from multiplies until the
@@ -102,7 +120,36 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/admin/scrub", s.handleScrub)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.worker != nil {
+		s.worker.Register(mux)
+	}
+	if s.coord != nil {
+		mux.HandleFunc("POST /cluster/v1/register", s.handleClusterRegister)
+	}
 	return mux
+}
+
+// registerRequest is the JSON body a worker posts to self-register.
+type registerRequest struct {
+	Addr string `json:"addr"`
+}
+
+// handleClusterRegister admits a worker into the coordinator's registry.
+// Registration is idempotent by address — a restarting worker re-posting
+// its address is a no-op, and its health revives on the next successful
+// probe rather than here.
+func (s *server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Addr == "" {
+		jsonError(w, http.StatusBadRequest, "missing worker addr")
+		return
+	}
+	added := s.coord.Register(req.Addr)
+	writeJSON(w, http.StatusOK, map[string]any{"addr": req.Addr, "registered": added})
 }
 
 // shutdown stops admission (healthz flips to 503 for load balancers),
@@ -110,6 +157,9 @@ func (s *server) handler() http.Handler {
 func (s *server) shutdown(drain time.Duration) error {
 	s.draining.Store(true)
 	err := s.mgr.Close(drain)
+	if s.coord != nil {
+		s.coord.Close()
+	}
 	s.cat.Close()
 	return err
 }
@@ -414,9 +464,11 @@ func (s *server) submitAndReply(w http.ResponseWriter, r *http.Request, sreq ser
 // catalog recovery is still reloading pinned matrices; 200, since the
 // process serves — lazily-reloadable entries included), "degraded" (still
 // serving, but a brownout is active, a worker team was abandoned by a
-// watchdog, or matrices sit in quarantine — each spelled out in reasons),
-// or "draining" (shutting down, 503 so load balancers stop routing here).
-// Degraded stays 200: the process serves, just below full capacity.
+// watchdog, matrices sit in quarantine, or cluster workers are suspect or
+// dead — each spelled out in reasons, per worker), or "draining" (shutting
+// down, 503 so load balancers stop routing here). Degraded stays 200: the
+// process serves, just below full capacity. On a coordinator the body also
+// carries the per-worker health table under "cluster".
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -440,15 +492,34 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if q := s.mgr.Quarantined(); len(q) > 0 {
 		reasons = append(reasons, fmt.Sprintf("catalog: %d quarantine entry(ies) in force", len(q)))
 	}
+	var workers []cluster.WorkerStatus
+	if s.coord != nil {
+		workers = s.coord.Workers()
+		healthy := 0
+		for _, ws := range workers {
+			if ws.State == cluster.Healthy.String() {
+				healthy++
+				continue
+			}
+			reasons = append(reasons, fmt.Sprintf("cluster: worker %s %s (%d missed probe(s))", ws.Addr, ws.State, ws.Misses))
+		}
+		if len(workers) > 0 && healthy == 0 {
+			reasons = append(reasons, "cluster: no healthy workers; multiplies execute locally")
+		}
+	}
 	status := "ok"
 	if len(reasons) > 0 {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    status,
 		"reasons":   reasons,
 		"uptime_ms": time.Since(s.started).Milliseconds(),
-	})
+	}
+	if workers != nil {
+		body["cluster"] = map[string]any{"workers": workers}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics renders the counters in the Prometheus text exposition
@@ -510,4 +581,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("atserve_mult_contributions_total", m.Mult.Contributions)
 	p("atserve_mult_target_tiles_total", m.Mult.TargetTiles)
 	p("atserve_mult_tasks_stolen_total", m.Mult.TasksStolen)
+	if s.coord != nil {
+		st := s.coord.Stats()
+		p("atserve_cluster_workers_healthy", st.WorkersHealthy)
+		p("atserve_cluster_workers_suspect", st.WorkersSuspect)
+		p("atserve_cluster_workers_dead", st.WorkersDead)
+		p("atserve_cluster_remote_multiplies_total", st.RemoteMultiplies)
+		p("atserve_cluster_local_fallbacks_total", st.LocalFallbacks)
+		p("atserve_cluster_local_tasks_total", st.LocalTasks)
+		p("atserve_cluster_rpc_retries_total", st.RPCRetries)
+		p("atserve_cluster_tiles_rerouted_total", st.TilesRerouted)
+		p("atserve_cluster_hedges_sent_total", st.HedgesSent)
+		p("atserve_cluster_hedged_wins_total", st.HedgedWins)
+	}
 }

@@ -1,0 +1,467 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/leakcheck"
+	"atmatrix/internal/mat"
+	"atmatrix/internal/sched"
+)
+
+// TestClusterChaosKillWorkerMidMultiply is the ISSUE's kill-9 drill: a
+// three-worker cluster loses one worker in the middle of a distributed
+// ATMULT — its connections are severed while it holds shard tasks — and
+// the multiply must still return a product byte-identical to single-node
+// execution (Freivalds on), with the victim's tile-rows accounted as
+// re-routed and no goroutine left behind.
+func TestClusterChaosKillWorkerMidMultiply(t *testing.T) {
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(51))
+	a := partition(t, cfg, mat.RandomCOO(rng, 192, 128, 5000))
+	b := partition(t, cfg, mat.RandomCOO(rng, 128, 160, 4500))
+
+	local, _, err := core.MultiplyOpt(a, b, cfg, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatalf("local multiply: %v", err)
+	}
+
+	hc := testClient(t)
+	// The victim's exec handler signals arrival and then hangs until the
+	// kill; the killer then severs every connection, kill-9 style, so the
+	// in-flight RPC dies at the transport layer.
+	started := make(chan struct{})
+	dead := make(chan struct{})
+	var once sync.Once
+	victimAddr, victimSrv := startWorker(t, cfg, func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/cluster/v1/exec" {
+				once.Do(func() { close(started) })
+				// Hold the RPC until the kill; dead closes strictly after
+				// the connections are severed, so nothing coherent is ever
+				// written back.
+				select {
+				case <-r.Context().Done():
+				case <-dead:
+				}
+				return
+			}
+			inner.ServeHTTP(rw, r)
+		})
+	})
+	addr2, _ := startWorker(t, cfg, nil)
+	addr3, _ := startWorker(t, cfg, nil)
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		<-started
+		_ = victimSrv.Close()
+		close(dead)
+	}()
+
+	coord := NewCoordinator(cfg, testOptions(hc), []string{victimAddr, addr2, addr3})
+	defer coord.Close()
+
+	opts := core.DefaultMultOptions()
+	opts.Verify = 2
+	dist, _, err := coord.Multiply(a, b, opts)
+	<-killed
+	if err != nil {
+		t.Fatalf("multiply with killed worker: %v", err)
+	}
+	if !bytes.Equal(serializeATM(t, dist), serializeATM(t, local)) {
+		t.Fatal("product after worker loss is not byte-identical to local execution")
+	}
+	s := coord.Stats()
+	if s.TilesRerouted == 0 {
+		t.Fatalf("stats = %+v, want re-routed tile-rows after the kill", s)
+	}
+	if s.RemoteMultiplies != 1 {
+		t.Fatalf("remote multiplies = %d, want 1", s.RemoteMultiplies)
+	}
+}
+
+// TestClusterChaosAllWorkersDownFallsBackLocal points the coordinator at
+// nothing but dead addresses: every task degrades to local execution and
+// the result is still byte-identical.
+func TestClusterChaosAllWorkersDownFallsBackLocal(t *testing.T) {
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(52))
+	a := partition(t, cfg, mat.RandomCOO(rng, 96, 96, 2000))
+	b := partition(t, cfg, mat.RandomCOO(rng, 96, 96, 2000))
+
+	local, _, err := core.MultiplyOpt(a, b, cfg, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var peers []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, ln.Addr().String())
+		ln.Close()
+	}
+	opts := testOptions(testClient(t))
+	opts.MaxRetries = 0
+	coord := NewCoordinator(cfg, opts, peers)
+	defer coord.Close()
+
+	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatalf("multiply with all workers down: %v", err)
+	}
+	if !bytes.Equal(serializeATM(t, dist), serializeATM(t, local)) {
+		t.Fatal("degraded product differs from local execution")
+	}
+	s := coord.Stats()
+	if s.LocalTasks == 0 {
+		t.Fatalf("stats = %+v, want tasks executed locally", s)
+	}
+	// Enough transport failures accumulate during the multiply to walk
+	// both workers' health to dead without any heartbeat loop.
+	if s.WorkersDead != 2 {
+		t.Fatalf("workers dead = %d, want 2: %+v", s.WorkersDead, coord.Workers())
+	}
+}
+
+// TestClusterChaosHedgedStraggler makes the owner of every tile-row
+// pathologically slow and checks that the hedge fires, the fast worker's
+// duplicate wins, and the product is still byte-identical.
+func TestClusterChaosHedgedStraggler(t *testing.T) {
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(53))
+	a := partition(t, cfg, mat.RandomCOO(rng, 128, 96, 3000))
+	b := partition(t, cfg, mat.RandomCOO(rng, 96, 112, 2500))
+
+	local, _, err := core.MultiplyOpt(a, b, cfg, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hc := testClient(t)
+	slowAddr, _ := startWorker(t, cfg, func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/cluster/v1/exec" {
+				select {
+				case <-time.After(3 * time.Second):
+				case <-r.Context().Done():
+					return
+				}
+			}
+			inner.ServeHTTP(rw, r)
+		})
+	})
+	fastAddr, _ := startWorker(t, cfg, nil)
+
+	opts := testOptions(hc)
+	opts.HedgeAfter = 20 * time.Millisecond
+	coord := NewCoordinator(cfg, opts, []string{slowAddr, fastAddr})
+	defer coord.Close()
+
+	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatalf("hedged multiply: %v", err)
+	}
+	if !bytes.Equal(serializeATM(t, dist), serializeATM(t, local)) {
+		t.Fatal("hedged product differs from local execution")
+	}
+	s := coord.Stats()
+	if s.HedgesSent == 0 || s.HedgedWins == 0 {
+		t.Fatalf("stats = %+v, want hedges sent and won", s)
+	}
+}
+
+// TestClusterChaosCorruptTransferReroutes damages every product stream one
+// worker emits — a wire-corruption double of the bitflip drills — and
+// checks the CRC-32C footer catches it, the task re-routes to the clean
+// worker, and the product survives byte-identical.
+func TestClusterChaosCorruptTransferReroutes(t *testing.T) {
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(54))
+	a := partition(t, cfg, mat.RandomCOO(rng, 96, 80, 2200))
+	b := partition(t, cfg, mat.RandomCOO(rng, 80, 96, 2000))
+
+	local, _, err := core.MultiplyOpt(a, b, cfg, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hc := testClient(t)
+	corruptAddr, _ := startWorker(t, cfg, corruptingWrapper())
+	cleanAddr, _ := startWorker(t, cfg, nil)
+
+	coord := NewCoordinator(cfg, testOptions(hc), []string{corruptAddr, cleanAddr})
+	defer coord.Close()
+
+	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatalf("multiply with corrupting worker: %v", err)
+	}
+	if !bytes.Equal(serializeATM(t, dist), serializeATM(t, local)) {
+		t.Fatal("product assembled around corrupt transfers differs from local execution")
+	}
+	if s := coord.Stats(); s.TilesRerouted == 0 {
+		t.Fatalf("stats = %+v, want re-routes away from the corrupting worker", s)
+	}
+}
+
+// TestClusterChaosAllTransfersCorruptSurfacesChecksum corrupts every
+// worker's product stream: the coordinator must refuse to mask the damage
+// with a silent local fallback and instead surface core.ErrChecksum, the
+// signal the service layer quarantines the operand combination on.
+func TestClusterChaosAllTransfersCorruptSurfacesChecksum(t *testing.T) {
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(55))
+	a := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1200))
+	b := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1200))
+
+	hc := testClient(t)
+	addr1, _ := startWorker(t, cfg, corruptingWrapper())
+	addr2, _ := startWorker(t, cfg, corruptingWrapper())
+
+	coord := NewCoordinator(cfg, testOptions(hc), []string{addr1, addr2})
+	defer coord.Close()
+
+	_, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	if err == nil {
+		t.Fatal("multiply succeeded though every transfer was corrupt")
+	}
+	if !errors.Is(err, core.ErrChecksum) {
+		t.Fatalf("error %v does not carry core.ErrChecksum", err)
+	}
+	if s := coord.Stats(); s.LocalTasks != 0 {
+		t.Fatalf("stats = %+v, corrupt transfers must not silently degrade to local tasks", s)
+	}
+}
+
+// corruptingWrapper buffers the worker's exec response and flips one bit
+// inside the payload before forwarding it, leaving the stream's CRC stale.
+func corruptingWrapper() func(http.Handler) http.Handler {
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/cluster/v1/exec" {
+				inner.ServeHTTP(rw, r)
+				return
+			}
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			if rec.Code == http.StatusOK && len(body) > 16 {
+				body[len(body)-10] ^= 0x04
+			}
+			for k, vs := range rec.Header() {
+				for _, v := range vs {
+					rw.Header().Add(k, v)
+				}
+			}
+			rw.WriteHeader(rec.Code)
+			_, _ = rw.Write(body)
+		})
+	}
+}
+
+// TestClusterFaultSiteRPCSend arms the rpc.send site: the first attempt
+// fails before leaving the coordinator, the retry succeeds, and the retry
+// is visible in the stats.
+func TestClusterFaultSiteRPCSend(t *testing.T) {
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(56))
+	a := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1000))
+	b := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1000))
+
+	hc := testClient(t)
+	addr, _ := startWorker(t, cfg, nil)
+	coord := NewCoordinator(cfg, testOptions(hc), []string{addr})
+	defer coord.Close()
+
+	reset := faultinject.Enable(1, faultinject.Rule{Site: "rpc.send", Kind: faultinject.KindTransient})
+	defer reset()
+	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatalf("multiply with injected send fault: %v", err)
+	}
+	local, _, err := core.MultiplyOpt(a, b, cfg, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serializeATM(t, dist), serializeATM(t, local)) {
+		t.Fatal("product after injected send fault differs from local execution")
+	}
+	if s := coord.Stats(); s.RPCRetries == 0 {
+		t.Fatalf("stats = %+v, want the transient send failure retried", s)
+	}
+}
+
+// TestClusterFaultSiteWorkerExec arms the worker.exec site with a
+// permanent error: the worker answers 500, the coordinator re-routes (here:
+// exhausts the single worker) and degrades the task to local execution.
+func TestClusterFaultSiteWorkerExec(t *testing.T) {
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(57))
+	a := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1000))
+	b := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1000))
+
+	hc := testClient(t)
+	addr, _ := startWorker(t, cfg, nil)
+	coord := NewCoordinator(cfg, testOptions(hc), []string{addr})
+	defer coord.Close()
+
+	reset := faultinject.Enable(1, faultinject.Rule{Site: "worker.exec", Kind: faultinject.KindError, Count: -1})
+	defer reset()
+	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatalf("multiply with failing worker.exec: %v", err)
+	}
+	reset()
+	local, _, err := core.MultiplyOpt(a, b, cfg, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serializeATM(t, dist), serializeATM(t, local)) {
+		t.Fatal("degraded product differs from local execution")
+	}
+	if s := coord.Stats(); s.LocalTasks == 0 {
+		t.Fatalf("stats = %+v, want tasks degraded to local execution", s)
+	}
+}
+
+// TestClusterFaultSiteRPCConnMarksHealth arms rpc.conn permanently: every
+// exec attempt dies at the transport layer, which must count against the
+// worker's health exactly like missed heartbeats.
+func TestClusterFaultSiteRPCConnMarksHealth(t *testing.T) {
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(58))
+	a := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1000))
+	b := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1000))
+
+	hc := testClient(t)
+	addr, _ := startWorker(t, cfg, nil)
+	opts := testOptions(hc)
+	opts.DeadAfter = 2
+	coord := NewCoordinator(cfg, opts, []string{addr})
+	defer coord.Close()
+
+	reset := faultinject.Enable(1, faultinject.Rule{Site: "rpc.conn", Kind: faultinject.KindError, Count: -1})
+	defer reset()
+	if _, _, err := coord.Multiply(a, b, core.DefaultMultOptions()); err != nil {
+		t.Fatalf("multiply: %v", err)
+	}
+	if ws := coord.Workers(); ws[0].State == "healthy" {
+		t.Fatalf("worker state = %+v, want degraded after repeated transport failures", ws[0])
+	}
+}
+
+// TestClusterFaultSiteRPCRecv arms rpc.recv once: the response-path
+// failure is transient, so a retry to the same worker recovers.
+func TestClusterFaultSiteRPCRecv(t *testing.T) {
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(59))
+	a := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1000))
+	b := partition(t, cfg, mat.RandomCOO(rng, 64, 64, 1000))
+
+	hc := testClient(t)
+	addr, _ := startWorker(t, cfg, nil)
+	coord := NewCoordinator(cfg, testOptions(hc), []string{addr})
+	defer coord.Close()
+
+	reset := faultinject.Enable(1, faultinject.Rule{Site: "rpc.recv", Kind: faultinject.KindTransient})
+	defer reset()
+	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatalf("multiply with injected recv fault: %v", err)
+	}
+	if err := dist.Validate(); err != nil {
+		t.Fatalf("product invalid: %v", err)
+	}
+	if s := coord.Stats(); s.RPCRetries == 0 {
+		t.Fatalf("stats = %+v, want the transient recv failure retried", s)
+	}
+}
+
+// TestClusterChaosEnvArmedRPCFaults is the production-path arming drill:
+// instead of calling faultinject.Enable directly it reads the same
+// ATSERVE_FAULTS/ATSERVE_FAULTS_SEED environment contract the atserve
+// binary honors (run via `make chaos` with ATSERVE_FAULTS=rpc.send=transientx2),
+// then asserts a two-worker multiply survives the armed wire faults with a
+// byte-identical product. Skips when the environment is not armed, so the
+// plain chaos pass ignores it.
+func TestClusterChaosEnvArmedRPCFaults(t *testing.T) {
+	spec := os.Getenv(faultinject.EnvVar)
+	if spec == "" {
+		t.Skipf("set %s (e.g. rpc.send=transientx2) to run the env-armed drill", faultinject.EnvVar)
+	}
+	cfg := testCfg()
+	sched.RuntimeFor(cfg.Topology) // pre-warm: its goroutines are not this test's leak
+	leakcheck.Check(t)
+	var seed int64
+	if sv := os.Getenv(faultinject.EnvSeedVar); sv != "" {
+		fmt.Sscanf(sv, "%d", &seed)
+	}
+	rules, err := faultinject.EnableFromSpec(spec, seed)
+	if err != nil {
+		t.Fatalf("arming %s=%q: %v", faultinject.EnvVar, spec, err)
+	}
+	if len(rules) == 0 {
+		t.Fatalf("%s=%q armed no rules", faultinject.EnvVar, spec)
+	}
+	defer faultinject.Disable()
+
+	rng := rand.New(rand.NewSource(60))
+	a := partition(t, cfg, mat.RandomCOO(rng, 96, 96, 2500))
+	b := partition(t, cfg, mat.RandomCOO(rng, 96, 96, 2500))
+	local, _, err := core.MultiplyOpt(a, b, cfg, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hc := testClient(t)
+	addr1, _ := startWorker(t, cfg, nil)
+	addr2, _ := startWorker(t, cfg, nil)
+	coord := NewCoordinator(cfg, testOptions(hc), []string{addr1, addr2})
+	defer coord.Close()
+
+	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	if err != nil {
+		t.Fatalf("multiply under %s=%q: %v", faultinject.EnvVar, spec, err)
+	}
+	if !bytes.Equal(serializeATM(t, dist), serializeATM(t, local)) {
+		t.Fatal("product under env-armed faults differs from local execution")
+	}
+	s := coord.Stats()
+	if s.RPCRetries == 0 && s.TilesRerouted == 0 && s.LocalTasks == 0 {
+		t.Fatalf("stats = %+v: no failure handling fired — did the armed faults hit?", s)
+	}
+}

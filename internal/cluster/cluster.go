@@ -1,0 +1,196 @@
+// Package cluster distributes ATMULT across atserve processes: a
+// coordinator shards the left operand's tile-rows over worker nodes by the
+// paper's §III-F round-robin placement (sched.PlaceRoundRobin — the same
+// policy that homes tile-rows on sockets, lifted one level), ships
+// 2D-partitioned shard operands as CRC-footered .atm streams over HTTP,
+// and merges the disjoint partial products back into one band-grid result.
+//
+// The sharding is bit-transparent: shard tiles are pre-split at the global
+// band cuts (never in the contraction direction), the coordinator ships
+// the globally derived write threshold (core.PlanWriteThreshold), and
+// every kernel accumulates per output cell in ascending contraction order
+// — so a distributed multiply produces a byte-identical .atm stream to a
+// local one, and the kill-9 chaos drill asserts exactly that.
+//
+// Robustness is the point of the package. Each worker is a RemoteTeam —
+// the cluster-level analog of a sched.Team — with heartbeat-driven health
+// (healthy → suspect → dead, revived by the next successful heartbeat),
+// per-RPC deadlines, capped exponential backoff on transient failures
+// (the service layer's Transient() marker classification), re-routing of a
+// dead worker's tile-rows to the survivors, hedged duplicate requests for
+// stragglers, and graceful degradation to single-node local execution when
+// no worker can serve a task. Corrupt wire transfers are the one failure
+// that does not degrade silently: a shard whose stream fails its checksum
+// on every candidate worker surfaces core.ErrChecksum so the service layer
+// quarantines the operand combination.
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// State is a worker's health as the coordinator sees it.
+type State int32
+
+const (
+	// Healthy workers answer heartbeats and receive their owned tile-rows.
+	Healthy State = iota
+	// Suspect workers missed recent heartbeats; they keep their placement
+	// but are skipped as hedge targets until they answer again.
+	Suspect
+	// Dead workers missed DeadAfter consecutive heartbeats; their
+	// tile-rows are re-routed to survivors. A later successful heartbeat
+	// revives them (a rejoining process reuses its registration).
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Options tunes the coordinator's failure handling. The zero value gets
+// the defaults noted per field.
+type Options struct {
+	// HeartbeatPeriod is the interval between worker health probes
+	// (default 1s). Negative disables the background heartbeat loop —
+	// health then moves only on RPC outcomes, which the in-process tests
+	// use for determinism.
+	HeartbeatPeriod time.Duration
+	// HeartbeatTimeout bounds one health probe (default 500ms).
+	HeartbeatTimeout time.Duration
+	// SuspectAfter and DeadAfter are the consecutive-miss thresholds of
+	// the health state machine (defaults 1 and 3).
+	SuspectAfter int
+	DeadAfter    int
+	// RPCTimeout is the per-exec-RPC deadline (default 60s). Every
+	// attempt, retry and hedge gets its own.
+	RPCTimeout time.Duration
+	// MaxRetries bounds per-worker re-sends of a transiently failed exec
+	// (total attempts per worker = 1 + MaxRetries; default 2). Permanent
+	// failures skip straight to the next worker.
+	MaxRetries int
+	// RetryBase and RetryMax shape the capped exponential backoff between
+	// retries (defaults 25ms and 1s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HedgeAfter, when positive, launches a duplicate exec on another
+	// healthy worker if the first has not answered within this delay —
+	// the straggler hedge. First success wins; the loser is cancelled.
+	// Zero disables hedging.
+	HedgeAfter time.Duration
+	// ColChunks is the number of column chunks of the 2D partition; zero
+	// derives it from the worker count (capped by the column-band count).
+	ColChunks int
+	// Client is the HTTP client used for worker RPCs; nil uses a
+	// dedicated client with connection reuse.
+	Client *http.Client
+}
+
+// withDefaults fills the zero-value fields.
+func (o Options) withDefaults() Options {
+	if o.HeartbeatPeriod == 0 {
+		o.HeartbeatPeriod = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 500 * time.Millisecond
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 1
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 3
+	}
+	if o.RPCTimeout <= 0 {
+		o.RPCTimeout = 60 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// health is the per-worker miss counter and state, driven by heartbeat
+// results and transport-level RPC failures alike.
+type health struct {
+	mu     sync.Mutex
+	state  State
+	misses int
+}
+
+// observe folds one probe result into the state machine and returns the
+// new state: any success resets to Healthy (reviving Dead workers — a
+// rejoined process needs no re-registration); consecutive failures walk
+// Healthy → Suspect at suspectAfter misses and → Dead at deadAfter.
+func (h *health) observe(ok bool, suspectAfter, deadAfter int) State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ok {
+		h.misses = 0
+		h.state = Healthy
+		return h.state
+	}
+	h.misses++
+	switch {
+	case h.misses >= deadAfter:
+		h.state = Dead
+	case h.misses >= suspectAfter && h.state == Healthy:
+		h.state = Suspect
+	}
+	return h.state
+}
+
+// current returns the state and miss count.
+func (h *health) current() (State, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, h.misses
+}
+
+// WorkerStatus is one worker's row in the coordinator's health report,
+// surfaced through /healthz and /metrics.
+type WorkerStatus struct {
+	Addr   string `json:"addr"`
+	State  string `json:"state"`
+	Misses int    `json:"misses"`
+}
+
+// Stats is a snapshot of the coordinator's robustness counters.
+type Stats struct {
+	WorkersHealthy int `json:"workers_healthy"`
+	WorkersSuspect int `json:"workers_suspect"`
+	WorkersDead    int `json:"workers_dead"`
+
+	// RemoteMultiplies counts distributed executions; LocalFallbacks
+	// whole multiplies degraded to local execution (no usable workers);
+	// LocalTasks single shard tasks executed locally after every worker
+	// failed them.
+	RemoteMultiplies int64 `json:"remote_multiplies"`
+	LocalFallbacks   int64 `json:"local_fallbacks"`
+	LocalTasks       int64 `json:"local_tasks"`
+
+	RPCRetries    int64 `json:"rpc_retries"`
+	TilesRerouted int64 `json:"tiles_rerouted"`
+	HedgesSent    int64 `json:"hedges_sent"`
+	HedgedWins    int64 `json:"hedged_wins"`
+}

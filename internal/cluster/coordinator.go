@@ -1,0 +1,667 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/sched"
+)
+
+// Coordinator owns the worker registry and distributes multiplications:
+// plan globally (band grid + write threshold), shard the left operand's
+// tile-rows round-robin over the alive RemoteTeams (§III-F one level up),
+// 2D-partition with column chunks, dispatch with retries/re-routing/
+// hedging, and merge the disjoint partial products. Install Multiply as
+// service.Options.Distribute to put it behind the admission queue.
+type Coordinator struct {
+	cfg  core.Config
+	opts Options
+
+	mu    sync.Mutex
+	teams []*RemoteTeam
+
+	remoteMultiplies atomic.Int64
+	localFallbacks   atomic.Int64
+	localTasks       atomic.Int64
+	rpcRetries       atomic.Int64
+	tilesRerouted    atomic.Int64
+	hedgesSent       atomic.Int64
+	hedgedWins       atomic.Int64
+
+	hbCancel context.CancelFunc
+	hbDone   chan struct{}
+}
+
+// verifySeq seeds successive coordinator-level Freivalds checks.
+var verifySeq atomic.Int64
+
+// NewCoordinator creates a coordinator over the given initial peers
+// (worker base URLs or host:port addresses; more can Register later) and
+// starts the heartbeat loop unless opts.HeartbeatPeriod is negative.
+func NewCoordinator(cfg core.Config, opts Options, peers []string) *Coordinator {
+	c := &Coordinator{cfg: cfg, opts: opts.withDefaults(), hbDone: make(chan struct{})}
+	for _, p := range peers {
+		if p != "" {
+			c.Register(p)
+		}
+	}
+	if c.opts.HeartbeatPeriod > 0 {
+		//atlint:ignore ctxflow deliberate lifecycle root, cancelled by Close
+		ctx, cancel := context.WithCancel(context.Background())
+		c.hbCancel = cancel
+		go c.heartbeatLoop(ctx)
+	} else {
+		close(c.hbDone)
+	}
+	return c
+}
+
+// Close stops the heartbeat loop. In-flight multiplies finish normally.
+func (c *Coordinator) Close() {
+	if c.hbCancel != nil {
+		c.hbCancel()
+		c.hbCancel = nil
+		<-c.hbDone
+	}
+}
+
+// Register adds a worker (idempotent by address) and reports whether it
+// was new. A re-registering address is the worker process rejoining; its
+// health resets on the next successful heartbeat, not here, so a flapping
+// process cannot whitewash its miss history by re-registering.
+func (c *Coordinator) Register(addr string) bool {
+	rt := newRemoteTeam(addr, c.opts.Client)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range c.teams {
+		if t.addr == rt.addr {
+			return false
+		}
+	}
+	c.teams = append(c.teams, rt)
+	return true
+}
+
+// Workers reports every registered worker's health, for /healthz and
+// /metrics.
+func (c *Coordinator) Workers() []WorkerStatus {
+	c.mu.Lock()
+	teams := append([]*RemoteTeam(nil), c.teams...)
+	c.mu.Unlock()
+	out := make([]WorkerStatus, len(teams))
+	for i, t := range teams {
+		s, misses := t.health.current()
+		out[i] = WorkerStatus{Addr: t.addr, State: s.String(), Misses: misses}
+	}
+	return out
+}
+
+// Stats snapshots the robustness counters.
+func (c *Coordinator) Stats() Stats {
+	s := Stats{
+		RemoteMultiplies: c.remoteMultiplies.Load(),
+		LocalFallbacks:   c.localFallbacks.Load(),
+		LocalTasks:       c.localTasks.Load(),
+		RPCRetries:       c.rpcRetries.Load(),
+		TilesRerouted:    c.tilesRerouted.Load(),
+		HedgesSent:       c.hedgesSent.Load(),
+		HedgedWins:       c.hedgedWins.Load(),
+	}
+	for _, w := range c.Workers() {
+		switch w.State {
+		case Healthy.String():
+			s.WorkersHealthy++
+		case Suspect.String():
+			s.WorkersSuspect++
+		default:
+			s.WorkersDead++
+		}
+	}
+	return s
+}
+
+// heartbeatLoop probes every worker each period and feeds the results to
+// the health state machines. Dead workers keep being probed — a process
+// that comes back is revived by its first successful answer.
+func (c *Coordinator) heartbeatLoop(ctx context.Context) {
+	defer close(c.hbDone)
+	ticker := time.NewTicker(c.opts.HeartbeatPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		teams := append([]*RemoteTeam(nil), c.teams...)
+		c.mu.Unlock()
+		for _, rt := range teams {
+			hctx, cancel := context.WithTimeout(ctx, c.opts.HeartbeatTimeout)
+			ok := rt.heartbeat(hctx)
+			cancel()
+			if ctx.Err() != nil {
+				return
+			}
+			rt.health.observe(ok, c.opts.SuspectAfter, c.opts.DeadAfter)
+		}
+	}
+}
+
+// aliveTeams snapshots the non-dead workers (order = registration order,
+// the home axis of the round-robin placement).
+func (c *Coordinator) aliveTeams() []*RemoteTeam {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var alive []*RemoteTeam
+	for _, t := range c.teams {
+		if t.State() != Dead {
+			alive = append(alive, t)
+		}
+	}
+	return alive
+}
+
+// task is one unit of distributed work: the A tiles overlapping the
+// tile-rows one worker owns × the B tiles of one column chunk,
+// pre-encoded once so retries, hedges and re-routes re-ship the same
+// bytes. The shard matrices are kept for the last-resort local execution.
+//
+// Shard tiles are the ORIGINAL tiles, never split at band cuts: the
+// dynamic optimizer's cost model reads whole-tile densities, so a split
+// tile would steer kernel and representation choices differently than the
+// local run and break bit-identity. A tile spanning several bands
+// therefore rides along into every shard overlapping it, the worker
+// redundantly computes the spilled-over targets, and keepRow/keepCol
+// restrict the returned product to the targets this task owns.
+type task struct {
+	owner      int // index into the alive-team snapshot
+	aMat, bMat *core.ATMatrix
+	aBytes     []byte
+	bBytes     []byte
+	nRows      int // tile-rows covered, the tiles_rerouted unit
+	// keepRow and keepCol hold the band Lo coordinates of the owned
+	// (tile-row × column-chunk) region; result tiles always sit exactly on
+	// band origins, so membership is exact.
+	keepRow map[int]bool
+	keepCol map[int]bool
+}
+
+// keep reports whether a returned product tile belongs to this task's
+// owned region (rather than spill-over from a band-spanning shard tile).
+func (t *task) keep(tile *core.Tile) bool {
+	return t.keepRow[tile.Row0] && t.keepCol[tile.Col0]
+}
+
+// Multiply executes C = A·B across the cluster, falling back to local
+// execution when no workers can serve. It satisfies the
+// service.Options.Distribute contract.
+func (c *Coordinator) Multiply(a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
+	alive := c.aliveTeams()
+	if len(alive) == 0 ||
+		a.Cols != b.Rows || a.BAtomic != c.cfg.BAtomic || b.BAtomic != c.cfg.BAtomic {
+		// No cluster to shard over (or operands the local operator should
+		// reject with its own diagnostics): degrade to single-node
+		// execution.
+		c.localFallbacks.Add(1)
+		return core.MultiplyOpt(a, b, c.cfg, opts)
+	}
+	out, stats, err := c.multiplyDistributed(a, b, opts, alive)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.remoteMultiplies.Add(1)
+	return out, stats, nil
+}
+
+func (c *Coordinator) multiplyDistributed(a, b *core.ATMatrix, opts core.MultOptions, alive []*RemoteTeam) (*core.ATMatrix, *core.MultStats, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		//atlint:ignore ctxflow uncancellable caller: local root for per-RPC deadlines
+		ctx = context.Background()
+	}
+	wallStart := time.Now()
+	stats := &core.MultStats{}
+
+	// Global plan: the write threshold must come from the full density
+	// map — a shard-local water level would classify result tiles
+	// differently than a local run (§III-E).
+	t0 := time.Now()
+	stats.WriteThreshold = 2
+	if opts.Estimate {
+		stats.WriteThreshold = core.PlanWriteThreshold(a, b, c.cfg)
+	}
+	if opts.WriteThreshold > 0 {
+		stats.WriteThreshold = opts.WriteThreshold
+	}
+	hdr := execHeader{
+		BAtomic:        c.cfg.BAtomic,
+		WriteThreshold: stats.WriteThreshold,
+		SpGEMM:         int(opts.SpGEMM),
+	}
+	tasks, err := c.buildTasks(a, b, len(alive))
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.EstimateTime = time.Since(t0)
+
+	// Shard options: workers re-derive band-local density maps for kernel
+	// selection but decide representations against the shipped threshold;
+	// verification runs once, on the assembled product.
+	shardOpts := opts
+	shardOpts.Verify = 0
+	shardOpts.WriteThreshold = stats.WriteThreshold
+	shardOpts.Estimate = true
+
+	// Dispatch every task; each routes, retries and hedges independently.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		partials = make([]*core.ATMatrix, len(tasks))
+		firstErr error
+		contribs int64
+	)
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t *task) {
+			defer wg.Done()
+			m, n, err := c.runTask(ctx, alive, hdr, shardOpts, t)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			partials[i] = m
+			contribs += n
+		}(i, t)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	// Merge: each partial product, restricted to its task's owned region
+	// (spill-over targets of band-spanning shard tiles are dropped), covers
+	// a disjoint (tile-row × column-chunk) region — assembly is re-homing
+	// plus a band-grid sort, the same (Row0, Col0) order the local operator
+	// emits its result slots in.
+	var tiles []*core.Tile
+	for i, p := range partials {
+		if p == nil {
+			continue
+		}
+		for _, t := range p.Tiles {
+			if !tasks[i].keep(t) {
+				continue
+			}
+			t.Home = c.cfg.Topology.HomeOfTileRow(t.Row0 / c.cfg.BAtomic)
+			tiles = append(tiles, t)
+		}
+	}
+	sort.Slice(tiles, func(i, j int) bool {
+		if tiles[i].Row0 != tiles[j].Row0 {
+			return tiles[i].Row0 < tiles[j].Row0
+		}
+		return tiles[i].Col0 < tiles[j].Col0
+	})
+	out, err := core.NewFromTiles(a.Rows, b.Cols, c.cfg.BAtomic, tiles)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: assembling partial products: %w", err)
+	}
+	stats.Contributions = contribs
+	stats.TargetTiles = int64(len(tiles))
+	if opts.Verify > 0 {
+		t0 := time.Now()
+		if err := core.VerifyProduct(a, b, out, opts.Verify, verifySeq.Add(1)); err != nil {
+			return nil, nil, err
+		}
+		stats.VerifyTime = time.Since(t0)
+	}
+	stats.WallTime = time.Since(wallStart)
+	return out, stats, nil
+}
+
+// buildTasks cuts the operands into the 2D shard grid: the round-robin
+// owner of each of A's tile-rows (sched.PlaceRoundRobin — placement and
+// its dead-home routing live in the scheduler, so the cluster provably
+// shares the local §III-F policy) crossed with contiguous column chunks
+// of B. Shards carry whole original tiles (see task), so a band-spanning
+// tile lands in every shard it overlaps and nothing is ever cut in the
+// contraction direction — every worker runs the exact contraction windows,
+// kernels and accumulation order of the local operator.
+func (c *Coordinator) buildTasks(a, b *core.ATMatrix, workers int) ([]*task, error) {
+	rowBands := a.RowBands()
+	colBands := b.ColBands()
+	queues, ok := sched.PlaceRoundRobin(len(rowBands), workers, nil)
+	if !ok {
+		return nil, fmt.Errorf("cluster: no home for %d tile-rows", len(rowBands))
+	}
+
+	// bandRange resolves the contiguous run of bands a [lo, hi) span
+	// overlaps; bands are induced by tile cuts, so the span is exact.
+	bandRange := func(bands []core.Band, lo, hi int) (int, int) {
+		first := sort.Search(len(bands), func(i int) bool { return bands[i].Hi > lo })
+		last := first
+		for last+1 < len(bands) && bands[last+1].Lo < hi {
+			last++
+		}
+		return first, last
+	}
+
+	// Column chunks: contiguous runs of column bands, one per worker by
+	// default so the 2D grid gives re-routing and hedging sub-multiply
+	// granularity.
+	chunks := c.opts.ColChunks
+	if chunks <= 0 {
+		chunks = workers
+	}
+	if chunks > len(colBands) {
+		chunks = len(colBands)
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	chunkOf := func(band int) int { return band * chunks / len(colBands) }
+	bChunkTiles := make([][]*core.Tile, chunks)
+	for _, t := range b.Tiles {
+		first, last := bandRange(colBands, t.Col0, t.Col0+t.Cols)
+		for cc := chunkOf(first); cc <= chunkOf(last); cc++ {
+			bChunkTiles[cc] = append(bChunkTiles[cc], t)
+		}
+	}
+	bChunk := make([]*core.ATMatrix, chunks)
+	bBytes := make([][]byte, chunks)
+	keepCol := make([]map[int]bool, chunks)
+	for tj, band := range colBands {
+		cc := chunkOf(tj)
+		if keepCol[cc] == nil {
+			keepCol[cc] = make(map[int]bool)
+		}
+		keepCol[cc][band.Lo] = true
+	}
+	for cc, ts := range bChunkTiles {
+		if len(ts) == 0 {
+			continue
+		}
+		m, err := core.NewFromTiles(b.Rows, b.Cols, b.BAtomic, ts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building B chunk %d: %w", cc, err)
+		}
+		enc, err := encodeMatrix(m)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: encoding B chunk %d: %w", cc, err)
+		}
+		bChunk[cc], bBytes[cc] = m, enc
+	}
+
+	// A shards, one per worker owning at least one non-empty tile-row. A
+	// tile spanning several bands joins every owner's shard.
+	ownerOf := make(map[int]int, len(rowBands)) // band index -> owner
+	for w, q := range queues {
+		for _, ti := range q {
+			ownerOf[int(ti)] = w
+		}
+	}
+	aShardTiles := make([][]*core.Tile, workers)
+	rowsCovered := make([]map[int]bool, workers)
+	for _, t := range a.Tiles {
+		first, last := bandRange(rowBands, t.Row0, t.Row0+t.Rows)
+		seen := -1
+		for band := first; band <= last; band++ {
+			w := ownerOf[band]
+			if rowsCovered[w] == nil {
+				rowsCovered[w] = make(map[int]bool)
+			}
+			rowsCovered[w][band] = true
+			if w != seen {
+				aShardTiles[w] = append(aShardTiles[w], t)
+				seen = w
+			}
+		}
+	}
+	// Dedup: with >2 owners a tile can reach the same shard twice through
+	// non-adjacent bands; membership must be unique for NewFromTiles.
+	for w := range aShardTiles {
+		ts := aShardTiles[w]
+		uniq := ts[:0]
+		last := map[*core.Tile]bool{}
+		for _, t := range ts {
+			if !last[t] {
+				last[t] = true
+				uniq = append(uniq, t)
+			}
+		}
+		aShardTiles[w] = uniq
+	}
+
+	var tasks []*task
+	for w, ts := range aShardTiles {
+		if len(ts) == 0 {
+			continue
+		}
+		m, err := core.NewFromTiles(a.Rows, a.Cols, a.BAtomic, ts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building A shard %d: %w", w, err)
+		}
+		enc, err := encodeMatrix(m)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: encoding A shard %d: %w", w, err)
+		}
+		keepRow := make(map[int]bool, len(rowsCovered[w]))
+		for band := range rowsCovered[w] {
+			if ownerOf[band] == w {
+				keepRow[rowBands[band].Lo] = true
+			}
+		}
+		for cc := 0; cc < chunks; cc++ {
+			if bChunk[cc] == nil {
+				continue
+			}
+			tasks = append(tasks, &task{
+				owner: w,
+				aMat:  m, bMat: bChunk[cc],
+				aBytes: enc, bBytes: bBytes[cc],
+				nRows:   len(keepRow),
+				keepRow: keepRow,
+				keepCol: keepCol[cc],
+			})
+		}
+	}
+	return tasks, nil
+}
+
+// attemptResult is one exec attempt's outcome, tagged with the worker
+// index so hedged wins are attributable.
+type attemptResult struct {
+	m        *core.ATMatrix
+	contribs int64
+	err      error
+	idx      int
+}
+
+// runTask executes one shard task with the full failure policy: try the
+// §III-F owner first (per-attempt RPC deadline, transient re-sends with
+// capped exponential backoff), hedge a duplicate onto the next healthy
+// worker if the answer is slow, and re-route the tile-rows to the
+// survivors when a worker is exhausted. If every worker fails, the task
+// degrades to local execution — unless the failures say the transfers are
+// corrupt, which must surface to the quarantine instead of being masked
+// by a locally computed result.
+func (c *Coordinator) runTask(ctx context.Context, alive []*RemoteTeam, hdr execHeader, shardOpts core.MultOptions, t *task) (*core.ATMatrix, int64, error) {
+	n := len(alive)
+	tried := make([]bool, n)
+	// next picks the untried candidate closest after the owner in ring
+	// order, preferring workers not currently dead; once only dead ones
+	// remain they are tried too (a killed process may have come back).
+	next := func() int {
+		for pass := 0; pass < 2; pass++ {
+			for off := 0; off < n; off++ {
+				i := (t.owner + off) % n
+				if tried[i] {
+					continue
+				}
+				if pass == 0 && alive[i].State() == Dead {
+					continue
+				}
+				return i
+			}
+		}
+		return -1
+	}
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		idx := next()
+		if idx < 0 {
+			break
+		}
+		tried[idx] = true
+		if idx != t.owner {
+			// The owner could not serve its tile-rows; account the move.
+			c.tilesRerouted.Add(int64(t.nRows))
+		}
+
+		actx, cancel := context.WithCancel(ctx)
+		results := make(chan attemptResult, 2)
+		launched := 1
+		go func(i int) {
+			m, cn, err := c.execOnWorker(actx, alive[i], hdr, t)
+			results <- attemptResult{m: m, contribs: cn, err: err, idx: i}
+		}(idx)
+
+		var hedgeCh <-chan time.Time
+		var hedgeTimer *time.Timer
+		if c.opts.HedgeAfter > 0 {
+			hedgeTimer = time.NewTimer(c.opts.HedgeAfter)
+			hedgeCh = hedgeTimer.C
+		}
+		var won *attemptResult
+		for launched > 0 && won == nil {
+			select {
+			case r := <-results:
+				launched--
+				if r.err == nil {
+					won = &r
+				} else {
+					lastErr = r.err
+				}
+			case <-hedgeCh:
+				hedgeCh = nil
+				if h := next(); h >= 0 {
+					tried[h] = true
+					c.hedgesSent.Add(1)
+					launched++
+					go func(i int) {
+						m, cn, err := c.execOnWorker(actx, alive[i], hdr, t)
+						results <- attemptResult{m: m, contribs: cn, err: err, idx: i}
+					}(h)
+				}
+			}
+		}
+		cancel()
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+		}
+		// Collect stragglers so no attempt goroutine outlives the
+		// multiply (their contexts are cancelled, so this is prompt).
+		for launched > 0 {
+			r := <-results
+			launched--
+			if won == nil && r.err == nil {
+				won = &r
+			}
+		}
+		if won != nil {
+			if won.idx != idx {
+				c.hedgedWins.Add(1)
+			}
+			return won.m, won.contribs, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if lastErr != nil && isCorrupt(lastErr) {
+		return nil, 0, lastErr
+	}
+	// Graceful degradation: every worker is unreachable or failing, but
+	// the coordinator still holds the shard — execute it locally.
+	c.localTasks.Add(1)
+	m, st, err := core.MultiplyOpt(t.aMat, t.bMat, c.cfg, shardOpts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, st.Contributions, nil
+}
+
+// execOnWorker runs the per-worker retry loop: transient failures re-send
+// to the same worker under capped exponential backoff; permanent ones
+// return immediately so the caller re-routes. Transport-level failures
+// count against the worker's health exactly like missed heartbeats.
+func (c *Coordinator) execOnWorker(ctx context.Context, rt *RemoteTeam, hdr execHeader, t *task) (*core.ATMatrix, int64, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.rpcRetries.Add(1)
+			if !sleepCtx(ctx, backoffDelay(c.opts.RetryBase, c.opts.RetryMax, attempt-1)) {
+				return nil, 0, ctx.Err()
+			}
+		}
+		rctx, cancel := context.WithTimeout(ctx, c.opts.RPCTimeout)
+		m, contribs, err := rt.exec(rctx, hdr, t.aBytes, t.bBytes)
+		cancel()
+		if err == nil {
+			rt.health.observe(true, c.opts.SuspectAfter, c.opts.DeadAfter)
+			return m, contribs, nil
+		}
+		if ctx.Err() != nil {
+			// The parent was cancelled (hedge lost, multiply aborted):
+			// the failure says nothing about the worker.
+			return nil, 0, ctx.Err()
+		}
+		var te *transportError
+		if errors.As(err, &te) {
+			rt.health.observe(false, c.opts.SuspectAfter, c.opts.DeadAfter)
+		}
+		lastErr = err
+		if !isTransient(err) {
+			break
+		}
+	}
+	return nil, 0, lastErr
+}
+
+// backoffDelay is the capped exponential retry delay.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d
+}
+
+// sleepCtx sleeps d, reporting false if ctx expires first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"atmatrix/internal/core"
+)
+
+// The exec RPC body is a single frame:
+//
+//	uint32 little-endian header length
+//	JSON execHeader
+//	int64 aLen, then aLen bytes of A-shard .atm stream
+//	int64 bLen, then bLen bytes of B-chunk .atm stream
+//
+// The .atm streams carry their own CRC-32C footers, so a flipped bit
+// anywhere in an operand payload fails the decode with core.ErrChecksum
+// (or a typed core.TileError naming the damaged tile) rather than
+// producing a silently wrong shard product. A successful response is the
+// product's bare .atm stream; failures are JSON {"error", "corrupt",
+// "transient"} with a matching status code.
+
+// execHeader carries the coordinator's global plan parameters: the block
+// granularity the shard streams were partitioned at, and the globally
+// derived write threshold — a worker deriving its own water level from a
+// shard-local density map would classify result tiles differently than a
+// local run, breaking byte-identity.
+type execHeader struct {
+	BAtomic        int     `json:"b_atomic"`
+	WriteThreshold float64 `json:"write_threshold"`
+	SpGEMM         int     `json:"spgemm"`
+}
+
+const (
+	maxHeaderBytes  = 1 << 16
+	maxOperandBytes = int64(1) << 33
+)
+
+// encodeMatrix serializes a matrix to an in-memory .atm stream, so the
+// coordinator pays the encoding once per shard however many retries,
+// hedges and re-routes ship it.
+func encodeMatrix(m *core.ATMatrix) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// execFramePrefix assembles the frame bytes preceding the A stream. The
+// operand bytes themselves are never copied; execFrameReader streams them
+// after the prefix.
+func execFramePrefix(hdr execHeader, aLen, bLen int) ([]byte, error) {
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding exec header: %w", err)
+	}
+	pre := make([]byte, 0, 4+len(hj)+8)
+	pre = binary.LittleEndian.AppendUint32(pre, uint32(len(hj)))
+	pre = append(pre, hj...)
+	pre = binary.LittleEndian.AppendUint64(pre, uint64(aLen))
+	return pre, nil
+}
+
+// execFrameReader returns a reader over the full frame and its length.
+func execFrameReader(hdr execHeader, aBytes, bBytes []byte) (io.Reader, int64, error) {
+	pre, err := execFramePrefix(hdr, len(aBytes), len(bBytes))
+	if err != nil {
+		return nil, 0, err
+	}
+	var blen [8]byte
+	binary.LittleEndian.PutUint64(blen[:], uint64(len(bBytes)))
+	r := io.MultiReader(
+		bytes.NewReader(pre),
+		bytes.NewReader(aBytes),
+		bytes.NewReader(blen[:]),
+		bytes.NewReader(bBytes),
+	)
+	return r, int64(len(pre)) + int64(len(aBytes)) + 8 + int64(len(bBytes)), nil
+}
+
+// readExecFrame decodes one exec request. Operand streams are decoded
+// through length-bounded readers: core.ReadATMatrix buffers internally, so
+// without the explicit lengths the first decode would swallow bytes of the
+// second stream.
+func readExecFrame(r io.Reader) (execHeader, *core.ATMatrix, *core.ATMatrix, error) {
+	var hdr execHeader
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r, lenBuf[:4]); err != nil {
+		return hdr, nil, nil, fmt.Errorf("cluster: reading frame header length: %w", err)
+	}
+	hlen := binary.LittleEndian.Uint32(lenBuf[:4])
+	if hlen == 0 || hlen > maxHeaderBytes {
+		return hdr, nil, nil, fmt.Errorf("cluster: absurd frame header length %d", hlen)
+	}
+	hj := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hj); err != nil {
+		return hdr, nil, nil, fmt.Errorf("cluster: reading frame header: %w", err)
+	}
+	if err := json.Unmarshal(hj, &hdr); err != nil {
+		return hdr, nil, nil, fmt.Errorf("cluster: decoding frame header: %w", err)
+	}
+	if hdr.BAtomic <= 0 || hdr.BAtomic > 1<<20 || hdr.BAtomic&(hdr.BAtomic-1) != 0 {
+		return hdr, nil, nil, fmt.Errorf("cluster: frame header b_atomic %d not a power of two", hdr.BAtomic)
+	}
+	readOperand := func(which string) (*core.ATMatrix, error) {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("cluster: reading %s length: %w", which, err)
+		}
+		n := int64(binary.LittleEndian.Uint64(lenBuf[:]))
+		if n <= 0 || n > maxOperandBytes {
+			return nil, fmt.Errorf("cluster: absurd %s length %d", which, n)
+		}
+		lr := io.LimitReader(r, n)
+		m, err := core.ReadATMatrix(lr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: decoding %s: %w", which, err)
+		}
+		// Drain to the declared boundary so the next operand starts
+		// aligned even if the decoder's buffer stopped short of it.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("cluster: draining %s: %w", which, err)
+		}
+		return m, nil
+	}
+	am, err := readOperand("A shard")
+	if err != nil {
+		return hdr, nil, nil, err
+	}
+	bm, err := readOperand("B chunk")
+	if err != nil {
+		return hdr, nil, nil, err
+	}
+	return hdr, am, bm, nil
+}
+
+// rpcFailure is the JSON error body of a failed worker RPC.
+type rpcFailure struct {
+	Error string `json:"error"`
+	// Corrupt marks operand streams that failed their checksum or
+	// structural validation — the coordinator escalates these to the
+	// service layer's combination quarantine instead of retrying forever.
+	Corrupt bool `json:"corrupt,omitempty"`
+	// Transient marks failures worth re-sending to the same worker.
+	Transient bool `json:"transient,omitempty"`
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
+)
+
+// RemoteTeam is the cluster-level analog of a sched.Team: where a socket
+// team executes the tile-row pairs homed on its socket, a RemoteTeam
+// executes the shard tasks homed on its worker node. It owns the worker's
+// address, its health state and the RPC mechanics — deadlines are applied
+// per call by the coordinator, transport failures feed the health state
+// machine the same way missed heartbeats do.
+type RemoteTeam struct {
+	addr   string // base URL, e.g. "http://127.0.0.1:9001"
+	hc     *http.Client
+	health health
+}
+
+// newRemoteTeam normalizes the worker address into a base URL.
+func newRemoteTeam(addr string, hc *http.Client) *RemoteTeam {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &RemoteTeam{addr: strings.TrimRight(addr, "/"), hc: hc}
+}
+
+// Addr returns the worker's base URL.
+func (rt *RemoteTeam) Addr() string { return rt.addr }
+
+// State returns the worker's current health state.
+func (rt *RemoteTeam) State() State {
+	s, _ := rt.health.current()
+	return s
+}
+
+// transportError is a connection-level RPC failure: refused, reset, timed
+// out — the worker may be gone. Always transient (a retry or another
+// worker can succeed), always a health miss. It deliberately does not
+// unwrap: a per-RPC deadline surfaces as context.DeadlineExceeded
+// underneath, and exposing that would make the service layer misclassify
+// a retryable worker timeout as the job's own deadline.
+type transportError struct {
+	addr string
+	err  error
+}
+
+func (e *transportError) Error() string {
+	return fmt.Sprintf("cluster: rpc to %s: %v", e.addr, e.err)
+}
+
+// Transient marks transport failures retryable, the PR 3 classifier
+// convention.
+func (e *transportError) Transient() bool { return true }
+
+// remoteError is an HTTP-level failure: the worker answered, so it is
+// alive, but it rejected or failed the request.
+type remoteError struct {
+	addr      string
+	status    int
+	msg       string
+	transient bool
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("cluster: worker %s: http %d: %s", e.addr, e.status, e.msg)
+}
+
+func (e *remoteError) Transient() bool { return e.transient }
+
+// exec ships one shard task to the worker and decodes the partial
+// product. The three rpc.* fault sites cover the failure matrix: rpc.send
+// fails the request before it leaves, rpc.conn fails the transport,
+// rpc.recv fails (or corrupts, via its error kind) the response path.
+func (rt *RemoteTeam) exec(ctx context.Context, hdr execHeader, aBytes, bBytes []byte) (*core.ATMatrix, int64, error) {
+	if err := faultinject.Do("rpc.send"); err != nil {
+		return nil, 0, fmt.Errorf("cluster: sending exec to %s: %w", rt.addr, err)
+	}
+	body, n, err := execFrameReader(hdr, aBytes, bBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.addr+"/cluster/v1/exec", body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: building exec request: %w", err)
+	}
+	req.ContentLength = n
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if err := faultinject.Do("rpc.conn"); err != nil {
+		return nil, 0, &transportError{addr: rt.addr, err: err}
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, 0, &transportError{addr: rt.addr, err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, decodeFailure(rt.addr, resp)
+	}
+	if err := faultinject.Do("rpc.recv"); err != nil {
+		return nil, 0, fmt.Errorf("cluster: receiving product from %s: %w", rt.addr, err)
+	}
+	m, err := core.ReadATMatrix(resp.Body)
+	if err != nil {
+		// The product stream failed its CRC or structure checks in
+		// flight; the typed core error (ErrChecksum / TileError with the
+		// damaged tile's coordinate) rides along for the quarantine path.
+		return nil, 0, fmt.Errorf("cluster: decoding product from %s: %w", rt.addr, err)
+	}
+	contribs, _ := strconv.ParseInt(resp.Header.Get("X-Atm-Contributions"), 10, 64)
+	return m, contribs, nil
+}
+
+// decodeFailure maps a non-200 worker response to a typed error.
+func decodeFailure(addr string, resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var f rpcFailure
+	if err := json.Unmarshal(raw, &f); err != nil || f.Error == "" {
+		f.Error = strings.TrimSpace(string(raw))
+	}
+	if f.Corrupt {
+		// The worker's decoder rejected the shard stream we shipped: the
+		// transfer (or the coordinator's copy) is damaged. Surface the
+		// checksum sentinel so exhausted re-sends quarantine the operand
+		// combination instead of looping.
+		return fmt.Errorf("cluster: worker %s rejected shard: %s: %w", addr, f.Error, core.ErrChecksum)
+	}
+	transient := f.Transient ||
+		resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode == http.StatusTooManyRequests
+	return &remoteError{addr: addr, status: resp.StatusCode, msg: f.Error, transient: transient}
+}
+
+// heartbeat probes the worker's health endpoint.
+func (rt *RemoteTeam) heartbeat(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.addr+"/cluster/v1/health", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	return resp.StatusCode == http.StatusOK
+}
+
+// isTransient applies the PR 3 transient/permanent classification: any
+// error in the chain implementing the Transient() marker opts in.
+func isTransient(err error) bool {
+	var tr interface{ Transient() bool }
+	return errors.As(err, &tr) && tr.Transient()
+}
+
+// isCorrupt reports whether an error chain carries stream-corruption
+// evidence: the checksum/magic sentinels or a typed per-tile decode error.
+func isCorrupt(err error) bool {
+	var te *core.TileError
+	return errors.Is(err, core.ErrChecksum) || errors.Is(err, core.ErrBadMagic) || errors.As(err, &te)
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
+)
+
+// Worker executes shard multiplications on behalf of a coordinator. It is
+// plain HTTP handlers over the local ATMULT operator — a worker node runs
+// the same atserve binary with -role worker, and the same process can keep
+// serving its local catalog API.
+type Worker struct {
+	cfg core.Config
+	// sem bounds concurrent shard multiplications: each one already
+	// spreads over every socket team, so stacking more than a couple only
+	// queues inside the scheduler while pinning operand memory.
+	sem chan struct{}
+}
+
+// NewWorker returns a worker executing shards under the given config. The
+// config's topology and scheduling knobs apply locally; the block
+// granularity and write threshold arrive per request from the
+// coordinator's global plan.
+func NewWorker(cfg core.Config) *Worker {
+	slots := cfg.Topology.Sockets
+	if slots < 1 {
+		slots = 1
+	}
+	return &Worker{cfg: cfg, sem: make(chan struct{}, slots)}
+}
+
+// Register mounts the worker's RPC endpoints on a mux.
+func (w *Worker) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /cluster/v1/exec", w.HandleExec)
+	mux.HandleFunc("GET /cluster/v1/health", w.HandleHealth)
+}
+
+// HandleHealth answers coordinator heartbeats.
+func (w *Worker) HandleHealth(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(rw, `{"status":"ok"}`)
+}
+
+// HandleExec decodes one shard task, runs the local ATMULT with the
+// coordinator's shipped plan parameters and streams the partial product
+// back. Corrupt operand streams are rejected as 422 with the corrupt
+// marker, so the coordinator can distinguish "this transfer is damaged"
+// from "this worker is failing".
+func (w *Worker) HandleExec(rw http.ResponseWriter, r *http.Request) {
+	// Chaos hook: the injected error's kind steers the coordinator's
+	// failure handling — transient faults ask for a re-send (503),
+	// permanent ones for a re-route (500).
+	if err := faultinject.Do("worker.exec"); err != nil {
+		writeFailure(rw, failureStatus(err), rpcFailure{Error: err.Error(), Transient: isTransient(err)})
+		return
+	}
+	hdr, am, bm, err := readExecFrame(r.Body)
+	if err != nil {
+		f := rpcFailure{Error: err.Error(), Corrupt: isCorrupt(err)}
+		status := http.StatusBadRequest
+		if f.Corrupt {
+			status = http.StatusUnprocessableEntity
+		}
+		writeFailure(rw, status, f)
+		return
+	}
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	case <-r.Context().Done():
+		return
+	}
+	cfg := w.cfg
+	cfg.BAtomic = hdr.BAtomic
+	opts := core.MultOptions{
+		Estimate:       true,
+		DynOpt:         true,
+		Ctx:            r.Context(),
+		WriteThreshold: hdr.WriteThreshold,
+		SpGEMM:         core.SpGEMMPolicy(hdr.SpGEMM),
+	}
+	out, stats, err := core.MultiplyOpt(am, bm, cfg, opts)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The coordinator cancelled (hedge lost, deadline): nobody is
+			// reading the response.
+			return
+		}
+		writeFailure(rw, failureStatus(err), rpcFailure{Error: err.Error(), Transient: isTransient(err)})
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("X-Atm-Contributions", strconv.FormatInt(stats.Contributions, 10))
+	rw.Header().Set("X-Atm-Wall-Ns", strconv.FormatInt(stats.WallTime.Nanoseconds(), 10))
+	if _, err := out.WriteTo(rw); err != nil {
+		// Mid-stream write failures cannot change the status; the
+		// truncated stream fails the coordinator's CRC check instead.
+		return
+	}
+}
+
+// failureStatus maps an execution error to the HTTP status telling the
+// coordinator how to react: 503 retry-here for transient failures, 500
+// re-route for the rest.
+func failureStatus(err error) int {
+	if isTransient(err) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeFailure(rw http.ResponseWriter, status int, f rpcFailure) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(f)
+}

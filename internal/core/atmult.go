@@ -53,6 +53,15 @@ type MultOptions struct {
 	// everything else to Gustavson. The forced settings exist for
 	// benchmarks and ablations.
 	SpGEMM SpGEMMPolicy
+	// WriteThreshold, when positive, replaces the water-level derivation
+	// with a precomputed effective write threshold ρ_D^W. The water level
+	// depends on the whole density map, so a shard of a matrix derives a
+	// different threshold than the full matrix would; a distributed
+	// coordinator computes the global value once (PlanWriteThreshold) and
+	// ships it to every worker so sharded executions pick result-tile
+	// representations — and therefore bytes — identically to a local run.
+	// Zero keeps the local derivation.
+	WriteThreshold float64
 }
 
 // SpGEMMPolicy selects the algorithm used for sparse×sparse→sparse tile
@@ -169,20 +178,12 @@ func MultiplyOpt(a, b *ATMatrix, cfg Config, opts MultOptions) (*ATMatrix, *Mult
 	stats.WriteThreshold = 2 // > 1: everything sparse when estimation is off
 	if opts.Estimate {
 		t0 := time.Now()
-		// Coarsen the estimation grid for very high-dimension operands:
-		// the estimator's cost is O(gridRows·gridK·gridCols), independent
-		// of nnz, and would otherwise dominate hypersparse
-		// multiplications (the R9 effect of §IV-D).
-		const gridCellCap = 1 << 13
-		estBlock := cfg.BAtomic
-		for cells(a.Rows, b.Cols, estBlock) > gridCellCap ||
-			cells(a.Rows, a.Cols, estBlock) > gridCellCap ||
-			cells(b.Rows, b.Cols, estBlock) > gridCellCap {
-			estBlock *= 2
-		}
-		est = density.EstimateProduct(a.DensityMapAt(estBlock), b.DensityMapAt(estBlock))
+		est = estimateProductDensity(a, b, cfg)
 		stats.WriteThreshold = EffectiveWriteThreshold(cfg, est)
 		stats.EstimateTime = time.Since(t0)
+	}
+	if opts.WriteThreshold > 0 {
+		stats.WriteThreshold = opts.WriteThreshold
 	}
 
 	rowBands := a.RowBands()
@@ -797,6 +798,32 @@ func runSparseTarget(acc *kernels.SpAcc, ct *contribution, lo, hi int, scr *kern
 // cells returns the number of grid cells of an m×n matrix at a block size.
 func cells(m, n, block int) int {
 	return ((m + block - 1) / block) * ((n + block - 1) / block)
+}
+
+// estimateProductDensity builds the product density map at the coarsened
+// estimation grid: the estimator's cost is O(gridRows·gridK·gridCols),
+// independent of nnz, and at b_atomic resolution would dominate
+// hypersparse multiplications of very high-dimension operands (the R9
+// effect of §IV-D), so the grid doubles until it fits the cell cap.
+func estimateProductDensity(a, b *ATMatrix, cfg Config) *density.Map {
+	const gridCellCap = 1 << 13
+	estBlock := cfg.BAtomic
+	for cells(a.Rows, b.Cols, estBlock) > gridCellCap ||
+		cells(a.Rows, a.Cols, estBlock) > gridCellCap ||
+		cells(b.Rows, b.Cols, estBlock) > gridCellCap {
+		estBlock *= 2
+	}
+	return density.EstimateProduct(a.DensityMapAt(estBlock), b.DensityMapAt(estBlock))
+}
+
+// PlanWriteThreshold derives the effective write threshold of C = A·B the
+// way MultiplyOpt would, without running the multiplication. A distributed
+// coordinator calls this once on the full operands and ships the value to
+// workers via MultOptions.WriteThreshold, so every shard classifies its
+// result tiles against the global water level rather than a shard-local
+// one.
+func PlanWriteThreshold(a, b *ATMatrix, cfg Config) float64 {
+	return EffectiveWriteThreshold(cfg, estimateProductDensity(a, b, cfg))
 }
 
 // sliceA narrows the A operand of a contribution to target rows [lo, hi).

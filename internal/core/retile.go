@@ -53,6 +53,50 @@ func RetileColumns(a *ATMatrix, cuts []int) *ATMatrix {
 	return out
 }
 
+// RetileRows is the row-axis analog of RetileColumns: it splits every tile
+// of a at the given row coordinates. A distributed coordinator uses it to
+// cut the left operand at its global row-band boundaries before sharding,
+// so every shipped tile lies within exactly one tile-row and a worker
+// reconstructs the same band grid — and therefore the same contraction
+// windows — the local operator would use.
+func RetileRows(a *ATMatrix, cuts []int) *ATMatrix {
+	sorted := append([]int(nil), cuts...)
+	sort.Ints(sorted)
+	out := newATMatrix(a.Rows, a.Cols, a.BAtomic)
+	for _, t := range a.Tiles {
+		inner := innerCuts(sorted, t.Row0, t.Row0+t.Rows)
+		if len(inner) == 0 {
+			out.addTile(t)
+			continue
+		}
+		bounds := append(append([]int{t.Row0}, inner...), t.Row0+t.Rows)
+		for i := 0; i+1 < len(bounds); i++ {
+			r0, r1 := bounds[i], bounds[i+1]
+			sub := sliceTileRows(t, r0-t.Row0, r1-t.Row0)
+			if sub != nil {
+				out.addTile(sub)
+			}
+		}
+	}
+	return out
+}
+
+// NewFromTiles assembles an AT MATRIX of the given dimensions directly
+// from already-partitioned tiles, sharing their payloads. Callers that
+// carve shards out of a partitioned matrix (RetileRows + a tile filter) or
+// merge disjoint partial products back together use this instead of
+// re-running the partitioner; the structural invariants are validated.
+func NewFromTiles(rows, cols, bAtomic int, tiles []*Tile) (*ATMatrix, error) {
+	out := newATMatrix(rows, cols, bAtomic)
+	for _, t := range tiles {
+		out.addTile(t)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // innerCuts returns the cut positions strictly inside (lo, hi).
 func innerCuts(sorted []int, lo, hi int) []int {
 	var out []int
@@ -79,6 +123,29 @@ func sliceTileColumns(t *Tile, c0, c1 int) *Tile {
 		return sub
 	}
 	csr := t.Sp.SubMatrix(0, t.Rows, int32(c0), int32(c1))
+	if csr.NNZ() == 0 {
+		return nil
+	}
+	sub.Sp = csr
+	sub.NNZ = csr.NNZ()
+	return sub
+}
+
+// sliceTileRows materializes tile-local rows [r0, r1) as a new tile, or
+// nil when the slice is empty.
+func sliceTileRows(t *Tile, r0, r1 int) *Tile {
+	sub := &Tile{
+		Row0: t.Row0 + r0, Col0: t.Col0,
+		Rows: r1 - r0, Cols: t.Cols,
+		Kind: t.Kind, Home: t.Home,
+	}
+	if t.Kind == mat.DenseKind {
+		d := t.D.Window(r0, r1, 0, t.Cols).Clone()
+		sub.D = d
+		sub.NNZ = d.NNZ()
+		return sub
+	}
+	csr := t.Sp.SubMatrix(r0, r1, 0, int32(t.Cols))
 	if csr.NNZ() == 0 {
 		return nil
 	}

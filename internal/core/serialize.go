@@ -46,6 +46,33 @@ var (
 // castagnoli is the CRC-32C polynomial table shared by writer and reader.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// TileError identifies the tile at which decoding an AT MATRIX stream
+// failed: its ordinal in stream order and — once the bounds were readable —
+// its absolute (Row0, Col0) coordinate. A coordinator receiving a corrupt
+// shard over the wire uses the coordinate to name the damaged tile when it
+// quarantines the operand combination, instead of reporting a bare byte
+// offset. Unwrap exposes the cause, so errors.Is still matches ErrChecksum
+// and the structural sentinels underneath.
+type TileError struct {
+	Tile       int // tile ordinal in stream order
+	Row0, Col0 int // absolute coordinate; -1 when the bounds were unreadable
+	Err        error
+}
+
+func (e *TileError) Error() string {
+	if e.Row0 < 0 {
+		return fmt.Sprintf("core: tile %d: %v", e.Tile, e.Err)
+	}
+	return fmt.Sprintf("core: tile %d at (%d,%d): %v", e.Tile, e.Row0, e.Col0, e.Err)
+}
+
+func (e *TileError) Unwrap() error { return e.Err }
+
+// tileErr wraps a per-tile decode failure with its stream position.
+func tileErr(ti int64, row0, col0 int, format string, args ...any) error {
+	return &TileError{Tile: int(ti), Row0: row0, Col0: col0, Err: fmt.Errorf(format, args...)}
+}
+
 // WriteTo serializes the AT MATRIX. It returns the number of bytes
 // written, including the trailing CRC-32C footer.
 func (a *ATMatrix) WriteTo(w io.Writer) (int64, error) {
@@ -144,63 +171,64 @@ func ReadATMatrix(r io.Reader) (*ATMatrix, error) {
 	for ti := int64(0); ti < nTiles; ti++ {
 		var meta [4]int64
 		if err := binary.Read(cr, binary.LittleEndian, meta[:]); err != nil {
-			return nil, fmt.Errorf("core: tile %d bounds: %w", ti, err)
+			return nil, tileErr(ti, -1, -1, "bounds: %w", err)
 		}
+		r0, c0 := int(meta[0]), int(meta[1])
 		var kind uint8
 		if err := binary.Read(cr, binary.LittleEndian, &kind); err != nil {
-			return nil, fmt.Errorf("core: tile %d kind: %w", ti, err)
+			return nil, tileErr(ti, r0, c0, "kind: %w", err)
 		}
 		var home int32
 		if err := binary.Read(cr, binary.LittleEndian, &home); err != nil {
-			return nil, fmt.Errorf("core: tile %d home: %w", ti, err)
+			return nil, tileErr(ti, r0, c0, "home: %w", err)
 		}
 		t := &Tile{
-			Row0: int(meta[0]), Col0: int(meta[1]),
+			Row0: r0, Col0: c0,
 			Rows: int(meta[2]), Cols: int(meta[3]),
 			Kind: mat.Kind(kind), Home: numa.Node(home),
 		}
 		if t.Rows <= 0 || t.Cols <= 0 ||
 			t.Row0 < 0 || t.Col0 < 0 ||
 			t.Row0+t.Rows > int(rows) || t.Col0+t.Cols > int(cols) {
-			return nil, fmt.Errorf("core: tile %d bounds %v outside matrix", ti, meta)
+			return nil, tileErr(ti, r0, c0, "bounds %v outside matrix", meta)
 		}
 		switch t.Kind {
 		case mat.Sparse:
 			var nnz int64
 			if err := binary.Read(cr, binary.LittleEndian, &nnz); err != nil {
-				return nil, fmt.Errorf("core: tile %d nnz: %w", ti, err)
+				return nil, tileErr(ti, r0, c0, "nnz: %w", err)
 			}
 			if nnz < 0 || nnz > int64(t.Rows)*int64(t.Cols) {
-				return nil, fmt.Errorf("core: tile %d impossible nnz %d", ti, nnz)
+				return nil, tileErr(ti, r0, c0, "impossible nnz %d", nnz)
 			}
 			rowPtr, err := readInt64s(cr, int64(t.Rows)+1)
 			if err != nil {
-				return nil, fmt.Errorf("core: tile %d row pointers: %w", ti, err)
+				return nil, tileErr(ti, r0, c0, "row pointers: %w", err)
 			}
 			colIdx, err := readInt32s(cr, nnz)
 			if err != nil {
-				return nil, fmt.Errorf("core: tile %d columns: %w", ti, err)
+				return nil, tileErr(ti, r0, c0, "columns: %w", err)
 			}
 			val, err := readFloat64s(cr, nnz)
 			if err != nil {
-				return nil, fmt.Errorf("core: tile %d values: %w", ti, err)
+				return nil, tileErr(ti, r0, c0, "values: %w", err)
 			}
 			csr := &mat.CSR{Rows: t.Rows, Cols: t.Cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
 			if err := csr.Validate(); err != nil {
-				return nil, fmt.Errorf("core: tile %d payload: %w", ti, err)
+				return nil, tileErr(ti, r0, c0, "payload: %w", err)
 			}
 			t.Sp = csr
 			t.NNZ = nnz
 		case mat.DenseKind:
 			data, err := readFloat64s(cr, int64(t.Rows)*int64(t.Cols))
 			if err != nil {
-				return nil, fmt.Errorf("core: tile %d payload: %w", ti, err)
+				return nil, tileErr(ti, r0, c0, "payload: %w", err)
 			}
 			d := &mat.Dense{Rows: t.Rows, Cols: t.Cols, Stride: t.Cols, Data: data}
 			t.D = d
 			t.NNZ = d.NNZ()
 		default:
-			return nil, fmt.Errorf("core: tile %d unknown kind %d", ti, kind)
+			return nil, tileErr(ti, r0, c0, "unknown kind %d", kind)
 		}
 		out.addTile(t)
 	}

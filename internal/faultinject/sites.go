@@ -18,8 +18,12 @@ var Sites = []string{
 	"core.writefile",
 	"expr.plan",
 	"expr.stage",
+	"rpc.conn",
+	"rpc.recv",
+	"rpc.send",
 	"sched.task",
 	"service.execute",
+	"worker.exec",
 }
 
 // siteSet is the manifest as a set, built once at init.

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"strconv"
 	"strings"
@@ -179,38 +180,66 @@ func WriteMatrixMarket(w io.Writer, a *mat.COO) error {
 // binaryMagic identifies the compact binary COO format.
 const binaryMagic = "ATMCOO1\n"
 
+var (
+	// ErrBadMagic reports a stream that does not start with the binary COO
+	// magic — it is some other file format entirely.
+	ErrBadMagic = errors.New("mmio: bad binary COO magic")
+	// ErrChecksum reports a binary COO stream whose CRC-32C footer does not
+	// match its content: the bytes were damaged in transfer or at rest.
+	ErrChecksum = errors.New("mmio: binary COO checksum mismatch")
+)
+
+// cooCastagnoli is the CRC-32C table for the binary COO footer.
+var cooCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // WriteBinary writes the compact binary COO representation: a magic
 // string, little-endian int64 rows/cols/nnz, then packed
-// <int32,int32,float64> triples — exactly the Table I "Bin. Size" layout.
+// <int32,int32,float64> triples — exactly the Table I "Bin. Size" layout —
+// followed by a CRC-32C footer over every preceding byte, mirroring the
+// .atm tile-stream codec so uploads shipped over a wire are
+// corruption-detectable end to end.
 func WriteBinary(w io.Writer, a *mat.COO) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
+	crc := crc32.New(cooCastagnoli)
+	hw := io.MultiWriter(bw, crc)
+	if _, err := io.WriteString(hw, binaryMagic); err != nil {
 		return fmt.Errorf("mmio: writing magic: %w", err)
 	}
 	hdr := [3]int64{int64(a.Rows), int64(a.Cols), int64(len(a.Ent))}
-	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+	if err := binary.Write(hw, binary.LittleEndian, hdr[:]); err != nil {
 		return fmt.Errorf("mmio: writing binary header: %w", err)
 	}
 	for _, e := range a.Ent {
-		if err := binary.Write(bw, binary.LittleEndian, e); err != nil {
+		if err := binary.Write(hw, binary.LittleEndian, e); err != nil {
 			return fmt.Errorf("mmio: writing binary entry: %w", err)
 		}
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	if _, err := bw.Write(foot[:]); err != nil {
+		return fmt.Errorf("mmio: writing checksum: %w", err)
 	}
 	return bw.Flush()
 }
 
-// ReadBinary reads the compact binary COO representation.
+// ReadBinary reads the compact binary COO representation. When the stream
+// carries the CRC-32C footer it is verified (mismatch fails with
+// ErrChecksum); footer-less streams written before the footer existed still
+// load — the entry payload is self-delimiting, so the reader distinguishes
+// the two by whether bytes follow the last entry.
 func ReadBinary(r io.Reader) (*mat.COO, error) {
+	crc := crc32.New(cooCastagnoli)
 	br := bufio.NewReaderSize(r, 1<<20)
+	hr := io.TeeReader(br, crc)
 	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(hr, magic); err != nil {
 		return nil, fmt.Errorf("mmio: reading magic: %w", err)
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("mmio: bad magic %q", magic)
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, magic)
 	}
 	var hdr [3]int64
-	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+	if err := binary.Read(hr, binary.LittleEndian, hdr[:]); err != nil {
 		return nil, fmt.Errorf("mmio: reading binary header: %w", err)
 	}
 	rows, cols, nnz := hdr[0], hdr[1], hdr[2]
@@ -231,11 +260,28 @@ func ReadBinary(r io.Reader) (*mat.COO, error) {
 			n = chunk
 		}
 		buf := make([]mat.Entry, n)
-		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+		if err := binary.Read(hr, binary.LittleEndian, buf); err != nil {
 			return nil, fmt.Errorf("mmio: reading binary entries: %w", err)
 		}
 		out.Ent = append(out.Ent, buf...)
 		read += n
+	}
+	// The footer is the checksum of everything before it, so it is read
+	// past the hashing reader. Clean EOF here means a legacy footer-less
+	// stream.
+	want := crc.Sum32()
+	var foot [4]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			if err := out.Validate(); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("%w: truncated footer: %v", ErrChecksum, err)
+	}
+	if got := binary.LittleEndian.Uint32(foot[:]); got != want {
+		return nil, fmt.Errorf("%w: stream %08x, computed %08x", ErrChecksum, got, want)
 	}
 	if err := out.Validate(); err != nil {
 		return nil, err

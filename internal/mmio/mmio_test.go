@@ -2,6 +2,7 @@ package mmio
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -167,8 +168,9 @@ func TestBinaryRoundTrip(t *testing.T) {
 	if err := WriteBinary(&buf, a); err != nil {
 		t.Fatal(err)
 	}
-	// Binary size = magic + 24-byte header + 16 bytes per entry.
-	if want := len(binaryMagic) + 24 + 16*len(a.Ent); buf.Len() != want {
+	// Binary size = magic + 24-byte header + 16 bytes per entry + 4-byte
+	// CRC-32C footer.
+	if want := len(binaryMagic) + 24 + 16*len(a.Ent) + 4; buf.Len() != want {
 		t.Fatalf("binary size %d, want %d", buf.Len(), want)
 	}
 	back, err := ReadBinary(&buf)
@@ -199,6 +201,44 @@ func TestBinaryRejectsCorruption(t *testing.T) {
 	bad := append([]byte("XXXXXXX\n"), data[8:]...)
 	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
 		t.Fatal("bad magic accepted")
+	} else if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic error %v does not match ErrBadMagic", err)
+	}
+}
+
+func TestBinaryChecksumDetectsBitflip(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := mat.RandomCOO(rng, 10, 10, 20)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one bit in a value byte of the last entry; the coordinates stay
+	// valid so only the footer can catch it.
+	data[len(data)-4-1] ^= 0x10
+	_, err := ReadBinary(bytes.NewReader(data))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt stream error %v does not match ErrChecksum", err)
+	}
+}
+
+func TestBinaryLegacyFooterlessStreamLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := mat.RandomCOO(rng, 10, 10, 20)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	// Streams written before the footer existed end right after the last
+	// entry; they must still load, just without corruption detection.
+	legacy := buf.Bytes()[:buf.Len()-4]
+	back, err := ReadBinary(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ent) != len(a.Ent) {
+		t.Fatal("legacy stream round trip lost entries")
 	}
 }
 

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlaceRoundRobinAllAlive(t *testing.T) {
+	queues, ok := PlaceRoundRobin(7, 3, nil)
+	if !ok {
+		t.Fatal("no placement with all homes alive")
+	}
+	want := [][]int32{{0, 3, 6}, {1, 4}, {2, 5}}
+	if !reflect.DeepEqual(queues, want) {
+		t.Fatalf("queues = %v, want %v", queues, want)
+	}
+}
+
+func TestPlaceRoundRobinRoutesAroundDeadHome(t *testing.T) {
+	alive := func(h int) bool { return h != 1 }
+	queues, ok := PlaceRoundRobin(6, 3, alive)
+	if !ok {
+		t.Fatal("no placement with two homes alive")
+	}
+	// Home 1's items (1, 4) land on the next alive home in ring order,
+	// which is home 2.
+	want := [][]int32{{0, 3}, nil, {1, 2, 4, 5}}
+	if !reflect.DeepEqual(queues, want) {
+		t.Fatalf("queues = %v, want %v", queues, want)
+	}
+}
+
+func TestPlaceRoundRobinNoHomeAlive(t *testing.T) {
+	if _, ok := PlaceRoundRobin(4, 3, func(int) bool { return false }); ok {
+		t.Fatal("placement reported ok with every home dead")
+	}
+	if _, ok := PlaceRoundRobin(4, 0, nil); ok {
+		t.Fatal("placement reported ok with zero homes")
+	}
+}
+
+func TestReassignQueueSpreadsOverSurvivors(t *testing.T) {
+	queues := [][]int32{{0, 3}, {1, 4, 7}, {2, 5}}
+	moved := ReassignQueue(queues, 1, func(h int) bool { return h != 1 })
+	if moved != 3 {
+		t.Fatalf("moved = %d, want 3", moved)
+	}
+	if len(queues[1]) != 0 {
+		t.Fatalf("failed home still holds %v", queues[1])
+	}
+	// Survivors visited in ring order starting after home 1: 2, 0, 2.
+	want := [][]int32{{0, 3, 4}, nil, {2, 5, 1, 7}}
+	if !reflect.DeepEqual(queues, want) {
+		t.Fatalf("queues = %v, want %v", queues, want)
+	}
+}
+
+func TestReassignQueueNoSurvivor(t *testing.T) {
+	queues := [][]int32{{0}, {1, 2}}
+	if moved := ReassignQueue(queues, 1, func(h int) bool { return false }); moved != 0 {
+		t.Fatalf("moved = %d with no survivors", moved)
+	}
+	if len(queues[1]) != 2 {
+		t.Fatal("queue mutated despite no survivors")
+	}
+}

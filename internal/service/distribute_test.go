@@ -1,0 +1,73 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atmatrix/internal/core"
+)
+
+// TestDistributeHookExecutesPairs checks that a configured Distribute hook
+// replaces local execution for two-operand multiplies and its product flows
+// through the normal result path.
+func TestDistributeHookExecutesPairs(t *testing.T) {
+	var calls atomic.Int64
+	cfg := testConfig()
+	m := New(testCatalog(t), Options{
+		Distribute: func(a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
+			calls.Add(1)
+			return core.MultiplyOpt(a, b, cfg, opts)
+		},
+	})
+	defer m.Close(time.Second)
+
+	job, err := m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatalf("distributed pair multiply: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("Distribute hook called %d times, want 1", calls.Load())
+	}
+}
+
+// TestDistributeCorruptTransferQuarantinesCombo drives the satellite fix
+// end to end at the service layer: when the coordinator reports that a
+// shard transfer is corrupt on every worker (an error chain carrying
+// core.ErrChecksum), the operand combination must be quarantined so the
+// cluster does not keep re-shipping a stream that always fails its CRC.
+func TestDistributeCorruptTransferQuarantinesCombo(t *testing.T) {
+	var calls atomic.Int64
+	m := New(testCatalog(t), Options{
+		Distribute: func(a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
+			calls.Add(1)
+			return nil, nil, fmt.Errorf("cluster: worker rejected shard: %w", core.ErrChecksum)
+		},
+	})
+	defer m.Close(time.Second)
+
+	job, err := m.Submit(Request{A: "a", B: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); !errors.Is(err, core.ErrChecksum) {
+		t.Fatalf("job error = %v, want core.ErrChecksum in the chain", err)
+	}
+	// Corruption is not transient: no retries, one execution.
+	if calls.Load() != 1 {
+		t.Fatalf("Distribute called %d times, want 1 (corrupt transfers must not retry)", calls.Load())
+	}
+	// The combination is now quarantined at admission.
+	if _, err := m.Submit(Request{A: "a", B: "b"}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("resubmit error = %v, want ErrQuarantined", err)
+	}
+	// Other combinations of the same matrices stay admissible.
+	if _, err := m.Submit(Request{A: "a", B: "c"}); err != nil {
+		t.Fatalf("different combination rejected: %v", err)
+	}
+}

@@ -114,6 +114,15 @@ type Options struct {
 	// a one-off — and fails permanently with core.ErrVerifyFailed when the
 	// retry fails verification too.
 	Verify int
+	// Distribute, when non-nil, executes pair multiplications in place of
+	// the local operator — the hook a cluster coordinator installs to shard
+	// the work across worker nodes. The implementation owns its own
+	// fallback to local execution; errors it returns flow through the same
+	// classify/retry/quarantine machinery as local ones, so a corrupt wire
+	// transfer (core.ErrChecksum under the hood) quarantines the operand
+	// combination exactly like corrupt local data would. Chain and
+	// expression jobs always execute locally.
+	Distribute func(a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error)
 }
 
 // Request describes one job: a pair multiplication (A, B), a chain of
@@ -491,6 +500,13 @@ func (m *Manager) run(job *Job) {
 				// A panicking executor stage is as damning as a panicking
 				// kernel: block the operand combination that triggered it.
 				m.QuarantinePanic(job.names, fmt.Sprintf("expression stage panic in %s: %v", spe.Stage, spe.Val))
+			case errors.Is(err, core.ErrChecksum) || errors.Is(err, core.ErrBadMagic):
+				// A distributed multiply exhausted every worker on corrupt
+				// tile transfers of exactly these operands. Local data is
+				// verified at load time, so the stream damage tracks the
+				// combination being shipped — block it rather than burning
+				// the cluster on re-encoding it forever.
+				m.QuarantinePanic(job.names, fmt.Sprintf("corrupt tile transfer: %v", err))
 			}
 		}
 	}
@@ -703,7 +719,13 @@ func (m *Manager) execute(job *Job) (*Result, error) {
 		return m.executeEval(job, operands, opts, t0)
 	}
 	opts.Verify = m.opts.Verify
-	out, mst, err := core.MultiplyOpt(operands[0], operands[1], m.cfg, opts)
+	mult := m.opts.Distribute
+	if mult == nil {
+		mult = func(a, b *core.ATMatrix, o core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
+			return core.MultiplyOpt(a, b, m.cfg, o)
+		}
+	}
+	out, mst, err := mult(operands[0], operands[1], opts)
 	if err != nil {
 		return nil, err
 	}
