@@ -5,7 +5,7 @@ GO ?= go
 # that still proves every kernel runs and stays allocation-free.
 BENCHTIME ?= 1s
 
-.PHONY: check fmt build test vet lint race chaos bench bench-kernels bench-eval serve-smoke cluster-smoke
+.PHONY: check fmt build test vet lint race chaos bench bench-kernels bench-eval bench-cluster serve-smoke cluster-smoke
 
 ## check: the pre-PR gate — formatting, static analysis (vet + atlint),
 ## build, full test suite, the concurrency stress tests under the race
@@ -65,14 +65,26 @@ bench-eval:
 		| $(GO) run ./cmd/benchjson -o BENCH_eval.json
 	@echo "wrote BENCH_eval.json"
 
+## bench-cluster: one distributed multiply through a three-worker loopback
+## cluster, by shard reference vs with operands shipped inline — written to
+## BENCH_cluster.json. Each record carries the coordinator's streaming-merge
+## high-water mark as a mergePeakB/op entry under "extra". BENCHTIME=1x for
+## a quick smoke.
+bench-cluster:
+	$(GO) test -run '^$$' -bench '^BenchmarkCluster_' -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -o BENCH_cluster.json
+	@echo "wrote BENCH_cluster.json"
+
 ## serve-smoke: build the real atserve binary and drive it over HTTP — one
 ## multiply + clean SIGTERM shutdown, then the kill -9 crash-recovery drill
 ## against a durable data dir.
 serve-smoke:
 	ATSERVE_SMOKE=1 $(GO) test ./cmd/atserve -run 'TestServeSmoke|TestRecoverSmoke' -count=1 -v
 
-## cluster-smoke: build the real binary and stand up a coordinator plus two
-## workers on loopback, then run a sharded multiply through the normal HTTP
-## API and assert the remote-execution metrics and per-worker health.
+## cluster-smoke: build the real binary and stand up a coordinator plus
+## three workers on loopback (R=2 replication), run a sharded multiply
+## through the normal HTTP API, SIGKILL a worker and assert the
+## anti-entropy pass restores R — with the race detector on the test
+## harness.
 cluster-smoke:
-	ATSERVE_SMOKE=1 $(GO) test ./cmd/atserve -run 'TestClusterSmoke' -count=1 -v
+	ATSERVE_SMOKE=1 $(GO) test -race ./cmd/atserve -run 'TestClusterSmoke' -count=1 -v

@@ -13,13 +13,15 @@ import (
 	"time"
 )
 
-// TestClusterSmoke builds the real binary and stands up a three-process
-// cluster on loopback: one coordinator plus two self-registering workers.
-// It uploads two matrices, runs a sharded multiply through the
-// coordinator's normal /v1/multiply API, and checks that the cluster
-// metrics account for the remote execution and that /healthz sees both
-// workers healthy. Gated behind ATSERVE_SMOKE=1 (run via
-// `make cluster-smoke`).
+// TestClusterSmoke builds the real binary and stands up a four-process
+// cluster on loopback: one coordinator plus three workers (R=2
+// replication). It uploads two matrices (sharded and replicated at PUT
+// time), runs a sharded multiply through the coordinator's normal
+// /v1/multiply API, checks that the cluster metrics account for the
+// remote by-reference execution and the streaming merge, then SIGKILLs a
+// worker and waits for the anti-entropy pass to re-replicate its shards
+// back to R — after which a second multiply must still succeed. Gated
+// behind ATSERVE_SMOKE=1 (run via `make cluster-smoke`).
 func TestClusterSmoke(t *testing.T) {
 	if os.Getenv("ATSERVE_SMOKE") != "1" {
 		t.Skip("set ATSERVE_SMOKE=1 to run the cluster smoke test")
@@ -57,22 +59,23 @@ func TestClusterSmoke(t *testing.T) {
 	}
 
 	// Both registration paths get exercised: worker1 is named on the
-	// coordinator's -peers list, worker2 self-registers against the running
-	// coordinator with -coordinator.
-	_, w1logs, w1addr := start("worker1", "-role", "worker")
+	// coordinator's -peers list, worker2 and worker3 self-register against
+	// the running coordinator with -coordinator (re-announcing every 2s).
+	w1cmd, w1logs, w1addr := start("worker1", "-role", "worker")
 	coordCmd, clogs, caddr := start("coord",
 		"-role", "coordinator", "-peers", w1addr, "-verify", "2")
 	base := "http://" + caddr
-	_, w2logs, _ := start("worker2", "-role", "worker", "-coordinator", base)
+	_, w2logs, _ := start("worker2", "-role", "worker", "-coordinator", base, "-reannounce", "2s")
+	_, w3logs, _ := start("worker3", "-role", "worker", "-coordinator", base, "-reannounce", "2s")
 
-	// Both workers must turn healthy once heartbeats reach them.
+	// All workers must turn healthy once heartbeats reach them.
 	for deadline := time.Now().Add(15 * time.Second); ; {
-		if metricValue(t, base, "atserve_cluster_workers_healthy") == 2 {
+		if metricValue(t, base, "atserve_cluster_workers_healthy") == 3 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("workers never became healthy; coordinator logs:\n%s\nworker1:\n%s\nworker2:\n%s",
-				clogs.String(), w1logs.String(), w2logs.String())
+			t.Fatalf("workers never became healthy; coordinator logs:\n%s\nworker1:\n%s\nworker2:\n%s\nworker3:\n%s",
+				clogs.String(), w1logs.String(), w2logs.String(), w3logs.String())
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -84,6 +87,19 @@ func TestClusterSmoke(t *testing.T) {
 			t.Fatalf("upload %s: status %d", name, resp.StatusCode)
 		}
 	}
+	// PUT-time sharding: both uploads were cut into shards and every shard
+	// shipped to R=2 replicas.
+	shards := metricValue(t, base, "atserve_cluster_shards_total")
+	if metricValue(t, base, "atserve_cluster_sharded_matrices") != 2 || shards == 0 {
+		t.Fatalf("uploads were not sharded; coordinator logs:\n%s", clogs.String())
+	}
+	if got := metricValue(t, base, "atserve_cluster_shard_ships_total"); got != 2*shards {
+		t.Fatalf("shard ships = %v, want %v (R=2 over %v shards)", got, 2*shards, shards)
+	}
+	if got := metricValue(t, base, "atserve_cluster_under_replicated_shards"); got != 0 {
+		t.Fatalf("under-replicated = %v right after placement, want 0", got)
+	}
+
 	mresp, out := multiply(t, base, map[string]any{"a": "A", "b": "B", "store": "AB"})
 	if mresp.StatusCode != http.StatusOK {
 		t.Fatalf("multiply: status %d (%v); coordinator logs:\n%s", mresp.StatusCode, out, clogs.String())
@@ -93,16 +109,63 @@ func TestClusterSmoke(t *testing.T) {
 	}
 
 	// The multiply must have executed remotely — the checksum of the drill:
-	// sharded execution, not a silent local fallback.
+	// sharded execution, not a silent local fallback — with the operands
+	// resolved from the workers' shard stores and the partial products
+	// streamed frame by frame.
 	if got := metricValue(t, base, "atserve_cluster_remote_multiplies_total"); got != 1 {
 		t.Fatalf("remote multiplies = %v, want 1; coordinator logs:\n%s", got, clogs.String())
 	}
 	if got := metricValue(t, base, "atserve_cluster_local_fallbacks_total"); got != 0 {
 		t.Fatalf("local fallbacks = %v, want 0", got)
 	}
+	if got := metricValue(t, base, "atserve_cluster_shard_ref_hits_total"); got == 0 {
+		t.Fatalf("no operand resolved by shard reference; coordinator logs:\n%s", clogs.String())
+	}
+	if got := metricValue(t, base, "atserve_cluster_merge_frames_total"); got == 0 {
+		t.Fatal("no streamed merge frames recorded")
+	}
 
-	// /healthz on the coordinator reports the per-worker table and no
-	// degradation.
+	// Liveness/readiness split: a serving coordinator is both.
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", ep, resp.StatusCode)
+		}
+	}
+
+	// Chaos leg: SIGKILL worker1 mid-cluster. The heartbeats mark it dead,
+	// the kicked anti-entropy pass re-homes its primaries and re-replicates
+	// its shards onto the two survivors, and the gauges return to R.
+	if err := w1cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		if metricValue(t, base, "atserve_cluster_re_replications_total") > 0 &&
+			metricValue(t, base, "atserve_cluster_under_replicated_shards") == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication never recovered after worker kill; re_replications=%v under_replicated=%v; coordinator logs:\n%s",
+				metricValue(t, base, "atserve_cluster_re_replications_total"),
+				metricValue(t, base, "atserve_cluster_under_replicated_shards"), clogs.String())
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	mresp2, out2 := multiply(t, base, map[string]any{"a": "A", "b": "B"})
+	if mresp2.StatusCode != http.StatusOK {
+		t.Fatalf("multiply after worker kill: status %d (%v); coordinator logs:\n%s", mresp2.StatusCode, out2, clogs.String())
+	}
+	if got := metricValue(t, base, "atserve_cluster_remote_multiplies_total"); got != 2 {
+		t.Fatalf("remote multiplies after failover = %v, want 2", got)
+	}
+
+	// The killed worker stays in the table as dead, so liveness reports
+	// degraded — with the per-worker table spelling out which one — while
+	// readiness keeps routing traffic: replication is already back at R.
 	hresp, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -110,11 +173,19 @@ func TestClusterSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	buf.ReadFrom(hresp.Body)
 	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusOK || !strings.Contains(buf.String(), `"status":"ok"`) {
-		t.Fatalf("healthz: status %d body %s", hresp.StatusCode, buf.String())
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(buf.String(), `"status":"degraded"`) {
+		t.Fatalf("healthz after worker kill: status %d body %s", hresp.StatusCode, buf.String())
 	}
-	if !strings.Contains(buf.String(), `"workers"`) {
-		t.Fatalf("healthz missing cluster worker table: %s", buf.String())
+	if !strings.Contains(buf.String(), `"workers"`) || !strings.Contains(buf.String(), `"state":"dead"`) {
+		t.Fatalf("healthz missing dead worker in cluster table: %s", buf.String())
+	}
+	rresp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d after recovery from worker kill, want 200", rresp.StatusCode)
 	}
 
 	if err := coordCmd.Process.Signal(syscall.SIGTERM); err != nil {

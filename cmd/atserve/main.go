@@ -48,28 +48,31 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
-		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
-		budget     = flag.Int64("budget", 0, "catalog resident-bytes budget (0 = unlimited)")
-		queueDepth = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
-		workers    = flag.Int("workers", 0, "concurrent multiply jobs (0 = one per socket)")
-		timeout    = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
-		watchdog   = flag.Duration("watchdog", 0, "per-tile-task deadline; a stuck kernel degrades its team instead of hanging the job (0 = off)")
-		retries    = flag.Int("retries", 0, "max retries of transiently-failed jobs (0 = default of 2, negative = none)")
-		verify     = flag.Int("verify", 0, "Freivalds verification rounds per multiply result (0 = off; k rounds bound the false-negative rate by 2^-k)")
-		dataDir    = flag.String("data-dir", "", "durable catalog directory: write-through persistence, spill-to-disk eviction, crash recovery (empty = memory-only)")
-		scrub      = flag.Duration("scrub", 0, "background integrity-scrub period re-verifying resident tile checksums (0 = off)")
-		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight jobs")
-		maxUpload  = flag.Int64("max-upload", 1<<30, "maximum upload body size in bytes")
-		allowPath  = flag.Bool("allow-path-loads", false, "allow JSON loads that name files on the server filesystem")
-		paper      = flag.Bool("paper", false, "use the paper's system configuration instead of autodetection")
-		bAtomic    = flag.Int("b-atomic", 0, "override b_atomic (power of two; 0 = derive from LLC)")
-		sockets    = flag.Int("sockets", 0, "simulated sockets (0 = detect)")
-		cores      = flag.Int("cores", 0, "simulated cores per socket (0 = detect)")
-		role       = flag.String("role", "", "cluster role: empty = standalone, 'coordinator' shards multiplies over workers, 'worker' executes shards for a coordinator")
-		peers      = flag.String("peers", "", "coordinator only: comma-separated worker addresses to register at boot (workers can also self-register)")
-		coordURL   = flag.String("coordinator", "", "worker only: coordinator base URL to self-register with (retried until it answers)")
-		advertise  = flag.String("advertise", "", "worker only: address to advertise to the coordinator (default: the bound listen address)")
+		addr        = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening")
+		budget      = flag.Int64("budget", 0, "catalog resident-bytes budget (0 = unlimited)")
+		queueDepth  = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+		workers     = flag.Int("workers", 0, "concurrent multiply jobs (0 = one per socket)")
+		timeout     = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		watchdog    = flag.Duration("watchdog", 0, "per-tile-task deadline; a stuck kernel degrades its team instead of hanging the job (0 = off)")
+		retries     = flag.Int("retries", 0, "max retries of transiently-failed jobs (0 = default of 2, negative = none)")
+		verify      = flag.Int("verify", 0, "Freivalds verification rounds per multiply result (0 = off; k rounds bound the false-negative rate by 2^-k)")
+		dataDir     = flag.String("data-dir", "", "durable catalog directory: write-through persistence, spill-to-disk eviction, crash recovery (empty = memory-only)")
+		scrub       = flag.Duration("scrub", 0, "background integrity-scrub period re-verifying resident tile checksums (0 = off)")
+		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight jobs")
+		maxUpload   = flag.Int64("max-upload", 1<<30, "maximum upload body size in bytes")
+		allowPath   = flag.Bool("allow-path-loads", false, "allow JSON loads that name files on the server filesystem")
+		paper       = flag.Bool("paper", false, "use the paper's system configuration instead of autodetection")
+		bAtomic     = flag.Int("b-atomic", 0, "override b_atomic (power of two; 0 = derive from LLC)")
+		sockets     = flag.Int("sockets", 0, "simulated sockets (0 = detect)")
+		cores       = flag.Int("cores", 0, "simulated cores per socket (0 = detect)")
+		role        = flag.String("role", "", "cluster role: empty = standalone, 'coordinator' shards multiplies over workers, 'worker' executes shards for a coordinator")
+		peers       = flag.String("peers", "", "coordinator only: comma-separated worker addresses to register at boot (workers can also self-register)")
+		coordURL    = flag.String("coordinator", "", "worker only: coordinator base URL to self-register with (retried until it answers)")
+		advertise   = flag.String("advertise", "", "worker only: address to advertise to the coordinator (default: the bound listen address)")
+		reannounce  = flag.Duration("reannounce", 10*time.Second, "worker only: period for re-announcing to the coordinator, so a restarted coordinator relearns its workers (0 = announce once)")
+		replication = flag.Int("replication", 0, "coordinator only: shard replica count R for cataloged matrices (0 = default of 2; capped by worker count)")
+		mergeWindow = flag.Int64("merge-window", 0, "coordinator only: bytes of in-flight partial-product frames buffered during the streaming merge (0 = default of 64 MiB)")
 	)
 	flag.Parse()
 
@@ -116,7 +119,10 @@ func main() {
 				peerList = append(peerList, p)
 			}
 		}
-		coord = cluster.NewCoordinator(cfg, cluster.Options{}, peerList)
+		coord = cluster.NewCoordinator(cfg, cluster.Options{
+			Replication: *replication,
+			MergeWindow: *mergeWindow,
+		}, peerList)
 	case "worker":
 		worker = cluster.NewWorker(cfg)
 	default:
@@ -177,14 +183,18 @@ func main() {
 	}
 	// Worker self-registration: announce the bound (or advertised) address
 	// to the coordinator, retrying until it answers — boot order between
-	// coordinator and workers does not matter. Registration is idempotent,
-	// so a restarting worker simply re-announces itself.
+	// coordinator and workers does not matter — and keep re-announcing
+	// every -reannounce period for the process lifetime. Registration is
+	// idempotent, so the steady-state announcements are no-ops; what they
+	// buy is coordinator restarts: a bounced coordinator comes back with an
+	// empty worker table, and the periodic announce repopulates it without
+	// any operator action.
 	if worker != nil && *coordURL != "" {
 		self := *advertise
 		if self == "" {
 			self = bound
 		}
-		go registerWithCoordinator(*coordURL, self)
+		go announceToCoordinator(*coordURL, self, *reannounce)
 	}
 
 	srv := &http.Server{
@@ -220,24 +230,36 @@ func main() {
 	fmt.Println("atserve: clean shutdown")
 }
 
-// registerWithCoordinator posts this worker's address to the coordinator's
-// registration endpoint until one attempt succeeds. The loop runs for the
-// process lifetime at most a few rounds; it dies with the process on
-// shutdown.
-func registerWithCoordinator(coordURL, self string) {
+// announceToCoordinator posts this worker's address to the coordinator's
+// registration endpoint: retrying every 2s until the first success, then
+// re-announcing every period for the process lifetime (period <= 0 stops
+// after the first success — the old boot-time-only behavior). The
+// periodic re-announce is what survives coordinator restarts: the old
+// register-once loop returned after its first success, so a coordinator
+// bounced afterwards never relearned the worker. The goroutine dies with
+// the process on shutdown.
+func announceToCoordinator(coordURL, self string, period time.Duration) {
 	base := strings.TrimSuffix(coordURL, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
 	body := fmt.Sprintf(`{"addr":%q}`, self)
+	announced := false
 	for {
 		resp, err := client.Post(base+"/cluster/v1/register", "application/json", strings.NewReader(body))
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
-				log.Printf("atserve: registered with coordinator %s as %s", base, self)
-				return
+				if !announced {
+					log.Printf("atserve: registered with coordinator %s as %s", base, self)
+					announced = true
+				}
+				if period <= 0 {
+					return
+				}
+				time.Sleep(period)
+				continue
 			}
 			err = fmt.Errorf("status %d", resp.StatusCode)
 		}

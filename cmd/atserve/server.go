@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"os"
 	"strconv"
@@ -70,6 +71,13 @@ func newServer(sc serverConfig) (*server, error) {
 		// its workers; it owns the fallback to local execution, so the
 		// manager's queueing, retries and quarantine apply unchanged.
 		sc.opts.Distribute = sc.coord.Multiply
+		if sc.dataDir == "" {
+			// Memory-only: the catalog is complete now, so the sharded
+			// catalog (and its anti-entropy loop) can attach immediately.
+			// Durable catalogs attach after recovery re-reads the manifest's
+			// shard maps.
+			sc.coord.AttachCatalog(cat)
+		}
 	}
 	s := &server{
 		cat:       cat,
@@ -104,7 +112,14 @@ func (s *server) recoverCatalog() (catalog.RecoverStats, error) {
 	}
 	s.recovering.Store(true)
 	defer s.recovering.Store(false)
-	return s.cat.Recover()
+	rs, err := s.cat.Recover()
+	if s.coord != nil {
+		// Attach even when some entries failed to reload: the shard maps
+		// that did recover are served, and the anti-entropy loop reconciles
+		// them against the workers' inventories.
+		s.coord.AttachCatalog(s.cat)
+	}
+	return rs, err
 }
 
 // handler builds the route table.
@@ -119,6 +134,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/eval", s.handleEval)
 	mux.HandleFunc("POST /v1/admin/scrub", s.handleScrub)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.worker != nil {
 		s.worker.Register(mux)
@@ -254,6 +270,17 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		// A fresh, checksum-verified load supersedes any earlier poisoning
 		// under this name.
 		s.mgr.Unquarantine(name)
+		if s.coord != nil {
+			// Replicate the new matrix's tile-row shards across the cluster
+			// so multiplies reference them instead of shipping operands.
+			// Best-effort: an unsharded matrix still multiplies through the
+			// legacy wire-ship path, and the anti-entropy loop retries as
+			// workers come back.
+			s.coord.DropShards(r.Context(), name)
+			if serr := s.coord.ShardByName(r.Context(), name); serr != nil {
+				log.Printf("atserve: sharding %s across cluster: %v", name, serr)
+			}
+		}
 		writeJSON(w, http.StatusCreated, info)
 	case errors.Is(err, catalog.ErrExists):
 		jsonError(w, http.StatusConflict, "%v", err)
@@ -281,6 +308,9 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	// Deleting a quarantined name lifts the quarantine even when the matrix
 	// itself is gone (e.g. it never loaded): delete is the operator's reset.
 	wasQuarantined := s.mgr.Unquarantine(name)
+	if s.coord != nil {
+		s.coord.DropShards(r.Context(), name)
+	}
 	if err := s.cat.Delete(name); err != nil {
 		if wasQuarantined {
 			w.WriteHeader(http.StatusNoContent)
@@ -460,18 +490,24 @@ func (s *server) submitAndReply(w http.ResponseWriter, r *http.Request, sreq ser
 	}
 }
 
-// handleHealthz reports one of four states: "ok", "recovering" (boot-time
-// catalog recovery is still reloading pinned matrices; 200, since the
-// process serves — lazily-reloadable entries included), "degraded" (still
-// serving, but a brownout is active, a worker team was abandoned by a
-// watchdog, matrices sit in quarantine, or cluster workers are suspect or
-// dead — each spelled out in reasons, per worker), or "draining" (shutting
-// down, 503 so load balancers stop routing here). Degraded stays 200: the
-// process serves, just below full capacity. On a coordinator the body also
-// carries the per-worker health table under "cluster".
+// handleHealthz is the LIVENESS probe: it answers 200 for as long as the
+// process is up, including during boot recovery ("recovering") and
+// shutdown drain ("draining") — restarting a process because it is
+// draining or replaying its manifest would only destroy the work in
+// flight. Routability is /readyz's job. The body reports one of four
+// states: "ok", "recovering", "degraded" (still serving, but a brownout
+// is active, a worker team was abandoned by a watchdog, matrices sit in
+// quarantine, cluster workers are suspect or dead, or catalog shards are
+// under-replicated — each spelled out in reasons), or "draining". On a
+// coordinator the body also carries the per-worker health table under
+// "cluster".
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "draining",
+			"reasons":   []string{"shutdown: draining in-flight jobs, admission closed"},
+			"uptime_ms": time.Since(s.started).Milliseconds(),
+		})
 		return
 	}
 	if s.recovering.Load() {
@@ -506,6 +542,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if len(workers) > 0 && healthy == 0 {
 			reasons = append(reasons, "cluster: no healthy workers; multiplies execute locally")
 		}
+		if st := s.coord.Stats(); st.UnderReplicatedShards > 0 {
+			reasons = append(reasons, fmt.Sprintf("cluster: %d of %d catalog shard(s) under-replicated; anti-entropy re-replication pending",
+				st.UnderReplicatedShards, st.ShardsTotal))
+		}
 	}
 	status := "ok"
 	if len(reasons) > 0 {
@@ -520,6 +560,22 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["cluster"] = map[string]any{"workers": workers}
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is the READINESS probe load balancers route on: 503 while
+// the process cannot usefully take traffic — draining toward shutdown, or
+// still replaying the catalog manifest at boot — and 200 otherwise.
+// Degraded-but-serving states stay ready; only the two windows where
+// admission is closed or the catalog is incomplete flip it.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "status": "draining"})
+	case s.recovering.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "status": "recovering"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "status": "ok"})
+	}
 }
 
 // handleMetrics renders the counters in the Prometheus text exposition
@@ -593,5 +649,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p("atserve_cluster_tiles_rerouted_total", st.TilesRerouted)
 		p("atserve_cluster_hedges_sent_total", st.HedgesSent)
 		p("atserve_cluster_hedged_wins_total", st.HedgedWins)
+		p("atserve_cluster_sharded_matrices", st.ShardedMatrices)
+		p("atserve_cluster_shards_total", st.ShardsTotal)
+		p("atserve_cluster_under_replicated_shards", st.UnderReplicatedShards)
+		p("atserve_cluster_shard_ships_total", st.ShardShips)
+		p("atserve_cluster_shard_ship_bytes_total", st.ShardShipBytes)
+		p("atserve_cluster_re_replications_total", st.ReReplications)
+		p("atserve_cluster_shard_crc_failures_total", st.ShardCRCFailures)
+		p("atserve_cluster_shard_ref_hits_total", st.ShardRefHits)
+		p("atserve_cluster_shard_ref_bytes_total", st.ShardRefBytes)
+		p("atserve_cluster_repair_passes_total", st.RepairPasses)
+		p("atserve_cluster_merge_frames_total", st.MergeFrames)
+		p("atserve_cluster_merge_peak_bytes", st.MergePeakBytes)
 	}
 }

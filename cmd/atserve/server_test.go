@@ -351,9 +351,12 @@ func TestServeDeadline504(t *testing.T) {
 	}
 }
 
-// TestServeDrainFlipsHealthz verifies shutdown stops admission: healthz
-// flips to 503 and both load and multiply requests are refused.
-func TestServeDrainFlipsHealthz(t *testing.T) {
+// TestServeDrainFlipsReadyz verifies the liveness/readiness split during
+// shutdown: /readyz flips to 503 so load balancers stop routing here,
+// /healthz (liveness) stays 200 reporting "draining" so orchestrators do
+// not kill the process mid-drain, and both load and multiply requests are
+// refused.
+func TestServeDrainFlipsReadyz(t *testing.T) {
 	s, err := newServer(serverConfig{cfg: testConfig(), maxUpload: 1 << 30})
 	if err != nil {
 		t.Fatal(err)
@@ -365,6 +368,15 @@ func TestServeDrainFlipsHealthz(t *testing.T) {
 	} else {
 		resp.Body.Close()
 	}
+	// Before the drain, both probes answer 200.
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: status %d, want 200", rresp.StatusCode)
+	}
 	if err := s.shutdown(5 * time.Second); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
@@ -372,9 +384,23 @@ func TestServeDrainFlipsHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var hbody struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hbody); err != nil {
+		t.Fatal(err)
+	}
 	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: status %d, want 503", hresp.StatusCode)
+	if hresp.StatusCode != http.StatusOK || hbody.Status != "draining" {
+		t.Fatalf("healthz while draining: status %d %q, want 200 \"draining\" (liveness must not kill a draining process)", hresp.StatusCode, hbody.Status)
+	}
+	rresp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: status %d, want 503", rresp.StatusCode)
 	}
 	if resp := upload(t, ts.URL, "B", rmatStream(t, 64, 640, 6)); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("upload while draining: status %d, want 503", resp.StatusCode)

@@ -134,6 +134,10 @@ type entry struct {
 	fileBytes int64
 	persisted bool
 	loading   chan struct{} // non-nil while a reload is in flight
+
+	// shards, when non-nil, is the cluster shard map of this matrix
+	// (see ShardMap); it rides along in the durable manifest.
+	shards *ShardMap
 }
 
 // setMeta refreshes the entry's Info-facing metadata from m.

@@ -46,6 +46,11 @@ type manifestEntry struct {
 	TilesSparse int    `json:"tiles_sparse"`
 	TilesDense  int    `json:"tiles_dense"`
 	Pinned      bool   `json:"pinned"`
+	// Shards, when present, is the cluster shard map recorded for this
+	// matrix — how its tile-row shards are replicated across workers. A
+	// restarting coordinator rebuilds its placement from here instead of
+	// re-shipping every shard.
+	Shards *ShardMap `json:"shards,omitempty"`
 }
 
 type manifestFile struct {
@@ -134,7 +139,7 @@ func (c *Catalog) flushManifest() error {
 			FileBytes: e.fileBytes, MatrixBytes: e.bytes,
 			Rows: e.rows, Cols: e.cols, NNZ: e.nnz,
 			TilesSparse: e.tilesSparse, TilesDense: e.tilesDense,
-			Pinned: e.pinned,
+			Pinned: e.pinned, Shards: e.shards.Clone(),
 		})
 	}
 	c.mu.Unlock()
@@ -182,6 +187,24 @@ func (c *Catalog) reload(e *entry) (*core.ATMatrix, error) {
 	}
 	m.SealChecksums()
 	return m, nil
+}
+
+// fileGeneration parses the generation suffix out of a backing file name
+// ("<hash>-<gen>.atm"), or 0 when the name does not carry one.
+func fileGeneration(file string) int64 {
+	base := strings.TrimSuffix(file, ".atm")
+	dash := strings.LastIndexByte(base, '-')
+	if dash < 0 {
+		return 0
+	}
+	var g int64
+	for _, r := range base[dash+1:] {
+		if r < '0' || r > '9' {
+			return 0
+		}
+		g = g*10 + int64(r-'0')
+	}
+	return g
 }
 
 // removeDataFile deletes one backing file; removal failures are not
@@ -240,7 +263,18 @@ func (c *Catalog) Recover() (RecoverStats, error) {
 			rows: me.Rows, cols: me.Cols, nnz: me.NNZ,
 			tilesSparse: me.TilesSparse, tilesDense: me.TilesDense,
 			file: me.File, crc: me.CRC32C, fileBytes: me.FileBytes,
-			persisted: true,
+			persisted: true, shards: me.Shards,
+		}
+		// Keep the generation counter ahead of everything recovered, so
+		// file names and shard-map generations minted after a restart
+		// never collide with recorded ones.
+		if g := fileGeneration(me.File); g > 0 {
+			for cur := c.gen.Load(); cur < g && !c.gen.CompareAndSwap(cur, g); cur = c.gen.Load() {
+			}
+		}
+		if me.Shards != nil {
+			for cur := c.gen.Load(); cur < me.Shards.Generation && !c.gen.CompareAndSwap(cur, me.Shards.Generation); cur = c.gen.Load() {
+			}
 		}
 		if me.Rows > 0 && me.Cols > 0 {
 			e.density = float64(me.NNZ) / (float64(me.Rows) * float64(me.Cols))

@@ -78,7 +78,7 @@ func TestClusterChaosKillWorkerMidMultiply(t *testing.T) {
 
 	opts := core.DefaultMultOptions()
 	opts.Verify = 2
-	dist, _, err := coord.Multiply(a, b, opts)
+	dist, _, err := coord.Multiply("", "", a, b, opts)
 	<-killed
 	if err != nil {
 		t.Fatalf("multiply with killed worker: %v", err)
@@ -125,7 +125,7 @@ func TestClusterChaosAllWorkersDownFallsBackLocal(t *testing.T) {
 	coord := NewCoordinator(cfg, opts, peers)
 	defer coord.Close()
 
-	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	dist, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err != nil {
 		t.Fatalf("multiply with all workers down: %v", err)
 	}
@@ -179,7 +179,7 @@ func TestClusterChaosHedgedStraggler(t *testing.T) {
 	coord := NewCoordinator(cfg, opts, []string{slowAddr, fastAddr})
 	defer coord.Close()
 
-	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	dist, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err != nil {
 		t.Fatalf("hedged multiply: %v", err)
 	}
@@ -216,7 +216,7 @@ func TestClusterChaosCorruptTransferReroutes(t *testing.T) {
 	coord := NewCoordinator(cfg, testOptions(hc), []string{corruptAddr, cleanAddr})
 	defer coord.Close()
 
-	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	dist, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err != nil {
 		t.Fatalf("multiply with corrupting worker: %v", err)
 	}
@@ -247,7 +247,7 @@ func TestClusterChaosAllTransfersCorruptSurfacesChecksum(t *testing.T) {
 	coord := NewCoordinator(cfg, testOptions(hc), []string{addr1, addr2})
 	defer coord.Close()
 
-	_, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	_, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err == nil {
 		t.Fatal("multiply succeeded though every transfer was corrupt")
 	}
@@ -303,7 +303,7 @@ func TestClusterFaultSiteRPCSend(t *testing.T) {
 
 	reset := faultinject.Enable(1, faultinject.Rule{Site: "rpc.send", Kind: faultinject.KindTransient})
 	defer reset()
-	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	dist, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err != nil {
 		t.Fatalf("multiply with injected send fault: %v", err)
 	}
@@ -337,7 +337,7 @@ func TestClusterFaultSiteWorkerExec(t *testing.T) {
 
 	reset := faultinject.Enable(1, faultinject.Rule{Site: "worker.exec", Kind: faultinject.KindError, Count: -1})
 	defer reset()
-	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	dist, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err != nil {
 		t.Fatalf("multiply with failing worker.exec: %v", err)
 	}
@@ -374,7 +374,7 @@ func TestClusterFaultSiteRPCConnMarksHealth(t *testing.T) {
 
 	reset := faultinject.Enable(1, faultinject.Rule{Site: "rpc.conn", Kind: faultinject.KindError, Count: -1})
 	defer reset()
-	if _, _, err := coord.Multiply(a, b, core.DefaultMultOptions()); err != nil {
+	if _, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions()); err != nil {
 		t.Fatalf("multiply: %v", err)
 	}
 	if ws := coord.Workers(); ws[0].State == "healthy" {
@@ -399,7 +399,7 @@ func TestClusterFaultSiteRPCRecv(t *testing.T) {
 
 	reset := faultinject.Enable(1, faultinject.Rule{Site: "rpc.recv", Kind: faultinject.KindTransient})
 	defer reset()
-	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	dist, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err != nil {
 		t.Fatalf("multiply with injected recv fault: %v", err)
 	}
@@ -453,7 +453,7 @@ func TestClusterChaosEnvArmedRPCFaults(t *testing.T) {
 	coord := NewCoordinator(cfg, testOptions(hc), []string{addr1, addr2})
 	defer coord.Close()
 
-	dist, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	dist, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err != nil {
 		t.Fatalf("multiply under %s=%q: %v", faultinject.EnvVar, spec, err)
 	}

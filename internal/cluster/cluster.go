@@ -90,6 +90,23 @@ type Options struct {
 	// ColChunks is the number of column chunks of the 2D partition; zero
 	// derives it from the worker count (capped by the column-band count).
 	ColChunks int
+	// Replication is the shard replication factor R of the sharded
+	// catalog: every shard is shipped to its primary and R−1 ring
+	// successors (default 2). Capped by the worker count at placement
+	// time; the anti-entropy pass restores R when workers (re)join.
+	Replication int
+	// MergeWindow bounds the bytes of in-flight partial-product frames
+	// the coordinator buffers during the streaming merge (default 64 MiB).
+	// A frame is only read off a worker response once the window has room,
+	// so an overloaded merge backpressures workers over TCP instead of
+	// accumulating whole shard results in coordinator memory.
+	MergeWindow int64
+	// RepairPeriod is the interval of the anti-entropy pass (shard-map ↔
+	// worker-inventory reconciliation, CRC verification, re-replication
+	// back to R, primary re-homing). Negative disables the background
+	// loop — tests call RepairPass directly. The loop only starts once a
+	// catalog is attached; default 5s.
+	RepairPeriod time.Duration
 	// Client is the HTTP client used for worker RPCs; nil uses a
 	// dedicated client with connection reuse.
 	Client *http.Client
@@ -123,6 +140,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryMax <= 0 {
 		o.RetryMax = time.Second
+	}
+	if o.Replication == 0 {
+		o.Replication = 2
+	}
+	if o.Replication < 1 {
+		o.Replication = 1
+	}
+	if o.MergeWindow <= 0 {
+		o.MergeWindow = 64 << 20
+	}
+	if o.RepairPeriod == 0 {
+		o.RepairPeriod = 5 * time.Second
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
@@ -193,4 +222,28 @@ type Stats struct {
 	TilesRerouted int64 `json:"tiles_rerouted"`
 	HedgesSent    int64 `json:"hedges_sent"`
 	HedgedWins    int64 `json:"hedged_wins"`
+
+	// Sharded-catalog accounting. ShardedMatrices/ShardsTotal describe
+	// the current shard maps; UnderReplicatedShards counts shards whose
+	// healthy durable holders are below the replication factor (the
+	// /healthz degradation signal); ShardShips/ShardShipBytes count shard
+	// uploads (placement, re-replication, inline cache fills);
+	// ShardRefHits/ShardRefBytes count operand bytes that did NOT cross
+	// the wire because the worker resolved a reference from its store.
+	ShardedMatrices       int   `json:"sharded_matrices"`
+	ShardsTotal           int   `json:"shards_total"`
+	UnderReplicatedShards int   `json:"under_replicated_shards"`
+	ShardShips            int64 `json:"shard_ships"`
+	ShardShipBytes        int64 `json:"shard_ship_bytes"`
+	ReReplications        int64 `json:"re_replications"`
+	ShardCRCFailures      int64 `json:"shard_crc_failures"`
+	ShardRefHits          int64 `json:"shard_ref_hits"`
+	ShardRefBytes         int64 `json:"shard_ref_bytes"`
+	RepairPasses          int64 `json:"repair_passes"`
+
+	// Streaming-merge accounting: frames merged and the high-water mark
+	// of frame bytes buffered at once (always ≤ the configured window,
+	// the chaos drill's memory assertion).
+	MergeFrames    int64 `json:"merge_frames"`
+	MergePeakBytes int64 `json:"merge_peak_bytes"`
 }

@@ -129,7 +129,7 @@ func TestExecFrameRoundTrip(t *testing.T) {
 	bBytes := serializeATM(t, b)
 	hdr := execHeader{BAtomic: cfg.BAtomic, WriteThreshold: 0.25, SpGEMM: 1}
 
-	r, n, err := execFrameReader(hdr, aBytes, bBytes)
+	r, n, err := execFrameReader(hdr, nil, aBytes, bBytes)
 	if err != nil {
 		t.Fatalf("execFrameReader: %v", err)
 	}
@@ -137,11 +137,11 @@ func TestExecFrameRoundTrip(t *testing.T) {
 	if m, err := frame.ReadFrom(r); err != nil || m != n {
 		t.Fatalf("frame read %d bytes (err %v), want %d", m, err, n)
 	}
-	gotHdr, am, bm, err := readExecFrame(&frame)
+	gotHdr, _, am, bm, err := readExecFrame(&frame)
 	if err != nil {
 		t.Fatalf("readExecFrame: %v", err)
 	}
-	if gotHdr != hdr {
+	if gotHdr.BAtomic != hdr.BAtomic || gotHdr.WriteThreshold != hdr.WriteThreshold || gotHdr.SpGEMM != hdr.SpGEMM {
 		t.Fatalf("header round-trip: got %+v, want %+v", gotHdr, hdr)
 	}
 	if !bytes.Equal(serializeATM(t, am), aBytes) {
@@ -153,11 +153,11 @@ func TestExecFrameRoundTrip(t *testing.T) {
 }
 
 func TestExecFrameRejectsBadHeader(t *testing.T) {
-	r, _, err := execFrameReader(execHeader{BAtomic: 12}, nil, nil)
+	r, _, err := execFrameReader(execHeader{BAtomic: 12}, nil, nil, nil)
 	if err != nil {
 		t.Fatalf("execFrameReader: %v", err)
 	}
-	if _, _, _, err := readExecFrame(r); err == nil {
+	if _, _, _, _, err := readExecFrame(r); err == nil {
 		t.Fatal("readExecFrame accepted non-power-of-two b_atomic")
 	}
 }
@@ -185,7 +185,7 @@ func TestDistributedMatchesLocal(t *testing.T) {
 	coord := NewCoordinator(cfg, testOptions(hc), peers)
 	defer coord.Close()
 
-	dist, stats, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	dist, stats, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err != nil {
 		t.Fatalf("distributed multiply: %v", err)
 	}
@@ -229,7 +229,7 @@ func TestDistributedVerifyAndRevalidate(t *testing.T) {
 
 	opts := core.DefaultMultOptions()
 	opts.Verify = 2
-	dist, stats, err := coord.Multiply(a, b, opts)
+	dist, stats, err := coord.Multiply("", "", a, b, opts)
 	if err != nil {
 		t.Fatalf("distributed multiply with verify: %v", err)
 	}
@@ -252,7 +252,7 @@ func TestCoordinatorNoWorkersFallsBackLocal(t *testing.T) {
 
 	coord := NewCoordinator(cfg, testOptions(testClient(t)), nil)
 	defer coord.Close()
-	out, _, err := coord.Multiply(a, b, core.DefaultMultOptions())
+	out, _, err := coord.Multiply("", "", a, b, core.DefaultMultOptions())
 	if err != nil {
 		t.Fatalf("fallback multiply: %v", err)
 	}

@@ -9,22 +9,39 @@ import (
 	"sync/atomic"
 	"time"
 
+	"atmatrix/internal/catalog"
 	"atmatrix/internal/core"
 	"atmatrix/internal/sched"
 )
 
-// Coordinator owns the worker registry and distributes multiplications:
-// plan globally (band grid + write threshold), shard the left operand's
-// tile-rows round-robin over the alive RemoteTeams (§III-F one level up),
-// 2D-partition with column chunks, dispatch with retries/re-routing/
-// hedging, and merge the disjoint partial products. Install Multiply as
-// service.Options.Distribute to put it behind the admission queue.
+// Coordinator owns the worker registry, the replicated shard catalog and
+// the distribution of multiplications: plan globally (band grid + write
+// threshold), execute against pre-replicated catalog shards by reference
+// (falling back to the legacy per-multiply 2D wire-ship partition for
+// unsharded operands), dispatch with retries/re-routing/hedging, and merge
+// the streamed partial-product frames under a bounded reassembly window.
+// Install Multiply as service.Options.Distribute to put it behind the
+// admission queue.
 type Coordinator struct {
 	cfg  core.Config
 	opts Options
 
 	mu    sync.Mutex
 	teams []*RemoteTeam
+
+	// Sharded-catalog state: the attached catalog (shard maps persist in
+	// its manifest), the in-memory map cache, and the opportunistic
+	// holder cache filled by inline exec transfers. Guarded by shardMu.
+	shardMu      sync.Mutex
+	cat          *catalog.Catalog
+	shardMaps    map[string]*catalog.ShardMap
+	cached       map[ShardKey]map[string]bool
+	repairCancel context.CancelFunc
+	repairDone   chan struct{}
+	repairKick   chan struct{}
+
+	// gate is the streaming merge's bounded reassembly window.
+	gate *mergeGate
 
 	remoteMultiplies atomic.Int64
 	localFallbacks   atomic.Int64
@@ -33,6 +50,15 @@ type Coordinator struct {
 	tilesRerouted    atomic.Int64
 	hedgesSent       atomic.Int64
 	hedgedWins       atomic.Int64
+
+	shardShips       atomic.Int64
+	shardShipBytes   atomic.Int64
+	reReplications   atomic.Int64
+	shardCRCFailures atomic.Int64
+	shardRefHits     atomic.Int64
+	shardRefBytes    atomic.Int64
+	repairPasses     atomic.Int64
+	mergeFrames      atomic.Int64
 
 	hbCancel context.CancelFunc
 	hbDone   chan struct{}
@@ -43,9 +69,18 @@ var verifySeq atomic.Int64
 
 // NewCoordinator creates a coordinator over the given initial peers
 // (worker base URLs or host:port addresses; more can Register later) and
-// starts the heartbeat loop unless opts.HeartbeatPeriod is negative.
+// starts the heartbeat loop unless opts.HeartbeatPeriod is negative. Call
+// AttachCatalog to enable the sharded catalog and its anti-entropy loop.
 func NewCoordinator(cfg core.Config, opts Options, peers []string) *Coordinator {
-	c := &Coordinator{cfg: cfg, opts: opts.withDefaults(), hbDone: make(chan struct{})}
+	c := &Coordinator{
+		cfg:        cfg,
+		opts:       opts.withDefaults(),
+		shardMaps:  make(map[string]*catalog.ShardMap),
+		cached:     make(map[ShardKey]map[string]bool),
+		repairKick: make(chan struct{}, 1),
+		hbDone:     make(chan struct{}),
+	}
+	c.gate = newMergeGate(c.opts.MergeWindow)
 	for _, p := range peers {
 		if p != "" {
 			c.Register(p)
@@ -62,12 +97,21 @@ func NewCoordinator(cfg core.Config, opts Options, peers []string) *Coordinator 
 	return c
 }
 
-// Close stops the heartbeat loop. In-flight multiplies finish normally.
+// Close stops the heartbeat and anti-entropy loops. In-flight multiplies
+// finish normally.
 func (c *Coordinator) Close() {
 	if c.hbCancel != nil {
 		c.hbCancel()
 		c.hbCancel = nil
 		<-c.hbDone
+	}
+	c.shardMu.Lock()
+	cancel, done := c.repairCancel, c.repairDone
+	c.repairCancel = nil
+	c.shardMu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
 	}
 }
 
@@ -102,7 +146,9 @@ func (c *Coordinator) Workers() []WorkerStatus {
 	return out
 }
 
-// Stats snapshots the robustness counters.
+// Stats snapshots the robustness counters, the shard-map health (the
+// under-replication gauge /healthz degrades on) and the streaming-merge
+// accounting.
 func (c *Coordinator) Stats() Stats {
 	s := Stats{
 		RemoteMultiplies: c.remoteMultiplies.Load(),
@@ -112,7 +158,19 @@ func (c *Coordinator) Stats() Stats {
 		TilesRerouted:    c.tilesRerouted.Load(),
 		HedgesSent:       c.hedgesSent.Load(),
 		HedgedWins:       c.hedgedWins.Load(),
+
+		ShardShips:       c.shardShips.Load(),
+		ShardShipBytes:   c.shardShipBytes.Load(),
+		ReReplications:   c.reReplications.Load(),
+		ShardCRCFailures: c.shardCRCFailures.Load(),
+		ShardRefHits:     c.shardRefHits.Load(),
+		ShardRefBytes:    c.shardRefBytes.Load(),
+		RepairPasses:     c.repairPasses.Load(),
+
+		MergeFrames:    c.mergeFrames.Load(),
+		MergePeakBytes: c.gate.peakBytes(),
 	}
+	notDead := make(map[string]bool)
 	for _, w := range c.Workers() {
 		switch w.State {
 		case Healthy.String():
@@ -122,7 +180,27 @@ func (c *Coordinator) Stats() Stats {
 		default:
 			s.WorkersDead++
 		}
+		if w.State != Dead.String() {
+			notDead[w.Addr] = true
+		}
 	}
+	c.shardMu.Lock()
+	s.ShardedMatrices = len(c.shardMaps)
+	for _, sm := range c.shardMaps {
+		s.ShardsTotal += len(sm.Shards)
+		for _, meta := range sm.Shards {
+			healthy := 0
+			for _, addr := range meta.Replicas {
+				if notDead[addr] {
+					healthy++
+				}
+			}
+			if healthy < sm.Replication {
+				s.UnderReplicatedShards++
+			}
+		}
+	}
+	c.shardMu.Unlock()
 	return s
 }
 
@@ -149,7 +227,7 @@ func (c *Coordinator) heartbeatLoop(ctx context.Context) {
 			if ctx.Err() != nil {
 				return
 			}
-			rt.health.observe(ok, c.opts.SuspectAfter, c.opts.DeadAfter)
+			c.observeHealth(rt, ok)
 		}
 	}
 }
@@ -168,10 +246,11 @@ func (c *Coordinator) aliveTeams() []*RemoteTeam {
 	return alive
 }
 
-// task is one unit of distributed work: the A tiles overlapping the
-// tile-rows one worker owns × the B tiles of one column chunk,
-// pre-encoded once so retries, hedges and re-routes re-ship the same
-// bytes. The shard matrices are kept for the last-resort local execution.
+// task is one unit of distributed work: one shard of A × one span of B —
+// either resolved from the workers' shard stores by reference (the
+// sharded-catalog path) or pre-encoded wire payloads (the legacy
+// per-multiply partition). The shard matrices are kept for the
+// last-resort local execution.
 //
 // Shard tiles are the ORIGINAL tiles, never split at band cuts: the
 // dynamic optimizer's cost model reads whole-tile densities, so a split
@@ -185,7 +264,14 @@ type task struct {
 	aMat, bMat *core.ATMatrix
 	aBytes     []byte
 	bBytes     []byte
-	nRows      int // tile-rows covered, the tiles_rerouted unit
+	// aRefs/bRefs resolve the operands from worker shard stores; holders
+	// records each referenced shard's durable replica set and src
+	// regenerates payloads for inline cache fills.
+	aRefs   []shardRef
+	bRefs   []shardRef
+	holders map[ShardKey]map[string]bool
+	src     *shardSource
+	nRows   int // tile-rows covered, the tiles_rerouted unit
 	// keepRow and keepCol hold the band Lo coordinates of the owned
 	// (tile-row × column-chunk) region; result tiles always sit exactly on
 	// band origins, so membership is exact.
@@ -199,10 +285,19 @@ func (t *task) keep(tile *core.Tile) bool {
 	return t.keepRow[tile.Row0] && t.keepCol[tile.Col0]
 }
 
+// refs lists every shard reference the task's operands resolve through.
+func (t *task) refs() []shardRef {
+	out := make([]shardRef, 0, len(t.aRefs)+len(t.bRefs))
+	out = append(out, t.aRefs...)
+	out = append(out, t.bRefs...)
+	return out
+}
+
 // Multiply executes C = A·B across the cluster, falling back to local
-// execution when no workers can serve. It satisfies the
-// service.Options.Distribute contract.
-func (c *Coordinator) Multiply(a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
+// execution when no workers can serve. The operand names select the
+// catalog shard maps ("" or an unsharded name falls back to wire-shipping
+// the operands). It satisfies the service.Options.Distribute contract.
+func (c *Coordinator) Multiply(aName, bName string, a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
 	alive := c.aliveTeams()
 	if len(alive) == 0 ||
 		a.Cols != b.Rows || a.BAtomic != c.cfg.BAtomic || b.BAtomic != c.cfg.BAtomic {
@@ -212,7 +307,7 @@ func (c *Coordinator) Multiply(a, b *core.ATMatrix, opts core.MultOptions) (*cor
 		c.localFallbacks.Add(1)
 		return core.MultiplyOpt(a, b, c.cfg, opts)
 	}
-	out, stats, err := c.multiplyDistributed(a, b, opts, alive)
+	out, stats, err := c.multiplyDistributed(aName, bName, a, b, opts, alive)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -220,7 +315,7 @@ func (c *Coordinator) Multiply(a, b *core.ATMatrix, opts core.MultOptions) (*cor
 	return out, stats, nil
 }
 
-func (c *Coordinator) multiplyDistributed(a, b *core.ATMatrix, opts core.MultOptions, alive []*RemoteTeam) (*core.ATMatrix, *core.MultStats, error) {
+func (c *Coordinator) multiplyDistributed(aName, bName string, a, b *core.ATMatrix, opts core.MultOptions, alive []*RemoteTeam) (*core.ATMatrix, *core.MultStats, error) {
 	ctx := opts.Ctx
 	if ctx == nil {
 		//atlint:ignore ctxflow uncancellable caller: local root for per-RPC deadlines
@@ -245,9 +340,15 @@ func (c *Coordinator) multiplyDistributed(a, b *core.ATMatrix, opts core.MultOpt
 		WriteThreshold: stats.WriteThreshold,
 		SpGEMM:         int(opts.SpGEMM),
 	}
-	tasks, err := c.buildTasks(a, b, len(alive))
+	tasks, err := c.buildShardTasks(aName, bName, a, b, alive)
 	if err != nil {
 		return nil, nil, err
+	}
+	if tasks == nil {
+		tasks, err = c.buildTasks(a, b, len(alive))
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	stats.EstimateTime = time.Since(t0)
 
@@ -259,11 +360,14 @@ func (c *Coordinator) multiplyDistributed(a, b *core.ATMatrix, opts core.MultOpt
 	shardOpts.WriteThreshold = stats.WriteThreshold
 	shardOpts.Estimate = true
 
-	// Dispatch every task; each routes, retries and hedges independently.
+	// Dispatch every task; each routes, retries and hedges independently,
+	// and streams its partial product back frame by frame — kept tiles
+	// accumulate per task, spill-over is dropped the moment a frame
+	// arrives, and the merge window bounds the undecoded bytes in flight.
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		partials = make([]*core.ATMatrix, len(tasks))
+		partials = make([][]*core.Tile, len(tasks))
 		firstErr error
 		contribs int64
 	)
@@ -271,7 +375,7 @@ func (c *Coordinator) multiplyDistributed(a, b *core.ATMatrix, opts core.MultOpt
 		wg.Add(1)
 		go func(i int, t *task) {
 			defer wg.Done()
-			m, n, err := c.runTask(ctx, alive, hdr, shardOpts, t)
+			kept, n, err := c.runTask(ctx, alive, hdr, shardOpts, t)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -280,7 +384,7 @@ func (c *Coordinator) multiplyDistributed(a, b *core.ATMatrix, opts core.MultOpt
 				}
 				return
 			}
-			partials[i] = m
+			partials[i] = kept
 			contribs += n
 		}(i, t)
 	}
@@ -292,23 +396,13 @@ func (c *Coordinator) multiplyDistributed(a, b *core.ATMatrix, opts core.MultOpt
 		return nil, nil, firstErr
 	}
 
-	// Merge: each partial product, restricted to its task's owned region
-	// (spill-over targets of band-spanning shard tiles are dropped), covers
-	// a disjoint (tile-row × column-chunk) region — assembly is re-homing
-	// plus a band-grid sort, the same (Row0, Col0) order the local operator
-	// emits its result slots in.
+	// Merge: the per-frame filtering already restricted every partial to
+	// its task's owned disjoint (tile-row × column-chunk) region and
+	// re-homed the tiles — assembly is a band-grid sort, the same
+	// (Row0, Col0) order the local operator emits its result slots in.
 	var tiles []*core.Tile
-	for i, p := range partials {
-		if p == nil {
-			continue
-		}
-		for _, t := range p.Tiles {
-			if !tasks[i].keep(t) {
-				continue
-			}
-			t.Home = c.cfg.Topology.HomeOfTileRow(t.Row0 / c.cfg.BAtomic)
-			tiles = append(tiles, t)
-		}
+	for _, kept := range partials {
+		tiles = append(tiles, kept...)
 	}
 	sort.Slice(tiles, func(i, j int) bool {
 		if tiles[i].Row0 != tiles[j].Row0 {
@@ -333,31 +427,22 @@ func (c *Coordinator) multiplyDistributed(a, b *core.ATMatrix, opts core.MultOpt
 	return out, stats, nil
 }
 
-// buildTasks cuts the operands into the 2D shard grid: the round-robin
-// owner of each of A's tile-rows (sched.PlaceRoundRobin — placement and
-// its dead-home routing live in the scheduler, so the cluster provably
-// shares the local §III-F policy) crossed with contiguous column chunks
-// of B. Shards carry whole original tiles (see task), so a band-spanning
-// tile lands in every shard it overlaps and nothing is ever cut in the
-// contraction direction — every worker runs the exact contraction windows,
-// kernels and accumulation order of the local operator.
+// buildTasks cuts the operands into the legacy per-multiply 2D shard
+// grid: the round-robin owner of each of A's tile-rows
+// (sched.PlaceRoundRobin — placement and its dead-home routing live in
+// the scheduler, so the cluster provably shares the local §III-F policy)
+// crossed with contiguous column chunks of B, every operand wire-shipped.
+// This is the fallback for operands without catalog shard maps. Shards
+// carry whole original tiles (see task), so a band-spanning tile lands in
+// every shard it overlaps and nothing is ever cut in the contraction
+// direction — every worker runs the exact contraction windows, kernels
+// and accumulation order of the local operator.
 func (c *Coordinator) buildTasks(a, b *core.ATMatrix, workers int) ([]*task, error) {
 	rowBands := a.RowBands()
 	colBands := b.ColBands()
 	queues, ok := sched.PlaceRoundRobin(len(rowBands), workers, nil)
 	if !ok {
 		return nil, fmt.Errorf("cluster: no home for %d tile-rows", len(rowBands))
-	}
-
-	// bandRange resolves the contiguous run of bands a [lo, hi) span
-	// overlaps; bands are induced by tile cuts, so the span is exact.
-	bandRange := func(bands []core.Band, lo, hi int) (int, int) {
-		first := sort.Search(len(bands), func(i int) bool { return bands[i].Hi > lo })
-		last := first
-		for last+1 < len(bands) && bands[last+1].Lo < hi {
-			last++
-		}
-		return first, last
 	}
 
 	// Column chunks: contiguous runs of column bands, one per worker by
@@ -485,7 +570,7 @@ func (c *Coordinator) buildTasks(a, b *core.ATMatrix, workers int) ([]*task, err
 // attemptResult is one exec attempt's outcome, tagged with the worker
 // index so hedged wins are attributable.
 type attemptResult struct {
-	m        *core.ATMatrix
+	tiles    []*core.Tile
 	contribs int64
 	err      error
 	idx      int
@@ -499,7 +584,7 @@ type attemptResult struct {
 // degrades to local execution — unless the failures say the transfers are
 // corrupt, which must surface to the quarantine instead of being masked
 // by a locally computed result.
-func (c *Coordinator) runTask(ctx context.Context, alive []*RemoteTeam, hdr execHeader, shardOpts core.MultOptions, t *task) (*core.ATMatrix, int64, error) {
+func (c *Coordinator) runTask(ctx context.Context, alive []*RemoteTeam, hdr execHeader, shardOpts core.MultOptions, t *task) ([]*core.Tile, int64, error) {
 	n := len(alive)
 	tried := make([]bool, n)
 	// next picks the untried candidate closest after the owner in ring
@@ -539,8 +624,8 @@ func (c *Coordinator) runTask(ctx context.Context, alive []*RemoteTeam, hdr exec
 		results := make(chan attemptResult, 2)
 		launched := 1
 		go func(i int) {
-			m, cn, err := c.execOnWorker(actx, alive[i], hdr, t)
-			results <- attemptResult{m: m, contribs: cn, err: err, idx: i}
+			tiles, cn, err := c.execOnWorker(actx, alive[i], hdr, t)
+			results <- attemptResult{tiles: tiles, contribs: cn, err: err, idx: i}
 		}(idx)
 
 		var hedgeCh <-chan time.Time
@@ -566,8 +651,8 @@ func (c *Coordinator) runTask(ctx context.Context, alive []*RemoteTeam, hdr exec
 					c.hedgesSent.Add(1)
 					launched++
 					go func(i int) {
-						m, cn, err := c.execOnWorker(actx, alive[i], hdr, t)
-						results <- attemptResult{m: m, contribs: cn, err: err, idx: i}
+						tiles, cn, err := c.execOnWorker(actx, alive[i], hdr, t)
+						results <- attemptResult{tiles: tiles, contribs: cn, err: err, idx: i}
 					}(h)
 				}
 			}
@@ -589,7 +674,7 @@ func (c *Coordinator) runTask(ctx context.Context, alive []*RemoteTeam, hdr exec
 			if won.idx != idx {
 				c.hedgedWins.Add(1)
 			}
-			return won.m, won.contribs, nil
+			return won.tiles, won.contribs, nil
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -599,20 +684,41 @@ func (c *Coordinator) runTask(ctx context.Context, alive []*RemoteTeam, hdr exec
 		return nil, 0, lastErr
 	}
 	// Graceful degradation: every worker is unreachable or failing, but
-	// the coordinator still holds the shard — execute it locally.
+	// the coordinator still holds the shard — execute it locally and keep
+	// only the owned region, exactly like a streamed remote result.
 	c.localTasks.Add(1)
 	m, st, err := core.MultiplyOpt(t.aMat, t.bMat, c.cfg, shardOpts)
 	if err != nil {
 		return nil, 0, err
 	}
-	return m, st.Contributions, nil
+	return c.keepTiles(t, m.Tiles, nil), st.Contributions, nil
+}
+
+// keepTiles filters one batch of product tiles down to the task's owned
+// region and re-homes the survivors onto the topology's socket layout.
+func (c *Coordinator) keepTiles(t *task, tiles []*core.Tile, into []*core.Tile) []*core.Tile {
+	for _, tile := range tiles {
+		if !t.keep(tile) {
+			continue
+		}
+		tile.Home = c.cfg.Topology.HomeOfTileRow(tile.Row0 / c.cfg.BAtomic)
+		into = append(into, tile)
+	}
+	return into
 }
 
 // execOnWorker runs the per-worker retry loop: transient failures re-send
 // to the same worker under capped exponential backoff; permanent ones
 // return immediately so the caller re-routes. Transport-level failures
 // count against the worker's health exactly like missed heartbeats.
-func (c *Coordinator) execOnWorker(ctx context.Context, rt *RemoteTeam, hdr execHeader, t *task) (*core.ATMatrix, int64, error) {
+// Referenced shards the worker already holds travel as keys; the rest are
+// inlined — and a 409 cache miss triggers one immediate re-send per shard
+// with the missing payloads attached, which on success makes the worker a
+// (cached) holder for subsequent multiplies.
+func (c *Coordinator) execOnWorker(ctx context.Context, rt *RemoteTeam, hdr execHeader, t *task) ([]*core.Tile, int64, error) {
+	refs := t.refs()
+	forceInline := make(map[ShardKey]bool)
+	refills := 0
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -621,21 +727,72 @@ func (c *Coordinator) execOnWorker(ctx context.Context, rt *RemoteTeam, hdr exec
 				return nil, 0, ctx.Err()
 			}
 		}
+		hdr2 := hdr
+		hdr2.ARefs, hdr2.BRefs = t.aRefs, t.bRefs
+		var inlineData [][]byte
+		var refHits []shardRef
+		for _, ref := range refs {
+			if !forceInline[ref.ShardKey] &&
+				(t.holders[ref.ShardKey][rt.addr] || c.cachedHolder(ref.ShardKey, rt.addr)) {
+				refHits = append(refHits, ref)
+				continue
+			}
+			data, err := t.src.bytes(ref.ShardKey)
+			if err != nil {
+				// The coordinator cannot regenerate the shard to the
+				// recorded fingerprint: surface it (checksum failures reach
+				// the quarantine) rather than executing on divergent bytes.
+				return nil, 0, err
+			}
+			hdr2.Inline = append(hdr2.Inline, ref)
+			inlineData = append(inlineData, data)
+		}
+		var kept []*core.Tile
 		rctx, cancel := context.WithTimeout(ctx, c.opts.RPCTimeout)
-		m, contribs, err := rt.exec(rctx, hdr, t.aBytes, t.bBytes)
+		acquire := func(n int) (func(), error) { return c.gate.acquire(rctx, int64(n)) }
+		onFrame := func(m *core.ATMatrix) error {
+			c.mergeFrames.Add(1)
+			kept = c.keepTiles(t, m.Tiles, kept)
+			return nil
+		}
+		contribs, err := rt.exec(rctx, hdr2, inlineData, t.aBytes, t.bBytes, acquire, onFrame)
 		cancel()
 		if err == nil {
-			rt.health.observe(true, c.opts.SuspectAfter, c.opts.DeadAfter)
-			return m, contribs, nil
+			c.observeHealth(rt, true)
+			for _, ref := range hdr2.Inline {
+				c.noteHolder(ref.ShardKey, rt.addr)
+			}
+			for _, ref := range refHits {
+				c.shardRefHits.Add(1)
+				c.shardRefBytes.Add(ref.Bytes)
+			}
+			return kept, contribs, nil
 		}
 		if ctx.Err() != nil {
 			// The parent was cancelled (hedge lost, multiply aborted):
 			// the failure says nothing about the worker.
 			return nil, 0, ctx.Err()
 		}
+		var mse *missingShardsError
+		if errors.As(err, &mse) && refills < len(refs) {
+			fresh := false
+			for _, k := range mse.keys {
+				if !forceInline[k] {
+					forceInline[k] = true
+					fresh = true
+				}
+			}
+			if fresh {
+				// A cache miss, not a failure: re-send immediately with
+				// the missing shards inlined. Bounded by the ref count.
+				refills++
+				attempt--
+				continue
+			}
+		}
 		var te *transportError
 		if errors.As(err, &te) {
-			rt.health.observe(false, c.opts.SuspectAfter, c.opts.DeadAfter)
+			c.observeHealth(rt, false)
 		}
 		lastErr = err
 		if !isTransient(err) {

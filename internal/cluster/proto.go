@@ -14,29 +14,81 @@ import (
 //
 //	uint32 little-endian header length
 //	JSON execHeader
-//	int64 aLen, then aLen bytes of A-shard .atm stream
-//	int64 bLen, then bLen bytes of B-chunk .atm stream
+//	for each header Inline entry, in order:
+//	    int64 payload length, then that many bytes of shard .atm stream
+//	int64 aLen, then aLen bytes of A-operand .atm stream (0 = resolve
+//	    the A operand from the header's a_refs against the shard store)
+//	int64 bLen, then bLen bytes of B-operand .atm stream (0 = from b_refs)
 //
-// The .atm streams carry their own CRC-32C footers, so a flipped bit
-// anywhere in an operand payload fails the decode with core.ErrChecksum
-// (or a typed core.TileError naming the damaged tile) rather than
-// producing a silently wrong shard product. A successful response is the
-// product's bare .atm stream; failures are JSON {"error", "corrupt",
-// "transient"} with a matching status code.
+// Reference-first is the normal sharded-catalog path: operands that were
+// previously replicated to the worker travel as (name, generation, shard)
+// keys plus a CRC fingerprint instead of megabytes of tiles. Inline
+// payloads piggyback shard bytes the worker is missing (a 409 told the
+// coordinator so) and are durably stored before execution, turning the
+// retry into a cache fill. The .atm streams carry their own CRC-32C
+// footers, so a flipped bit anywhere in an operand payload fails the
+// decode with core.ErrChecksum (or a typed core.TileError naming the
+// damaged tile) rather than producing a silently wrong shard product.
+//
+// A successful response is the product streamed as length-prefixed
+// per-tile-row .atm frames (core.WriteTileRowFrames) — the coordinator
+// merges each frame as it arrives under its bounded reassembly window
+// instead of buffering whole shard products. Failures are JSON {"error",
+// "corrupt", "transient", "missing_shards"} with a matching status code.
 
-// execHeader carries the coordinator's global plan parameters: the block
-// granularity the shard streams were partitioned at, and the globally
-// derived write threshold — a worker deriving its own water level from a
+// ShardKey names one stored shard: a cataloged matrix name, the shard-map
+// generation it was cut under, and the shard index. Workers key their
+// stores by it; exec references and inventory reports carry it.
+type ShardKey struct {
+	Name  string `json:"name"`
+	Gen   int64  `json:"gen"`
+	Shard int    `json:"shard"`
+}
+
+func (k ShardKey) String() string {
+	return fmt.Sprintf("%s@%d/%d", k.Name, k.Gen, k.Shard)
+}
+
+// shardRef is a shard reference in an exec header: the key to look up plus
+// the CRC/size fingerprint the stored bytes must match — a worker holding
+// stale or damaged bytes under the right key reports the shard missing
+// rather than computing on them.
+type shardRef struct {
+	ShardKey
+	CRC   uint32 `json:"crc32c"`
+	Bytes int64  `json:"bytes"`
+	// TileIdx maps the shard's tiles (in shard order) to their indices in
+	// the full matrix's canonical tile order. The partitioner emits tiles
+	// in recursion order — not reconstructible from tile coordinates alone
+	// — and the operator accumulates contributions in operand tile order,
+	// so a worker reassembling a matrix from several shards needs these to
+	// splice the tiles back bit-identically. A tile spanning a band cut
+	// rides in several shards under the SAME index, making dedup exact.
+	// Empty for single-shard operands, whose order is trivially preserved.
+	TileIdx []int `json:"tile_idx,omitempty"`
+}
+
+// execHeader carries the coordinator's global plan parameters — the block
+// granularity the shard streams were partitioned at and the globally
+// derived write threshold (a worker deriving its own water level from a
 // shard-local density map would classify result tiles differently than a
-// local run, breaking byte-identity.
+// local run, breaking byte-identity) — plus the operand shard references.
 type execHeader struct {
 	BAtomic        int     `json:"b_atomic"`
 	WriteThreshold float64 `json:"write_threshold"`
 	SpGEMM         int     `json:"spgemm"`
+	// ARefs/BRefs resolve the corresponding operand from the worker's
+	// shard store when its inline length is zero. Multiple refs assemble
+	// into one operand (all of B's shards for a row-shard task).
+	ARefs []shardRef `json:"a_refs,omitempty"`
+	BRefs []shardRef `json:"b_refs,omitempty"`
+	// Inline declares shard payloads appended to the frame, in order —
+	// cache fills for references this worker was missing.
+	Inline []shardRef `json:"inline,omitempty"`
 }
 
 const (
-	maxHeaderBytes  = 1 << 16
+	maxHeaderBytes  = 1 << 20
 	maxOperandBytes = int64(1) << 33
 )
 
@@ -51,69 +103,103 @@ func encodeMatrix(m *core.ATMatrix) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// execFramePrefix assembles the frame bytes preceding the A stream. The
-// operand bytes themselves are never copied; execFrameReader streams them
-// after the prefix.
-func execFramePrefix(hdr execHeader, aLen, bLen int) ([]byte, error) {
+// execFrameReader returns a reader over the full frame and its length.
+// aBytes/bBytes may be nil when the header references the operand instead;
+// inline payloads must match hdr.Inline one-to-one.
+func execFrameReader(hdr execHeader, inline [][]byte, aBytes, bBytes []byte) (io.Reader, int64, error) {
+	if len(inline) != len(hdr.Inline) {
+		return nil, 0, fmt.Errorf("cluster: %d inline payloads for %d declared refs", len(inline), len(hdr.Inline))
+	}
 	hj, err := json.Marshal(hdr)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: encoding exec header: %w", err)
+		return nil, 0, fmt.Errorf("cluster: encoding exec header: %w", err)
 	}
-	pre := make([]byte, 0, 4+len(hj)+8)
+	if len(hj) > maxHeaderBytes {
+		return nil, 0, fmt.Errorf("cluster: exec header %d bytes exceeds limit %d", len(hj), maxHeaderBytes)
+	}
+	pre := make([]byte, 0, 4+len(hj))
 	pre = binary.LittleEndian.AppendUint32(pre, uint32(len(hj)))
 	pre = append(pre, hj...)
-	pre = binary.LittleEndian.AppendUint64(pre, uint64(aLen))
-	return pre, nil
-}
-
-// execFrameReader returns a reader over the full frame and its length.
-func execFrameReader(hdr execHeader, aBytes, bBytes []byte) (io.Reader, int64, error) {
-	pre, err := execFramePrefix(hdr, len(aBytes), len(bBytes))
-	if err != nil {
-		return nil, 0, err
+	parts := []io.Reader{bytes.NewReader(pre)}
+	total := int64(len(pre))
+	appendPayload := func(b []byte) {
+		var ln [8]byte
+		binary.LittleEndian.PutUint64(ln[:], uint64(len(b)))
+		lnCopy := ln
+		parts = append(parts, bytes.NewReader(lnCopy[:]))
+		total += 8
+		if len(b) > 0 {
+			parts = append(parts, bytes.NewReader(b))
+			total += int64(len(b))
+		}
 	}
-	var blen [8]byte
-	binary.LittleEndian.PutUint64(blen[:], uint64(len(bBytes)))
-	r := io.MultiReader(
-		bytes.NewReader(pre),
-		bytes.NewReader(aBytes),
-		bytes.NewReader(blen[:]),
-		bytes.NewReader(bBytes),
-	)
-	return r, int64(len(pre)) + int64(len(aBytes)) + 8 + int64(len(bBytes)), nil
+	for _, b := range inline {
+		appendPayload(b)
+	}
+	appendPayload(aBytes)
+	appendPayload(bBytes)
+	return io.MultiReader(parts...), total, nil
 }
 
-// readExecFrame decodes one exec request. Operand streams are decoded
-// through length-bounded readers: core.ReadATMatrix buffers internally, so
-// without the explicit lengths the first decode would swallow bytes of the
-// second stream.
-func readExecFrame(r io.Reader) (execHeader, *core.ATMatrix, *core.ATMatrix, error) {
+// readExecFrame decodes one exec request into the header, the raw inline
+// shard payloads (order matching hdr.Inline), and the operand matrices —
+// nil where the frame declared a zero length, meaning the operand resolves
+// from the header's references. Operand streams are decoded through
+// length-bounded readers: core.ReadATMatrix buffers internally, so without
+// the explicit lengths the first decode would swallow bytes of the next
+// stream.
+func readExecFrame(r io.Reader) (execHeader, [][]byte, *core.ATMatrix, *core.ATMatrix, error) {
 	var hdr execHeader
 	var lenBuf [8]byte
 	if _, err := io.ReadFull(r, lenBuf[:4]); err != nil {
-		return hdr, nil, nil, fmt.Errorf("cluster: reading frame header length: %w", err)
+		return hdr, nil, nil, nil, fmt.Errorf("cluster: reading frame header length: %w", err)
 	}
 	hlen := binary.LittleEndian.Uint32(lenBuf[:4])
 	if hlen == 0 || hlen > maxHeaderBytes {
-		return hdr, nil, nil, fmt.Errorf("cluster: absurd frame header length %d", hlen)
+		return hdr, nil, nil, nil, fmt.Errorf("cluster: absurd frame header length %d", hlen)
 	}
 	hj := make([]byte, hlen)
 	if _, err := io.ReadFull(r, hj); err != nil {
-		return hdr, nil, nil, fmt.Errorf("cluster: reading frame header: %w", err)
+		return hdr, nil, nil, nil, fmt.Errorf("cluster: reading frame header: %w", err)
 	}
 	if err := json.Unmarshal(hj, &hdr); err != nil {
-		return hdr, nil, nil, fmt.Errorf("cluster: decoding frame header: %w", err)
+		return hdr, nil, nil, nil, fmt.Errorf("cluster: decoding frame header: %w", err)
 	}
 	if hdr.BAtomic <= 0 || hdr.BAtomic > 1<<20 || hdr.BAtomic&(hdr.BAtomic-1) != 0 {
-		return hdr, nil, nil, fmt.Errorf("cluster: frame header b_atomic %d not a power of two", hdr.BAtomic)
+		return hdr, nil, nil, nil, fmt.Errorf("cluster: frame header b_atomic %d not a power of two", hdr.BAtomic)
 	}
-	readOperand := func(which string) (*core.ATMatrix, error) {
+	readLen := func(which string) (int64, error) {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			return nil, fmt.Errorf("cluster: reading %s length: %w", which, err)
+			return 0, fmt.Errorf("cluster: reading %s length: %w", which, err)
 		}
 		n := int64(binary.LittleEndian.Uint64(lenBuf[:]))
-		if n <= 0 || n > maxOperandBytes {
-			return nil, fmt.Errorf("cluster: absurd %s length %d", which, n)
+		if n < 0 || n > maxOperandBytes {
+			return 0, fmt.Errorf("cluster: absurd %s length %d", which, n)
+		}
+		return n, nil
+	}
+	inline := make([][]byte, len(hdr.Inline))
+	for i, ref := range hdr.Inline {
+		n, err := readLen("inline shard")
+		if err != nil {
+			return hdr, nil, nil, nil, err
+		}
+		if n == 0 {
+			return hdr, nil, nil, nil, fmt.Errorf("cluster: empty inline payload for shard %s", ref.ShardKey)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return hdr, nil, nil, nil, fmt.Errorf("cluster: reading inline shard %s: %w", ref.ShardKey, err)
+		}
+		inline[i] = buf
+	}
+	readOperand := func(which string) (*core.ATMatrix, error) {
+		n, err := readLen(which)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil
 		}
 		lr := io.LimitReader(r, n)
 		m, err := core.ReadATMatrix(lr)
@@ -129,13 +215,25 @@ func readExecFrame(r io.Reader) (execHeader, *core.ATMatrix, *core.ATMatrix, err
 	}
 	am, err := readOperand("A shard")
 	if err != nil {
-		return hdr, nil, nil, err
+		return hdr, nil, nil, nil, err
 	}
 	bm, err := readOperand("B chunk")
 	if err != nil {
-		return hdr, nil, nil, err
+		return hdr, nil, nil, nil, err
 	}
-	return hdr, am, bm, nil
+	return hdr, inline, am, bm, nil
+}
+
+// readLimited slurps a payload, rejecting anything over the limit.
+func readLimited(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("cluster: payload exceeds %d-byte limit", limit)
+	}
+	return data, nil
 }
 
 // rpcFailure is the JSON error body of a failed worker RPC.
@@ -147,4 +245,8 @@ type rpcFailure struct {
 	Corrupt bool `json:"corrupt,omitempty"`
 	// Transient marks failures worth re-sending to the same worker.
 	Transient bool `json:"transient,omitempty"`
+	// MissingShards lists referenced shards the worker does not hold (or
+	// holds with the wrong fingerprint); the coordinator retries the same
+	// worker once with those payloads inlined.
+	MissingShards []ShardKey `json:"missing_shards,omitempty"`
 }

@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
@@ -77,55 +79,151 @@ func (e *remoteError) Error() string {
 
 func (e *remoteError) Transient() bool { return e.transient }
 
-// exec ships one shard task to the worker and decodes the partial
-// product. The three rpc.* fault sites cover the failure matrix: rpc.send
-// fails the request before it leaves, rpc.conn fails the transport,
-// rpc.recv fails (or corrupts, via its error kind) the response path.
-func (rt *RemoteTeam) exec(ctx context.Context, hdr execHeader, aBytes, bBytes []byte) (*core.ATMatrix, int64, error) {
+// missingShardsError is a worker's 409 answer to an exec whose references
+// its store cannot satisfy: not a failure of the worker or the data, but
+// the protocol's cache-miss signal. The coordinator retries the same
+// worker immediately with the missing shards inlined.
+type missingShardsError struct {
+	addr string
+	keys []ShardKey
+}
+
+func (e *missingShardsError) Error() string {
+	return fmt.Sprintf("cluster: worker %s missing %d referenced shards", e.addr, len(e.keys))
+}
+
+// exec ships one shard task to the worker and streams the partial product
+// back through onFrame, one per-tile-row frame at a time; acquire gates
+// each frame's bytes against the coordinator's bounded merge window
+// before they are read off the socket. The four rpc.* fault sites cover
+// the failure matrix: rpc.send fails the request before it leaves,
+// rpc.conn fails the transport, rpc.recv fails the response path,
+// rpc.stream fails (or corrupts, via its error kind) an individual frame.
+func (rt *RemoteTeam) exec(ctx context.Context, hdr execHeader, inline [][]byte, aBytes, bBytes []byte, acquire func(n int) (func(), error), onFrame func(*core.ATMatrix) error) (int64, error) {
 	if err := faultinject.Do("rpc.send"); err != nil {
-		return nil, 0, fmt.Errorf("cluster: sending exec to %s: %w", rt.addr, err)
+		return 0, fmt.Errorf("cluster: sending exec to %s: %w", rt.addr, err)
 	}
-	body, n, err := execFrameReader(hdr, aBytes, bBytes)
+	body, n, err := execFrameReader(hdr, inline, aBytes, bBytes)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.addr+"/cluster/v1/exec", body)
 	if err != nil {
-		return nil, 0, fmt.Errorf("cluster: building exec request: %w", err)
+		return 0, fmt.Errorf("cluster: building exec request: %w", err)
 	}
 	req.ContentLength = n
 	req.Header.Set("Content-Type", "application/octet-stream")
 	if err := faultinject.Do("rpc.conn"); err != nil {
-		return nil, 0, &transportError{addr: rt.addr, err: err}
+		return 0, &transportError{addr: rt.addr, err: err}
 	}
 	resp, err := rt.hc.Do(req)
 	if err != nil {
-		return nil, 0, &transportError{addr: rt.addr, err: err}
+		return 0, &transportError{addr: rt.addr, err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, decodeFailure(rt.addr, resp)
+		return 0, decodeFailure(rt.addr, resp)
 	}
 	if err := faultinject.Do("rpc.recv"); err != nil {
-		return nil, 0, fmt.Errorf("cluster: receiving product from %s: %w", rt.addr, err)
+		return 0, fmt.Errorf("cluster: receiving product from %s: %w", rt.addr, err)
 	}
-	m, err := core.ReadATMatrix(resp.Body)
+	err = core.ReadTileRowFrames(resp.Body, acquire, func(m *core.ATMatrix) error {
+		if err := faultinject.Do("rpc.stream"); err != nil {
+			return err
+		}
+		return onFrame(m)
+	})
 	if err != nil {
-		// The product stream failed its CRC or structure checks in
-		// flight; the typed core error (ErrChecksum / TileError with the
-		// damaged tile's coordinate) rides along for the quarantine path.
-		return nil, 0, fmt.Errorf("cluster: decoding product from %s: %w", rt.addr, err)
+		// A frame that failed its CRC or structure checks in flight keeps
+		// its typed core error (ErrChecksum / TileError with the damaged
+		// tile's coordinate) for the quarantine path.
+		return 0, fmt.Errorf("cluster: streaming product from %s: %w", rt.addr, err)
 	}
 	contribs, _ := strconv.ParseInt(resp.Header.Get("X-Atm-Contributions"), 10, 64)
-	return m, contribs, nil
+	return contribs, nil
+}
+
+// shipShard uploads one shard replica to the worker's store.
+func (rt *RemoteTeam) shipShard(ctx context.Context, key ShardKey, crc uint32, data []byte) error {
+	u := fmt.Sprintf("%s/cluster/v1/shards?name=%s&gen=%d&shard=%d&crc=%08x",
+		rt.addr, url.QueryEscape(key.Name), key.Gen, key.Shard, crc)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("cluster: building shard upload: %w", err)
+	}
+	req.ContentLength = int64(len(data))
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return &transportError{addr: rt.addr, err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeFailure(rt.addr, resp)
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	return nil
+}
+
+// inventory fetches the worker's CRC-verified shard holdings.
+func (rt *RemoteTeam) inventory(ctx context.Context) ([]inventoryEntry, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.addr+"/cluster/v1/shards", nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building inventory request: %w", err)
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, &transportError{addr: rt.addr, err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeFailure(rt.addr, resp)
+	}
+	var body struct {
+		Shards []inventoryEntry `json:"shards"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxOperandBytes)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("cluster: decoding inventory from %s: %w", rt.addr, err)
+	}
+	return body.Shards, nil
+}
+
+// dropShards removes shards from the worker's store, by matrix name
+// and/or explicit keys.
+func (rt *RemoteTeam) dropShards(ctx context.Context, name string, keys []ShardKey) error {
+	payload, err := json.Marshal(struct {
+		Name string     `json:"name,omitempty"`
+		Keys []ShardKey `json:"keys,omitempty"`
+	}{Name: name, Keys: keys})
+	if err != nil {
+		return fmt.Errorf("cluster: encoding drop request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.addr+"/cluster/v1/shards/drop", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("cluster: building drop request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return &transportError{addr: rt.addr, err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeFailure(rt.addr, resp)
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	return nil
 }
 
 // decodeFailure maps a non-200 worker response to a typed error.
 func decodeFailure(addr string, resp *http.Response) error {
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var f rpcFailure
 	if err := json.Unmarshal(raw, &f); err != nil || f.Error == "" {
 		f.Error = strings.TrimSpace(string(raw))
+	}
+	if resp.StatusCode == http.StatusConflict && len(f.MissingShards) > 0 {
+		return &missingShardsError{addr: addr, keys: f.MissingShards}
 	}
 	if f.Corrupt {
 		// The worker's decoder rejected the shard stream we shipped: the

@@ -1,0 +1,777 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"atmatrix/internal/catalog"
+	"atmatrix/internal/core"
+	"atmatrix/internal/faultinject"
+	"atmatrix/internal/sched"
+)
+
+// Sharded catalog: instead of re-shipping operand bytes on every multiply,
+// the coordinator cuts each cataloged matrix into tile-row shards at PUT
+// time (the same §III-F round-robin placement the legacy per-multiply path
+// uses), ships every shard to its primary worker AND Replication−1 ring
+// successors, and records the resulting shard map durably in the catalog
+// manifest. Multiplies then reference shards by (name, generation, shard)
+// key; operand bytes cross the wire only as one-time cache fills for
+// workers that report a reference missing. The anti-entropy RepairPass
+// reconciles the recorded maps against worker-reported, CRC-verified
+// inventories: lost shards are re-replicated back to R from the
+// coordinator's durable copy, corrupt remote copies are dropped and
+// replaced, and a dead primary is re-homed onto a surviving replica.
+
+// mergeGate is the streaming merge's bounded reassembly window: a byte
+// semaphore every in-flight partial-product frame must pass before its
+// body is read off a worker response. A frame larger than the whole window
+// is admitted alone (used == 0) so one oversized tile-row degrades to
+// serial merging instead of deadlocking. While the window is full, readers
+// block — backpressure propagates to workers through TCP flow control
+// instead of growing the coordinator heap.
+type mergeGate struct {
+	capBytes int64
+
+	mu     sync.Mutex
+	used   int64
+	peak   int64
+	waitCh chan struct{}
+}
+
+func newMergeGate(capBytes int64) *mergeGate {
+	return &mergeGate{capBytes: capBytes, waitCh: make(chan struct{})}
+}
+
+// acquire blocks until n bytes fit in the window (or ctx expires) and
+// returns the matching release. Release is idempotent.
+func (g *mergeGate) acquire(ctx context.Context, n int64) (func(), error) {
+	for {
+		g.mu.Lock()
+		if g.used == 0 || g.used+n <= g.capBytes {
+			g.used += n
+			if g.used > g.peak {
+				g.peak = g.used
+			}
+			g.mu.Unlock()
+			var once sync.Once
+			return func() { once.Do(func() { g.release(n) }) }, nil
+		}
+		ch := g.waitCh
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+func (g *mergeGate) release(n int64) {
+	g.mu.Lock()
+	g.used -= n
+	ch := g.waitCh
+	g.waitCh = make(chan struct{})
+	g.mu.Unlock()
+	close(ch)
+}
+
+// peakBytes reports the high-water mark of concurrently buffered frame
+// bytes — the chaos drill asserts it stays at or under the window.
+func (g *mergeGate) peakBytes() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// bandRange resolves the contiguous run of bands a [lo, hi) span overlaps;
+// bands are induced by tile cuts, so the span is exact.
+func bandRange(bands []core.Band, lo, hi int) (int, int) {
+	first := sort.Search(len(bands), func(i int) bool { return bands[i].Hi > lo })
+	last := first
+	for last+1 < len(bands) && bands[last+1].Lo < hi {
+		last++
+	}
+	return first, last
+}
+
+// collectShardTiles gathers the whole original tiles overlapping any of
+// the owned tile-row bands, in the matrix's canonical tile order — the
+// same whole-tile rule as the legacy 2D partitioner (a split tile would
+// steer the dynamic optimizer differently than a local run and break
+// byte-identity), and a deterministic order so a shard's serialized bytes
+// regenerate to the same CRC on every pass. The second result holds each
+// collected tile's index in m.Tiles — the canonical-order key a worker
+// needs to splice several shards back together bit-identically.
+func collectShardTiles(m *core.ATMatrix, bands []int) ([]*core.Tile, []int) {
+	owned := make(map[int]bool, len(bands))
+	for _, b := range bands {
+		owned[b] = true
+	}
+	rowBands := m.RowBands()
+	var tiles []*core.Tile
+	var idx []int
+	for i, t := range m.Tiles {
+		first, last := bandRange(rowBands, t.Row0, t.Row0+t.Rows)
+		for band := first; band <= last; band++ {
+			if owned[band] {
+				tiles = append(tiles, t)
+				idx = append(idx, i)
+				break
+			}
+		}
+	}
+	return tiles, idx
+}
+
+// shardMatrixOf assembles the shard of m owning the given bands.
+func shardMatrixOf(m *core.ATMatrix, bands []int) (*core.ATMatrix, error) {
+	tiles, _ := collectShardTiles(m, bands)
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("cluster: shard bands %v own no tiles", bands)
+	}
+	return core.NewFromTiles(m.Rows, m.Cols, m.BAtomic, tiles)
+}
+
+// shardSlice serializes the shard of m owning the given bands. The result
+// is deterministic for unchanged matrix content, which is what lets the
+// shard map record a CRC once and every later regeneration (re-replication,
+// inline cache fills) verify against it.
+func shardSlice(m *core.ATMatrix, bands []int) ([]byte, error) {
+	sm, err := shardMatrixOf(m, bands)
+	if err != nil {
+		return nil, err
+	}
+	return encodeMatrix(sm)
+}
+
+// AttachCatalog hands the coordinator its shard-map store: recorded maps
+// are loaded (a restarted coordinator recovers its placement from the
+// manifest instead of re-shipping every shard) and the anti-entropy loop
+// starts if enabled. Call after catalog recovery so recovered maps are
+// visible.
+func (c *Coordinator) AttachCatalog(cat *catalog.Catalog) {
+	var rctx context.Context
+	c.shardMu.Lock()
+	c.cat = cat
+	c.shardMaps = cat.ShardMaps()
+	if c.opts.RepairPeriod > 0 && c.repairCancel == nil {
+		//atlint:ignore ctxflow deliberate lifecycle root, cancelled by Close
+		ctx, cancel := context.WithCancel(context.Background())
+		c.repairCancel = cancel
+		c.repairDone = make(chan struct{})
+		rctx = ctx
+	}
+	c.shardMu.Unlock()
+	if rctx != nil {
+		go c.repairLoop(rctx)
+	}
+}
+
+// repairLoop runs the anti-entropy pass every RepairPeriod, and
+// immediately when a worker transitions to Dead (the kick channel) so
+// failover does not wait out the period.
+func (c *Coordinator) repairLoop(ctx context.Context) {
+	defer close(c.repairDone)
+	ticker := time.NewTicker(c.opts.RepairPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		case <-c.repairKick:
+		}
+		_, _ = c.RepairPass(ctx)
+	}
+}
+
+// observeHealth feeds one probe result into a worker's health state
+// machine and kicks the repair loop when the worker just died — its
+// primaries need re-homing and its shards re-replicating now, not at the
+// next tick.
+func (c *Coordinator) observeHealth(rt *RemoteTeam, ok bool) State {
+	prev, _ := rt.health.current()
+	now := rt.health.observe(ok, c.opts.SuspectAfter, c.opts.DeadAfter)
+	if now == Dead && prev != Dead {
+		select {
+		case c.repairKick <- struct{}{}:
+		default:
+		}
+	}
+	return now
+}
+
+// ShardByName shards a cataloged matrix by name (the PUT-time entry
+// point).
+func (c *Coordinator) ShardByName(ctx context.Context, name string) error {
+	c.shardMu.Lock()
+	cat := c.cat
+	c.shardMu.Unlock()
+	if cat == nil {
+		return fmt.Errorf("cluster: sharding %q: no catalog attached", name)
+	}
+	h, err := cat.Acquire(name)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	return c.ShardMatrix(ctx, name, h.Matrix())
+}
+
+// ShardMatrix cuts m into tile-row shards by the §III-F round-robin
+// placement over the currently alive workers, ships each shard to its
+// primary and Replication−1 ring successors, and records the map durably.
+// Ship failures leave the shard under-replicated (RepairPass restores R);
+// only a placement where nothing shipped at all is an error.
+func (c *Coordinator) ShardMatrix(ctx context.Context, name string, m *core.ATMatrix) error {
+	if err := faultinject.Do("shard.place"); err != nil {
+		return fmt.Errorf("cluster: placing shards of %q: %w", name, err)
+	}
+	c.shardMu.Lock()
+	cat := c.cat
+	c.shardMu.Unlock()
+	if cat == nil {
+		return fmt.Errorf("cluster: sharding %q: no catalog attached", name)
+	}
+	if m.BAtomic != c.cfg.BAtomic {
+		return fmt.Errorf("cluster: sharding %q: block size %d does not match cluster's %d", name, m.BAtomic, c.cfg.BAtomic)
+	}
+	alive := c.aliveTeams()
+	if len(alive) == 0 {
+		return fmt.Errorf("cluster: sharding %q: no alive workers", name)
+	}
+	rowBands := m.RowBands()
+	queues, ok := sched.PlaceRoundRobin(len(rowBands), len(alive), nil)
+	if !ok {
+		return fmt.Errorf("cluster: sharding %q: no home for %d tile-rows", name, len(rowBands))
+	}
+	repl := c.opts.Replication
+	if repl > len(alive) {
+		repl = len(alive)
+	}
+	gen := cat.NextGeneration()
+	sm := &catalog.ShardMap{Generation: gen, Replication: repl}
+	shipped := 0
+	for w, q := range queues {
+		if len(q) == 0 {
+			continue
+		}
+		bands := make([]int, len(q))
+		for i, b := range q {
+			bands[i] = int(b)
+		}
+		sort.Ints(bands)
+		if ts, _ := collectShardTiles(m, bands); len(ts) == 0 {
+			// All owned bands are empty: nothing to hold, nothing to
+			// compute — the shard map simply does not list them.
+			continue
+		}
+		data, err := shardSlice(m, bands)
+		if err != nil {
+			return fmt.Errorf("cluster: sharding %q: %w", name, err)
+		}
+		id := len(sm.Shards)
+		meta := catalog.ShardMeta{
+			ID: id, Bands: bands,
+			CRC32C: core.ChecksumBytes(data), Bytes: int64(len(data)),
+		}
+		key := ShardKey{Name: name, Gen: gen, Shard: id}
+		for r := 0; r < repl; r++ {
+			rt := alive[(w+r)%len(alive)]
+			if err := c.shipShard(ctx, rt, key, meta.CRC32C, data); err != nil {
+				continue
+			}
+			meta.Replicas = append(meta.Replicas, rt.addr)
+		}
+		shipped += len(meta.Replicas)
+		if len(meta.Replicas) > 0 {
+			meta.Primary = meta.Replicas[0]
+		}
+		sm.Shards = append(sm.Shards, meta)
+	}
+	if len(sm.Shards) == 0 {
+		return fmt.Errorf("cluster: sharding %q: matrix has no tiles", name)
+	}
+	if shipped == 0 {
+		return fmt.Errorf("cluster: sharding %q: no shard could be placed on any worker", name)
+	}
+	if err := cat.SetShardMap(name, sm); err != nil {
+		return err
+	}
+	c.shardMu.Lock()
+	c.shardMaps[name] = sm.Clone()
+	c.shardMu.Unlock()
+	return nil
+}
+
+// shipShard uploads one shard to one worker under the RPC deadline.
+func (c *Coordinator) shipShard(ctx context.Context, rt *RemoteTeam, key ShardKey, crc uint32, data []byte) error {
+	if err := faultinject.Do("shard.repl"); err != nil {
+		return fmt.Errorf("cluster: replicating shard %s to %s: %w", key, rt.addr, err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, c.opts.RPCTimeout)
+	defer cancel()
+	if err := rt.shipShard(sctx, key, crc, data); err != nil {
+		return err
+	}
+	c.shardShips.Add(1)
+	c.shardShipBytes.Add(int64(len(data)))
+	return nil
+}
+
+// DropShards forgets a matrix's shard map and best-effort drops its
+// shards (every generation) from the workers — the DELETE-path
+// counterpart of ShardMatrix. Worker-side leftovers of unreachable nodes
+// are harmless: their generation can never be referenced again.
+func (c *Coordinator) DropShards(ctx context.Context, name string) {
+	c.shardMu.Lock()
+	delete(c.shardMaps, name)
+	for key := range c.cached {
+		if key.Name == name {
+			delete(c.cached, key)
+		}
+	}
+	c.shardMu.Unlock()
+	c.mu.Lock()
+	teams := append([]*RemoteTeam(nil), c.teams...)
+	c.mu.Unlock()
+	for _, rt := range teams {
+		if rt.State() == Dead {
+			continue
+		}
+		dctx, cancel := context.WithTimeout(ctx, c.opts.RPCTimeout)
+		_ = rt.dropShards(dctx, name, nil)
+		cancel()
+	}
+}
+
+// shardMapFor returns a private copy of a matrix's shard map, or nil.
+func (c *Coordinator) shardMapFor(name string) *catalog.ShardMap {
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	return c.shardMaps[name].Clone()
+}
+
+// noteHolder records that a worker verifiably holds a shard (it executed
+// against an inline fill of it) without promoting it to the durable
+// replica set — RepairPass does that after re-verifying the copy.
+func (c *Coordinator) noteHolder(key ShardKey, addr string) {
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	if _, ok := c.shardMaps[key.Name]; !ok {
+		return
+	}
+	set := c.cached[key]
+	if set == nil {
+		set = make(map[string]bool)
+		c.cached[key] = set
+	}
+	set[addr] = true
+}
+
+// cachedHolder reports whether a worker is believed to hold a shard from
+// an earlier inline fill.
+func (c *Coordinator) cachedHolder(key ShardKey, addr string) bool {
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	return c.cached[key][addr]
+}
+
+// cachedHolders snapshots the opportunistic holder set of one shard.
+func (c *Coordinator) cachedHolders(key ShardKey) []string {
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	out := make([]string, 0, len(c.cached[key]))
+	for addr := range c.cached[key] {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RepairPass runs one anti-entropy round over every recorded shard map:
+// poll reachable workers for CRC-verified inventories, drop replica-set
+// entries the worker no longer holds (or holds corrupt — those copies are
+// also dropped remotely), promote verified opportunistic copies, ship
+// fresh replicas regenerated from the catalog's durable copy until every
+// shard is back at its replication factor, and re-home primaries off dead
+// workers. Returns the number of replicas shipped. Safe to call
+// concurrently with multiplies; the background loop calls it on a timer
+// and on every healthy→dead transition.
+func (c *Coordinator) RepairPass(ctx context.Context) (int, error) {
+	c.shardMu.Lock()
+	cat := c.cat
+	maps := make(map[string]*catalog.ShardMap, len(c.shardMaps))
+	for name, sm := range c.shardMaps {
+		maps[name] = sm.Clone()
+	}
+	c.shardMu.Unlock()
+	c.repairPasses.Add(1)
+	if cat == nil || len(maps) == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	teams := append([]*RemoteTeam(nil), c.teams...)
+	c.mu.Unlock()
+	byAddr := make(map[string]*RemoteTeam, len(teams))
+	inv := make(map[string]map[ShardKey]inventoryEntry)
+	for _, rt := range teams {
+		byAddr[rt.addr] = rt
+		if rt.State() == Dead {
+			continue
+		}
+		ictx, cancel := context.WithTimeout(ctx, c.opts.RPCTimeout)
+		entries, err := rt.inventory(ictx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		held := make(map[ShardKey]inventoryEntry, len(entries))
+		for _, e := range entries {
+			held[e.ShardKey] = e
+		}
+		inv[rt.addr] = held
+	}
+	names := make([]string, 0, len(maps))
+	for name := range maps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	repaired := 0
+	var firstErr error
+	for _, name := range names {
+		sm := maps[name]
+		n, changed, err := c.repairOne(ctx, cat, name, sm, teams, byAddr, inv)
+		repaired += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if !changed {
+			continue
+		}
+		if err := cat.SetShardMap(name, sm); err != nil {
+			if errors.Is(err, catalog.ErrNotFound) {
+				// The matrix was deleted mid-pass; forget its map.
+				c.shardMu.Lock()
+				delete(c.shardMaps, name)
+				c.shardMu.Unlock()
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		c.shardMu.Lock()
+		c.shardMaps[name] = sm.Clone()
+		c.shardMu.Unlock()
+	}
+	return repaired, firstErr
+}
+
+// repairOne reconciles and repairs one matrix's shard map in place,
+// reporting replicas shipped and whether the map changed.
+func (c *Coordinator) repairOne(ctx context.Context, cat *catalog.Catalog, name string, sm *catalog.ShardMap, teams []*RemoteTeam, byAddr map[string]*RemoteTeam, inv map[string]map[ShardKey]inventoryEntry) (int, bool, error) {
+	var h *catalog.Handle
+	defer func() {
+		if h != nil {
+			h.Release()
+		}
+	}()
+	// regen rebuilds a shard's bytes from the catalog's durable copy,
+	// refusing to ship anything that no longer hashes to the recorded CRC
+	// — re-replication must never launder a damaged local copy into the
+	// cluster as if it were the original.
+	regen := func(meta *catalog.ShardMeta) ([]byte, error) {
+		if h == nil {
+			hh, err := cat.Acquire(name)
+			if err != nil {
+				return nil, err
+			}
+			h = hh
+		}
+		data, err := shardSlice(h.Matrix(), meta.Bands)
+		if err != nil {
+			return nil, err
+		}
+		if crc := core.ChecksumBytes(data); crc != meta.CRC32C {
+			c.shardCRCFailures.Add(1)
+			return nil, fmt.Errorf("cluster: regenerated shard %d of %q hashes %08x, map records %08x: %w",
+				meta.ID, name, crc, meta.CRC32C, core.ErrChecksum)
+		}
+		return data, nil
+	}
+	repaired := 0
+	changed := false
+	var firstErr error
+	for i := range sm.Shards {
+		meta := &sm.Shards[i]
+		key := ShardKey{Name: name, Gen: sm.Generation, Shard: meta.ID}
+		// Reconcile the recorded replica set against worker reports.
+		kept := make([]string, 0, len(meta.Replicas))
+		for _, addr := range meta.Replicas {
+			held, answered := inv[addr]
+			if !answered {
+				// Unreachable: keep the membership — a rejoining worker
+				// usually still holds its shards; the next pass verifies.
+				kept = append(kept, addr)
+				continue
+			}
+			e, ok := held[key]
+			switch {
+			case !ok:
+				// The worker restarted empty (or dropped the shard): it is
+				// no longer a holder.
+				changed = true
+			case e.CRC32C != meta.CRC32C || e.Bytes != meta.Bytes:
+				// Scrub failure: the remote copy rotted. Drop it there and
+				// strike the holder; re-replication below replaces it.
+				c.shardCRCFailures.Add(1)
+				changed = true
+				if rt := byAddr[addr]; rt != nil {
+					dctx, cancel := context.WithTimeout(ctx, c.opts.RPCTimeout)
+					_ = rt.dropShards(dctx, "", []ShardKey{key})
+					cancel()
+				}
+			default:
+				kept = append(kept, addr)
+			}
+		}
+		holder := make(map[string]bool, len(kept))
+		for _, addr := range kept {
+			holder[addr] = true
+		}
+		// Promote verified opportunistic copies (inline exec fills) to
+		// full replicas — durability for free.
+		for _, addr := range c.cachedHolders(key) {
+			if holder[addr] {
+				continue
+			}
+			if held, ok := inv[addr]; ok {
+				if e, ok := held[key]; ok && e.CRC32C == meta.CRC32C && e.Bytes == meta.Bytes {
+					kept = append(kept, addr)
+					holder[addr] = true
+					changed = true
+				}
+			}
+		}
+		healthy := 0
+		for _, addr := range kept {
+			if _, ok := inv[addr]; ok {
+				healthy++
+			}
+		}
+		want := sm.Replication
+		if want > len(inv) {
+			want = len(inv)
+		}
+		if healthy < want {
+			data, err := regen(meta)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				for off := 0; off < len(teams) && healthy < want; off++ {
+					rt := teams[(meta.ID+off)%len(teams)]
+					if holder[rt.addr] {
+						continue
+					}
+					if _, ok := inv[rt.addr]; !ok {
+						continue
+					}
+					if err := c.shipShard(ctx, rt, key, meta.CRC32C, data); err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						continue
+					}
+					kept = append(kept, rt.addr)
+					holder[rt.addr] = true
+					healthy++
+					repaired++
+					changed = true
+					c.reReplications.Add(1)
+				}
+			}
+		}
+		meta.Replicas = kept
+		// Re-home the primary onto a reachable verified holder.
+		if !(holder[meta.Primary] && inv[meta.Primary] != nil) {
+			for _, addr := range kept {
+				if _, ok := inv[addr]; ok {
+					if meta.Primary != addr {
+						meta.Primary = addr
+						changed = true
+					}
+					break
+				}
+			}
+		}
+	}
+	return repaired, changed, firstErr
+}
+
+// shardSource lazily regenerates shard payloads for inline cache fills,
+// paying each shard's encoding at most once per multiply and verifying
+// every regeneration against the shard map's recorded CRC.
+type shardSource struct {
+	mu    sync.Mutex
+	specs map[ShardKey]shardSpec
+	cache map[ShardKey][]byte
+}
+
+type shardSpec struct {
+	m     *core.ATMatrix
+	bands []int
+	crc   uint32
+}
+
+func newShardSource() *shardSource {
+	return &shardSource{
+		specs: make(map[ShardKey]shardSpec),
+		cache: make(map[ShardKey][]byte),
+	}
+}
+
+func (s *shardSource) bytes(key ShardKey) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if data, ok := s.cache[key]; ok {
+		return data, nil
+	}
+	spec, ok := s.specs[key]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no source for shard %s", key)
+	}
+	data, err := shardSlice(spec.m, spec.bands)
+	if err != nil {
+		return nil, err
+	}
+	if crc := core.ChecksumBytes(data); crc != spec.crc {
+		return nil, fmt.Errorf("cluster: regenerated shard %s hashes %08x, map records %08x: %w",
+			key, crc, spec.crc, core.ErrChecksum)
+	}
+	s.cache[key] = data
+	return data, nil
+}
+
+// buildShardTasks cuts tasks along the left operand's catalog shard map:
+// one task per shard, owned by the first alive holder, with the right
+// operand referenced shard-by-shard when it is sharded too (the worker
+// reassembles whole B from its store) and wire-shipped once otherwise.
+// Returns nil tasks when A is unsharded or the recorded map no longer
+// matches the matrix's band grid — the legacy per-multiply 2D partition
+// then takes over.
+func (c *Coordinator) buildShardTasks(aName, bName string, a, b *core.ATMatrix, alive []*RemoteTeam) ([]*task, error) {
+	aSM := c.shardMapFor(aName)
+	if aSM == nil || len(aSM.Shards) == 0 {
+		return nil, nil
+	}
+	rowBands := a.RowBands()
+	for _, meta := range aSM.Shards {
+		for _, band := range meta.Bands {
+			if band < 0 || band >= len(rowBands) {
+				return nil, nil
+			}
+		}
+	}
+	colBands := b.ColBands()
+	keepCol := make(map[int]bool, len(colBands))
+	for _, band := range colBands {
+		keepCol[band.Lo] = true
+	}
+	addrIdx := make(map[string]int, len(alive))
+	for i, rt := range alive {
+		addrIdx[rt.addr] = i
+	}
+	src := newShardSource()
+	holders := make(map[ShardKey]map[string]bool)
+	addrSet := func(addrs []string) map[string]bool {
+		set := make(map[string]bool, len(addrs))
+		for _, a := range addrs {
+			set[a] = true
+		}
+		return set
+	}
+
+	// B travels by reference when sharded (all of its shards reassemble
+	// the whole matrix on the worker), by wire otherwise.
+	var bRefs []shardRef
+	var bBytes []byte
+	if bSM := c.shardMapFor(bName); bSM != nil && len(bSM.Shards) > 0 {
+		bBands := b.RowBands()
+		valid := true
+		for _, meta := range bSM.Shards {
+			for _, band := range meta.Bands {
+				if band < 0 || band >= len(bBands) {
+					valid = false
+				}
+			}
+		}
+		if valid {
+			for _, meta := range bSM.Shards {
+				key := ShardKey{Name: bName, Gen: bSM.Generation, Shard: meta.ID}
+				// The worker reassembles whole B from all its shards; the
+				// canonical-order indices let it splice the interleaved
+				// tile-row slices back into the partitioner's emission
+				// order, which the accumulation order (and so bit-identity)
+				// depends on.
+				_, idx := collectShardTiles(b, meta.Bands)
+				bRefs = append(bRefs, shardRef{ShardKey: key, CRC: meta.CRC32C, Bytes: meta.Bytes, TileIdx: idx})
+				src.specs[key] = shardSpec{m: b, bands: meta.Bands, crc: meta.CRC32C}
+				holders[key] = addrSet(meta.Replicas)
+			}
+		}
+	}
+	if bRefs == nil {
+		enc, err := encodeMatrix(b)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: encoding right operand: %w", err)
+		}
+		bBytes = enc
+	}
+
+	var tasks []*task
+	for _, meta := range aSM.Shards {
+		key := ShardKey{Name: aName, Gen: aSM.Generation, Shard: meta.ID}
+		aMat, err := shardMatrixOf(a, meta.Bands)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rebuilding shard %d of %q: %w", meta.ID, aName, err)
+		}
+		src.specs[key] = shardSpec{m: a, bands: meta.Bands, crc: meta.CRC32C}
+		holders[key] = addrSet(meta.Replicas)
+		// Owner: the primary if alive, else the first alive replica, else
+		// any worker (it gets the shard inlined).
+		owner := -1
+		for _, addr := range append([]string{meta.Primary}, meta.Replicas...) {
+			if i, ok := addrIdx[addr]; ok {
+				owner = i
+				break
+			}
+		}
+		if owner < 0 {
+			owner = meta.ID % len(alive)
+		}
+		keepRow := make(map[int]bool, len(meta.Bands))
+		for _, band := range meta.Bands {
+			keepRow[rowBands[band].Lo] = true
+		}
+		tasks = append(tasks, &task{
+			owner: owner,
+			aMat:  aMat, bMat: b,
+			bBytes:  bBytes,
+			aRefs:   []shardRef{{ShardKey: key, CRC: meta.CRC32C, Bytes: meta.Bytes}},
+			bRefs:   bRefs,
+			holders: holders,
+			src:     src,
+			nRows:   len(meta.Bands),
+			keepRow: keepRow,
+			keepCol: keepCol,
+		})
+	}
+	return tasks, nil
+}

@@ -46,6 +46,11 @@ var (
 // castagnoli is the CRC-32C polynomial table shared by writer and reader.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// ChecksumBytes fingerprints a byte slice with the same CRC-32C the ATMAT1
+// footer uses. The cluster layer checksums serialized shard streams with it
+// so a shard's identity is its content, wherever the bytes sit.
+func ChecksumBytes(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
 // TileError identifies the tile at which decoding an AT MATRIX stream
 // failed: its ordinal in stream order and — once the bounds were readable —
 // its absolute (Row0, Col0) coordinate. A coordinator receiving a corrupt

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Framed streaming of an AT MATRIX, one tile-row at a time. Where WriteTo
+// emits a single ATMAT1 stream that the receiver must buffer whole before
+// the footer validates anything, the frame stream chops the matrix into
+// per-tile-row units a receiver can consume — and release — one at a time:
+//
+//	repeated: uint32 little-endian frame length (> 0),
+//	          then that many bytes of a complete ATMAT1 stream carrying
+//	          the tiles of one tile-row (full matrix dimensions, so every
+//	          frame is independently decodable and CRC-verified)
+//	uint32 0 terminator
+//
+// A cluster coordinator merging partial products reads frames under a
+// bounded byte window: it acquires window budget for a frame's length
+// before reading the frame's bytes, so an unread frame applies TCP
+// backpressure to the sender instead of accumulating in coordinator
+// memory. Each frame carries its own CRC-32C footer — a flipped bit fails
+// that frame's decode with ErrChecksum without waiting for the end of the
+// response.
+
+// maxFrameBytes bounds a single frame against corrupt or hostile length
+// prefixes; it matches the cluster layer's per-operand cap.
+const maxFrameBytes = int64(1) << 33
+
+// WriteTileRowFrames serializes the matrix as a tile-row frame stream:
+// tiles sharing a Row0 form one frame, frames are emitted in ascending
+// Row0 order, and a zero-length terminator frame ends the stream. Returns
+// the total bytes written.
+func (a *ATMatrix) WriteTileRowFrames(w io.Writer) (int64, error) {
+	byRow := make(map[int][]*Tile)
+	var rows []int
+	for _, t := range a.Tiles {
+		if _, ok := byRow[t.Row0]; !ok {
+			rows = append(rows, t.Row0)
+		}
+		byRow[t.Row0] = append(byRow[t.Row0], t)
+	}
+	sort.Ints(rows)
+	var total int64
+	var buf bytes.Buffer
+	var lenb [4]byte
+	for _, r0 := range rows {
+		frame, err := NewFromTiles(a.Rows, a.Cols, a.BAtomic, byRow[r0])
+		if err != nil {
+			return total, fmt.Errorf("core: framing tile-row %d: %w", r0, err)
+		}
+		buf.Reset()
+		if _, err := frame.WriteTo(&buf); err != nil {
+			return total, fmt.Errorf("core: encoding tile-row %d frame: %w", r0, err)
+		}
+		binary.LittleEndian.PutUint32(lenb[:], uint32(buf.Len()))
+		if _, err := w.Write(lenb[:]); err != nil {
+			return total, fmt.Errorf("core: writing frame length: %w", err)
+		}
+		total += 4
+		n, err := w.Write(buf.Bytes())
+		total += int64(n)
+		if err != nil {
+			return total, fmt.Errorf("core: writing tile-row %d frame: %w", r0, err)
+		}
+	}
+	binary.LittleEndian.PutUint32(lenb[:], 0)
+	if _, err := w.Write(lenb[:]); err != nil {
+		return total, fmt.Errorf("core: writing frame terminator: %w", err)
+	}
+	return total + 4, nil
+}
+
+// ReadTileRowFrames consumes a tile-row frame stream, invoking fn on each
+// decoded frame. acquire, when non-nil, is called with the frame's byte
+// length before the frame is read from r and must return a release
+// function — the bounded-reassembly-window hook: blocking in acquire
+// stops the read loop, which stops draining r, which backpressures the
+// sender. The release runs after fn returns, whatever fn did. fn errors
+// abort the stream.
+func ReadTileRowFrames(r io.Reader, acquire func(n int) (func(), error), fn func(*ATMatrix) error) error {
+	var lenb [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenb[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("core: reading frame length: %w", err)
+		}
+		n := int64(binary.LittleEndian.Uint32(lenb[:]))
+		if n == 0 {
+			return nil
+		}
+		if n > maxFrameBytes {
+			return fmt.Errorf("core: absurd frame length %d", n)
+		}
+		release := func() {}
+		if acquire != nil {
+			var err error
+			if release, err = acquire(int(n)); err != nil {
+				return fmt.Errorf("core: acquiring frame window: %w", err)
+			}
+		}
+		err := func() error {
+			defer release()
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				if errors.Is(err, io.EOF) {
+					err = io.ErrUnexpectedEOF
+				}
+				return fmt.Errorf("core: reading %d-byte frame: %w", n, err)
+			}
+			m, err := ReadATMatrix(bytes.NewReader(buf))
+			if err != nil {
+				return fmt.Errorf("core: decoding frame: %w", err)
+			}
+			return fn(m)
+		}()
+		if err != nil {
+			return err
+		}
+	}
+}

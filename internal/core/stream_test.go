@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"atmatrix/internal/mat"
+)
+
+func streamTestMatrix(t *testing.T, seed int64) (*ATMatrix, Config) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.LLCBytes = 3 * 8 * 64 * 64
+	cfg.BAtomic = 8
+	cfg.Topology.Sockets = 1
+	cfg.Topology.CoresPerSocket = 1
+	rng := rand.New(rand.NewSource(seed))
+	m, _, err := Partition(mat.RandomCOO(rng, 96, 80, 2400), cfg)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	return m, cfg
+}
+
+// TestTileRowFramesRoundTrip checks the framed stream reproduces the
+// matrix: one frame per distinct tile-row, each independently decodable,
+// the union of frame tiles equal to the original tile set, and the
+// acquire hook called exactly once per frame with its wire length.
+func TestTileRowFramesRoundTrip(t *testing.T) {
+	m, _ := streamTestMatrix(t, 41)
+	var buf bytes.Buffer
+	n, err := m.WriteTileRowFrames(&buf)
+	if err != nil {
+		t.Fatalf("write frames: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	rows := make(map[int]bool)
+	for _, tl := range m.Tiles {
+		rows[tl.Row0] = true
+	}
+
+	var acquired []int
+	releases := 0
+	acquire := func(n int) (func(), error) {
+		acquired = append(acquired, n)
+		return func() { releases++ }, nil
+	}
+	var frames []*ATMatrix
+	gotTiles := 0
+	err = ReadTileRowFrames(&buf, acquire, func(f *ATMatrix) error {
+		if f.Rows != m.Rows || f.Cols != m.Cols || f.BAtomic != m.BAtomic {
+			t.Fatalf("frame dims %dx%d/%d, want %dx%d/%d", f.Rows, f.Cols, f.BAtomic, m.Rows, m.Cols, m.BAtomic)
+		}
+		r0 := f.Tiles[0].Row0
+		for _, tl := range f.Tiles {
+			if tl.Row0 != r0 {
+				t.Fatalf("frame mixes tile-rows %d and %d", r0, tl.Row0)
+			}
+		}
+		frames = append(frames, f)
+		gotTiles += len(f.Tiles)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("read frames: %v", err)
+	}
+	if len(frames) != len(rows) {
+		t.Fatalf("frames = %d, want one per tile-row = %d", len(frames), len(rows))
+	}
+	if gotTiles != len(m.Tiles) {
+		t.Fatalf("decoded %d tiles, want %d", gotTiles, len(m.Tiles))
+	}
+	if len(acquired) != len(frames) || releases != len(frames) {
+		t.Fatalf("acquire/release called %d/%d times, want %d", len(acquired), releases, len(frames))
+	}
+	var sum int64
+	for _, a := range acquired {
+		if a <= 0 {
+			t.Fatalf("acquired non-positive frame size %d", a)
+		}
+		sum += int64(a)
+	}
+	// Total payload = stream minus the 4-byte length prefixes and terminator.
+	if want := n - int64(4*(len(frames)+1)); sum != want {
+		t.Fatalf("acquired %d payload bytes, want %d", sum, want)
+	}
+}
+
+// TestTileRowFramesCorruptionFailsChecksum flips one payload bit: the
+// damaged frame's own CRC must fail its decode with ErrChecksum, without
+// waiting for the end of the stream.
+func TestTileRowFramesCorruptionFailsChecksum(t *testing.T) {
+	m, _ := streamTestMatrix(t, 42)
+	var buf bytes.Buffer
+	if _, err := m.WriteTileRowFrames(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a bit inside the first frame's payload, away from its header.
+	frameLen := binary.LittleEndian.Uint32(data[:4])
+	data[4+frameLen/2] ^= 0x01
+	err := ReadTileRowFrames(bytes.NewReader(data), nil, func(*ATMatrix) error { return nil })
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted stream error = %v, want ErrChecksum", err)
+	}
+}
+
+// TestTileRowFramesTruncation cuts the stream mid-frame and before the
+// terminator: both must fail rather than silently yield a partial matrix.
+func TestTileRowFramesTruncation(t *testing.T) {
+	m, _ := streamTestMatrix(t, 43)
+	var buf bytes.Buffer
+	if _, err := m.WriteTileRowFrames(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	midFrame := data[:4+int(binary.LittleEndian.Uint32(data[:4]))/2]
+	err := ReadTileRowFrames(bytes.NewReader(midFrame), nil, func(*ATMatrix) error { return nil })
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-frame truncation error = %v, want unexpected EOF", err)
+	}
+
+	noTerm := data[:len(data)-4]
+	err = ReadTileRowFrames(bytes.NewReader(noTerm), nil, func(*ATMatrix) error { return nil })
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("missing-terminator error = %v, want unexpected EOF", err)
+	}
+}
+
+// TestTileRowFramesAcquireError propagates a window-acquire failure (the
+// coordinator's cancelled merge context) as the stream's error.
+func TestTileRowFramesAcquireError(t *testing.T) {
+	m, _ := streamTestMatrix(t, 44)
+	var buf bytes.Buffer
+	if _, err := m.WriteTileRowFrames(&buf); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("window closed")
+	err := ReadTileRowFrames(&buf, func(int) (func(), error) { return nil, boom }, func(*ATMatrix) error {
+		t.Fatal("fn called after acquire failed")
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want the acquire failure", err)
+	}
+}

@@ -21,8 +21,11 @@ var Sites = []string{
 	"rpc.conn",
 	"rpc.recv",
 	"rpc.send",
+	"rpc.stream",
 	"sched.task",
 	"service.execute",
+	"shard.place",
+	"shard.repl",
 	"worker.exec",
 }
 

@@ -17,7 +17,7 @@ func TestDistributeHookExecutesPairs(t *testing.T) {
 	var calls atomic.Int64
 	cfg := testConfig()
 	m := New(testCatalog(t), Options{
-		Distribute: func(a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
+		Distribute: func(_, _ string, a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
 			calls.Add(1)
 			return core.MultiplyOpt(a, b, cfg, opts)
 		},
@@ -44,7 +44,7 @@ func TestDistributeHookExecutesPairs(t *testing.T) {
 func TestDistributeCorruptTransferQuarantinesCombo(t *testing.T) {
 	var calls atomic.Int64
 	m := New(testCatalog(t), Options{
-		Distribute: func(a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
+		Distribute: func(_, _ string, a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
 			calls.Add(1)
 			return nil, nil, fmt.Errorf("cluster: worker rejected shard: %w", core.ErrChecksum)
 		},

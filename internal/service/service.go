@@ -121,8 +121,10 @@ type Options struct {
 	// classify/retry/quarantine machinery as local ones, so a corrupt wire
 	// transfer (core.ErrChecksum under the hood) quarantines the operand
 	// combination exactly like corrupt local data would. Chain and
-	// expression jobs always execute locally.
-	Distribute func(a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error)
+	// expression jobs always execute locally. The catalog names of the
+	// operands ride along so a sharded-catalog coordinator can execute by
+	// (name, generation, shard) reference instead of shipping the bytes.
+	Distribute func(aName, bName string, a, b *core.ATMatrix, opts core.MultOptions) (*core.ATMatrix, *core.MultStats, error)
 }
 
 // Request describes one job: a pair multiplication (A, B), a chain of
@@ -721,11 +723,11 @@ func (m *Manager) execute(job *Job) (*Result, error) {
 	opts.Verify = m.opts.Verify
 	mult := m.opts.Distribute
 	if mult == nil {
-		mult = func(a, b *core.ATMatrix, o core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
+		mult = func(_, _ string, a, b *core.ATMatrix, o core.MultOptions) (*core.ATMatrix, *core.MultStats, error) {
 			return core.MultiplyOpt(a, b, m.cfg, o)
 		}
 	}
-	out, mst, err := mult(operands[0], operands[1], opts)
+	out, mst, err := mult(job.names[0], job.names[1], operands[0], operands[1], opts)
 	if err != nil {
 		return nil, err
 	}
