@@ -5,7 +5,12 @@ GO ?= go
 # that still proves every kernel runs and stays allocation-free.
 BENCHTIME ?= 1s
 
-.PHONY: check fmt build test vet lint race chaos bench bench-kernels bench-eval bench-cluster serve-smoke cluster-smoke
+# bench-compare regression tolerance in percent. Generous by default:
+# CI's single-iteration smoke timings are noisy, and the gate is a report,
+# not a blocker.
+TOLERANCE ?= 25
+
+.PHONY: check fmt build test vet lint race chaos bench bench-kernels bench-eval bench-cluster bench-compare serve-smoke cluster-smoke
 
 ## check: the pre-PR gate — formatting, static analysis (vet + atlint),
 ## build, full test suite, the concurrency stress tests under the race
@@ -74,6 +79,16 @@ bench-cluster:
 	$(GO) test -run '^$$' -bench '^BenchmarkCluster_' -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o BENCH_cluster.json
 	@echo "wrote BENCH_cluster.json"
+
+## bench-compare: diff the current BENCH_kernels.json / BENCH_eval.json
+## against the committed baselines under bench/baselines/ and report
+## regressions beyond TOLERANCE percent (ns/op and extra metrics; allocs/op
+## is exact). Run bench-kernels / bench-eval first. Refresh the baselines
+## by copying the JSON files over bench/baselines/ from a quiet machine
+## with the default BENCHTIME.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare bench/baselines/BENCH_kernels.json -tolerance $(TOLERANCE) BENCH_kernels.json
+	$(GO) run ./cmd/benchjson -compare bench/baselines/BENCH_eval.json -tolerance $(TOLERANCE) BENCH_eval.json
 
 ## serve-smoke: build the real atserve binary and drive it over HTTP — one
 ## multiply + clean SIGTERM shutdown, then the kill -9 crash-recovery drill

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the exit-code contract: 0 clean, 2 usage error, 3
+// loader failure or empty pattern match. The empty-match case is the
+// regression this file exists for — a typo'd pattern used to analyze
+// nothing and exit 0, which CI read as "clean".
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean package", []string{"-C", "../..", "./internal/density"}, 0},
+		{"bad flag", []string{"-nosuchflag"}, 2},
+		{"typo pattern fails go list", []string{"-C", "../..", "./nosuchdir/..."}, 3},
+		{"pattern matches no packages", []string{"-C", "../..", "./internal/lint/testdata/..."}, 3},
+		{"module dir does not exist", []string{"-C", "../../nosuchmodule", "./..."}, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(c.args, &stdout, &stderr)
+			if got != c.want {
+				t.Errorf("run(%q) = %d, want %d\nstdout: %s\nstderr: %s",
+					c.args, got, c.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+func TestEmptyMatchMessage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-C", "../..", "./internal/lint/testdata/..."}, &stdout, &stderr); got != 3 {
+		t.Fatalf("exit = %d, want 3 (stderr: %s)", got, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "matched no packages") {
+		t.Errorf("stderr should explain the empty match, got: %s", stderr.String())
+	}
+}
+
+// TestSummary checks that -summary lists every analyzer, zero counts
+// included, so CI logs show which analyzers actually ran.
+func TestSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-C", "../..", "-summary", "./internal/density"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", got, stdout.String(), stderr.String())
+	}
+	out := stderr.String()
+	for _, want := range []string{"atlint summary", "unboundedalloc", "racefield", "goroleak", "metriccheck", "lockcheck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// compare reads two benchjson result files and reports per-benchmark
+// deltas: ns/op and every extra metric are held to the tolerance
+// percentage, allocs/op to exact equality (the hot-path kernels pin zero
+// allocations, so any increase is a regression no matter how small).
+// Benchmarks present on only one side are reported but are not
+// regressions — the suite grows over time and baselines lag.
+//
+// Returns 0 when nothing regressed, 1 on regression, 2 on I/O or decode
+// errors. CI runs this as a non-blocking report step: single-iteration
+// smoke timings are noisy, so the exit code informs rather than gates.
+func compare(baselinePath, currentPath string, tolerancePct float64, stdout, stderr io.Writer) int {
+	baseline, err := readResults(baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	current, err := readResults(currentPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	base := make(map[string]result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	cur := make(map[string]result, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(stdout, "MISSING  %s (in baseline, not in current run)\n", name)
+			continue
+		}
+		regressions += compareOne(stdout, name, b, c, tolerancePct)
+	}
+	for _, r := range current {
+		if _, ok := base[r.Name]; !ok {
+			fmt.Fprintf(stdout, "NEW      %s (no baseline yet)\n", r.Name)
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "benchjson: %d regression(s) beyond %.0f%% tolerance vs %s\n",
+			regressions, tolerancePct, baselinePath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchjson: no regressions beyond %.0f%% tolerance vs %s (%d benchmarks compared)\n",
+		tolerancePct, baselinePath, len(names))
+	return 0
+}
+
+// compareOne reports one benchmark's deltas and returns the number of
+// regressions found in it.
+func compareOne(w io.Writer, name string, b, c result, tolerancePct float64) int {
+	regressions := 0
+	if bad, delta := beyond(b.NsPerOp, c.NsPerOp, tolerancePct); bad {
+		fmt.Fprintf(w, "REGRESS  %s ns/op %.0f -> %.0f (%+.1f%%)\n", name, b.NsPerOp, c.NsPerOp, delta)
+		regressions++
+	} else if delta < -tolerancePct {
+		fmt.Fprintf(w, "IMPROVE  %s ns/op %.0f -> %.0f (%+.1f%%)\n", name, b.NsPerOp, c.NsPerOp, delta)
+	}
+	// allocs/op is exact: -1 means not measured on that side, skip.
+	if b.AllocsPerOp >= 0 && c.AllocsPerOp >= 0 && c.AllocsPerOp > b.AllocsPerOp {
+		fmt.Fprintf(w, "REGRESS  %s allocs/op %d -> %d\n", name, b.AllocsPerOp, c.AllocsPerOp)
+		regressions++
+	}
+	// Extra metrics (peakB/op, mergePeakB/op, ...) get the same tolerance
+	// as ns/op; keys only on one side are skipped.
+	keys := make([]string, 0, len(b.Extra))
+	for k := range b.Extra {
+		if _, ok := c.Extra[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if bad, delta := beyond(b.Extra[k], c.Extra[k], tolerancePct); bad {
+			fmt.Fprintf(w, "REGRESS  %s %s %.0f -> %.0f (%+.1f%%)\n", name, k, b.Extra[k], c.Extra[k], delta)
+			regressions++
+		}
+	}
+	return regressions
+}
+
+// beyond reports whether cur exceeds base by more than tolerancePct, and
+// the percentage delta. A zero or negative baseline never regresses — the
+// ratio is meaningless.
+func beyond(base, cur, tolerancePct float64) (bool, float64) {
+	if base <= 0 {
+		return false, 0
+	}
+	delta := (cur - base) / base * 100
+	return delta > tolerancePct, delta
+}
+
+func readResults(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return rs, nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[
+		{"name":"BenchmarkA","iterations":10,"nsPerOp":1000,"bytesPerOp":0,"allocsPerOp":0},
+		{"name":"BenchmarkB","iterations":10,"nsPerOp":2000,"bytesPerOp":0,"allocsPerOp":0,"extra":{"peakB/op":500}},
+		{"name":"BenchmarkGone","iterations":10,"nsPerOp":100,"bytesPerOp":-1,"allocsPerOp":-1}
+	]`)
+
+	t.Run("clean within tolerance", func(t *testing.T) {
+		cur := writeJSON(t, dir, "clean.json", `[
+			{"name":"BenchmarkA","iterations":10,"nsPerOp":1100,"bytesPerOp":0,"allocsPerOp":0},
+			{"name":"BenchmarkB","iterations":10,"nsPerOp":1900,"bytesPerOp":0,"allocsPerOp":0,"extra":{"peakB/op":510}},
+			{"name":"BenchmarkGone","iterations":10,"nsPerOp":100,"bytesPerOp":-1,"allocsPerOp":-1},
+			{"name":"BenchmarkNew","iterations":10,"nsPerOp":50,"bytesPerOp":-1,"allocsPerOp":-1}
+		]`)
+		var out, errb bytes.Buffer
+		if got := compare(base, cur, 25, &out, &errb); got != 0 {
+			t.Fatalf("exit = %d, want 0\n%s%s", got, out.String(), errb.String())
+		}
+		if !strings.Contains(out.String(), "NEW      BenchmarkNew") {
+			t.Errorf("missing NEW line:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "no regressions") {
+			t.Errorf("missing summary:\n%s", out.String())
+		}
+	})
+
+	t.Run("ns/op regression beyond tolerance", func(t *testing.T) {
+		cur := writeJSON(t, dir, "slow.json", `[
+			{"name":"BenchmarkA","iterations":10,"nsPerOp":1500,"bytesPerOp":0,"allocsPerOp":0},
+			{"name":"BenchmarkB","iterations":10,"nsPerOp":2000,"bytesPerOp":0,"allocsPerOp":0,"extra":{"peakB/op":500}},
+			{"name":"BenchmarkGone","iterations":10,"nsPerOp":100,"bytesPerOp":-1,"allocsPerOp":-1}
+		]`)
+		var out, errb bytes.Buffer
+		if got := compare(base, cur, 25, &out, &errb); got != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", got, out.String())
+		}
+		if !strings.Contains(out.String(), "REGRESS  BenchmarkA ns/op 1000 -> 1500 (+50.0%)") {
+			t.Errorf("missing REGRESS line:\n%s", out.String())
+		}
+	})
+
+	t.Run("alloc regression is exact", func(t *testing.T) {
+		cur := writeJSON(t, dir, "alloc.json", `[
+			{"name":"BenchmarkA","iterations":10,"nsPerOp":1000,"bytesPerOp":16,"allocsPerOp":1},
+			{"name":"BenchmarkB","iterations":10,"nsPerOp":2000,"bytesPerOp":0,"allocsPerOp":0,"extra":{"peakB/op":500}},
+			{"name":"BenchmarkGone","iterations":10,"nsPerOp":100,"bytesPerOp":-1,"allocsPerOp":-1}
+		]`)
+		var out, errb bytes.Buffer
+		if got := compare(base, cur, 25, &out, &errb); got != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", got, out.String())
+		}
+		if !strings.Contains(out.String(), "REGRESS  BenchmarkA allocs/op 0 -> 1") {
+			t.Errorf("missing alloc REGRESS line:\n%s", out.String())
+		}
+	})
+
+	t.Run("extra metric regression", func(t *testing.T) {
+		cur := writeJSON(t, dir, "peak.json", `[
+			{"name":"BenchmarkA","iterations":10,"nsPerOp":1000,"bytesPerOp":0,"allocsPerOp":0},
+			{"name":"BenchmarkB","iterations":10,"nsPerOp":2000,"bytesPerOp":0,"allocsPerOp":0,"extra":{"peakB/op":900}},
+			{"name":"BenchmarkGone","iterations":10,"nsPerOp":100,"bytesPerOp":-1,"allocsPerOp":-1}
+		]`)
+		var out, errb bytes.Buffer
+		if got := compare(base, cur, 25, &out, &errb); got != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", got, out.String())
+		}
+		if !strings.Contains(out.String(), "REGRESS  BenchmarkB peakB/op 500 -> 900") {
+			t.Errorf("missing peakB/op REGRESS line:\n%s", out.String())
+		}
+	})
+
+	t.Run("missing benchmark is reported but not a regression", func(t *testing.T) {
+		cur := writeJSON(t, dir, "short.json", `[
+			{"name":"BenchmarkA","iterations":10,"nsPerOp":1000,"bytesPerOp":0,"allocsPerOp":0},
+			{"name":"BenchmarkB","iterations":10,"nsPerOp":2000,"bytesPerOp":0,"allocsPerOp":0,"extra":{"peakB/op":500}}
+		]`)
+		var out, errb bytes.Buffer
+		if got := compare(base, cur, 25, &out, &errb); got != 0 {
+			t.Fatalf("exit = %d, want 0\n%s", got, out.String())
+		}
+		if !strings.Contains(out.String(), "MISSING  BenchmarkGone") {
+			t.Errorf("missing MISSING line:\n%s", out.String())
+		}
+	})
+
+	t.Run("unreadable file", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if got := compare(base, filepath.Join(dir, "nope.json"), 25, &out, &errb); got != 2 {
+			t.Fatalf("exit = %d, want 2", got)
+		}
+	})
+}
+
+func TestCompareCommittedBaselines(t *testing.T) {
+	// The committed baselines must stay decodable: comparing a baseline
+	// against itself is the identity run and must be clean.
+	for _, name := range []string{"BENCH_kernels.json", "BENCH_eval.json"} {
+		path := filepath.Join("..", "..", "bench", "baselines", name)
+		var out, errb bytes.Buffer
+		if got := compare(path, path, 25, &out, &errb); got != 0 {
+			t.Errorf("self-compare of %s = %d, want 0\n%s%s", name, got, out.String(), errb.String())
+		}
+	}
+}

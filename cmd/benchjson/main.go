@@ -8,6 +8,17 @@
 // ignored, so the raw `go test` stream can be piped through unfiltered.
 // Runs without -benchmem produce records with bytesPerOp/allocsPerOp of
 // -1 (unknown), distinguishing "not measured" from a true zero.
+//
+// With -compare the command switches to regression-gate mode:
+//
+//	benchjson -compare bench/baselines/BENCH_kernels.json [-tolerance 25] BENCH_kernels.json
+//
+// Both files are benchjson JSON arrays; the positional argument is the
+// current run. ns/op and every extra metric (peakB/op, ...) are held to
+// the tolerance percentage against the baseline, allocs/op to exact
+// equality. Exit 0 when nothing regressed, 1 on regression, 2 on error —
+// CI runs it non-blocking because single-iteration smoke timings are
+// noisy, but the report lands in the job log either way.
 package main
 
 import (
@@ -35,7 +46,17 @@ type result struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("compare", "", "baseline JSON file: compare the current-run JSON (positional arg) against it and report regressions")
+	tolerance := flag.Float64("tolerance", 25, "regression tolerance in percent for ns/op and extra metrics (with -compare)")
 	flag.Parse()
+
+	if *baseline != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly one positional argument: the current-run JSON file")
+			os.Exit(2)
+		}
+		os.Exit(compare(*baseline, flag.Arg(0), *tolerance, os.Stdout, os.Stderr))
+	}
 
 	results := []result{}
 	sc := bufio.NewScanner(os.Stdin)

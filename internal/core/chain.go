@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"atmatrix/internal/density"
@@ -351,8 +352,12 @@ func executeChain(chain []*ATMatrix, plan *ChainPlan, cfg Config, opts MultOptio
 	}
 	nnz := out.NNZ()
 	kernels := ""
-	if mstats.GustavsonKernelCalls > 0 || mstats.OuterKernelCalls > 0 {
-		kernels = fmt.Sprintf("gustavson×%d outer×%d", mstats.GustavsonKernelCalls, mstats.OuterKernelCalls)
+	// The kernel-call counters are updated with atomic adds by the tile
+	// workers; read them the same way even though the workers have joined.
+	gust := atomic.LoadInt64(&mstats.GustavsonKernelCalls)
+	outer := atomic.LoadInt64(&mstats.OuterKernelCalls)
+	if gust > 0 || outer > 0 {
+		kernels = fmt.Sprintf("gustavson×%d outer×%d", gust, outer)
 	}
 	stats.StepInfos = append(stats.StepInfos, ChainStep{
 		Expr:    plan.render(i, j),

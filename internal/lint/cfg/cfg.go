@@ -1,0 +1,470 @@
+// Package cfg builds per-function control-flow graphs over go/ast and runs
+// small forward dataflow analyses on them. It is the foundation of the
+// dataflow-driven atlint analyzers (unboundedalloc's wire-taint tracking):
+// where the PR 5 analyzers pattern-match single statements, a CFG-based
+// analyzer proves a property over every execution path of a function.
+//
+// The graph is deliberately simple: a Block is a maximal straight-line run
+// of "leaf" nodes — simple statements plus the leaf operands of decomposed
+// short-circuit conditions — and an Edge is one possible transfer of
+// control, labeled with the governing leaf condition (and its polarity)
+// when the transfer is a conditional branch. Container statements (if,
+// for, switch, select, blocks, labels) never appear as nodes themselves;
+// their structure is encoded in the edges. Range statements are the one
+// exception: the *ast.RangeStmt appears as the loop-head node so transfer
+// functions can model the per-iteration key/value assignment.
+//
+// Short-circuit conditions are decomposed: `if a && b` evaluates the leaf
+// `a` in one block with a true-edge into the block evaluating `b`, so a
+// fact engine observes exactly the comparisons an execution would. Nested
+// function literals are NOT traversed — each function literal is its own
+// scope with its own CFG, matching how the lint framework visits scopes.
+//
+// Every leaf node of the analyzed body is placed in exactly one block,
+// including unreachable code (which lands in blocks no edge leads to);
+// TestNodePartition pins that invariant with randomized programs.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is the block control enters first; it is always Blocks[0].
+	Entry *Block
+	// Blocks lists every block in creation order, unreachable ones
+	// included.
+	Blocks []*Block
+}
+
+// Block is a maximal straight-line sequence of leaf nodes.
+type Block struct {
+	Index int
+	// Nodes holds simple statements, leaf condition expressions and range
+	// headers in execution order.
+	Nodes []ast.Node
+	// Succs are the possible transfers of control out of the block. A
+	// block ending in a leaf condition has exactly two labeled edges
+	// (true first); a terminating block (return, goto-nowhere, empty
+	// select) has none.
+	Succs []Edge
+}
+
+// Edge is one possible transfer of control.
+type Edge struct {
+	To *Block
+	// Cond is the leaf condition governing the transfer, nil for an
+	// unconditional edge. Negated reports that the edge is taken when
+	// Cond evaluates false.
+	Cond    ast.Expr
+	Negated bool
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{labels: make(map[string]*Block)}
+	entry := b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	return &CFG{Entry: entry, Blocks: b.blocks}
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, e := range blk.Succs {
+			walk(e.To)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// loopFrame records the break/continue targets of one enclosing loop,
+// switch or select statement.
+type loopFrame struct {
+	label     string
+	breakTo   *Block
+	contTo    *Block // nil for switch/select frames
+	fallsInto *Block // fallthrough target inside switch clauses
+}
+
+type builder struct {
+	blocks []*Block
+	cur    *Block // nil when control has transferred (dead position)
+	frames []loopFrame
+	labels map[string]*Block // goto / labeled-statement targets
+	// pendingLabel is the label of an immediately following loop/switch,
+	// consumed by the construct so `break L` / `continue L` resolve.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// ensure gives dead code after a terminator a fresh unreachable block so
+// every node still lands in exactly one block.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) emit(n ast.Node) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// jump adds an unconditional edge from the current block and marks the
+// position dead.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, Edge{To: to})
+		b.cur = nil
+	}
+}
+
+// labelBlock returns (creating on first use, so forward gotos resolve) the
+// target block of a label.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the pending label set by an enclosing LabeledStmt.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushFrame(f loopFrame) { b.frames = append(b.frames, f) }
+func (b *builder) popFrame()             { b.frames = b.frames[:len(b.frames)-1] }
+
+// findBreak resolves the break target for an optional label.
+func (b *builder) findBreak(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label == "" || f.label == label {
+			return f.breakTo
+		}
+	}
+	return nil
+}
+
+// findContinue resolves the continue target for an optional label,
+// skipping switch/select frames.
+func (b *builder) findContinue(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if f.contTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f.contTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.LabeledStmt:
+		target := b.labelBlock(s.Label.Name)
+		b.jump(target)
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.cur = nil
+	case nil:
+		// e.g. an absent else branch routed through stmt.
+	default:
+		// Simple statements: assign, decl, expr, inc/dec, send, defer,
+		// go, empty.
+		b.emit(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	thenB := b.newBlock()
+	after := b.newBlock()
+	elseTarget := after
+	if s.Else != nil {
+		elseTarget = b.newBlock()
+	}
+	b.cond(s.Cond, thenB, elseTarget)
+	b.cur = thenB
+	b.stmt(s.Body)
+	b.jump(after)
+	if s.Else != nil {
+		b.cur = elseTarget
+		b.stmt(s.Else)
+		b.jump(after)
+	}
+	b.cur = after
+}
+
+// cond decomposes a short-circuit condition: every leaf comparison gets
+// evaluated in its own position with labeled true/false edges, so `a && b`
+// only reaches `b` along a's true edge. Control enters from the current
+// block; on return the position is dead (both targets wired).
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			rhs := b.newBlock()
+			b.cond(x.X, rhs, f)
+			b.cur = rhs
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			rhs := b.newBlock()
+			b.cond(x.X, t, rhs)
+			b.cur = rhs
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	leaf := ast.Unparen(e)
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, leaf)
+	blk.Succs = append(blk.Succs,
+		Edge{To: t, Cond: leaf},
+		Edge{To: f, Cond: leaf, Negated: true})
+	b.cur = nil
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	head := b.newBlock()
+	after := b.newBlock()
+	contTarget := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		contTarget = post
+	}
+	b.jump(head)
+	b.cur = head
+	body := b.newBlock()
+	if s.Cond != nil {
+		b.cond(s.Cond, body, after)
+	} else {
+		b.jump(body)
+	}
+	b.pushFrame(loopFrame{label: label, breakTo: after, contTo: contTarget})
+	b.cur = body
+	b.stmt(s.Body)
+	b.popFrame()
+	b.jump(contTarget)
+	if post != nil {
+		b.cur = post
+		b.emit(s.Post)
+		b.jump(head)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	after := b.newBlock()
+	body := b.newBlock()
+	b.jump(head)
+	// The RangeStmt is the head node: each iteration (re)assigns the
+	// key/value variables from the range expression.
+	head.Nodes = append(head.Nodes, s)
+	head.Succs = append(head.Succs, Edge{To: body}, Edge{To: after})
+	b.pushFrame(loopFrame{label: label, breakTo: after, contTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.popFrame()
+	b.jump(head)
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	if s.Tag != nil {
+		b.emit(s.Tag)
+	}
+	after := b.newBlock()
+	entry := b.ensure()
+	b.cur = nil
+
+	clauses := make([]*ast.CaseClause, 0, len(s.Body.List))
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		bodies[i] = b.newBlock()
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, c := range clauses {
+		entry.Succs = append(entry.Succs, Edge{To: bodies[i]})
+		// Case expressions are evaluated in the clause's block so each
+		// leaf appears exactly once.
+		for _, e := range c.List {
+			bodies[i].Nodes = append(bodies[i].Nodes, e)
+		}
+	}
+	if !hasDefault {
+		entry.Succs = append(entry.Succs, Edge{To: after})
+	}
+	for i, c := range clauses {
+		frame := loopFrame{label: label, breakTo: after}
+		if i+1 < len(clauses) {
+			frame.fallsInto = bodies[i+1]
+		}
+		b.pushFrame(frame)
+		b.cur = bodies[i]
+		b.stmtList(c.Body)
+		b.popFrame()
+		b.jump(after)
+	}
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	// The `v := x.(type)` assign (or bare x.(type) expr stmt) is the head
+	// node.
+	b.emit(s.Assign)
+	after := b.newBlock()
+	entry := b.ensure()
+	b.cur = nil
+	hasDefault := false
+	var bodies []*Block
+	var caseClauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		caseClauses = append(caseClauses, cc)
+		blk := b.newBlock()
+		bodies = append(bodies, blk)
+		entry.Succs = append(entry.Succs, Edge{To: blk})
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		entry.Succs = append(entry.Succs, Edge{To: after})
+	}
+	for i, cc := range caseClauses {
+		b.pushFrame(loopFrame{label: label, breakTo: after})
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		b.popFrame()
+		b.jump(after)
+	}
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	after := b.newBlock()
+	entry := b.ensure()
+	b.cur = nil
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		entry.Succs = append(entry.Succs, Edge{To: blk})
+		b.cur = blk
+		if cc.Comm != nil {
+			b.emit(cc.Comm)
+		}
+		b.pushFrame(loopFrame{label: label, breakTo: after})
+		b.stmtList(cc.Body)
+		b.popFrame()
+		b.jump(after)
+	}
+	// A select with no clauses blocks forever: entry keeps no successors
+	// and `after` stays unreachable.
+	b.cur = after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.emit(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		target = b.findBreak(label)
+	case token.CONTINUE:
+		target = b.findContinue(label)
+	case token.GOTO:
+		target = b.labelBlock(label)
+	case token.FALLTHROUGH:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].fallsInto != nil {
+				target = b.frames[i].fallsInto
+				break
+			}
+		}
+	}
+	if target != nil {
+		b.jump(target)
+	}
+	// A branch with no resolvable target (malformed code) falls through.
+	b.cur = nil
+}

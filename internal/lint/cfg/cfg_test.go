@@ -1,0 +1,625 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// parseBody parses `src` as a function body and returns it.
+func parseBody(t testing.TB, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", src, err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// nodeBlocks maps every emitted node to the block holding it, recording a
+// problem if a node appears in two blocks.
+func nodeBlocks(g *CFG, problems *[]string) map[ast.Node]*Block {
+	m := make(map[ast.Node]*Block)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if prev, ok := m[n]; ok {
+				*problems = append(*problems, fmt.Sprintf("node %T appears in blocks %d and %d", n, prev.Index, blk.Index))
+				continue
+			}
+			m[n] = blk
+		}
+	}
+	return m
+}
+
+// leafOracle computes the exact set of nodes the builder must emit for a
+// statement list: simple statements, decomposed condition leaves, switch
+// tags/case expressions, select comm statements and range headers.
+func leafOracle(stmts []ast.Stmt, out *[]ast.Node) {
+	var condLeaves func(e ast.Expr)
+	condLeaves = func(e ast.Expr) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			if x.Op == token.LAND || x.Op == token.LOR {
+				condLeaves(x.X)
+				condLeaves(x.Y)
+				return
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.NOT {
+				condLeaves(x.X)
+				return
+			}
+		}
+		*out = append(*out, ast.Unparen(e))
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			leafOracle(s.List, out)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				*out = append(*out, s.Init)
+			}
+			condLeaves(s.Cond)
+			leafOracle(s.Body.List, out)
+			if s.Else != nil {
+				leafOracle([]ast.Stmt{s.Else}, out)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				*out = append(*out, s.Init)
+			}
+			if s.Cond != nil {
+				condLeaves(s.Cond)
+			}
+			leafOracle(s.Body.List, out)
+			if s.Post != nil {
+				*out = append(*out, s.Post)
+			}
+		case *ast.RangeStmt:
+			*out = append(*out, s)
+			leafOracle(s.Body.List, out)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				*out = append(*out, s.Init)
+			}
+			if s.Tag != nil {
+				*out = append(*out, s.Tag)
+			}
+			for _, c := range s.Body.List {
+				cc := c.(*ast.CaseClause)
+				for _, e := range cc.List {
+					*out = append(*out, e)
+				}
+				leafOracle(cc.Body, out)
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				*out = append(*out, s.Init)
+			}
+			*out = append(*out, s.Assign)
+			for _, c := range s.Body.List {
+				leafOracle(c.(*ast.CaseClause).Body, out)
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					*out = append(*out, cc.Comm)
+				}
+				leafOracle(cc.Body, out)
+			}
+		case *ast.LabeledStmt:
+			leafOracle([]ast.Stmt{s.Stmt}, out)
+		default:
+			*out = append(*out, s)
+		}
+	}
+}
+
+// partitionProblems checks the node-partition invariant — the builder
+// emitted exactly the oracle's leaf set, each node in exactly one block —
+// and returns the violations.
+func partitionProblems(body *ast.BlockStmt, g *CFG) []string {
+	var problems []string
+	got := nodeBlocks(g, &problems)
+	var want []ast.Node
+	leafOracle(body.List, &want)
+	wantSet := make(map[ast.Node]bool, len(want))
+	for _, n := range want {
+		if wantSet[n] {
+			problems = append(problems, fmt.Sprintf("oracle emitted node %T twice", n))
+			continue
+		}
+		wantSet[n] = true
+		if _, ok := got[n]; !ok {
+			problems = append(problems, fmt.Sprintf("leaf node %T missing from every block", n))
+		}
+	}
+	for n := range got {
+		if !wantSet[n] {
+			problems = append(problems, fmt.Sprintf("block holds unexpected node %T", n))
+		}
+	}
+	// Every edge must target a block owned by this graph.
+	own := make(map[*Block]bool)
+	for _, blk := range g.Blocks {
+		own[blk] = true
+	}
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if !own[e.To] {
+				problems = append(problems, fmt.Sprintf("block %d has an edge to a foreign block", blk.Index))
+			}
+			if e.Cond == nil && e.Negated {
+				problems = append(problems, fmt.Sprintf("block %d has a negated unconditional edge", blk.Index))
+			}
+		}
+	}
+	return problems
+}
+
+func checkPartition(t testing.TB, body *ast.BlockStmt, g *CFG) {
+	t.Helper()
+	for _, p := range partitionProblems(body, g) {
+		t.Error(p)
+	}
+}
+
+// findCondBlock returns the block holding the leaf condition rendered as
+// want (via the position-independent printf of the expression kind), using
+// a predicate.
+func findLeaf(t *testing.T, g *CFG, match func(ast.Node) bool) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if match(n) {
+				return blk
+			}
+		}
+	}
+	t.Fatal("leaf not found in any block")
+	return nil
+}
+
+func isCompare(op token.Token, x, y string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return false
+		}
+		xi, okx := be.X.(*ast.Ident)
+		yl, oky := be.Y.(*ast.BasicLit)
+		return okx && oky && xi.Name == x && yl.Value == y
+	}
+}
+
+func TestIfElseShape(t *testing.T) {
+	body := parseBody(t, `
+x := 0
+if x > 1 {
+	x = 2
+} else {
+	x = 3
+}
+x = 4`)
+	g := New(body)
+	checkPartition(t, body, g)
+	cb := findLeaf(t, g, isCompare(token.GTR, "x", "1"))
+	if len(cb.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2", len(cb.Succs))
+	}
+	if cb.Succs[0].Cond == nil || cb.Succs[0].Negated {
+		t.Errorf("first edge should be the labeled true edge: %+v", cb.Succs[0])
+	}
+	if cb.Succs[1].Cond == nil || !cb.Succs[1].Negated {
+		t.Errorf("second edge should be the labeled false edge: %+v", cb.Succs[1])
+	}
+	if cb.Succs[0].To == cb.Succs[1].To {
+		t.Error("then and else branches share a block")
+	}
+	if !g.Reachable()[cb.Succs[0].To] || !g.Reachable()[cb.Succs[1].To] {
+		t.Error("branch targets must be reachable")
+	}
+}
+
+// TestShortCircuitShape pins the && decomposition: the second operand is
+// evaluated in its own block, entered only along the first operand's true
+// edge.
+func TestShortCircuitShape(t *testing.T) {
+	body := parseBody(t, `
+x := 0
+if x > 1 && x < 5 {
+	x = 2
+}`)
+	g := New(body)
+	checkPartition(t, body, g)
+	first := findLeaf(t, g, isCompare(token.GTR, "x", "1"))
+	second := findLeaf(t, g, isCompare(token.LSS, "x", "5"))
+	if first == second {
+		t.Fatal("short-circuit operands share a block; expected decomposition")
+	}
+	if first.Succs[0].To != second {
+		t.Errorf("true edge of first operand should enter the second operand's block")
+	}
+	if first.Succs[1].To == second {
+		t.Errorf("false edge of && must skip the second operand")
+	}
+	// Both operands' false edges land on the same merge point (if-exit).
+	if first.Succs[1].To != second.Succs[1].To {
+		t.Errorf("false edges of && operands should share the else target")
+	}
+}
+
+func TestOrNotShape(t *testing.T) {
+	body := parseBody(t, `
+x := 0
+if !(x == 0) || x > 7 {
+	x = 1
+}`)
+	g := New(body)
+	checkPartition(t, body, g)
+	first := findLeaf(t, g, isCompare(token.EQL, "x", "0"))
+	second := findLeaf(t, g, isCompare(token.GTR, "x", "7"))
+	// `!` swaps polarity: the false edge of x==0 is the || short-circuit
+	// success edge, so it must NOT enter the second operand.
+	if first.Succs[1].To == second {
+		t.Error("negated false edge of || must short-circuit past the second operand")
+	}
+	if first.Succs[0].To != second {
+		t.Error("negated true edge of || should evaluate the second operand")
+	}
+}
+
+func TestLoopShape(t *testing.T) {
+	body := parseBody(t, `
+x := 0
+for i := 0; i < 9; i++ {
+	if x > 2 {
+		break
+	}
+	if x > 3 {
+		continue
+	}
+	x = 1
+}
+x = 5`)
+	g := New(body)
+	checkPartition(t, body, g)
+	cond := findLeaf(t, g, isCompare(token.LSS, "i", "9"))
+	// The loop must cycle: the condition block is reachable from its own
+	// true-edge target.
+	reach := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	walk(cond.Succs[0].To)
+	if !reach[cond] {
+		t.Error("loop body does not cycle back to the condition")
+	}
+	// break must bypass the back edge: the false-edge target (loop exit)
+	// is reachable from the body without passing the condition again.
+	if !reach[cond.Succs[1].To] {
+		t.Error("loop exit not reachable from body (break edge missing)")
+	}
+}
+
+func TestInfiniteLoopShape(t *testing.T) {
+	body := parseBody(t, `
+x := 0
+for {
+	x = 1
+}
+x = 2`)
+	g := New(body)
+	checkPartition(t, body, g)
+	// x = 2 is dead: its block must be unreachable.
+	dead := findLeaf(t, g, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		bl, ok := as.Rhs[0].(*ast.BasicLit)
+		return ok && bl.Value == "2"
+	})
+	if g.Reachable()[dead] {
+		t.Error("statement after `for {}` should be unreachable")
+	}
+}
+
+func TestLabeledBreakGoto(t *testing.T) {
+	body := parseBody(t, `
+x := 0
+L:
+for i := 0; i < 3; i++ {
+	for {
+		if x > 1 {
+			break L
+		}
+		if x > 2 {
+			continue L
+		}
+		goto done
+	}
+}
+done:
+x = 9`)
+	g := New(body)
+	checkPartition(t, body, g)
+	final := findLeaf(t, g, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		bl, ok := as.Rhs[0].(*ast.BasicLit)
+		return ok && bl.Value == "9"
+	})
+	if !g.Reachable()[final] {
+		t.Error("goto target should be reachable")
+	}
+}
+
+func TestSwitchSelectRangeShape(t *testing.T) {
+	body := parseBody(t, `
+x := 0
+ch := make(chan int, 1)
+switch x {
+case 1:
+	x = 10
+	fallthrough
+case 2:
+	x = 20
+default:
+	x = 30
+}
+select {
+case ch <- 1:
+	x = 40
+case v := <-ch:
+	x = v
+default:
+	x = 50
+}
+for range []int{1, 2} {
+	x++
+}
+_ = x`)
+	g := New(body)
+	checkPartition(t, body, g)
+	for _, blk := range g.Blocks {
+		if !g.Reachable()[blk] && len(blk.Nodes) > 0 {
+			t.Errorf("block %d with %d nodes unexpectedly unreachable", blk.Index, len(blk.Nodes))
+		}
+	}
+}
+
+// assignedFlow is a tiny must-assign analysis used to exercise the Forward
+// engine: the fact is the set of variable names assigned on EVERY path.
+type assignedFlow struct{}
+
+type strSet map[string]bool
+
+func (assignedFlow) Entry() Fact { return strSet{} }
+func (assignedFlow) Transfer(n ast.Node, f Fact) Fact {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return f
+	}
+	out := strSet{}
+	for k := range f.(strSet) {
+		out[k] = true
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+func (assignedFlow) Branch(cond ast.Expr, negated bool, f Fact) Fact { return f }
+func (assignedFlow) Join(a, b Fact) Fact {
+	out := strSet{}
+	for k := range a.(strSet) {
+		if b.(strSet)[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+func (assignedFlow) Equal(a, b Fact) bool {
+	as, bs := a.(strSet), b.(strSet)
+	if len(as) != len(bs) {
+		return false
+	}
+	for k := range as {
+		if !bs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestForwardMustAssign(t *testing.T) {
+	body := parseBody(t, `
+x := 0
+if x > 1 {
+	a := 1
+	b := 2
+	_, _ = a, b
+} else {
+	a := 3
+	_ = a
+}
+x = 4`)
+	g := New(body)
+	in := Forward(g, assignedFlow{})
+	final := findLeaf(t, g, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		bl, ok := as.Rhs[0].(*ast.BasicLit)
+		return ok && bl.Value == "4"
+	})
+	fact, ok := in[final].(strSet)
+	if !ok {
+		t.Fatal("no fact at the join block")
+	}
+	if !fact["a"] {
+		t.Error("a is assigned on both branches; must-assign should include it")
+	}
+	if fact["b"] {
+		t.Error("b is assigned on one branch only; must-assign should drop it at the join")
+	}
+}
+
+// --- randomized node-partition property ---
+
+// progGen emits a random syntactically valid function body using a small
+// statement grammar, for the quick.Check partition property.
+type progGen struct {
+	r      *rand.Rand
+	labels int
+}
+
+func (g *progGen) cond() string {
+	leaf := func() string {
+		ops := []string{">", "<", "==", "!=", ">=", "<="}
+		return fmt.Sprintf("x %s %d", ops[g.r.Intn(len(ops))], g.r.Intn(10))
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s) && (%s)", leaf(), leaf())
+	case 1:
+		return fmt.Sprintf("(%s) || (%s)", leaf(), leaf())
+	case 2:
+		return fmt.Sprintf("!(%s)", leaf())
+	default:
+		return leaf()
+	}
+}
+
+// stmts renders up to n random statements at the given depth. loops lists
+// the label names of enclosing labeled loops; inLoop/inSwitch gate
+// break/continue placement.
+func (g *progGen) stmts(sb *strings.Builder, n, depth int, loops []string, inLoop bool) {
+	for i := 0; i < n; i++ {
+		g.stmt(sb, depth, loops, inLoop)
+	}
+}
+
+func (g *progGen) stmt(sb *strings.Builder, depth int, loops []string, inLoop bool) {
+	choice := g.r.Intn(12)
+	if depth <= 0 && choice < 7 {
+		choice = 7 + g.r.Intn(5)
+	}
+	switch choice {
+	case 0: // if / if-else
+		fmt.Fprintf(sb, "if %s {\n", g.cond())
+		g.stmts(sb, 1+g.r.Intn(2), depth-1, loops, inLoop)
+		if g.r.Intn(2) == 0 {
+			sb.WriteString("} else {\n")
+			g.stmts(sb, 1+g.r.Intn(2), depth-1, loops, inLoop)
+		}
+		sb.WriteString("}\n")
+	case 1: // plain for
+		fmt.Fprintf(sb, "for i := 0; i < %d; i++ {\n", 1+g.r.Intn(5))
+		g.stmts(sb, 1+g.r.Intn(2), depth-1, loops, true)
+		sb.WriteString("}\n")
+	case 2: // labeled infinite loop with a guaranteed labeled break
+		label := fmt.Sprintf("L%d", g.labels)
+		g.labels++
+		fmt.Fprintf(sb, "%s:\nfor {\n", label)
+		g.stmts(sb, g.r.Intn(2), depth-1, append(loops, label), true)
+		fmt.Fprintf(sb, "if %s {\nbreak %s\n}\n", g.cond(), label)
+		g.stmts(sb, g.r.Intn(2), depth-1, append(loops, label), true)
+		sb.WriteString("}\n")
+	case 3: // range loop
+		sb.WriteString("for range []int{1, 2, 3} {\n")
+		g.stmts(sb, 1+g.r.Intn(2), depth-1, loops, true)
+		sb.WriteString("}\n")
+	case 4: // switch, possibly with fallthrough
+		fmt.Fprintf(sb, "switch x {\n")
+		cases := 1 + g.r.Intn(3)
+		for c := 0; c < cases; c++ {
+			fmt.Fprintf(sb, "case %d:\n", c)
+			g.stmts(sb, 1+g.r.Intn(2), depth-1, loops, inLoop)
+			if c+1 < cases && g.r.Intn(3) == 0 {
+				sb.WriteString("fallthrough\n")
+			}
+		}
+		if g.r.Intn(2) == 0 {
+			sb.WriteString("default:\nx = 0\n")
+		}
+		sb.WriteString("}\n")
+	case 5: // select
+		sb.WriteString("select {\ncase ch <- 1:\n")
+		g.stmts(sb, 1+g.r.Intn(2), depth-1, loops, inLoop)
+		sb.WriteString("case <-ch:\nx = 1\ndefault:\nx = 2\n}\n")
+	case 6: // while-style for
+		fmt.Fprintf(sb, "for %s {\n", g.cond())
+		g.stmts(sb, 1+g.r.Intn(2), depth-1, loops, true)
+		if g.r.Intn(3) == 0 {
+			sb.WriteString("break\n")
+		}
+		sb.WriteString("}\n")
+	case 7, 8, 9:
+		fmt.Fprintf(sb, "x = %d\n", g.r.Intn(100))
+	case 10:
+		if inLoop {
+			if len(loops) > 0 && g.r.Intn(2) == 0 {
+				fmt.Fprintf(sb, "if %s {\ncontinue %s\n}\n", g.cond(), loops[len(loops)-1])
+			} else {
+				fmt.Fprintf(sb, "if %s {\ncontinue\n}\n", g.cond())
+			}
+		} else {
+			sb.WriteString("x++\n")
+		}
+	default:
+		if g.r.Intn(4) == 0 {
+			fmt.Fprintf(sb, "if %s {\nreturn\n}\n", g.cond())
+		} else {
+			sb.WriteString("x--\n")
+		}
+	}
+}
+
+// TestNodePartition is the randomized pin of the structural invariant:
+// for arbitrary generated programs, every leaf statement and decomposed
+// condition appears in exactly one block (reachable code in reachable
+// blocks), and no block holds a node the oracle does not predict.
+func TestNodePartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := &progGen{r: rand.New(rand.NewSource(seed))}
+		var sb strings.Builder
+		sb.WriteString("x := 0\nch := make(chan int, 1)\n_ = ch\n")
+		g.stmts(&sb, 2+g.r.Intn(4), 3, nil, false)
+		sb.WriteString("_ = x\n")
+		src := sb.String()
+		body := parseBody(t, src)
+		graph := New(body)
+		if problems := partitionProblems(body, graph); len(problems) > 0 {
+			t.Logf("partition violated for program:\n%s\n%s", src, strings.Join(problems, "\n"))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

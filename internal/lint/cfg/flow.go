@@ -1,0 +1,67 @@
+package cfg
+
+import "go/ast"
+
+// Fact is one analysis' dataflow information at a program point. Flows
+// implementations must treat facts as immutable values: Transfer, Branch
+// and Join return fresh facts (or an input unchanged) and never mutate an
+// argument in place, because the engine aliases facts across blocks.
+type Fact any
+
+// Flows defines one forward dataflow analysis over a CFG. The lattice must
+// be finite-height and Join monotone or the fixpoint iteration will not
+// terminate.
+type Flows interface {
+	// Entry is the fact at function entry.
+	Entry() Fact
+	// Transfer applies the effect of one block node to the incoming fact.
+	Transfer(n ast.Node, f Fact) Fact
+	// Branch refines a fact along a conditional edge: cond is the leaf
+	// condition, negated reports the false edge. Analyses that don't
+	// refine on branches return f unchanged.
+	Branch(cond ast.Expr, negated bool, f Fact) Fact
+	// Join merges the facts of two incoming edges.
+	Join(a, b Fact) Fact
+	// Equal reports fact equality; it bounds the fixpoint iteration.
+	Equal(a, b Fact) bool
+}
+
+// Forward runs fl over g to fixpoint and returns the fact at every block's
+// entry. Blocks never reached from the entry are absent from the result.
+// To inspect per-node facts, replay Transfer over a block's Nodes starting
+// from its entry fact.
+func Forward(g *CFG, fl Flows) map[*Block]Fact {
+	in := make(map[*Block]Fact, len(g.Blocks))
+	in[g.Entry] = fl.Entry()
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		f := in[blk]
+		for _, n := range blk.Nodes {
+			f = fl.Transfer(n, f)
+		}
+		for _, e := range blk.Succs {
+			ef := f
+			if e.Cond != nil {
+				ef = fl.Branch(e.Cond, e.Negated, ef)
+			}
+			old, ok := in[e.To]
+			next := ef
+			if ok {
+				next = fl.Join(old, ef)
+				if fl.Equal(old, next) {
+					continue
+				}
+			}
+			in[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak is the static complement to internal/leakcheck: where leakcheck
+// snapshots goroutines around a test, this analyzer proves the absence of
+// a termination path at the spawn site — over every path, not just the
+// ones a test executes.
+//
+// A `go` statement is flagged when the spawned function contains an
+// unconditional `for {}` loop with no way out: no receive, select or
+// range-over-channel (a closed quit/done channel is the repo's standard
+// stop signal), no use of a context.Context (ctx.Done/ctx.Err polling),
+// no return/goto/labeled-break escaping the loop, and no plain break or
+// os.Exit/runtime.Goexit at the loop's own level. Loops WITH a condition
+// terminate when the condition flips, and straight-line goroutines
+// terminate by returning, so neither is flagged.
+//
+// The body examined is the func literal of `go func(){...}` or, for
+// `go name(...)`, the declaration of name when it lives in the same
+// package (cross-package callees are boundaries, like every atlint
+// analyzer treats them). Deliberately immortal goroutines — a process-
+// lifetime sampler — carry //atlint:ignore goroleak with the reason.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "go statements spawning goroutines with no termination path",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(p *Pass) {
+	// Index this package's function declarations so `go name(...)`
+	// resolves to a body.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goroutineBody(p, gs, decls)
+			if body == nil {
+				return true
+			}
+			if loop := immortalLoop(p, body); loop != nil {
+				p.Reportf(gs.Pos(), "goroutine has an unconditional loop with no termination path (no ctx/done channel, select, receive, return or break); it can never exit")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineBody resolves the body the go statement runs: a literal's body,
+// or the same-package declaration of a named callee (methods included).
+func goroutineBody(p *Pass, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	default:
+		fn := calleeFunc(p.Info, gs.Call)
+		if fn == nil {
+			return nil
+		}
+		if fd, ok := decls[fn]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// immortalLoop returns the first `for {}` loop in body with no termination
+// path, or nil. Nested function literals are independent scopes and are
+// not searched.
+func immortalLoop(p *Pass, body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	inspectShallow(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		if !loopCanExit(p, fs) {
+			found = fs
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopCanExit reports whether an unconditional loop has any way to stop
+// looping: a stop-signal primitive anywhere inside (receive, select,
+// range over a channel, context use), a return/goto, a break at the
+// loop's own nesting level or a labeled break, or a process exit.
+func loopCanExit(p *Pass, loop *ast.ForStmt) bool {
+	exits := false
+	// depth tracks break-swallowing constructs between the loop and the
+	// statement: a plain break inside a nested for/switch/select does not
+	// exit THIS loop, but a labeled one does.
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if exits || n == nil {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return // independent scope
+		case *ast.ReturnStmt:
+			exits = true
+			return
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.GOTO:
+				// A goto can jump out of the loop; assume it does.
+				exits = true
+			case token.BREAK:
+				if s.Label != nil || depth == 0 {
+					exits = true
+				}
+			}
+			return
+		case *ast.SelectStmt:
+			// A select is a stop-signal rendezvous (and usually wraps
+			// <-ctx.Done() / <-quit).
+			exits = true
+			return
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				exits = true // blocking receive: a closed channel unblocks it
+				return
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.Types[s.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					exits = true // terminates when the channel closes
+					return
+				}
+			}
+			walk(s.Body, depth+1)
+			return
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walk(s.Init, depth)
+			}
+			if s.Cond != nil {
+				walk(s.Cond, depth)
+			}
+			if s.Post != nil {
+				walk(s.Post, depth)
+			}
+			walk(s.Body, depth+1)
+			return
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				walk(s.Init, depth)
+			}
+			if s.Tag != nil {
+				walk(s.Tag, depth)
+			}
+			walk(s.Body, depth+1)
+			return
+		case *ast.TypeSwitchStmt:
+			walk(s.Body, depth+1)
+			return
+		case *ast.CallExpr:
+			if isExitCall(p, s) || usesContext(p, s) {
+				exits = true
+				return
+			}
+		case *ast.Ident:
+			// Any use of a context value inside the loop counts: the
+			// loop is observing cancellation somehow.
+			if obj := p.Info.Uses[s]; obj != nil && isContextType(obj.Type()) {
+				exits = true
+				return
+			}
+		}
+		// Generic traversal for everything else.
+		ast.Inspect(n, func(sub ast.Node) bool {
+			if sub == nil || sub == n {
+				return true
+			}
+			walk(sub, depth)
+			return false
+		})
+	}
+	walk(loop.Body, 0)
+	return exits
+}
+
+// isExitCall reports os.Exit, runtime.Goexit, log.Fatal*, panic.
+func isExitCall(p *Pass, call *ast.CallExpr) bool {
+	if isBuiltinCall(p.Info, call, "panic") {
+		return true
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}
+
+// usesContext reports whether the call touches a context.Context — as the
+// receiver (ctx.Done(), ctx.Err()) or as any argument.
+func usesContext(p *Pass, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := p.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

@@ -70,6 +70,10 @@ type Pass struct {
 	// Do/Bitflip literals against; nil disables the membership check
 	// (the manifest itself is still checked for duplicates).
 	Sites map[string]bool
+	// Metrics is the metric-name manifest the metriccheck analyzer
+	// validates atserve_* literals against; nil disables the membership
+	// check (the manifest itself is still checked for duplicates).
+	Metrics map[string]bool
 	// Shared accumulates cross-package facts for Finish hooks.
 	Shared *Shared
 
@@ -99,14 +103,24 @@ type Shared struct {
 	// declaration positions; populated when the faultinject package is
 	// among the analyzed set.
 	ManifestPos map[string]token.Position
+	// UsedMetrics maps each atserve_* metric literal to the positions of
+	// its uses outside the manifest package.
+	UsedMetrics map[string][]token.Position
+	// MetricManifestPos maps manifest entries (metricnames.Names) to their
+	// declaration positions; populated when the metricnames package is
+	// among the analyzed set.
+	MetricManifestPos map[string]token.Position
 }
 
 // Runner applies a set of analyzers to packages, handling suppression
 // comments and cross-package Finish hooks. One Runner is one lint run.
 type Runner struct {
 	Analyzers []*Analyzer
-	// Sites and Sizes32 are copied into every Pass.
+	// Sites, Metrics and Sizes32 are copied into every Pass. Metrics is a
+	// plain field (not a NewRunner parameter) so fixture runs can leave it
+	// nil to disable membership checking.
 	Sites   map[string]bool
+	Metrics map[string]bool
 	Sizes32 types.Sizes
 
 	shared  *Shared
@@ -126,8 +140,10 @@ func NewRunner(sites map[string]bool, analyzers ...*Analyzer) *Runner {
 		Sites:     sites,
 		Sizes32:   sizes,
 		shared: &Shared{
-			UsedSites:   make(map[string][]token.Position),
-			ManifestPos: make(map[string]token.Position),
+			UsedSites:         make(map[string][]token.Position),
+			ManifestPos:       make(map[string]token.Position),
+			UsedMetrics:       make(map[string][]token.Position),
+			MetricManifestPos: make(map[string]token.Position),
 		},
 		ignores: make(map[string]map[int][]string),
 	}
@@ -146,6 +162,7 @@ func (r *Runner) Package(pkg *Package) []Diagnostic {
 			Info:     pkg.Info,
 			Sizes32:  r.Sizes32,
 			Sites:    r.Sites,
+			Metrics:  r.Metrics,
 			Shared:   r.shared,
 			analyzer: a,
 			report:   func(d Diagnostic) { diags = append(diags, d) },
@@ -272,5 +289,9 @@ func All() []*Analyzer {
 		FaultSite,
 		ErrWrap,
 		AtomicAlign,
+		UnboundedAlloc,
+		GoroLeak,
+		RaceField,
+		MetricCheck,
 	}
 }

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// metricnamesPath is the import path of the metric-name manifest; the
+// analyzer keys its manifest handling off this path, exactly as faultsite
+// does for internal/faultinject.
+const metricnamesPath = "atmatrix/internal/metricnames"
+
+// MetricCheck keeps the /metrics namespace coherent. Metric names are
+// stringly typed and consumed far from where they are produced — operator
+// dashboards, smoke tests, the README — so a typo in an emission silently
+// breaks every consumer. The manifest (internal/metricnames) is the single
+// source of truth and the analyzer enforces it in both directions:
+//
+//   - every string literal in non-test code that looks like a metric name
+//     (matches atserve_[a-z0-9_]+ exactly, after stripping a {label} suffix)
+//     must be registered in the manifest;
+//   - the manifest contains no duplicates and only well-formed names;
+//   - every manifest entry is emitted somewhere (checked across the whole
+//     analyzed set in Finish — a stale entry documents a ghost metric).
+var MetricCheck = &Analyzer{
+	Name:   "metriccheck",
+	Doc:    "atserve_* metric literals must be registered in the internal/metricnames manifest",
+	Run:    runMetricCheck,
+	Finish: finishMetricCheck,
+}
+
+func runMetricCheck(p *Pass) {
+	if p.Pkg.Path() == metricnamesPath {
+		collectMetricManifest(p)
+		return // the manifest's own entries are declarations, not emissions
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			value, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			name, ok := metricName(value)
+			if !ok {
+				return true
+			}
+			pos := p.Fset.Position(lit.Pos())
+			p.Shared.UsedMetrics[name] = append(p.Shared.UsedMetrics[name], pos)
+			if p.Metrics != nil && !p.Metrics[name] {
+				p.Reportf(lit.Pos(), "unknown metric %q: register it in internal/metricnames", name)
+			}
+			return true
+		})
+	}
+}
+
+// metricName extracts the bare metric name from a string that is exactly a
+// metric reference: an optional {label="..."} suffix is stripped, and the
+// remainder must match atserve_[a-z0-9_]+ in full. Format strings, prose
+// mentioning a metric, and partial prefixes don't qualify.
+func metricName(s string) (string, bool) {
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		if !strings.HasSuffix(s, "}") {
+			return "", false
+		}
+		s = s[:i]
+	}
+	const prefix = "atserve_"
+	if len(s) <= len(prefix) || !strings.HasPrefix(s, prefix) {
+		return "", false // a bare or empty prefix is not a metric name
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' {
+			continue
+		}
+		return "", false
+	}
+	return s, true
+}
+
+// collectMetricManifest records the declaration positions of the Names
+// manifest entries, reporting duplicates and malformed names.
+func collectMetricManifest(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "Names" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range lit.Elts {
+						entry, ok := stringLiteral(p.Info, elt)
+						if !ok {
+							p.Reportf(elt.Pos(), "manifest entries must be string literals")
+							continue
+						}
+						if _, wellFormed := metricName(entry); !wellFormed {
+							p.Reportf(elt.Pos(), "malformed metric name %q: want atserve_[a-z0-9_]+", entry)
+							continue
+						}
+						if _, dup := p.Shared.MetricManifestPos[entry]; dup {
+							p.Reportf(elt.Pos(), "duplicate metric %q in manifest", entry)
+							continue
+						}
+						p.Shared.MetricManifestPos[entry] = p.Fset.Position(elt.Pos())
+					}
+				}
+			}
+		}
+	}
+}
+
+// finishMetricCheck reports manifest entries never emitted anywhere in the
+// analyzed packages. It only fires when the manifest package itself was in
+// the run, so single-package invocations don't false-positive.
+func finishMetricCheck(sh *Shared, report func(pos token.Position, format string, args ...any)) {
+	for name, pos := range sh.MetricManifestPos {
+		if len(sh.UsedMetrics[name]) == 0 {
+			report(pos, "metric %q is registered but never emitted", name)
+		}
+	}
+}

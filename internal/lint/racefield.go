@@ -1,0 +1,513 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"atmatrix/internal/lint/cfg"
+)
+
+// RaceField infers, per struct field, which mutex conventionally guards it
+// and flags accesses that break the convention. There is no annotation
+// language: the guard relation is learned from the code itself.
+//
+// Lock state is computed by forward dataflow over the function's CFG with
+// intersection join — a lock counts as held at a node only when it is held
+// on every path reaching it. This makes the repo's manual early-return
+// choreography precise: after `if bad { mu.Unlock(); return err }` the
+// fall-through still holds the lock, because the unlocking path left the
+// function. A deferred Unlock releases at function end, so it never clears
+// the held set.
+//
+// Inference: every access to a field of a struct type declared in the
+// analyzed package is recorded with the held set at that point. Lock
+// expressions on structs of this package normalize to "T.mu", so s.mu held
+// during s.count and c.mu held during c.count both witness T.mu guarding
+// T.count. A field with at least two locked accesses, strictly more locked
+// than unlocked, is considered guarded; the unlocked accesses are
+// reported.
+//
+// Exemptions, matching the repo's conventions:
+//   - accesses through a value the function just built (composite literal
+//     or new) — under construction, not shared yet;
+//   - accesses rooted at a non-pointer local value — a stack copy cannot
+//     race (shared state is reached through pointers here);
+//   - functions named *Locked — the documented caller-holds-the-lock
+//     helpers; their accesses are trusted but don't vote for a guard.
+//
+// Separately, a field updated through sync/atomic (atomic.AddInt64(&s.n,1)
+// or an atomic.Int64-typed field) must never ALSO be touched with a plain
+// read or write: the plain access races with the atomic one no matter what
+// locks are held. Intentional exceptions — a snapshot read after a
+// happens-before edge like WaitGroup.Wait or goroutine spawn — carry
+// //atlint:ignore racefield with the reason.
+var RaceField = &Analyzer{
+	Name: "racefield",
+	Doc:  "struct fields accessed outside their inferred guarding mutex, or mixing atomic and plain access",
+	Run:  runRaceField,
+}
+
+// fieldAccess is one read or write of a tracked struct field.
+type fieldAccess struct {
+	pos     token.Pos
+	held    map[string]bool // normalized lock keys held at this point
+	fresh   bool            // base value constructed in this function
+	assumed bool            // inside a *Locked caller-holds helper
+	atomic  bool            // access via sync/atomic or an atomic.* field
+}
+
+type fieldStats struct {
+	accesses []fieldAccess
+}
+
+func runRaceField(p *Pass) {
+	fields := make(map[string]*fieldStats) // "T.f" -> stats
+	forEachFunc(p.Files, func(fn funcScope) {
+		collectFieldAccesses(p, fn, fields)
+	})
+
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		st := fields[key]
+		reportGuardViolations(p, key, st)
+		reportAtomicMixing(p, key, st)
+	}
+}
+
+// reportGuardViolations applies the majority rule: if some lock L is held
+// for >=2 accesses of the field and strictly more accesses hold L than
+// don't, every access without L is a violation.
+func reportGuardViolations(p *Pass, key string, st *fieldStats) {
+	lockCounts := make(map[string]int)
+	shared := 0 // accesses eligible for inference
+	for _, a := range st.accesses {
+		if a.fresh || a.atomic || a.assumed {
+			continue
+		}
+		shared++
+		for l := range a.held {
+			lockCounts[l]++
+		}
+	}
+	var guard string
+	best := 0
+	for l, n := range lockCounts {
+		if n > best || (n == best && l < guard) {
+			guard, best = l, n
+		}
+	}
+	if best < 2 || best*2 <= shared {
+		return // no convincing convention
+	}
+	for _, a := range st.accesses {
+		if a.fresh || a.atomic || a.assumed || a.held[guard] {
+			continue
+		}
+		p.Reportf(a.pos, "%s is guarded by %s at %d other sites but accessed here without it", key, guard, best)
+	}
+}
+
+// reportAtomicMixing flags plain accesses to a field that is elsewhere
+// accessed atomically. Construction-time writes are exempt: the value is
+// not shared yet.
+func reportAtomicMixing(p *Pass, key string, st *fieldStats) {
+	atomics := 0
+	for _, a := range st.accesses {
+		if a.atomic {
+			atomics++
+		}
+	}
+	if atomics == 0 {
+		return
+	}
+	for _, a := range st.accesses {
+		if a.atomic || a.fresh {
+			continue
+		}
+		p.Reportf(a.pos, "%s is accessed atomically at %d other sites; this plain access races with them regardless of locks", key, atomics)
+	}
+}
+
+// lockFact is the dataflow fact: the set of normalized lock keys held on
+// every path into a point. Facts are immutable; Transfer copies.
+type lockFact map[string]bool
+
+// lockFlow runs the held-lock analysis over one function's CFG.
+type lockFlow struct {
+	pass *Pass
+}
+
+func (fl *lockFlow) Entry() cfg.Fact { return lockFact{} }
+
+func (fl *lockFlow) Branch(cond ast.Expr, negated bool, f cfg.Fact) cfg.Fact { return f }
+
+// Join intersects: held only if held on both paths.
+func (fl *lockFlow) Join(a, b cfg.Fact) cfg.Fact {
+	af, bf := a.(lockFact), b.(lockFact)
+	out := lockFact{}
+	for k := range af {
+		if bf[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (fl *lockFlow) Equal(a, b cfg.Fact) bool {
+	af, bf := a.(lockFact), b.(lockFact)
+	if len(af) != len(bf) {
+		return false
+	}
+	for k := range af {
+		if !bf[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (fl *lockFlow) Transfer(n ast.Node, f cfg.Fact) cfg.Fact {
+	fact := f.(lockFact)
+	out := fact
+	copied := false
+	inspectNodeShallow(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.DeferStmt); ok {
+			// defer x.Unlock() releases at function end: the lock stays
+			// held for everything that follows.
+			return false
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, method, ok := lockOperand(fl.pass, call)
+		if !ok {
+			return true
+		}
+		if !copied {
+			next := lockFact{}
+			for k := range out {
+				next[k] = true
+			}
+			out, copied = next, true
+		}
+		key := lockKey(fl.pass, sel.X)
+		switch method {
+		case "Lock", "RLock":
+			out[key] = true
+		case "Unlock", "RUnlock":
+			delete(out, key)
+		}
+		return true
+	})
+	return out
+}
+
+// collectFieldAccesses runs the lock dataflow over one function and
+// records every tracked field access with the held set at its node.
+func collectFieldAccesses(p *Pass, fn funcScope, fields map[string]*fieldStats) {
+	fl := &lockFlow{pass: p}
+	g := cfg.New(fn.body)
+	in := cfg.Forward(g, fl)
+	fresh := collectFreshLocals(p, fn)
+	assumed := fn.decl != nil && strings.HasSuffix(fn.decl.Name.Name, "Locked")
+	for _, blk := range g.Blocks {
+		f, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			recordNodeAccesses(p, n, f.(lockFact), fresh, assumed, fields)
+			f = fl.Transfer(n, f)
+		}
+	}
+}
+
+// recordNodeAccesses walks one CFG node, recording field accesses under
+// the given held set. Lock operands and atomic-call arguments are consumed
+// in place so they are not double-counted as plain accesses.
+func recordNodeAccesses(p *Pass, n ast.Node, held lockFact, fresh map[types.Object]bool, assumed bool, fields map[string]*fieldStats) {
+	consumed := make(map[*ast.SelectorExpr]bool)
+	inspectNodeShallow(n, func(sub ast.Node) bool {
+		switch sub := sub.(type) {
+		case *ast.CallExpr:
+			if sel, _, ok := lockOperand(p, sub); ok {
+				consumed[sel] = true
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+					consumed[inner] = true
+				}
+				return true
+			}
+			if markAtomicArgs(p, sub, held, fresh, assumed, fields, consumed) {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if consumed[sub] {
+				return true
+			}
+			recordAccess(p, sub, held, fresh, assumed, fields, false)
+			return true
+		}
+		return true
+	})
+}
+
+// lockOperand matches x.Lock / x.RLock / x.Unlock / x.RUnlock calls on
+// sync types and returns the selector and method name.
+func lockOperand(p *Pass, call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fnObj := calleeFunc(p.Info, call)
+	if fnObj == nil || fnObj.Pkg() == nil || fnObj.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch fnObj.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel, fnObj.Name(), true
+	}
+	return nil, "", false
+}
+
+// markAtomicArgs handles sync/atomic calls (atomic.AddInt64(&s.n, 1)): the
+// referenced field access is recorded as atomic. Method calls on atomic.*
+// typed fields (s.n.Add(1)) are caught by recordAccess via the field type.
+// Reports true if the call was a sync/atomic op.
+func markAtomicArgs(p *Pass, call *ast.CallExpr, held lockFact, fresh map[types.Object]bool, assumed bool, fields map[string]*fieldStats, consumed map[*ast.SelectorExpr]bool) bool {
+	fnObj := calleeFunc(p.Info, call)
+	if fnObj == nil || fnObj.Pkg() == nil || fnObj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if recv := methodRecvSelector(call); recv != nil {
+		// s.n.Add(1) on an atomic.Int64 field: the receiver is the access.
+		consumed[recv] = true
+		recordAccess(p, recv, held, fresh, assumed, fields, true)
+		return true
+	}
+	for _, arg := range call.Args {
+		u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			continue
+		}
+		if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+			consumed[sel] = true
+			recordAccess(p, sel, held, fresh, assumed, fields, true)
+		}
+	}
+	return true
+}
+
+// methodRecvSelector returns the receiver selector of a method call whose
+// receiver is itself a field selector (s.n.Add -> s.n), or nil.
+func methodRecvSelector(call *ast.CallExpr) *ast.SelectorExpr {
+	outer, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return inner
+}
+
+// recordAccess records sel as an access of a tracked field, if it is one:
+// a field selection on a struct type declared in the analyzed package,
+// excluding sync.* fields (the guards themselves) and accesses rooted at
+// stack-local values.
+func recordAccess(p *Pass, sel *ast.SelectorExpr, held lockFact, fresh map[types.Object]bool, assumed bool, fields map[string]*fieldStats, isAtomic bool) {
+	selInfo, ok := p.Info.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal || len(selInfo.Index()) != 1 {
+		return
+	}
+	field := selInfo.Obj().(*types.Var)
+	owner := localStructOwner(p, selInfo.Recv())
+	if owner == "" {
+		return
+	}
+	if syncGuardType(field.Type()) {
+		return
+	}
+	if localValueRoot(p, sel.X) {
+		return
+	}
+	key := owner + "." + field.Name()
+	st := fields[key]
+	if st == nil {
+		st = &fieldStats{}
+		fields[key] = st
+	}
+	heldCopy := make(map[string]bool, len(held))
+	for k := range held {
+		heldCopy[k] = true
+	}
+	fields[key].accesses = append(st.accesses, fieldAccess{
+		pos:     sel.Sel.Pos(),
+		held:    heldCopy,
+		fresh:   freshBase(p, sel.X, fresh),
+		assumed: assumed,
+		atomic:  isAtomic || atomicValueType(field.Type()),
+	})
+}
+
+// lockKey normalizes a lock expression: s.mu on a struct T declared in
+// this package becomes "T.mu" so different receivers witness the same
+// guard; anything else renders as written.
+func lockKey(p *Pass, x ast.Expr) string {
+	if sel, ok := ast.Unparen(x).(*ast.SelectorExpr); ok {
+		if selInfo, ok := p.Info.Selections[sel]; ok {
+			if owner := localStructOwner(p, selInfo.Recv()); owner != "" {
+				return owner + "." + sel.Sel.Name
+			}
+		}
+	}
+	return types.ExprString(x)
+}
+
+// localStructOwner returns the name of the named struct type t (pointers
+// stripped) when it is declared in the analyzed package, else "".
+func localStructOwner(p *Pass, t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg() != p.Pkg {
+		return ""
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return ""
+	}
+	return obj.Name()
+}
+
+// syncGuardType reports sync.Mutex / sync.RWMutex / sync.WaitGroup /
+// sync.Once / sync.Cond fields — the synchronization machinery itself.
+func syncGuardType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// atomicValueType reports sync/atomic value types (atomic.Int64 etc.):
+// fields of these types are accessed through methods and count as atomic.
+func atomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// collectFreshLocals finds local variables initialized from a composite
+// literal, &composite, or new(T): values under construction in this
+// function, not yet visible to other goroutines.
+func collectFreshLocals(p *Pass, fn funcScope) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				continue // reassignment, not a definition
+			}
+			if isConstructionExpr(p, as.Rhs[i]) {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isConstructionExpr(p *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		return isBuiltinCall(p.Info, e, "new")
+	}
+	return false
+}
+
+// freshBase reports whether the access base bottoms out at a fresh local
+// (s.inner.f with s fresh counts).
+func freshBase(p *Pass, x ast.Expr, fresh map[types.Object]bool) bool {
+	if id := rootIdent(x); id != nil {
+		obj := p.Info.Uses[id]
+		return obj != nil && fresh[obj]
+	}
+	return false
+}
+
+// localValueRoot reports whether the access is rooted at a non-pointer,
+// non-package-level variable: a stack-local value copy, which cannot race.
+// Shared state in this codebase is reached through pointers (receivers,
+// map/slice elements of pointer type), which stay tracked.
+func localValueRoot(p *Pass, x ast.Expr) bool {
+	id := rootIdent(x)
+	if id == nil {
+		return false
+	}
+	obj, ok := p.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	if obj.Parent() == p.Pkg.Scope() {
+		return false // package-level variables are shared
+	}
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return true
+}
+
+// rootIdent descends selector/index/deref chains to the root identifier,
+// or nil when the base is a call or other non-variable expression.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package goroleak seeds goroutine spawn sites: unconditional loops with
+// no termination path (findings), the repo's quit-channel / context /
+// conditional-loop shapes (clean), a named same-package callee, and a
+// suppressed line.
+package goroleak
+
+import "context"
+
+func work() {}
+
+// spinForever has no way out: finding at the go statement.
+func spinForever() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// quitSelect drains a quit channel: clean.
+func quitSelect(quit <-chan struct{}, tick <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// ctxPoll observes cancellation: clean.
+func ctxPoll(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// channelRange terminates when the channel closes: clean.
+func channelRange(ch <-chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// conditional loops exit when the condition flips: clean.
+func conditional(done *bool) {
+	go func() {
+		for !*done {
+			work()
+		}
+	}()
+}
+
+// nestedBreak only breaks the inner loop; the outer one is immortal.
+func nestedBreak() {
+	go func() {
+		for {
+			for {
+				break
+			}
+			work()
+		}
+	}()
+}
+
+// namedSpin resolves through the same-package declaration: finding.
+func spin() {
+	for {
+		work()
+	}
+}
+
+func namedSpin() {
+	go spin()
+}
+
+// suppressed: a deliberately process-lifetime goroutine.
+func sampler() {
+	//atlint:ignore goroleak fixture exercising suppression
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+var (
+	_ = spinForever
+	_ = quitSelect
+	_ = ctxPoll
+	_ = channelRange
+	_ = conditional
+	_ = nestedBreak
+	_ = namedSpin
+	_ = sampler
+)

@@ -1,0 +1,16 @@
+// Package metriccheck seeds metric-name literals against an injected
+// manifest: a registered name and a labeled series (clean), a typo'd name
+// (finding), prose mentioning a metric (skipped — not an exact name), and
+// a suppressed line.
+package metriccheck
+
+func emit(p func(name string, v float64)) {
+	p("atserve_jobs_accepted_total", 1)
+	p("atserve_typo_total", 2)
+	p(`atserve_job_latency_seconds{quantile="0.5"}`, 3)
+	_ = "queue depth is exposed as atserve_queue_depth on /metrics"
+	//atlint:ignore metriccheck fixture exercising suppression
+	p("atserve_suppressed_total", 4)
+}
+
+var _ = emit

@@ -1,0 +1,10 @@
+// Package metricnames impersonates the real manifest package path so the
+// duplicate-entry, malformed-name and never-emitted (Finish) checks fire.
+package metricnames
+
+var Names = []string{
+	"atserve_good_total",
+	"atserve_good_total",
+	"Atserve_Bad",
+	"atserve_ghost_total",
+}

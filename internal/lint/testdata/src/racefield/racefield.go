@@ -1,0 +1,74 @@
+// Package racefield seeds guard-inference patterns: a field locked at
+// three sites and read bare at two (one finding, one suppressed), a field
+// mixing sync/atomic updates with a plain read (finding), and
+// construction-time writes that must not count.
+package racefield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	hits int64
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+func (c *counter) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = 0
+}
+
+// peek reads outside the lock every other site holds: finding.
+func (c *counter) peek() int {
+	return c.n
+}
+
+// dirty is a deliberate unlocked read, suppressed with a reason.
+func (c *counter) dirty() int {
+	//atlint:ignore racefield fixture exercising suppression
+	return c.n
+}
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// snapshot races with the atomic adds no matter what locks are held:
+// finding.
+func (c *counter) snapshot() int64 {
+	return c.hits
+}
+
+// newCounter writes fields before the value is shared: clean.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.hits = 0
+	return c
+}
+
+var (
+	_ = (*counter).incr
+	_ = (*counter).add
+	_ = (*counter).reset
+	_ = (*counter).peek
+	_ = (*counter).dirty
+	_ = (*counter).hit
+	_ = (*counter).snapshot
+	_ = newCounter
+)

@@ -1,0 +1,103 @@
+// Package unboundedalloc seeds wire-decode allocation patterns: length
+// prefixes that reach make/append unchecked (findings), the repo's
+// check-then-allocate and clamp idioms (clean), field-sensitive
+// sanitization (checking one header field does not bless its sibling),
+// and a suppressed line.
+package unboundedalloc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+)
+
+const maxElems = 1 << 20
+
+type header struct {
+	N     uint32
+	Extra uint32
+}
+
+// decodeUnchecked sizes the allocation straight from the decoded count.
+func decodeUnchecked(r io.Reader) ([]byte, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	return make([]byte, h.N), nil
+}
+
+// decodeChecked consults a bound first: clean.
+func decodeChecked(r io.Reader) ([]byte, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	if h.N > maxElems {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return make([]byte, h.N), nil
+}
+
+// decodeWrongField checks Extra but allocates by N: checking one field
+// must not sanitize its sibling.
+func decodeWrongField(r io.Reader) ([]byte, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	if h.Extra > maxElems {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return make([]byte, h.N), nil
+}
+
+// decodeSpread: the make is flagged, and so is spreading the resulting
+// tainted-sized slice into an append.
+func decodeSpread(b []byte, out []uint64) []uint64 {
+	n := binary.LittleEndian.Uint32(b)
+	vals := make([]uint64, n)
+	return append(out, vals...)
+}
+
+// decodeClamped bounds the varint length with min(): clean.
+func decodeClamped(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, min(int(n), maxElems))
+	return buf, nil
+}
+
+// decodeJSON: integer fields of a JSON-decoded request are wire values
+// too; the range check makes this one clean.
+func decodeJSON(data []byte) ([]int, error) {
+	var req struct{ Count int }
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, err
+	}
+	if req.Count < 0 || req.Count > maxElems {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return make([]int, req.Count), nil
+}
+
+// decodeSuppressed accepts the risk explicitly.
+func decodeSuppressed(r io.Reader) []byte {
+	var h header
+	_ = binary.Read(r, binary.LittleEndian, &h)
+	//atlint:ignore unboundedalloc fixture exercising suppression
+	return make([]byte, h.N)
+}
+
+var (
+	_ = decodeUnchecked
+	_ = decodeChecked
+	_ = decodeWrongField
+	_ = decodeSpread
+	_ = decodeClamped
+	_ = decodeJSON
+	_ = decodeSuppressed
+)

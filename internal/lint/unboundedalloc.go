@@ -1,0 +1,580 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"atmatrix/internal/lint/cfg"
+)
+
+// UnboundedAlloc turns PR 2's "allocation-bounded deserialization against
+// hostile headers" convention into an enforced invariant: an integer
+// decoded from a wire or file stream (a length prefix, a header count) is
+// TAINTED, and sizing an allocation by a tainted value is a finding until
+// the value has passed an explicit bounds comparison. Without the check, a
+// corrupt or hostile .atm/RPC stream claiming 2^60 entries OOMs the
+// process before the (short) stream even runs out.
+//
+// Taint sources (the wire-decode vocabulary of internal/mmio,
+// internal/core/serialize.go and internal/cluster/proto.go):
+//
+//   - binary.Read(r, order, &x): taints x (array, struct or scalar);
+//   - binary.LittleEndian/BigEndian .Uint16/.Uint32/.Uint64 results;
+//   - binary.ReadUvarint / binary.ReadVarint results;
+//   - json.Unmarshal(b, &x) and (*json.Decoder).Decode(&x): taint x —
+//     integer fields of a decoded wire header are attacker-controlled
+//     even though the JSON payload itself was length-bounded.
+//
+// Taint propagates through assignment, conversion, arithmetic, and field/
+// index selection on a tainted base; it does NOT propagate through len()
+// or cap() (a decoded slice's length is bounded by the bytes actually
+// read), nor through the min() builtin when any argument is clean.
+//
+// A value is sanitized by appearing in a comparison (<, <=, >, >=, ==, !=)
+// — on any path, in any form: an `if n > maxFrameBytes` guard, a
+// `for read < nnz` loop header, a clamp. The analyzer is intraprocedural:
+// helper calls are boundaries, and passing &x to an unknown callee
+// sanitizes x (the callee may validate it). This deliberately accepts any
+// comparison as "the cap check" — the invariant enforced is that SOME
+// bound was consulted on every path from decode to allocation, which is
+// exactly the hand-written convention the PR 2 decoders follow.
+//
+// Sinks: make() with a tainted length or capacity, and append() spreading
+// a slice whose own allocation was tainted. Intentional exceptions carry
+// //atlint:ignore unboundedalloc with the reason.
+var UnboundedAlloc = &Analyzer{
+	Name: "unboundedalloc",
+	Doc:  "make/append sized by a wire-decoded value that never passed a bounds check",
+	Run:  runUnboundedAlloc,
+}
+
+func runUnboundedAlloc(p *Pass) {
+	forEachFunc(p.Files, func(fn funcScope) {
+		fl := &taintFlow{pass: p}
+		g := cfg.New(fn.body)
+		in := cfg.Forward(g, fl)
+		// Replay each reachable block from its entry fact, reporting
+		// sinks as the facts stand at each node.
+		for _, blk := range g.Blocks {
+			f, ok := in[blk]
+			if !ok {
+				continue
+			}
+			for _, n := range blk.Nodes {
+				fl.reportSinks(n, f.(taintFact))
+				f = fl.Transfer(n, f)
+			}
+		}
+	})
+}
+
+// taintFact is the dataflow fact: the set of tainted expressions (keyed by
+// their rendered form, types.ExprString) plus explicit sanitized overrides
+// that prune taint from a subtree — `hdr` tainted with `hdr.N` sanitized
+// leaves `hdr.M` tainted but clears `hdr.N`. Facts are immutable;
+// mutations copy.
+type taintFact struct {
+	tainted   map[string]bool
+	sanitized map[string]bool
+	// allocTainted marks slices whose ALLOCATION was sized by a tainted
+	// value (vals := make([]T, n) with n tainted) — the only thing the
+	// append-spread sink fires on. It is deliberately separate from
+	// tainted: binary.Read into a fixed-size buf taints the CONTENTS, but
+	// spreading that buf into an append moves a bounded number of
+	// elements and is fine.
+	allocTainted map[string]bool
+}
+
+func (f taintFact) clone() taintFact {
+	out := taintFact{
+		tainted:      make(map[string]bool, len(f.tainted)),
+		sanitized:    make(map[string]bool, len(f.sanitized)),
+		allocTainted: make(map[string]bool, len(f.allocTainted)),
+	}
+	for k := range f.tainted {
+		out.tainted[k] = true
+	}
+	for k := range f.sanitized {
+		out.sanitized[k] = true
+	}
+	for k := range f.allocTainted {
+		out.allocTainted[k] = true
+	}
+	return out
+}
+
+type taintFlow struct {
+	pass *Pass
+}
+
+func (fl *taintFlow) Entry() cfg.Fact {
+	return taintFact{
+		tainted:      map[string]bool{},
+		sanitized:    map[string]bool{},
+		allocTainted: map[string]bool{},
+	}
+}
+
+func (fl *taintFlow) Branch(cond ast.Expr, negated bool, f cfg.Fact) cfg.Fact { return f }
+
+func (fl *taintFlow) Join(a, b cfg.Fact) cfg.Fact {
+	af, bf := a.(taintFact), b.(taintFact)
+	out := af.clone()
+	for k := range bf.tainted {
+		out.tainted[k] = true
+	}
+	for k := range bf.allocTainted {
+		out.allocTainted[k] = true
+	}
+	// A sanitized override only survives the join if both paths agree;
+	// taint wins over sanitization from the other path.
+	for k := range af.sanitized {
+		if !bf.sanitized[k] {
+			delete(out.sanitized, k)
+		}
+	}
+	return out
+}
+
+func (fl *taintFlow) Equal(a, b cfg.Fact) bool {
+	af, bf := a.(taintFact), b.(taintFact)
+	if len(af.tainted) != len(bf.tainted) || len(af.sanitized) != len(bf.sanitized) || len(af.allocTainted) != len(bf.allocTainted) {
+		return false
+	}
+	for k := range af.tainted {
+		if !bf.tainted[k] {
+			return false
+		}
+	}
+	for k := range af.sanitized {
+		if !bf.sanitized[k] {
+			return false
+		}
+	}
+	for k := range af.allocTainted {
+		if !bf.allocTainted[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (fl *taintFlow) Transfer(n ast.Node, f cfg.Fact) cfg.Fact {
+	fact := f.(taintFact)
+	out := fact.clone()
+	// 1. Calls anywhere in the node: pointer-argument sources taint their
+	// target; pointer arguments to unknown callees sanitize (the callee
+	// may validate or overwrite).
+	fl.applyCalls(n, &out)
+	// 2. Comparisons anywhere in the node sanitize the values they
+	// mention: consulting ANY bound is the convention being enforced.
+	fl.applyComparisons(n, &out)
+	// 3. Value flow through assignments and declarations.
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		fl.applyAssign(s, &out)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					switch {
+					case len(vs.Values) == len(vs.Names):
+						fl.assignOne(name, vs.Values[i], &out)
+					case len(vs.Values) == 0:
+						clearKey(&out, types.ExprString(name))
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Each iteration assigns key/value from the range expression:
+		// ranging over a tainted container taints the drawn values.
+		rangeTainted := fl.taintedExpr(s.X, out)
+		for _, v := range []ast.Expr{s.Key, s.Value} {
+			if v == nil {
+				continue
+			}
+			if id, ok := v.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if rangeTainted {
+				taintKey(&out, types.ExprString(v))
+			} else {
+				clearKey(&out, types.ExprString(v))
+			}
+		}
+	}
+	return out
+}
+
+// reportSinks flags make/append sized by a tainted value, with the fact as
+// it stands entering the node.
+func (fl *taintFlow) reportSinks(n ast.Node, f taintFact) {
+	inspectNodeShallow(n, func(sub ast.Node) bool {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isBuiltinCall(fl.pass.Info, call, "make"):
+			for _, arg := range call.Args[1:] {
+				if fl.taintedExpr(arg, f) {
+					fl.pass.Reportf(call.Pos(), "make sized by wire-decoded value %s with no bounds check on this path; cap it before allocating", types.ExprString(arg))
+					break
+				}
+			}
+		case isBuiltinCall(fl.pass.Info, call, "append"):
+			if call.Ellipsis != token.NoPos && len(call.Args) == 2 && f.allocTainted[types.ExprString(call.Args[1])] {
+				fl.pass.Reportf(call.Pos(), "append spreads %s, whose allocation was sized by an unchecked wire value", types.ExprString(call.Args[1]))
+			}
+		}
+		return true
+	})
+}
+
+// applyAssign propagates taint through an assignment.
+func (fl *taintFlow) applyAssign(s *ast.AssignStmt, f *taintFact) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			fl.assignOne(s.Lhs[i], s.Rhs[i], f)
+		}
+		return
+	}
+	// Multi-value from a single call: n, err := binary.ReadUvarint(br).
+	if len(s.Rhs) == 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		tainted := false
+		if ok {
+			tainted = fl.isValueSource(call)
+		}
+		for i, lhs := range s.Lhs {
+			key := types.ExprString(lhs)
+			if key == "_" {
+				continue
+			}
+			// Only the first result of the varint readers is a length;
+			// a map/type-assert comma-ok is never a wire value.
+			if tainted && i == 0 {
+				taintKey(f, key)
+			} else {
+				clearKey(f, key)
+			}
+		}
+	}
+}
+
+func (fl *taintFlow) assignOne(lhs, rhs ast.Expr, f *taintFact) {
+	key := types.ExprString(lhs)
+	if key == "_" {
+		return
+	}
+	if fl.taintedExpr(rhs, *f) {
+		taintKey(f, key)
+	} else {
+		clearKey(f, key)
+	}
+	if fl.taintedMakeCall(rhs, *f) {
+		f.allocTainted[key] = true
+	}
+}
+
+// taintedMakeCall reports a make() whose size or capacity is tainted.
+func (fl *taintFlow) taintedMakeCall(rhs ast.Expr, f taintFact) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || !isBuiltinCall(fl.pass.Info, call, "make") {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		if fl.taintedExpr(a, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// taintKey marks an expression tainted, dropping any sanitized overrides
+// underneath it.
+func taintKey(f *taintFact, key string) {
+	f.tainted[key] = true
+	delete(f.sanitized, key)
+	for k := range f.sanitized {
+		if isSubPath(key, k) {
+			delete(f.sanitized, k)
+		}
+	}
+}
+
+// clearKey removes taint from an expression and everything rooted at it.
+func clearKey(f *taintFact, key string) {
+	delete(f.tainted, key)
+	delete(f.allocTainted, key)
+	for k := range f.allocTainted {
+		if isSubPath(key, k) {
+			delete(f.allocTainted, k)
+		}
+	}
+	for k := range f.tainted {
+		if isSubPath(key, k) {
+			delete(f.tainted, k)
+		}
+	}
+	for k := range f.sanitized {
+		if k == key || isSubPath(key, k) {
+			delete(f.sanitized, k)
+		}
+	}
+}
+
+// sanitizeKey records that an expression has passed a bounds comparison:
+// exact taint entries are dropped; taint inherited from a tainted base is
+// pruned with an override entry.
+func sanitizeKey(f *taintFact, key string) {
+	if f.tainted[key] {
+		clearKey(f, key)
+		return
+	}
+	f.sanitized[key] = true
+}
+
+// isSubPath reports whether sub is rooted at base: "hdr.N" and "hdr[0]"
+// are sub-paths of "hdr".
+func isSubPath(base, sub string) bool {
+	if len(sub) <= len(base) || sub[:len(base)] != base {
+		return false
+	}
+	switch sub[len(base)] {
+	case '.', '[':
+		return true
+	}
+	return false
+}
+
+// taintedExpr reports whether evaluating e yields a tainted value under f.
+func (fl *taintFlow) taintedExpr(e ast.Expr, f taintFact) bool {
+	if e == nil {
+		return false
+	}
+	// A sanitized override covers its whole subtree.
+	if f.sanitized[types.ExprString(e)] {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		key := types.ExprString(e)
+		if f.tainted[key] {
+			return true
+		}
+		switch x := x.(type) {
+		case *ast.SelectorExpr:
+			return fl.taintedExpr(x.X, f)
+		case *ast.IndexExpr:
+			return fl.taintedExpr(x.X, f) || fl.taintedExpr(x.Index, f)
+		}
+		return false
+	case *ast.ParenExpr:
+		return fl.taintedExpr(x.X, f)
+	case *ast.UnaryExpr:
+		return fl.taintedExpr(x.X, f)
+	case *ast.StarExpr:
+		return fl.taintedExpr(x.X, f)
+	case *ast.BinaryExpr:
+		return fl.taintedExpr(x.X, f) || fl.taintedExpr(x.Y, f)
+	case *ast.SliceExpr:
+		return fl.taintedExpr(x.X, f)
+	case *ast.CallExpr:
+		return fl.taintedCall(x, f)
+	}
+	return false
+}
+
+// taintedCall evaluates taint through a call expression: wire-decode
+// sources are tainted, len/cap/min launder, conversions pass through, and
+// everything else is a clean boundary.
+func (fl *taintFlow) taintedCall(call *ast.CallExpr, f taintFact) bool {
+	info := fl.pass.Info
+	switch {
+	case fl.isValueSource(call):
+		return true
+	case isBuiltinCall(info, call, "len") || isBuiltinCall(info, call, "cap"):
+		// The length of a materialized value is bounded by the bytes
+		// actually read, whatever a header claimed.
+		return false
+	case isBuiltinCall(info, call, "min") || isBuiltinCall(info, call, "max"):
+		// min(n, cap) is a clamp when any argument is clean. max() keeps
+		// taint: max(n, 8) is still unbounded above.
+		if isBuiltinCall(info, call, "min") {
+			for _, a := range call.Args {
+				if !fl.taintedExpr(a, f) {
+					return false
+				}
+			}
+		}
+		for _, a := range call.Args {
+			if fl.taintedExpr(a, f) {
+				return true
+			}
+		}
+		return false
+	case isBuiltinCall(info, call, "make"):
+		// A make sized by a tainted value produces a tainted-sized slice
+		// (the append sink catches it spreading).
+		for _, a := range call.Args[1:] {
+			if fl.taintedExpr(a, f) {
+				return true
+			}
+		}
+		return false
+	}
+	// Conversion? T(x) keeps x's taint.
+	if len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return fl.taintedExpr(call.Args[0], f)
+		}
+	}
+	return false
+}
+
+// isValueSource reports whether the call's result is wire-decoded data:
+// binary.ByteOrder decodes and the varint readers.
+func (fl *taintFlow) isValueSource(call *ast.CallExpr) bool {
+	fn := calleeFunc(fl.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return false
+	}
+	switch fn.Name() {
+	case "Uint16", "Uint32", "Uint64", "ReadUvarint", "ReadVarint":
+		return true
+	}
+	return false
+}
+
+// applyCalls handles call statements whose side effects move taint:
+// decode-into-pointer sources and unknown callees taking pointers.
+func (fl *taintFlow) applyCalls(n ast.Node, f *taintFact) {
+	inspectNodeShallow(n, func(sub ast.Node) bool {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		info := fl.pass.Info
+		switch {
+		case calleeIn(info, call, "encoding/binary", "Read") && len(call.Args) == 3:
+			taintTarget(f, call.Args[2])
+		case calleeIn(info, call, "encoding/json", "Unmarshal") && len(call.Args) == 2:
+			taintTarget(f, call.Args[1])
+		case calleeIn(info, call, "encoding/json", "Decode") && len(call.Args) == 1:
+			taintTarget(f, call.Args[0])
+		default:
+			// &x handed to any other callee: treat as sanitizing — the
+			// callee may validate or overwrite, and intraprocedural
+			// analysis cannot see which.
+			if calleeFunc(info, call) != nil || info.Types[call.Fun].IsValue() {
+				for _, arg := range call.Args {
+					if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+						clearKey(f, types.ExprString(ue.X))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintTarget taints the storage a decode call writes through: &x taints
+// x, x[:] taints x, a plain pointer/slice var taints the var.
+func taintTarget(f *taintFact, arg ast.Expr) {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			taintKey(f, types.ExprString(x.X))
+		}
+	case *ast.SliceExpr:
+		taintKey(f, types.ExprString(x.X))
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		taintKey(f, types.ExprString(x))
+	}
+}
+
+// applyComparisons sanitizes every ident/selector/index operand mentioned
+// in a comparison within the node.
+func (fl *taintFlow) applyComparisons(n ast.Node, f *taintFact) {
+	inspectNodeShallow(n, func(sub ast.Node) bool {
+		be, ok := sub.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			fl.sanitizeMentions(side, f)
+		}
+		return true
+	})
+}
+
+// sanitizeMentions sanitizes every tainted value expression mentioned in
+// e. Only maximal value expressions count: comparing hdr.N vouches for
+// hdr.N, not for the whole hdr — descending into the selector's base
+// would clear taint on sibling fields the comparison never looked at.
+func (fl *taintFlow) sanitizeMentions(e ast.Expr, f *taintFact) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if fl.taintedExpr(x, *f) {
+			sanitizeKey(f, types.ExprString(x))
+		}
+	case *ast.SelectorExpr:
+		if fl.taintedExpr(x, *f) {
+			sanitizeKey(f, types.ExprString(x))
+		}
+	case *ast.IndexExpr:
+		if fl.taintedExpr(x, *f) {
+			sanitizeKey(f, types.ExprString(x))
+		}
+		fl.sanitizeMentions(x.Index, f)
+	case *ast.ParenExpr:
+		fl.sanitizeMentions(x.X, f)
+	case *ast.UnaryExpr:
+		fl.sanitizeMentions(x.X, f)
+	case *ast.StarExpr:
+		fl.sanitizeMentions(x.X, f)
+	case *ast.BinaryExpr:
+		fl.sanitizeMentions(x.X, f)
+		fl.sanitizeMentions(x.Y, f)
+	case *ast.SliceExpr:
+		fl.sanitizeMentions(x.X, f)
+	case *ast.CallExpr:
+		// A comparison against len(n) or int(n) still consulted n.
+		for _, a := range x.Args {
+			fl.sanitizeMentions(a, f)
+		}
+	}
+}
+
+// inspectNodeShallow walks one CFG node without descending into function
+// literals, which are independent scopes with their own CFGs. A RangeStmt
+// head node owns only its key/value/range expressions: the loop body lives
+// in separate CFG blocks and must not be visited with the head's fact.
+func inspectNodeShallow(n ast.Node, fn func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		for _, e := range []ast.Expr{rs.Key, rs.Value, rs.X} {
+			if e != nil {
+				inspectNodeShallow(e, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(sub)
+	})
+}

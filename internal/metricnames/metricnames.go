@@ -1,0 +1,112 @@
+// Package metricnames is the central manifest of every metric name the
+// atserve /metrics endpoint may emit. It is the metrics counterpart of
+// internal/faultinject/sites.go: metric names are stringly typed and cross
+// package boundaries (the emitter in cmd/atserve, operator dashboards,
+// smoke tests, README documentation), and nothing but convention keeps
+// them aligned.
+//
+// The atlint metriccheck analyzer enforces the contract in both
+// directions: every `atserve_*` string literal in non-test code must be
+// registered here (a typo'd emission would silently break dashboards),
+// and every name registered here must be emitted somewhere (a stale entry
+// documents a metric that no longer exists).
+//
+// Workflow for adding a metric: add the name here first, then emit it in
+// cmd/atserve's handleMetrics; `make lint` fails until both halves agree.
+// Renames must touch both files in the same commit. Labeled series
+// (`atserve_job_latency_seconds{quantile="0.5"}`) register the bare name —
+// the analyzer strips everything from the first '{'.
+package metricnames
+
+// Names lists every registered metric name, grouped the way handleMetrics
+// emits them. Keep it sorted within each group.
+var Names = []string{
+	// Job lifecycle.
+	"atserve_jobs_accepted_total",
+	"atserve_jobs_canceled_total",
+	"atserve_jobs_completed_total",
+	"atserve_jobs_failed_total",
+	"atserve_jobs_inflight",
+	"atserve_jobs_rejected_total",
+	"atserve_queue_capacity",
+	"atserve_queue_depth",
+	"atserve_job_latency_seconds",
+
+	// Resilience: retries, panics, watchdog, brownout, quarantine.
+	"atserve_brownout_shed_total",
+	"atserve_brownout_trips_total",
+	"atserve_degraded_sockets",
+	"atserve_quarantined_matrices",
+	"atserve_retries_total",
+	"atserve_task_panics_total",
+	"atserve_verify_failed_total",
+	"atserve_watchdog_timeouts_total",
+
+	// Expression engine.
+	"atserve_eval_fused_stages_total",
+	"atserve_eval_jobs_total",
+	"atserve_eval_plan_seconds_total",
+
+	// Catalog: residency, spill, scrub.
+	"atserve_catalog_budget_bytes",
+	"atserve_catalog_evictions_total",
+	"atserve_catalog_hits_total",
+	"atserve_catalog_matrices",
+	"atserve_catalog_misses_total",
+	"atserve_catalog_recovered_total",
+	"atserve_catalog_reloads_total",
+	"atserve_catalog_resident_bytes",
+	"atserve_catalog_spilled_matrices",
+	"atserve_catalog_spills_total",
+	"atserve_scrub_errors_total",
+	"atserve_scrub_passes_total",
+	"atserve_scrub_repairs_total",
+	"atserve_scrub_scanned_total",
+	"atserve_scrub_unrepaired_total",
+
+	// Multiplication pipeline phases.
+	"atserve_mult_contributions_total",
+	"atserve_mult_conversions_total",
+	"atserve_mult_convert_seconds_total",
+	"atserve_mult_estimate_seconds_total",
+	"atserve_mult_finalize_seconds_total",
+	"atserve_mult_multiply_seconds_total",
+	"atserve_mult_optimize_seconds_total",
+	"atserve_mult_target_tiles_total",
+	"atserve_mult_tasks_stolen_total",
+	"atserve_mult_verify_seconds_total",
+	"atserve_mult_wall_seconds_total",
+
+	// Cluster: membership, shipping, replication, merge.
+	"atserve_cluster_hedged_wins_total",
+	"atserve_cluster_hedges_sent_total",
+	"atserve_cluster_local_fallbacks_total",
+	"atserve_cluster_local_tasks_total",
+	"atserve_cluster_merge_frames_total",
+	"atserve_cluster_merge_peak_bytes",
+	"atserve_cluster_re_replications_total",
+	"atserve_cluster_remote_multiplies_total",
+	"atserve_cluster_repair_passes_total",
+	"atserve_cluster_rpc_retries_total",
+	"atserve_cluster_shard_crc_failures_total",
+	"atserve_cluster_shard_ref_bytes_total",
+	"atserve_cluster_shard_ref_hits_total",
+	"atserve_cluster_shard_ship_bytes_total",
+	"atserve_cluster_shard_ships_total",
+	"atserve_cluster_sharded_matrices",
+	"atserve_cluster_shards_total",
+	"atserve_cluster_tiles_rerouted_total",
+	"atserve_cluster_under_replicated_shards",
+	"atserve_cluster_workers_dead",
+	"atserve_cluster_workers_healthy",
+	"atserve_cluster_workers_suspect",
+}
+
+// Set returns the manifest as a membership set.
+func Set() map[string]bool {
+	s := make(map[string]bool, len(Names))
+	for _, n := range Names {
+		s[n] = true
+	}
+	return s
+}

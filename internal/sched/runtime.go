@@ -289,7 +289,7 @@ func RuntimeFor(topo numa.Topology) *Runtime {
 }
 
 // Topology returns the runtime's topology.
-func (r *Runtime) Topology() numa.Topology { return r.topo }
+func (r *Runtime) Topology() numa.Topology { return r.topo } //atlint:ignore racefield topo is set once in ForTopology before the Runtime escapes; runtimeMu guards the registry, not the field
 
 // DegradedSockets returns the sockets currently marked degraded by a
 // watchdog, in ascending order.
